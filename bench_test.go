@@ -1,0 +1,237 @@
+// Benchmarks regenerating every table and figure of the paper at reduced
+// scale (one benchmark per experiment; run `cmd/cispbench -scale full` for
+// the paper-scale tables), plus the ablation benchmarks called out in
+// DESIGN.md §4.
+package cisp_test
+
+import (
+	"testing"
+
+	"cisp"
+	"cisp/internal/capacity"
+	"cisp/internal/design"
+	"cisp/internal/experiments"
+	"cisp/internal/traffic"
+)
+
+func benchOpts(seed int64) experiments.Options {
+	return experiments.Options{Scale: cisp.ScaleSmall, Seed: seed, MaxCities: 12}
+}
+
+func BenchmarkFig2aDesignRuntime(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.Fig2Scaling(benchOpts(1), []int{4, 6, 8}, 8, 0)
+	}
+}
+
+func BenchmarkFig2bHeuristicVsILP(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.Fig2Scaling(benchOpts(1), []int{6}, 6, 0)
+		if len(res.Rows) == 0 {
+			b.Fatal("no rows")
+		}
+		b.ReportMetric(res.Rows[0].CISPStretch-res.Rows[0].ILPStretch, "stretch-gap")
+	}
+}
+
+func BenchmarkFig3USNetwork(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.Fig3USNetwork(benchOpts(2))
+		if res == nil {
+			b.Fatal("fig3 failed")
+		}
+		b.ReportMetric(res.MeanStretch, "stretch")
+		b.ReportMetric(res.CostPerGB, "$/GB")
+	}
+}
+
+func BenchmarkFig4aStretchVsBudget(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.Fig4aStretchVsBudget(benchOpts(3), []float64{100, 400})
+	}
+}
+
+func BenchmarkFig4bDisjointPaths(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.Fig4bDisjointPaths(benchOpts(4), 10)
+	}
+}
+
+func BenchmarkFig4cCostCurve(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.Fig4cCostPerGB(benchOpts(5), []float64{10, 50})
+	}
+}
+
+func BenchmarkFig5PerturbationSim(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.Fig5Perturbation(benchOpts(6), []float64{0.3}, []float64{70})
+	}
+}
+
+func BenchmarkFig6SpeedMismatch(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.Fig6SpeedMismatch(benchOpts(7), 3, 1)
+	}
+}
+
+func BenchmarkFig7WeatherYear(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.Fig7Weather(benchOpts(8), 40)
+		if res == nil {
+			b.Fatal("fig7 failed")
+		}
+		b.ReportMetric(res.MedianP99, "p99-stretch")
+	}
+}
+
+func BenchmarkFig8Europe(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.Fig8Europe(benchOpts(9))
+		if res == nil {
+			b.Fatal("fig8 failed")
+		}
+		b.ReportMetric(res.MeanStretch, "stretch")
+	}
+}
+
+func BenchmarkFig9TrafficModels(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.Fig9TrafficModels(benchOpts(10), []float64{20})
+	}
+}
+
+func BenchmarkFig10TowerConstraints(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.Fig10TowerConstraints(benchOpts(11), [][2]float64{{60, 0.45}})
+	}
+}
+
+func BenchmarkFig11MixDeviation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.Fig11MixDeviation(benchOpts(12), []float64{70})
+	}
+}
+
+func BenchmarkFig12Gaming(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.Fig12Gaming(benchOpts(13), []float64{0, 100, 200, 300})
+	}
+}
+
+func BenchmarkFig13WebBrowsing(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.Fig13WebBrowsing(benchOpts(14), 40)
+		if res == nil {
+			b.Fatal("fig13 failed")
+		}
+		b.ReportMetric(res.PLTCutPct, "plt-cut-%")
+	}
+}
+
+func BenchmarkCostBenefit(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.CostBenefit(benchOpts(15), 0.81)
+	}
+}
+
+// --- Ablations (DESIGN.md §4) ---
+
+// benchScenario caches a scenario + problem for the ablation benchmarks.
+var ablation struct {
+	s  *cisp.Scenario
+	p  *cisp.Problem
+	tm cisp.TrafficMatrix
+}
+
+func ablationSetup(b *testing.B) {
+	b.Helper()
+	if ablation.s == nil {
+		ablation.s = cisp.NewScenario(cisp.ScenarioConfig{
+			Region: cisp.US, Scale: cisp.ScaleSmall, Seed: 20, MaxCities: 10,
+		})
+		ablation.tm = ablation.s.PopulationTraffic()
+		p, err := ablation.s.Problem(ablation.tm, 250)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ablation.p = p
+	}
+}
+
+// BenchmarkAblationCandidatePruning compares the paper's method (greedy
+// candidate pruning, then exact selection over candidates only) against
+// exact selection over every useful link.
+func BenchmarkAblationCandidatePruning(b *testing.B) {
+	ablationSetup(b)
+	b.Run("greedy-candidates", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			design.GreedyILP(ablation.p, 100_000)
+		}
+	})
+	b.Run("all-links-exact", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			design.Exact(ablation.p, design.ExactOptions{MaxNodes: 500_000})
+		}
+	})
+}
+
+// BenchmarkAblationFlowPruning measures the paper's structural variable
+// elimination in the Eq. 1 flow ILP.
+func BenchmarkAblationFlowPruning(b *testing.B) {
+	ablationSetup(b)
+	small := shrink(ablation.p, 5)
+	b.Run("pruned", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, _, err := design.FlowILP(small, design.FlowILPOptions{Prune: true}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("unpruned", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, _, err := design.FlowILP(small, design.FlowILPOptions{Prune: false}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkAblationK2 measures the k² parallel-series trick's tower savings
+// against linear provisioning.
+func BenchmarkAblationK2(b *testing.B) {
+	ablationSetup(b)
+	top := design.Greedy(ablation.p, design.GreedyOptions{})
+	demand := traffic.ScaleToAggregate(ablation.tm, 50)
+	b.Run("k2", func(b *testing.B) {
+		var last *capacity.Plan
+		for i := 0; i < b.N; i++ {
+			last = capacity.Provision(top, ablation.s.Links, demand, capacity.Options{})
+		}
+		b.ReportMetric(float64(last.HopInstalls), "installs")
+	})
+	b.Run("linear", func(b *testing.B) {
+		var last *capacity.Plan
+		for i := 0; i < b.N; i++ {
+			last = capacity.Provision(top, ablation.s.Links, demand, capacity.Options{NoK2: true})
+		}
+		b.ReportMetric(float64(last.HopInstalls), "installs")
+	})
+}
+
+func shrink(p *cisp.Problem, n int) *cisp.Problem {
+	q := &cisp.Problem{N: n, Budget: p.Budget}
+	cut := func(m [][]float64) [][]float64 {
+		out := make([][]float64, n)
+		for i := 0; i < n; i++ {
+			out[i] = m[i][:n:n]
+		}
+		return out
+	}
+	q.Traffic = cut(p.Traffic)
+	q.Geodesic = cut(p.Geodesic)
+	q.MW = cut(p.MW)
+	q.MWCost = cut(p.MWCost)
+	q.FiberLat = cut(p.FiberLat)
+	return q
+}

@@ -1,0 +1,98 @@
+// Command cispbench regenerates the paper's tables and figures as text.
+//
+// Usage:
+//
+//	cispbench [-scale small|medium|full] [-seed N] [-fig all|2,3,4a,...]
+//
+// Each figure's output is the same rows/series the paper reports; see
+// EXPERIMENTS.md for the paper-vs-measured record.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"cisp"
+	"cisp/internal/experiments"
+)
+
+func main() {
+	scale := flag.String("scale", "small", "scenario scale: small, medium, full")
+	seed := flag.Int64("seed", 1, "scenario seed")
+	figs := flag.String("fig", "all", "comma-separated figure list (2,3,4a,4b,4c,5,6,7,8,9,10,11,12,13,econ) or 'all'")
+	flag.Parse()
+
+	opt := experiments.Options{Seed: *seed, Out: os.Stdout}
+	switch strings.ToLower(*scale) {
+	case "small":
+		opt.Scale = cisp.ScaleSmall
+	case "medium":
+		opt.Scale = cisp.ScaleMedium
+	case "full":
+		opt.Scale = cisp.ScaleFull
+	default:
+		fmt.Fprintf(os.Stderr, "unknown scale %q\n", *scale)
+		os.Exit(2)
+	}
+
+	want := map[string]bool{}
+	if *figs == "all" {
+		for _, f := range []string{"2", "3", "4a", "4b", "4c", "5", "6", "7", "8", "9", "10", "11", "12", "13", "econ", "ext"} {
+			want[f] = true
+		}
+	} else {
+		for _, f := range strings.Split(*figs, ",") {
+			want[strings.TrimSpace(f)] = true
+		}
+	}
+
+	run := func(name string, fn func()) {
+		if !want[name] {
+			return
+		}
+		start := time.Now()
+		fn()
+		fmt.Printf("  [%s done in %v]\n\n", name, time.Since(start).Round(time.Millisecond))
+	}
+
+	budgets := []float64{0, 200, 500, 1000, 2000, 4000}
+	aggregates := []float64{20, 50, 100, 200, 500, 1000}
+	loads := []float64{10, 30, 50, 70, 90, 110, 140, 170}
+	if opt.Scale == cisp.ScaleSmall {
+		budgets = []float64{0, 100, 250, 500, 1000}
+		aggregates = []float64{10, 25, 50, 100, 200}
+	}
+
+	run("2", func() {
+		sizes := []int{4, 6, 8, 10, 12}
+		if opt.Scale != cisp.ScaleSmall {
+			sizes = []int{5, 10, 15, 20, 30, 40, 60}
+		}
+		experiments.Fig2Scaling(opt, sizes, 12, 5)
+	})
+	run("3", func() { experiments.Fig3USNetwork(opt) })
+	run("4a", func() { experiments.Fig4aStretchVsBudget(opt, budgets) })
+	run("4b", func() { experiments.Fig4bDisjointPaths(opt, 20) })
+	run("4c", func() { experiments.Fig4cCostPerGB(opt, aggregates) })
+	run("5", func() { experiments.Fig5Perturbation(opt, []float64{0, 0.1, 0.3, 0.5}, loads) })
+	run("6", func() { experiments.Fig6SpeedMismatch(opt, 10, 3) })
+	run("7", func() { experiments.Fig7Weather(opt, 365) })
+	run("8", func() { experiments.Fig8Europe(opt) })
+	run("9", func() { experiments.Fig9TrafficModels(opt, aggregates) })
+	run("10", func() {
+		experiments.Fig10TowerConstraints(opt, [][2]float64{
+			{100, 0.85}, {80, 1.0}, {100, 0.65}, {70, 1.0}, {100, 0.45},
+			{70, 0.45}, {60, 1.0}, {60, 0.65}, {60, 0.45},
+		})
+	})
+	run("11", func() { experiments.Fig11MixDeviation(opt, loads) })
+	run("12", func() {
+		experiments.Fig12Gaming(opt, []float64{0, 25, 50, 75, 100, 150, 200, 250, 300})
+	})
+	run("13", func() { experiments.Fig13WebBrowsing(opt, 80) })
+	run("econ", func() { experiments.CostBenefit(opt, 0.81) })
+	run("ext", func() { experiments.Extensions(opt) })
+}

@@ -1,0 +1,46 @@
+// Quickstart: design a small speed-of-light network over the US Midwest and
+// print its headline numbers. This walks the paper's full pipeline — tower
+// feasibility (Step 1), topology design (Step 2), capacity provisioning
+// (Step 3) — in under a minute.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"cisp"
+)
+
+func main() {
+	// Step 0+1: synthesize the world and find feasible microwave links.
+	// ScaleSmall keeps this quick: ~25 cities and a sparse tower registry.
+	scenario := cisp.NewScenario(cisp.ScenarioConfig{
+		Region: cisp.US,
+		Scale:  cisp.ScaleSmall,
+		Seed:   42,
+	})
+	fmt.Printf("scenario: %d cities, %d towers, %d feasible tower-tower hops\n",
+		len(scenario.Cities), scenario.Registry.Len(), scenario.Links.FeasibleHops())
+
+	// Step 2: choose which city-city microwave links to build under a tower
+	// budget, minimising traffic-weighted latency stretch. The traffic
+	// model is the paper's population product.
+	tm := scenario.PopulationTraffic()
+	topology, err := scenario.DesignCISP(tm, scenario.DefaultBudget())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("design: %d microwave links using %.0f towers\n",
+		len(topology.Built), topology.CostUsed())
+	fmt.Printf("mean latency stretch: %.3f x c-latency (fiber-only: %.3f)\n",
+		topology.MeanStretch(), topology.MeanFiberStretch())
+
+	// Step 3: provision for 10 Gbps of aggregate demand and price it.
+	const aggregateGbps = 10
+	demand := cisp.ScaleTraffic(tm, aggregateGbps)
+	plan := scenario.Provision(topology, demand)
+	fmt.Printf("provisioning for %d Gbps: %d hop installs, %d new towers, %d towers rented\n",
+		aggregateGbps, plan.HopInstalls, plan.NewTowers, plan.TowersUsed)
+	fmt.Printf("amortised cost: $%.2f per GB (the paper's full-scale network: $0.81)\n",
+		scenario.CostPerGB(plan, aggregateGbps))
+}

@@ -1,0 +1,50 @@
+// usbackbone reproduces the paper's flagship result (Fig 3): a microwave +
+// fiber hybrid across US population centers achieving near speed-of-light
+// mean latency, provisioned for bulk throughput and priced per gigabyte.
+// It also sweeps the budget to show the stretch/cost trade-off (Fig 4a).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"cisp"
+)
+
+func main() {
+	scenario := cisp.NewScenario(cisp.ScenarioConfig{
+		Region: cisp.US,
+		Scale:  cisp.ScaleSmall, // switch to ScaleFull for the 120-center run
+		Seed:   1,
+	})
+	tm := scenario.PopulationTraffic()
+	fmt.Printf("US scenario: %d population centers, %d towers\n",
+		len(scenario.Cities), scenario.Registry.Len())
+
+	// Budget sweep (Fig 4a): more towers, less stretch.
+	fmt.Println("\nbudget sweep (stretch vs towers):")
+	for _, budget := range []float64{100, 250, 500, 1000} {
+		top, err := scenario.DesignGreedy(tm, budget)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %5.0f towers -> stretch %.4f (%d links)\n",
+			budget, top.MeanStretch(), len(top.Built))
+	}
+
+	// The flagship design at the paper's per-city budget.
+	top, err := scenario.DesignCISP(tm, scenario.DefaultBudget())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nflagship design: stretch %.4f with %.0f towers\n",
+		top.MeanStretch(), top.CostUsed())
+
+	// Provision across aggregate throughputs (Fig 4c): cost falls per GB.
+	fmt.Println("\ncost per GB vs aggregate throughput:")
+	for _, agg := range []float64{10, 25, 50, 100} {
+		plan := scenario.Provision(top, cisp.ScaleTraffic(tm, agg))
+		fmt.Printf("  %5.0f Gbps -> $%.2f/GB (%d new towers)\n",
+			agg, scenario.CostPerGB(plan, agg), plan.NewTowers)
+	}
+}

@@ -1,0 +1,193 @@
+package acquisition
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"cisp/internal/geo"
+	"cisp/internal/los"
+	"cisp/internal/terrain"
+	"cisp/internal/towers"
+)
+
+var fixture struct {
+	sync.Once
+	reg *towers.Registry
+	ev  *los.Evaluator
+	a   geo.Point
+	b   geo.Point
+}
+
+// setup builds a dense synthetic corridor between two nearby sites on flat
+// terrain so paths are plentiful.
+func setup(t testing.TB) (*towers.Registry, *los.Evaluator, geo.Point, geo.Point) {
+	t.Helper()
+	fixture.Do(func() {
+		a := geo.Point{Lat: 40.0, Lon: -100.0}
+		b := geo.Point{Lat: 40.0, Lon: -97.0} // ~256 km apart
+		var ts []towers.Tower
+		// A ladder of towers every ~20 km along the corridor, two rows.
+		for i := 0; i <= 13; i++ {
+			p := a.Intermediate(b, float64(i)/13)
+			ts = append(ts,
+				towers.Tower{Loc: p.Destination(0, 3e3), Height: 200, Rental: true},
+				towers.Tower{Loc: p.Destination(180, 6e3), Height: 180, Rental: false},
+			)
+		}
+		fixture.reg = towers.NewRegistry(ts)
+		fixture.ev = los.NewEvaluator(terrain.Flat(), los.DefaultParams())
+		fixture.a, fixture.b = a, b
+	})
+	return fixture.reg, fixture.ev, fixture.a, fixture.b
+}
+
+func TestRefineFindsPaths(t *testing.T) {
+	reg, ev, a, b := setup(t)
+	res := Refine(reg, ev, Model{}, Request{A: a, B: b, Samples: 100, Seed: 1})
+	if res.Samples != 100 {
+		t.Fatalf("samples = %d", res.Samples)
+	}
+	if res.FeasibleRate() < 0.3 {
+		t.Fatalf("feasible rate %.2f too low on a dense flat corridor", res.FeasibleRate())
+	}
+	geod := a.DistanceTo(b)
+	if res.BestLength < geod {
+		t.Fatalf("best length %.0f below geodesic %.0f", res.BestLength, geod)
+	}
+	if res.BestLength > geod*1.3 {
+		t.Fatalf("best length %.0f too circuitous (geodesic %.0f)", res.BestLength, geod)
+	}
+	if res.WorstLength < res.BestLength {
+		t.Fatal("worst < best")
+	}
+	if m := res.MedianLength(); m < res.BestLength || m > res.WorstLength {
+		t.Fatalf("median %v outside [best, worst]", m)
+	}
+}
+
+func TestRefineDeterministic(t *testing.T) {
+	reg, ev, a, b := setup(t)
+	r1 := Refine(reg, ev, Model{}, Request{A: a, B: b, Samples: 50, Seed: 9})
+	r2 := Refine(reg, ev, Model{}, Request{A: a, B: b, Samples: 50, Seed: 9})
+	if r1.Feasible != r2.Feasible || r1.BestLength != r2.BestLength {
+		t.Fatal("refinement not deterministic")
+	}
+}
+
+func TestConfirmationsRaiseFeasibility(t *testing.T) {
+	reg, ev, a, b := setup(t)
+	base := Refine(reg, ev, Model{OtherProb: 0.4, RentalProb: 0.5}, Request{A: a, B: b, Samples: 150, Seed: 2})
+	// Confirm every tower as acquired: feasibility can only improve.
+	confirmed := map[int]Status{}
+	for _, tw := range reg.Towers() {
+		confirmed[tw.ID] = Acquired
+	}
+	all := Refine(reg, ev, Model{OtherProb: 0.4, RentalProb: 0.5}, Request{A: a, B: b, Samples: 150, Seed: 2, Confirmed: confirmed})
+	if all.FeasibleRate() < base.FeasibleRate() {
+		t.Fatalf("confirming all towers reduced feasibility: %.2f -> %.2f",
+			base.FeasibleRate(), all.FeasibleRate())
+	}
+	if all.FeasibleRate() < 0.95 {
+		t.Fatalf("with all towers acquired, feasibility = %.2f, want ~1", all.FeasibleRate())
+	}
+}
+
+func TestRefusalsKillRoutes(t *testing.T) {
+	reg, ev, a, b := setup(t)
+	confirmed := map[int]Status{}
+	for _, tw := range reg.Towers() {
+		confirmed[tw.ID] = Refused
+	}
+	res := Refine(reg, ev, Model{}, Request{A: a, B: b, Samples: 40, Seed: 3, Confirmed: confirmed})
+	if res.Feasible != 0 {
+		t.Fatalf("all towers refused but %d samples feasible", res.Feasible)
+	}
+	if !math.IsNaN(res.MedianLength()) {
+		t.Fatal("median of empty distribution should be NaN")
+	}
+}
+
+func TestTowerUseRates(t *testing.T) {
+	reg, ev, a, b := setup(t)
+	res := Refine(reg, ev, Model{}, Request{A: a, B: b, Samples: 120, Seed: 4})
+	if len(res.TowerUseRate) == 0 {
+		t.Fatal("no tower use rates recorded")
+	}
+	for id, rate := range res.TowerUseRate {
+		if rate <= 0 || rate > 1+1e-9 {
+			t.Fatalf("tower %d use rate %v outside (0,1]", id, rate)
+		}
+	}
+}
+
+func TestPriorityTowers(t *testing.T) {
+	reg, ev, a, b := setup(t)
+	res := Refine(reg, ev, Model{}, Request{A: a, B: b, Samples: 120, Seed: 5})
+	pri := PriorityTowers(res, map[int]Status{}, 3)
+	if len(pri) == 0 {
+		t.Fatal("no priority towers")
+	}
+	if len(pri) > 3 {
+		t.Fatalf("asked for 3, got %d", len(pri))
+	}
+	// Rates must be non-increasing.
+	for i := 1; i < len(pri); i++ {
+		if res.TowerUseRate[pri[i]] > res.TowerUseRate[pri[i-1]]+1e-12 {
+			t.Fatal("priority towers not sorted by use rate")
+		}
+	}
+	// Confirmed towers must be excluded.
+	conf := map[int]Status{pri[0]: Acquired}
+	pri2 := PriorityTowers(res, conf, 3)
+	for _, id := range pri2 {
+		if id == pri[0] {
+			t.Fatal("confirmed tower still in priority list")
+		}
+	}
+}
+
+func TestProgressiveRefinementLoop(t *testing.T) {
+	// The paper's workflow: refine, confirm the highest-value towers,
+	// repeat. Feasibility should not degrade as confirmations accumulate
+	// positively.
+	reg, ev, a, b := setup(t)
+	model := Model{OtherProb: 0.5, RentalProb: 0.7}
+	confirmed := map[int]Status{}
+	prevRate := -1.0
+	for round := 0; round < 3; round++ {
+		res := Refine(reg, ev, model, Request{A: a, B: b, Samples: 150, Seed: 6, Confirmed: confirmed})
+		rate := res.FeasibleRate()
+		if prevRate >= 0 && rate < prevRate-0.1 {
+			t.Fatalf("round %d: feasibility regressed %.2f -> %.2f", round, prevRate, rate)
+		}
+		prevRate = rate
+		for _, id := range PriorityTowers(res, confirmed, 4) {
+			confirmed[id] = Acquired
+		}
+	}
+	if prevRate < 0.5 {
+		t.Fatalf("after confirmations, feasibility only %.2f", prevRate)
+	}
+}
+
+func TestEmptyCorridor(t *testing.T) {
+	reg := towers.NewRegistry(nil)
+	ev := los.NewEvaluator(terrain.Flat(), los.DefaultParams())
+	res := Refine(reg, ev, Model{}, Request{
+		A: geo.Point{Lat: 40, Lon: -100}, B: geo.Point{Lat: 40, Lon: -99},
+		Samples: 10, Seed: 1,
+	})
+	if res.Feasible != 0 {
+		t.Fatal("paths found with no towers")
+	}
+}
+
+func BenchmarkRefine100Samples(b *testing.B) {
+	reg, ev, a, bb := setup(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Refine(reg, ev, Model{}, Request{A: a, B: bb, Samples: 100, Seed: int64(i)})
+	}
+}

@@ -1,0 +1,138 @@
+// Package cities embeds the site datasets the paper designs over: the most
+// populous cities of the contiguous United States (coalesced into population
+// centers as in §4), European cities above 300k inhabitants (§6.2), and the
+// six publicly known US Google data-center locations (§6.3).
+//
+// Populations are 2010-census-era city-proper counts, matching the paper's
+// data vintage; coordinates are city centroids. Small inaccuracies are
+// irrelevant to the design study — the traffic model only uses population
+// products and geodesic distances.
+package cities
+
+import (
+	"sort"
+
+	"cisp/internal/geo"
+)
+
+// City is a design site: a population center, or a data center (Population
+// zero) to be interconnected.
+type City struct {
+	Name       string
+	Loc        geo.Point
+	Population int // residents; 0 for data centers
+}
+
+// CoalesceRadius is the paper's merge distance: "we coalesce suburbs and
+// cities within 50 km of each other" (§4).
+const CoalesceRadius = 50e3
+
+// USCenters returns the coalesced contiguous-US population centers the paper
+// designs for ("ending up with 120 population centers"). The exact count
+// depends on the merge order; like the paper we end up with roughly 120.
+func USCenters() []City {
+	return Coalesce(TopUS(), CoalesceRadius)
+}
+
+// EuropeCenters returns the coalesced European sites used for the Fig 8
+// study (cities with population more than 300k).
+func EuropeCenters() []City {
+	return Coalesce(EuropeCities(), CoalesceRadius)
+}
+
+// Coalesce merges cities closer than radius meters into single population
+// centers using union-find; each merged center sits at the population-
+// weighted centroid of its members and carries their total population. The
+// result is sorted by descending population, then name for determinism.
+func Coalesce(cs []City, radius float64) []City {
+	n := len(cs)
+	parent := make([]int, n)
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	union := func(a, b int) {
+		ra, rb := find(a), find(b)
+		if ra != rb {
+			parent[rb] = ra
+		}
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if cs[i].Loc.DistanceTo(cs[j].Loc) < radius {
+				union(i, j)
+			}
+		}
+	}
+	groups := make(map[int][]int, n)
+	for i := 0; i < n; i++ {
+		r := find(i)
+		groups[r] = append(groups[r], i)
+	}
+	out := make([]City, 0, len(groups))
+	for _, members := range groups {
+		// Name after the most populous member; centroid weighted by pop.
+		best := members[0]
+		var pop int
+		var lat, lon float64
+		for _, i := range members {
+			pop += cs[i].Population
+			w := float64(cs[i].Population)
+			if w == 0 {
+				w = 1
+			}
+			lat += cs[i].Loc.Lat * w
+			lon += cs[i].Loc.Lon * w
+			if cs[i].Population > cs[best].Population {
+				best = i
+			}
+		}
+		wTotal := float64(pop)
+		if wTotal == 0 {
+			wTotal = float64(len(members))
+		}
+		out = append(out, City{
+			Name:       cs[best].Name,
+			Loc:        geo.Point{Lat: lat / wTotal, Lon: lon / wTotal},
+			Population: pop,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Population != out[j].Population {
+			return out[i].Population > out[j].Population
+		}
+		return out[i].Name < out[j].Name
+	})
+	return out
+}
+
+// ByName returns the first city with the given name, with ok reporting
+// whether it was found.
+func ByName(cs []City, name string) (City, bool) {
+	for _, c := range cs {
+		if c.Name == name {
+			return c, true
+		}
+	}
+	return City{}, false
+}
+
+// GoogleDCs returns the six publicly known contiguous-US Google data-center
+// sites the paper uses for the inter-DC and DC-edge traffic models (§6.3).
+func GoogleDCs() []City {
+	return []City{
+		{Name: "Berkeley County, SC", Loc: geo.Point{Lat: 33.06, Lon: -80.04}},
+		{Name: "Council Bluffs, IA", Loc: geo.Point{Lat: 41.26, Lon: -95.86}},
+		{Name: "Douglas County, GA", Loc: geo.Point{Lat: 33.75, Lon: -84.75}},
+		{Name: "Lenoir, NC", Loc: geo.Point{Lat: 35.91, Lon: -81.54}},
+		{Name: "Mayes County, OK", Loc: geo.Point{Lat: 36.30, Lon: -95.32}},
+		{Name: "The Dalles, OR", Loc: geo.Point{Lat: 45.60, Lon: -121.18}},
+	}
+}

@@ -1,0 +1,164 @@
+package cities
+
+import (
+	"testing"
+
+	"cisp/internal/geo"
+)
+
+func TestTopUSCount(t *testing.T) {
+	if got := len(TopUS()); got != 200 {
+		t.Fatalf("TopUS has %d cities, want 200 (paper's top-200)", got)
+	}
+}
+
+func TestTopUSValid(t *testing.T) {
+	seen := map[string]bool{}
+	for _, city := range TopUS() {
+		if !city.Loc.Valid() {
+			t.Errorf("%s has invalid location %v", city.Name, city.Loc)
+		}
+		// Contiguous-US bounding box.
+		if city.Loc.Lat < 24 || city.Loc.Lat > 50 || city.Loc.Lon < -125 || city.Loc.Lon > -66 {
+			t.Errorf("%s at %v is outside the contiguous US", city.Name, city.Loc)
+		}
+		if city.Population <= 0 {
+			t.Errorf("%s has population %d", city.Name, city.Population)
+		}
+		if seen[city.Name] {
+			t.Errorf("duplicate city name %q", city.Name)
+		}
+		seen[city.Name] = true
+	}
+}
+
+func TestUSCentersCount(t *testing.T) {
+	n := len(USCenters())
+	// The paper coalesces the top-200 into 120 population centers; our
+	// coordinates are approximate so allow a band around that.
+	if n < 100 || n > 140 {
+		t.Fatalf("USCenters = %d centers, want ~120", n)
+	}
+	t.Logf("US centers after 50km coalescing: %d", n)
+}
+
+func TestCoalesceMergesSuburbs(t *testing.T) {
+	centers := USCenters()
+	// Dallas/Fort Worth/Arlington/Plano must all collapse into one center.
+	for _, name := range []string{"Fort Worth, TX", "Arlington, TX", "Plano, TX", "Garland, TX"} {
+		if _, ok := ByName(centers, name); ok {
+			t.Errorf("%s survived coalescing; should merge into the Dallas center", name)
+		}
+	}
+	dallas, ok := ByName(centers, "Dallas, TX")
+	if !ok {
+		t.Fatal("no Dallas center after coalescing")
+	}
+	if dallas.Population < 2_500_000 {
+		t.Errorf("Dallas center population = %d, want > 2.5M after merging the metroplex", dallas.Population)
+	}
+}
+
+func TestCoalescePreservesTotalPopulation(t *testing.T) {
+	raw := TopUS()
+	var want int
+	for _, city := range raw {
+		want += city.Population
+	}
+	var got int
+	for _, center := range USCenters() {
+		got += center.Population
+	}
+	if got != want {
+		t.Fatalf("coalescing changed total population: %d != %d", got, want)
+	}
+}
+
+func TestCoalesceCentroidWithinCluster(t *testing.T) {
+	a := City{Name: "A", Loc: geo.Point{Lat: 40, Lon: -100}, Population: 100}
+	b := City{Name: "B", Loc: geo.Point{Lat: 40.1, Lon: -100}, Population: 300}
+	out := Coalesce([]City{a, b}, 50e3)
+	if len(out) != 1 {
+		t.Fatalf("got %d centers, want 1", len(out))
+	}
+	m := out[0]
+	if m.Name != "B" {
+		t.Errorf("merged center named %q, want the more populous member B", m.Name)
+	}
+	// Weighted centroid should be 3/4 of the way toward B.
+	wantLat := (40.0*100 + 40.1*300) / 400
+	if diff := m.Loc.Lat - wantLat; diff < -1e-9 || diff > 1e-9 {
+		t.Errorf("centroid lat = %v, want %v", m.Loc.Lat, wantLat)
+	}
+}
+
+func TestCoalesceTransitive(t *testing.T) {
+	// A-B close, B-C close, A-C far: all three must merge (chain rule).
+	a := City{Name: "A", Loc: geo.Point{Lat: 40.0, Lon: -100}, Population: 1}
+	b := City{Name: "B", Loc: geo.Point{Lat: 40.4, Lon: -100}, Population: 1}
+	cc := City{Name: "C", Loc: geo.Point{Lat: 40.8, Lon: -100}, Population: 1}
+	out := Coalesce([]City{a, b, cc}, 50e3)
+	if len(out) != 1 {
+		t.Fatalf("chained cluster produced %d centers, want 1", len(out))
+	}
+}
+
+func TestCoalesceIdentityWhenFar(t *testing.T) {
+	out := Coalesce([]City{
+		{Name: "A", Loc: geo.Point{Lat: 40, Lon: -100}, Population: 5},
+		{Name: "B", Loc: geo.Point{Lat: 45, Lon: -90}, Population: 7},
+	}, 50e3)
+	if len(out) != 2 {
+		t.Fatalf("distant cities merged: %d centers", len(out))
+	}
+	if out[0].Population < out[1].Population {
+		t.Error("output not sorted by descending population")
+	}
+}
+
+func TestEuropeCities(t *testing.T) {
+	cs := EuropeCities()
+	if len(cs) < 80 {
+		t.Fatalf("Europe has %d cities, want a broad set (>80)", len(cs))
+	}
+	for _, city := range cs {
+		if city.Population < 300_000 {
+			t.Errorf("%s population %d < 300k threshold", city.Name, city.Population)
+		}
+		if city.Loc.Lat < 35 || city.Loc.Lat > 62 || city.Loc.Lon < -10 || city.Loc.Lon > 30 {
+			t.Errorf("%s at %v outside the Europe study box", city.Name, city.Loc)
+		}
+	}
+}
+
+func TestGoogleDCs(t *testing.T) {
+	dcs := GoogleDCs()
+	if len(dcs) != 6 {
+		t.Fatalf("got %d DCs, want the paper's 6", len(dcs))
+	}
+	for _, dc := range dcs {
+		if dc.Population != 0 {
+			t.Errorf("%s: DCs carry no population, got %d", dc.Name, dc.Population)
+		}
+		if !dc.Loc.Valid() {
+			t.Errorf("%s has invalid location", dc.Name)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	if _, ok := ByName(TopUS(), "Chicago, IL"); !ok {
+		t.Error("Chicago not found")
+	}
+	if _, ok := ByName(TopUS(), "Atlantis"); ok {
+		t.Error("found a city that should not exist")
+	}
+}
+
+func TestUSCentersWithinContiguousUS(t *testing.T) {
+	for _, center := range USCenters() {
+		if center.Loc.Lat < 24 || center.Loc.Lat > 50 {
+			t.Errorf("center %s at %v out of range", center.Name, center.Loc)
+		}
+	}
+}

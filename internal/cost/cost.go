@@ -1,0 +1,63 @@
+// Package cost implements the paper's §2 cost model: microwave link install
+// costs, new-tower construction, tower rent as the dominant opex, and the
+// 5-year amortised cost per gigabyte that headlines the evaluation ($0.81/GB
+// for the 100 Gbps US design).
+package cost
+
+// Model holds the §2 cost parameters. The zero value is not useful; use
+// DefaultModel.
+type Model struct {
+	LinkInstall1G   float64 // $ per bidirectional 1 Gbps hop install on existing towers
+	LinkInstall500M float64 // $ per bidirectional 500 Mbps hop install
+	NewTower        float64 // $ per newly built tower
+	TowerRentYear   float64 // $ per tower per year (dominant opex)
+	AmortYears      float64 // amortisation horizon
+}
+
+// DefaultModel returns the paper's numbers: $150K per 1 Gbps link install,
+// $75K per 500 Mbps, $100K per new tower, $25–50K/yr rent (we take the
+// midpoint $37.5K), amortised over 5 years.
+func DefaultModel() Model {
+	return Model{
+		LinkInstall1G:   150_000,
+		LinkInstall500M: 75_000,
+		NewTower:        100_000,
+		TowerRentYear:   37_500,
+		AmortYears:      5,
+	}
+}
+
+// Bill is an itemised cost for a provisioned network.
+type Bill struct {
+	HopInstalls int // 1 Gbps radio installs (hop × series)
+	NewTowers   int // towers that had to be built
+	TowersUsed  int // all towers rented (existing + new), across all series
+
+	Capex    float64 // install + construction
+	OpexYear float64 // rent per year
+}
+
+// Compute fills the dollar fields from the counts using model m.
+func (m Model) Compute(hopInstalls, newTowers, towersUsed int) Bill {
+	b := Bill{HopInstalls: hopInstalls, NewTowers: newTowers, TowersUsed: towersUsed}
+	b.Capex = float64(hopInstalls)*m.LinkInstall1G + float64(newTowers)*m.NewTower
+	b.OpexYear = float64(towersUsed) * m.TowerRentYear
+	return b
+}
+
+// Total returns the all-in cost over the amortisation horizon.
+func (m Model) Total(b Bill) float64 {
+	return b.Capex + b.OpexYear*m.AmortYears
+}
+
+// CostPerGB amortises the bill over the bytes moved at the given sustained
+// aggregate throughput (Gbps) across the amortisation horizon — the paper's
+// headline metric.
+func (m Model) CostPerGB(b Bill, aggregateGbps float64) float64 {
+	if aggregateGbps <= 0 {
+		return 0
+	}
+	secs := m.AmortYears * 365 * 24 * 3600
+	gigabytes := aggregateGbps / 8 * secs
+	return m.Total(b) / gigabytes
+}

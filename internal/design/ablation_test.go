@@ -1,0 +1,129 @@
+package design
+
+import (
+	"math"
+	"testing"
+)
+
+// naiveGreedy re-evaluates every candidate against the current topology on
+// every iteration — the O(iterations · candidates · n²) baseline that the
+// lazy heap in Greedy avoids. Used by tests and the APSP/laziness ablation
+// benchmarks to verify the accelerated greedy matches it.
+func naiveGreedy(p *Problem) *Topology {
+	t := NewTopology(p)
+	remaining := p.Budget
+	type cand struct{ i, j int }
+	var cands []cand
+	for i := 0; i < p.N; i++ {
+		for j := i + 1; j < p.N; j++ {
+			if p.usefulLink(i, j, t.fiberD) {
+				cands = append(cands, cand{i, j})
+			}
+		}
+	}
+	used := make([]bool, len(cands))
+	for {
+		best, bestGain := -1, 0.0
+		for k, c := range cands {
+			if used[k] || p.MWCost[c.i][c.j] > remaining {
+				continue
+			}
+			if g := t.gainOf(c.i, c.j); g > bestGain {
+				best, bestGain = k, g
+			}
+		}
+		if best < 0 {
+			return t
+		}
+		used[best] = true
+		t.AddLink(cands[best].i, cands[best].j)
+		remaining -= p.MWCost[cands[best].i][cands[best].j]
+	}
+}
+
+// TestLazyGreedyNearNaive: lazy evaluation is exact when marginal gains are
+// non-increasing; shortest-path gains occasionally increase (adding a link
+// can make another link's endpoints better connected), so lazy greedy may
+// deviate from exhaustive greedy between refreshes. Quality must stay
+// within 0.05 stretch, and GreedyILP's candidate refinement must close the gap.
+func TestLazyGreedyNearNaive(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		p := randomProblem(seed+900, 10, 40)
+		lazy := Greedy(p, GreedyOptions{}).MeanStretch()
+		naive := naiveGreedy(p).MeanStretch()
+		if math.Abs(lazy-naive) > 0.05 {
+			t.Errorf("seed %d: lazy %v vs exhaustive %v — gap > 0.05", seed, lazy, naive)
+		}
+		refined := GreedyILP(p, 0).MeanStretch()
+		if refined > naive+1e-9 {
+			t.Errorf("seed %d: GreedyILP (%v) worse than exhaustive greedy (%v)", seed, refined, naive)
+		}
+	}
+}
+
+// fullRecomputeTopology mimics Topology.AddLink but rebuilds the APSP with
+// Floyd-Warshall each time — the O(n³) baseline for the ablation.
+func fullRecomputeAdd(t *Topology, links [][2]int) {
+	p := t.P
+	d := t.d
+	for i := range d {
+		copy(d[i], t.fiberD[i])
+	}
+	for _, l := range links {
+		w := p.MW[l[0]][l[1]]
+		if w < d[l[0]][l[1]] {
+			d[l[0]][l[1]], d[l[1]][l[0]] = w, w
+		}
+	}
+	floydWarshall(d)
+}
+
+// BenchmarkAblationAPSPUpdate compares the O(n²) single-edge APSP update
+// used inside the greedy loop against a full O(n³) Floyd-Warshall
+// recomputation (DESIGN.md §4).
+func BenchmarkAblationAPSPUpdate(b *testing.B) {
+	p := randomProblem(1, 60, 1e9)
+	base := NewTopology(p)
+	var links [][2]int
+	for i := 0; i < p.N && len(links) < 20; i++ {
+		for j := i + 1; j < p.N && len(links) < 20; j++ {
+			if !math.IsInf(p.MW[i][j], 1) {
+				links = append(links, [2]int{i, j})
+			}
+		}
+	}
+	b.Run("incremental", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			t := base.Clone()
+			for _, l := range links {
+				t.AddLink(l[0], l[1])
+			}
+		}
+	})
+	b.Run("floyd-recompute", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			t := base.Clone()
+			for k := range links {
+				fullRecomputeAdd(t, links[:k+1])
+			}
+		}
+	})
+}
+
+// BenchmarkAblationLazyGreedy compares accelerated greedy vs naive full
+// re-evaluation.
+func BenchmarkAblationLazyGreedy(b *testing.B) {
+	p := randomProblem(2, 30, 150)
+	b.Run("lazy", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			Greedy(p, GreedyOptions{})
+		}
+	})
+	b.Run("naive", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			naiveGreedy(p)
+		}
+	})
+}

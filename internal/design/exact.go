@@ -1,0 +1,113 @@
+package design
+
+import (
+	"math"
+	"sort"
+)
+
+// ExactOptions bounds the exact branch-and-bound search.
+type ExactOptions struct {
+	MaxNodes int // 0 = unlimited (use only for tiny instances)
+}
+
+// Exact solves the Step-2 design optimally by branch & bound over link
+// subsets. Because link capacity is not a constraint in the Step-2
+// formulation (§3.2 decomposes capacity into Step 3), each commodity
+// independently follows its shortest built path, so subset search with
+// shortest-path evaluation is exactly equivalent to the flow ILP of Eq. 1 —
+// and much faster, since the LP relaxation is replaced by an additive
+// lower bound (the objective with every remaining candidate built for
+// free, which only underestimates cost-constrained reality).
+//
+// Still exponential: use for the small instances of Fig 2, not at scale.
+func Exact(p *Problem, opt ExactOptions) *Topology {
+	base := NewTopology(p)
+	var cands [][2]int
+	for i := 0; i < p.N; i++ {
+		for j := i + 1; j < p.N; j++ {
+			if p.usefulLink(i, j, base.fiberD) {
+				cands = append(cands, [2]int{i, j})
+			}
+		}
+	}
+	incumbent := Greedy(p, GreedyOptions{})
+	return exactOverCandidates(p, cands, incumbent, opt.MaxNodes)
+}
+
+// exactOverCandidates finds the best subset of cands within p.Budget,
+// starting from the given incumbent (never returns anything worse).
+func exactOverCandidates(p *Problem, cands [][2]int, incumbent *Topology, maxNodes int) *Topology {
+	if maxNodes == 0 {
+		maxNodes = 2_000_000
+	}
+	base := NewTopology(p)
+
+	// Order candidates by standalone gain (descending) so DFS finds strong
+	// incumbents early and the additive bound prunes hard.
+	type scored struct {
+		ij   [2]int
+		gain float64
+	}
+	sc := make([]scored, 0, len(cands))
+	for _, ij := range cands {
+		sc = append(sc, scored{ij: ij, gain: base.gainOf(ij[0], ij[1])})
+	}
+	sort.Slice(sc, func(a, b int) bool { return sc[a].gain > sc[b].gain })
+
+	best := incumbent
+	bestObj := incumbent.objective()
+	nodes := 0
+
+	// bound computes a lower bound on the objective reachable from the
+	// current topology: add every remaining candidate for free (ignoring
+	// budget). Adding links only decreases shortest paths, so this is valid.
+	bound := func(t *Topology, from int) float64 {
+		lb := t.Clone()
+		for k := from; k < len(sc); k++ {
+			lb.AddLink(sc[k].ij[0], sc[k].ij[1])
+		}
+		return lb.objective()
+	}
+
+	var dfs func(t *Topology, from int, remaining float64)
+	dfs = func(t *Topology, from int, remaining float64) {
+		nodes++
+		if nodes > maxNodes {
+			return
+		}
+		if obj := t.objective(); obj < bestObj-1e-12 {
+			best = t.Clone()
+			bestObj = obj
+		}
+		if from >= len(sc) {
+			return
+		}
+		if bound(t, from) >= bestObj-1e-12 {
+			return // even free links cannot beat the incumbent
+		}
+		// Branch: include sc[from] (if affordable), then exclude.
+		cost := p.MWCost[sc[from].ij[0]][sc[from].ij[1]]
+		if cost <= remaining {
+			with := t.Clone()
+			with.AddLink(sc[from].ij[0], sc[from].ij[1])
+			dfs(with, from+1, remaining-cost)
+		}
+		dfs(t, from+1, remaining)
+	}
+	dfs(base, 0, p.Budget)
+	return best
+}
+
+// LowerBound returns the unconstrained-budget objective (every useful link
+// built): the best mean stretch any budget could reach with these links.
+func LowerBound(p *Problem) float64 {
+	t := NewTopology(p)
+	for i := 0; i < p.N; i++ {
+		for j := i + 1; j < p.N; j++ {
+			if p.usefulLink(i, j, t.fiberD) || (!math.IsInf(p.MW[i][j], 1) && p.MW[i][j] < t.fiberD[i][j]) {
+				t.AddLink(i, j)
+			}
+		}
+	}
+	return t.MeanStretch()
+}

@@ -1,0 +1,291 @@
+package design
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"cisp/internal/ilp"
+	"cisp/internal/lp"
+)
+
+// FlowStats reports the size of a constructed flow ILP.
+type FlowStats struct {
+	Vars       int // total LP variables (x + flow)
+	FlowVars   int
+	PrunedVars int // flow variables eliminated by the structural pruning
+	Cons       int
+	Nodes      int // branch-and-bound nodes
+}
+
+// FlowILPOptions configures the Eq. 1 solve.
+type FlowILPOptions struct {
+	// Prune enables the paper's structure-exploiting variable elimination:
+	// flow variables that can never lie on a route better than pure fiber
+	// for their commodity are dropped. This preserves optimality (§3.2:
+	// "carefully defined, such constraints preserve optimality").
+	Prune bool
+
+	// ILP bounds the branch & bound.
+	ILP ilp.Options
+}
+
+// edge is one undirected arc of the flow network.
+type edge struct {
+	i, j    int
+	w       float64 // latency-equivalent meters
+	mwIndex int     // index into links if microwave, else -1
+}
+
+// FlowILP builds and solves the paper's Eq. 1 network-flow formulation.
+// Only the x_ij build variables are declared binary: with x integral each
+// commodity's subproblem is a shortest-path LP (totally unimodular), so
+// optimal flows are automatically unsplittable, exactly as in the paper's
+// all-binary formulation but with a much smaller branch space.
+func FlowILP(p *Problem, opt FlowILPOptions) (*Topology, *FlowStats, error) {
+	prob, links, stats, xIdx := buildFlowLP(p, opt.Prune)
+	sol, err := ilp.Solve(&ilp.Problem{LP: *prob, Binary: xIdx}, opt.ILP)
+	if err != nil {
+		return nil, stats, fmt.Errorf("design: flow ILP: %w", err)
+	}
+	if sol.Status == ilp.Infeasible || sol.Status == ilp.Unbounded {
+		return nil, stats, fmt.Errorf("design: flow ILP %v", sol.Status)
+	}
+	stats.Nodes = sol.Nodes
+	t := NewTopology(p)
+	for k, l := range links {
+		if sol.X[xIdx[k]] > 0.5 {
+			t.AddLink(l.i, l.j)
+		}
+	}
+	return t, stats, nil
+}
+
+// LPRounding solves the LP relaxation of Eq. 1 and rounds: links are added
+// in decreasing fractional-x order while the budget allows. This is the
+// naive baseline the paper reports as both unscalable and sub-optimal.
+func LPRounding(p *Problem, prune bool) (*Topology, *FlowStats, error) {
+	prob, links, stats, xIdx := buildFlowLP(p, prune)
+	sol, err := lp.Solve(prob)
+	if err != nil {
+		return nil, stats, fmt.Errorf("design: LP relaxation: %w", err)
+	}
+	if sol.Status != lp.Optimal {
+		return nil, stats, fmt.Errorf("design: LP relaxation %v", sol.Status)
+	}
+	type fx struct {
+		k int
+		v float64
+	}
+	fr := make([]fx, len(links))
+	for k := range links {
+		fr[k] = fx{k: k, v: sol.X[xIdx[k]]}
+	}
+	sort.Slice(fr, func(a, b int) bool { return fr[a].v > fr[b].v })
+	t := NewTopology(p)
+	remaining := p.Budget
+	for _, f := range fr {
+		if f.v <= 1e-9 {
+			break
+		}
+		l := links[f.k]
+		c := p.MWCost[l.i][l.j]
+		if c <= remaining {
+			t.AddLink(l.i, l.j)
+			remaining -= c
+		}
+	}
+	return t, stats, nil
+}
+
+// buildFlowLP constructs the Eq. 1 LP: variables [x_links..., f_flowvars...].
+func buildFlowLP(p *Problem, prune bool) (*lp.Problem, []edge, *FlowStats, []int) {
+	base := NewTopology(p)
+	fiberD := base.fiberD
+
+	// Candidate microwave links.
+	var links []edge
+	for i := 0; i < p.N; i++ {
+		for j := i + 1; j < p.N; j++ {
+			if p.usefulLink(i, j, fiberD) {
+				links = append(links, edge{i: i, j: j, w: p.MW[i][j], mwIndex: len(links)})
+			}
+		}
+	}
+	// Fiber edges: the metric closure gives a complete fiber graph.
+	var edges []edge
+	edges = append(edges, links...)
+	for i := 0; i < p.N; i++ {
+		for j := i + 1; j < p.N; j++ {
+			if !math.IsInf(fiberD[i][j], 1) {
+				edges = append(edges, edge{i: i, j: j, w: fiberD[i][j], mwIndex: -1})
+			}
+		}
+	}
+
+	// Commodities.
+	type comm struct{ s, t int }
+	var comms []comm
+	for s := 0; s < p.N; s++ {
+		for t := s + 1; t < p.N; t++ {
+			if p.Traffic[s][t] > 0 {
+				comms = append(comms, comm{s, t})
+			}
+		}
+	}
+
+	// Optimistic metric for pruning: every microwave link built for free.
+	var optD [][]float64
+	if prune {
+		optD = make([][]float64, p.N)
+		for i := range optD {
+			optD[i] = append([]float64(nil), fiberD[i]...)
+		}
+		for _, l := range links {
+			if l.w < optD[l.i][l.j] {
+				optD[l.i][l.j] = l.w
+				optD[l.j][l.i] = l.w
+			}
+		}
+		floydWarshall(optD)
+	}
+
+	// Variable layout: x vars first, then per-(commodity, edge, direction)
+	// flow vars, sparsely indexed.
+	nx := len(links)
+	varIdx := make(map[[3]int]int) // {commodity, edgeIdx, dir} -> var
+	next := nx
+	pruned := 0
+	useVar := func(c, e, dir int) bool {
+		if !prune {
+			return true
+		}
+		ed := edges[e]
+		s, t := comms[c].s, comms[c].t
+		from, to := ed.i, ed.j
+		if dir == 1 {
+			from, to = ed.j, ed.i
+		}
+		// Keep the direct fiber fallback unconditionally (feasibility).
+		if ed.mwIndex == -1 && ((ed.i == s && ed.j == t) || (ed.i == t && ed.j == s)) {
+			return true
+		}
+		// Best conceivable route through this directed edge vs pure fiber.
+		lb := optD[s][from] + ed.w + optD[to][t]
+		if lb > fiberD[s][t]+1e-9 {
+			pruned++
+			return false
+		}
+		return true
+	}
+	for c := range comms {
+		for e := range edges {
+			for dir := 0; dir < 2; dir++ {
+				if useVar(c, e, dir) {
+					varIdx[[3]int{c, e, dir}] = next
+					next++
+				}
+			}
+		}
+	}
+	total := next
+
+	prob := &lp.Problem{NumVars: total, Objective: make([]float64, total)}
+	// Objective: Σ_st (h/d) Σ_e w_e f.
+	for key, v := range varIdx {
+		c, e := key[0], key[1]
+		s, t := comms[c].s, comms[c].t
+		prob.Objective[v] = p.Traffic[s][t] / p.Geodesic[s][t] * edges[e].w
+	}
+
+	// Flow conservation: for each commodity and node, out - in = supply.
+	for c, cm := range comms {
+		for v := 0; v < p.N; v++ {
+			var vars []int
+			var coefs []float64
+			for e, ed := range edges {
+				// dir 0: i -> j, dir 1: j -> i.
+				if ed.i == v || ed.j == v {
+					for dir := 0; dir < 2; dir++ {
+						idx, ok := varIdx[[3]int{c, e, dir}]
+						if !ok {
+							continue
+						}
+						from := ed.i
+						if dir == 1 {
+							from = ed.j
+						}
+						if from == v {
+							vars = append(vars, idx)
+							coefs = append(coefs, 1) // outgoing
+						} else {
+							vars = append(vars, idx)
+							coefs = append(coefs, -1) // incoming
+						}
+					}
+				}
+			}
+			supply := 0.0
+			switch v {
+			case cm.s:
+				supply = 1
+			case cm.t:
+				supply = -1
+			}
+			if len(vars) == 0 && supply == 0 {
+				continue
+			}
+			prob.AddConstraint(vars, coefs, lp.EQ, supply)
+		}
+	}
+
+	// Coupling: flow on a microwave link requires building it.
+	for c := range comms {
+		for e, ed := range edges {
+			if ed.mwIndex < 0 {
+				continue
+			}
+			var vars []int
+			var coefs []float64
+			for dir := 0; dir < 2; dir++ {
+				if idx, ok := varIdx[[3]int{c, e, dir}]; ok {
+					vars = append(vars, idx)
+					coefs = append(coefs, 1)
+				}
+			}
+			if len(vars) == 0 {
+				continue
+			}
+			vars = append(vars, ed.mwIndex)
+			coefs = append(coefs, -1)
+			prob.AddConstraint(vars, coefs, lp.LE, 0)
+		}
+	}
+
+	// Budget.
+	if nx > 0 {
+		vars := make([]int, nx)
+		coefs := make([]float64, nx)
+		for k, l := range links {
+			vars[k] = k
+			coefs[k] = p.MWCost[l.i][l.j]
+		}
+		prob.AddConstraint(vars, coefs, lp.LE, p.Budget)
+	}
+	// x ≤ 1 for the relaxation path (ilp adds these itself, LPRounding needs them).
+	for k := 0; k < nx; k++ {
+		prob.AddConstraint([]int{k}, []float64{1}, lp.LE, 1)
+	}
+
+	xIdx := make([]int, nx)
+	for k := range xIdx {
+		xIdx[k] = k
+	}
+	stats := &FlowStats{
+		Vars:       total,
+		FlowVars:   total - nx,
+		PrunedVars: pruned,
+		Cons:       len(prob.Cons),
+	}
+	return prob, links, stats, xIdx
+}

@@ -1,0 +1,176 @@
+package design
+
+import "math"
+
+// Link is one built microwave city-city link.
+type Link struct {
+	I, J int
+	Dist float64 // latency-equivalent meters (m_ij)
+	Cost float64 // towers (c_ij)
+}
+
+// Topology is a (partial) design: the set of built microwave links over the
+// always-available fiber substrate, with the hybrid all-pairs shortest
+// latency-distance matrix maintained incrementally.
+type Topology struct {
+	P     *Problem
+	Built []Link
+
+	d      [][]float64 // hybrid latency-equivalent APSP
+	fiberD [][]float64 // fiber-only metric closure (for pruning/baselines)
+	cost   float64
+}
+
+// NewTopology returns the fiber-only topology for p (no microwave links).
+func NewTopology(p *Problem) *Topology {
+	fd := p.fiberClosure()
+	d := make([][]float64, p.N)
+	for i := range d {
+		d[i] = make([]float64, p.N)
+		copy(d[i], fd[i])
+	}
+	return &Topology{P: p, d: d, fiberD: fd}
+}
+
+// Clone returns an independent copy of the topology.
+func (t *Topology) Clone() *Topology {
+	c := &Topology{P: t.P, fiberD: t.fiberD, cost: t.cost}
+	c.Built = append([]Link(nil), t.Built...)
+	c.d = make([][]float64, len(t.d))
+	for i := range t.d {
+		c.d[i] = append([]float64(nil), t.d[i]...)
+	}
+	return c
+}
+
+// AddLink builds the microwave link (i,j) and updates the APSP matrix in
+// O(n²) using the single-edge-insertion identity.
+func (t *Topology) AddLink(i, j int) {
+	w := t.P.MW[i][j]
+	t.Built = append(t.Built, Link{I: i, J: j, Dist: w, Cost: t.P.MWCost[i][j]})
+	t.cost += t.P.MWCost[i][j]
+	updateAPSP(t.d, i, j, w)
+}
+
+// updateAPSP relaxes all pairs through a new edge (i,j) of weight w.
+func updateAPSP(d [][]float64, i, j int, w float64) {
+	n := len(d)
+	for s := 0; s < n; s++ {
+		dsi, dsj := d[s][i], d[s][j]
+		if math.IsInf(dsi, 1) && math.IsInf(dsj, 1) {
+			continue
+		}
+		ds := d[s]
+		for u := 0; u < n; u++ {
+			via1 := dsi + w + d[j][u]
+			via2 := dsj + w + d[i][u]
+			if via1 < ds[u] {
+				ds[u] = via1
+			}
+			if via2 < ds[u] {
+				ds[u] = via2
+			}
+		}
+	}
+}
+
+// CostUsed returns the total towers consumed by built links.
+func (t *Topology) CostUsed() float64 { return t.cost }
+
+// Dist returns the current hybrid latency-equivalent distance between sites.
+func (t *Topology) Dist(i, j int) float64 { return t.d[i][j] }
+
+// FiberDist returns the fiber-only latency-equivalent distance.
+func (t *Topology) FiberDist(i, j int) float64 { return t.fiberD[i][j] }
+
+// MeanStretch returns the traffic-weighted mean stretch,
+// Σ h_st · (D_st/d_st) / Σ h_st — the paper's objective normalised per unit
+// traffic. Pairs with zero traffic are ignored.
+func (t *Topology) MeanStretch() float64 {
+	p := t.P
+	num, den := 0.0, 0.0
+	for s := 0; s < p.N; s++ {
+		for u := s + 1; u < p.N; u++ {
+			h := p.Traffic[s][u]
+			if h == 0 {
+				continue
+			}
+			num += h * t.d[s][u] / p.Geodesic[s][u]
+			den += h
+		}
+	}
+	if den == 0 {
+		return math.NaN()
+	}
+	return num / den
+}
+
+// objective is the un-normalised Σ h_st·D_st/d_st (what the solvers
+// minimise; same argmin as MeanStretch).
+func (t *Topology) objective() float64 {
+	p := t.P
+	sum := 0.0
+	for s := 0; s < p.N; s++ {
+		for u := s + 1; u < p.N; u++ {
+			if h := p.Traffic[s][u]; h != 0 {
+				sum += h * t.d[s][u] / p.Geodesic[s][u]
+			}
+		}
+	}
+	return sum
+}
+
+// gainOf returns the objective decrease from adding link (i,j) to the
+// current topology, in O(n²), without mutating state.
+func (t *Topology) gainOf(i, j int) float64 {
+	p := t.P
+	w := p.MW[i][j]
+	gain := 0.0
+	d := t.d
+	for s := 0; s < p.N; s++ {
+		dsi, dsj := d[s][i], d[s][j]
+		for u := s + 1; u < p.N; u++ {
+			h := p.Traffic[s][u]
+			if h == 0 {
+				continue
+			}
+			cur := d[s][u]
+			alt := math.Min(dsi+w+d[j][u], dsj+w+d[i][u])
+			if alt < cur {
+				gain += h * (cur - alt) / p.Geodesic[s][u]
+			}
+		}
+	}
+	return gain
+}
+
+// HasLink reports whether the (i,j) microwave link is built.
+func (t *Topology) HasLink(i, j int) bool {
+	for _, l := range t.Built {
+		if (l.I == i && l.J == j) || (l.I == j && l.J == i) {
+			return true
+		}
+	}
+	return false
+}
+
+// MeanFiberStretch returns the traffic-weighted mean stretch of the
+// fiber-only baseline (no MW links) — the paper's ~1.93× reference.
+func (t *Topology) MeanFiberStretch() float64 {
+	p := t.P
+	num, den := 0.0, 0.0
+	for s := 0; s < p.N; s++ {
+		for u := s + 1; u < p.N; u++ {
+			h := p.Traffic[s][u]
+			if h == 0 {
+				continue
+			}
+			num += h * t.fiberD[s][u] / p.Geodesic[s][u]
+			den += h
+		}
+	}
+	if den == 0 {
+		return math.NaN()
+	}
+	return num / den
+}

@@ -1,0 +1,77 @@
+package econ
+
+import (
+	"math"
+	"testing"
+)
+
+func near(got, want, tolFrac float64) bool {
+	return math.Abs(got-want) <= want*tolFrac
+}
+
+func TestWebSearchMatchesPaper(t *testing.T) {
+	at200, at400 := PaperWebSearch()
+	// Paper: $1.84/GB at 200 ms, $3.74/GB at 400 ms.
+	if !near(at200.Low, 1.84, 0.05) {
+		t.Errorf("200ms search value = $%.2f/GB, paper says $1.84", at200.Low)
+	}
+	if !near(at400.Low, 3.74, 0.06) {
+		t.Errorf("400ms search value = $%.2f/GB, paper says $3.74", at400.Low)
+	}
+}
+
+func TestWebSearchProfitScale(t *testing.T) {
+	// The underlying profit numbers: $87M at 200 ms, $177M at 400 ms.
+	gb := 12.0 / 8 * secondsPerYear
+	profit200 := WebSearchValue(200, 12).Low * gb
+	if !near(profit200, 87e6, 0.05) {
+		t.Errorf("200ms yearly profit = $%.0f, paper says $87M", profit200)
+	}
+}
+
+func TestECommerceMatchesPaper(t *testing.T) {
+	v := PaperECommerce()
+	// Paper: $3.26–$22.82 per GB.
+	if !near(v.Low, 3.26, 0.05) {
+		t.Errorf("e-commerce low = $%.2f/GB, paper says $3.26", v.Low)
+	}
+	if !near(v.High, 22.82, 0.05) {
+		t.Errorf("e-commerce high = $%.2f/GB, paper says $22.82", v.High)
+	}
+}
+
+func TestGamingMatchesPaper(t *testing.T) {
+	v := PaperGaming()
+	// Paper: $4/month over 1.08 GB/month ≈ $3.7/GB.
+	if !near(v.Low, 3.7, 0.05) {
+		t.Errorf("gaming value = $%.2f/GB, paper says ~$3.7", v.Low)
+	}
+}
+
+func TestGamingAggregate(t *testing.T) {
+	// §6.6: 16M Steam players, 17% US, 10 Kbps → ~27 Gbps.
+	got := GamingAggregateGbps(16e6, 0.17, 10)
+	if !near(got, 27.2, 0.05) {
+		t.Errorf("gaming aggregate = %.1f Gbps, paper says ~27", got)
+	}
+}
+
+func TestAllValuesExceedCost(t *testing.T) {
+	// §8's bottom line: every estimate beats the $0.81/GB network cost.
+	at200, _ := PaperWebSearch()
+	if !Exceeds(0.81, at200, PaperECommerce(), PaperGaming()) {
+		t.Fatal("a value estimate failed to beat the paper's $0.81/GB cost")
+	}
+	// And sanity: an absurd cost is not exceeded.
+	if Exceeds(100, at200) {
+		t.Fatal("Exceeds(100) should be false")
+	}
+}
+
+func TestECommerceScalesWithBytesFraction(t *testing.T) {
+	all := ECommerceValue(200, 483, 7.9e9, 1.0)
+	tenth := ECommerceValue(200, 483, 7.9e9, 0.1)
+	if !near(tenth.Low, all.Low*10, 0.001) {
+		t.Error("value per GB should be inversely proportional to bytes carried")
+	}
+}

@@ -1,0 +1,40 @@
+package experiments
+
+import "cisp/internal/econ"
+
+// CostBenefitResult tabulates §8's value-per-GB estimates against cost.
+type CostBenefitResult struct {
+	Search200, Search400 econ.ValuePerGB
+	ECommerce            econ.ValuePerGB
+	Gaming               econ.ValuePerGB
+	NetworkCostPerGB     float64
+	AllExceedCost        bool
+}
+
+// CostBenefit reproduces the paper's §8 table: Web search $1.84–3.74/GB,
+// e-commerce $3.26–22.82/GB, gaming ≥$3.7/GB — all above the network's
+// ~$0.81/GB cost.
+func CostBenefit(opt Options, networkCostPerGB float64) *CostBenefitResult {
+	w := opt.out()
+	if networkCostPerGB == 0 {
+		networkCostPerGB = 0.81
+	}
+	s200, s400 := econ.PaperWebSearch()
+	res := &CostBenefitResult{
+		Search200:        s200,
+		Search400:        s400,
+		ECommerce:        econ.PaperECommerce(),
+		Gaming:           econ.PaperGaming(),
+		NetworkCostPerGB: networkCostPerGB,
+	}
+	res.AllExceedCost = econ.Exceeds(networkCostPerGB, s200, res.ECommerce, res.Gaming)
+
+	fprintf(w, "§8 — cost-benefit (network cost $%.2f/GB)\n", networkCostPerGB)
+	fprintf(w, "  web search:  $%.2f/GB at 200ms, $%.2f/GB at 400ms (paper $1.84/$3.74)\n",
+		res.Search200.Low, res.Search400.Low)
+	fprintf(w, "  e-commerce:  $%.2f-$%.2f/GB (paper $3.26-$22.82)\n",
+		res.ECommerce.Low, res.ECommerce.High)
+	fprintf(w, "  gaming:      $%.2f/GB (paper ~$3.7)\n", res.Gaming.Low)
+	fprintf(w, "  all estimates exceed cost: %v\n", res.AllExceedCost)
+	return res
+}

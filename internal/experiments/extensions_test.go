@@ -1,0 +1,14 @@
+package experiments
+
+import "testing"
+
+func TestExtensions(t *testing.T) {
+	res := Extensions(testOpts(30))
+	if res.MMWCrossoverGbps <= 1 {
+		t.Errorf("MMW crossover at %.1f Gbps — microwave should win the low-bandwidth regime", res.MMWCrossoverGbps)
+	}
+	if res.AcqFeasibleRate > 0 && res.AcqAfterConfirm < res.AcqFeasibleRate-0.1 {
+		t.Errorf("confirming priority towers reduced buildability: %.2f -> %.2f",
+			res.AcqFeasibleRate, res.AcqAfterConfirm)
+	}
+}

@@ -1,0 +1,98 @@
+package experiments
+
+import (
+	"sort"
+
+	"cisp/internal/gaming"
+	"cisp/internal/webpage"
+)
+
+// Fig12Point is one RTT sample of the gaming study.
+type Fig12Point struct {
+	ConvRTTMs   float64
+	ConvFrameMs float64
+	AugFrameMs  float64
+}
+
+// Fig12Gaming reproduces Fig 12: frame time versus conventional connectivity
+// latency for the thin-client speculative Pacman, with and without the
+// parallel low-latency (1/3 RTT) augmentation.
+func Fig12Gaming(opt Options, rtts []float64) []Fig12Point {
+	w := opt.out()
+	cfg := gaming.Config{Seed: opt.Seed}
+	conv, aug := gaming.FrameTimeCurve(rtts, 1.0/3, cfg)
+	fprintf(w, "Fig 12 — thin-client gaming frame time\n%12s %16s %16s\n",
+		"conv RTT(ms)", "conventional(ms)", "augmented(ms)")
+	var out []Fig12Point
+	for i := range rtts {
+		out = append(out, Fig12Point{ConvRTTMs: rtts[i], ConvFrameMs: conv[i], AugFrameMs: aug[i]})
+		fprintf(w, "%12.0f %16.1f %16.1f\n", rtts[i], conv[i], aug[i])
+	}
+	return out
+}
+
+// Fig13Result carries the web-browsing study medians and CDFs.
+type Fig13Result struct {
+	MedianPLTBaseline float64
+	MedianPLTCISP     float64
+	MedianPLTSel      float64
+	PLTCutPct         float64 // paper: 31%
+	SelCutPct         float64 // paper: 27%
+	ObjectCutPct      float64 // paper: 49%
+	UpstreamBytesPct  float64 // paper: 8.5%
+
+	// Sorted PLT samples for CDF plotting.
+	CDFBaseline, CDFCISP, CDFSel []float64
+}
+
+// Fig13WebBrowsing reproduces §7.2: replaying a page corpus with RTTs at
+// 0.33× (cISP), at 0.33× on the request path only (cISP-selective), and
+// unmodified (baseline).
+func Fig13WebBrowsing(opt Options, pages int) *Fig13Result {
+	w := opt.out()
+	corpus := webpage.Corpus(webpage.CorpusConfig{Seed: opt.Seed, Pages: pages})
+
+	load := func(cfg webpage.ReplayConfig) (plts, objs []float64, c2s, s2c int64) {
+		for _, p := range corpus {
+			r := webpage.Replay(p, cfg)
+			plts = append(plts, r.PLT)
+			objs = append(objs, r.ObjectTimes...)
+			c2s += r.BytesC2S
+			s2c += r.BytesS2C
+		}
+		sort.Float64s(plts)
+		return
+	}
+
+	basePLT, baseObj, c2s, s2c := load(webpage.ReplayConfig{})
+	cispPLT, cispObj, _, _ := load(webpage.ReplayConfig{RTTScaleC2S: 0.33, RTTScaleS2C: 0.33})
+	selPLT, _, _, _ := load(webpage.ReplayConfig{RTTScaleC2S: 0.33, RTTScaleS2C: 1})
+
+	med := func(s []float64) float64 { return s[len(s)/2] }
+	medOf := func(s []float64) float64 {
+		c := append([]float64(nil), s...)
+		sort.Float64s(c)
+		return c[len(c)/2]
+	}
+
+	res := &Fig13Result{
+		MedianPLTBaseline: med(basePLT),
+		MedianPLTCISP:     med(cispPLT),
+		MedianPLTSel:      med(selPLT),
+		CDFBaseline:       basePLT,
+		CDFCISP:           cispPLT,
+		CDFSel:            selPLT,
+	}
+	res.PLTCutPct = (1 - res.MedianPLTCISP/res.MedianPLTBaseline) * 100
+	res.SelCutPct = (1 - res.MedianPLTSel/res.MedianPLTBaseline) * 100
+	res.ObjectCutPct = (1 - medOf(cispObj)/medOf(baseObj)) * 100
+	res.UpstreamBytesPct = float64(c2s) / float64(c2s+s2c) * 100
+
+	fprintf(w, "Fig 13 — web page load times over %d pages\n", len(corpus))
+	fprintf(w, "  median PLT: baseline %.0f ms, cISP %.0f ms (-%.0f%%; paper -31%%), selective %.0f ms (-%.0f%%; paper -27%%)\n",
+		res.MedianPLTBaseline*1000, res.MedianPLTCISP*1000, res.PLTCutPct,
+		res.MedianPLTSel*1000, res.SelCutPct)
+	fprintf(w, "  median object load cut: %.0f%% (paper 49%%); upstream bytes: %.1f%% (paper 8.5%%)\n",
+		res.ObjectCutPct, res.UpstreamBytesPct)
+	return res
+}

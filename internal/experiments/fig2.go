@@ -1,0 +1,110 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"cisp/internal/design"
+	"cisp/internal/ilp"
+)
+
+// Fig2Row is one size point of the design-method scaling study.
+type Fig2Row struct {
+	Cities      int
+	CISPSeconds float64 // the paper's heuristic (greedy pruning + candidate ILP)
+	CISPStretch float64
+	ILPSeconds  float64 // exact optimization (subset branch & bound ≡ Eq. 1)
+	ILPStretch  float64
+	ILPRan      bool    // large instances skip the exact solver, as in Fig 2a
+	FlowSeconds float64 // literal Eq. 1 flow ILP via the in-repo simplex
+	FlowRan     bool
+}
+
+// Fig2Result is the full scaling table.
+type Fig2Result struct {
+	Rows []Fig2Row
+}
+
+// Fig2Scaling reproduces Fig 2: design runtime (a) and achieved stretch (b)
+// for the cISP heuristic versus the exact ILP across city-set sizes, with
+// budget proportional to the number of cities (the paper uses 50 towers per
+// city: 6,000 at 120 cities). The exact solver runs only up to ilpMax
+// cities and the literal Eq. 1 flow ILP up to flowMax — beyond that the
+// blow-up the figure documents makes them impractical, which is the point.
+func Fig2Scaling(opt Options, sizes []int, ilpMax, flowMax int) *Fig2Result {
+	w := opt.out()
+	s := opt.scenario()
+	full, err := s.Problem(s.PopulationTraffic(), 0)
+	if err != nil {
+		fprintf(w, "fig2: %v\n", err)
+		return &Fig2Result{}
+	}
+	res := &Fig2Result{}
+
+	fprintf(w, "Fig 2 — design method scaling (budget = 50 towers/city)\n")
+	fprintf(w, "%8s %14s %14s %14s %14s %14s\n",
+		"cities", "cISP time(s)", "cISP stretch", "ILP time(s)", "ILP stretch", "flowILP(s)")
+
+	for _, n := range sizes {
+		if n > full.N {
+			break
+		}
+		prob := shrinkProblem(full, n)
+		prob.Budget = 50 * float64(n)
+		row := Fig2Row{Cities: n}
+
+		start := time.Now()
+		cispTop := design.GreedyILP(prob, 50_000)
+		row.CISPSeconds = time.Since(start).Seconds()
+		row.CISPStretch = cispTop.MeanStretch()
+
+		if n <= ilpMax {
+			start = time.Now()
+			exact := design.Exact(prob, design.ExactOptions{MaxNodes: 1_000_000})
+			row.ILPSeconds = time.Since(start).Seconds()
+			row.ILPStretch = exact.MeanStretch()
+			row.ILPRan = true
+		}
+		if n <= flowMax {
+			start = time.Now()
+			if _, _, err := design.FlowILP(prob, design.FlowILPOptions{
+				Prune: true,
+				ILP:   ilp.Options{MaxNodes: 20_000, Timeout: 2 * time.Minute},
+			}); err == nil {
+				row.FlowSeconds = time.Since(start).Seconds()
+				row.FlowRan = true
+			}
+		}
+		res.Rows = append(res.Rows, row)
+
+		ilpT, ilpS, flowT := "-", "-", "-"
+		if row.ILPRan {
+			ilpT = fmt.Sprintf("%.3f", row.ILPSeconds)
+			ilpS = fmt.Sprintf("%.4f", row.ILPStretch)
+		}
+		if row.FlowRan {
+			flowT = fmt.Sprintf("%.3f", row.FlowSeconds)
+		}
+		fprintf(w, "%8d %14.3f %14.4f %14s %14s %14s\n",
+			n, row.CISPSeconds, row.CISPStretch, ilpT, ilpS, flowT)
+	}
+	return res
+}
+
+// shrinkProblem truncates a problem to its first n sites.
+func shrinkProblem(p *design.Problem, n int) *design.Problem {
+	q := &design.Problem{N: n, Budget: p.Budget}
+	cut := func(m [][]float64) [][]float64 {
+		out := make([][]float64, n)
+		for i := 0; i < n; i++ {
+			out[i] = m[i][:n:n]
+		}
+		return out
+	}
+	q.Traffic = cut(p.Traffic)
+	q.Geodesic = cut(p.Geodesic)
+	q.MW = cut(p.MW)
+	q.MWCost = cut(p.MWCost)
+	q.FiberLat = cut(p.FiberLat)
+	return q
+}

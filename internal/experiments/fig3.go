@@ -1,0 +1,64 @@
+package experiments
+
+import "sort"
+
+// Fig3Result summarises the flagship network (Fig 3 in the paper: a 3,000
+// tower, 100 Gbps, 1.05×-stretch network over 120 US population centers).
+type Fig3Result struct {
+	Cities        int
+	Budget        float64
+	TowersUsed    float64 // towers consumed by the design (Step-2 budget)
+	Links         int
+	MeanStretch   float64
+	FiberStretch  float64
+	AggregateGbps float64
+
+	// Hop augmentation histogram: extra towers per end → hop count
+	// (paper: 1,660 need none, 552 need one, 86 need two).
+	HopHistogram map[int]int
+	NewTowers    int
+	CostPerGB    float64
+}
+
+// Fig3USNetwork designs, provisions and prices the flagship US network.
+func Fig3USNetwork(opt Options) *Fig3Result {
+	w := opt.out()
+	s := opt.scenario()
+	tm := s.PopulationTraffic()
+	budget := s.DefaultBudget()
+	top, err := s.DesignCISP(tm, budget)
+	if err != nil {
+		fprintf(w, "fig3: %v\n", err)
+		return nil
+	}
+	agg := opt.aggregateGbps()
+	plan := s.Provision(top, scaleTo(tm, agg))
+	res := &Fig3Result{
+		Cities:        len(s.Cities),
+		Budget:        budget,
+		TowersUsed:    top.CostUsed(),
+		Links:         len(top.Built),
+		MeanStretch:   top.MeanStretch(),
+		FiberStretch:  top.MeanFiberStretch(),
+		AggregateGbps: agg,
+		HopHistogram:  plan.HopHistogram,
+		NewTowers:     plan.NewTowers,
+		CostPerGB:     s.CostPerGB(plan, agg),
+	}
+
+	fprintf(w, "Fig 3 — US network (paper: 3,000 towers, 1.05x stretch, $0.81/GB at 100 Gbps)\n")
+	fprintf(w, "  cities %d, budget %.0f towers (used %.0f), %d MW links\n",
+		res.Cities, res.Budget, res.TowersUsed, res.Links)
+	fprintf(w, "  mean stretch %.3f (fiber-only baseline %.3f)\n", res.MeanStretch, res.FiberStretch)
+	fprintf(w, "  provisioned for %.0f Gbps: hop augmentation histogram (extra towers/end -> hops):\n", agg)
+	keys := make([]int, 0, len(res.HopHistogram))
+	for k := range res.HopHistogram {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	for _, k := range keys {
+		fprintf(w, "    %d extra: %d hops\n", k, res.HopHistogram[k])
+	}
+	fprintf(w, "  new towers built: %d, cost: $%.2f/GB\n", res.NewTowers, res.CostPerGB)
+	return res
+}

@@ -1,0 +1,137 @@
+package experiments
+
+import (
+	"math"
+
+	"cisp"
+	"cisp/internal/geo"
+	"cisp/internal/los"
+)
+
+// Fig4aPoint is one (budget, stretch) sample for a hop-range variant.
+type Fig4aPoint struct {
+	Budget  float64
+	Stretch float64
+}
+
+// Fig4aResult holds the stretch-vs-budget curves for 70 and 100 km hops.
+type Fig4aResult struct {
+	Hops100 []Fig4aPoint
+	Hops70  []Fig4aPoint
+}
+
+// Fig4aStretchVsBudget reproduces Fig 4a: network stretch falls as the
+// tower budget grows, for maximum hop lengths of 100 km and 70 km.
+func Fig4aStretchVsBudget(opt Options, budgets []float64) *Fig4aResult {
+	w := opt.out()
+	res := &Fig4aResult{}
+	fprintf(w, "Fig 4a — stretch vs budget\n%10s %12s %12s\n", "budget", "100km hops", "70km hops")
+
+	curve := func(rangeM float64) []Fig4aPoint {
+		p := los.DefaultParams()
+		p.MaxRange = rangeM
+		s := cisp.NewScenario(cisp.ScenarioConfig{
+			Region: cisp.US, Scale: opt.Scale, Seed: opt.Seed, LOS: p, MaxCities: opt.MaxCities,
+		})
+		tm := s.PopulationTraffic()
+		var pts []Fig4aPoint
+		for _, b := range budgets {
+			top, err := s.DesignGreedy(tm, b)
+			if err != nil {
+				continue
+			}
+			pts = append(pts, Fig4aPoint{Budget: b, Stretch: top.MeanStretch()})
+		}
+		return pts
+	}
+	res.Hops100 = curve(100e3)
+	res.Hops70 = curve(70e3)
+
+	for i := range res.Hops100 {
+		v70 := math.NaN()
+		if i < len(res.Hops70) {
+			v70 = res.Hops70[i].Stretch
+		}
+		fprintf(w, "%10.0f %12.4f %12.4f\n", res.Hops100[i].Budget, res.Hops100[i].Stretch, v70)
+	}
+	return res
+}
+
+// Fig4bResult holds the tower-disjoint path study for the longest link.
+type Fig4bResult struct {
+	PairName     string
+	Geodesic     float64
+	Stretches    []float64 // per disjoint-path iteration
+	FiberStretch float64
+}
+
+// Fig4bDisjointPaths reproduces Fig 4b: iteratively computing tower-disjoint
+// shortest microwave paths between the endpoints of the design's longest
+// link (the paper's 2,700 km Illinois-California link) and showing stretch
+// grows only gradually — staying far below fiber.
+func Fig4bDisjointPaths(opt Options, iterations int) *Fig4bResult {
+	w := opt.out()
+	s := opt.scenario()
+	// Find the most distant microwave-connected city pair.
+	bi, bj := -1, -1
+	best := 0.0
+	for i := range s.Cities {
+		for j := i + 1; j < len(s.Cities); j++ {
+			if math.IsInf(s.Links.MWDist(i, j), 1) {
+				continue
+			}
+			if d := s.Cities[i].Loc.DistanceTo(s.Cities[j].Loc); d > best {
+				best, bi, bj = d, i, j
+			}
+		}
+	}
+	if bi < 0 {
+		fprintf(w, "fig4b: no microwave-connected pair\n")
+		return nil
+	}
+	res := &Fig4bResult{
+		PairName: s.Cities[bi].Name + " - " + s.Cities[bj].Name,
+		Geodesic: best,
+	}
+	lens := s.Links.DisjointTowerPaths(bi, bj, iterations)
+	for _, l := range lens {
+		res.Stretches = append(res.Stretches, geo.Stretch(l, best))
+	}
+	res.FiberStretch = geo.Stretch(s.FiberNet.LatencyDist(bi, bj), best)
+
+	fprintf(w, "Fig 4b — tower-disjoint paths for %s (%.0f km geodesic)\n",
+		res.PairName, res.Geodesic/1000)
+	for i, st := range res.Stretches {
+		fprintf(w, "  iteration %2d: stretch %.4f\n", i+1, st)
+	}
+	fprintf(w, "  fiber stretch: %.4f\n", res.FiberStretch)
+	return res
+}
+
+// Fig4cPoint is one (aggregate Gbps, $/GB) sample.
+type Fig4cPoint struct {
+	AggregateGbps float64
+	CostPerGB     float64
+}
+
+// Fig4cCostPerGB reproduces Fig 4c: cost per GB falls as the provisioned
+// aggregate throughput grows (city-city traffic model).
+func Fig4cCostPerGB(opt Options, aggregates []float64) []Fig4cPoint {
+	w := opt.out()
+	s := opt.scenario()
+	tm := s.PopulationTraffic()
+	top, err := s.DesignGreedy(tm, s.DefaultBudget())
+	if err != nil {
+		fprintf(w, "fig4c: %v\n", err)
+		return nil
+	}
+	fprintf(w, "Fig 4c — cost per GB vs aggregate throughput (city-city TM)\n%12s %12s\n", "Gbps", "$/GB")
+	var out []Fig4cPoint
+	for _, agg := range aggregates {
+		plan := s.Provision(top, scaleTo(tm, agg))
+		c := s.CostPerGB(plan, agg)
+		out = append(out, Fig4cPoint{AggregateGbps: agg, CostPerGB: c})
+		fprintf(w, "%12.0f %12.3f\n", agg, c)
+	}
+	return out
+}

@@ -1,0 +1,130 @@
+package experiments
+
+import (
+	"math/rand"
+
+	"cisp/internal/netsim"
+)
+
+// Fig6Case is one speed-mismatch configuration's result.
+type Fig6Case struct {
+	Name          string
+	QueueMedian   float64 // packets at the ingress bottleneck
+	Queue95th     float64
+	FCTMedianMs   float64
+	FCT95thMs     float64
+	CompletedFlow int
+}
+
+// Fig6SpeedMismatch reproduces Fig 6: several sources send 100 KB TCP flows
+// through a middlebox M to a sink D over a fixed 100 Mbps M→D link. The
+// source→M links are either 100 Mbps (control) or 10 Gbps (speed mismatch),
+// with TCP pacing on or off. Flow arrivals are Poisson at 70% of the
+// bottleneck. Pacing removes the persistent ingress queue without hurting
+// flow completion times.
+func Fig6SpeedMismatch(opt Options, simSeconds float64, runs int) []Fig6Case {
+	w := opt.out()
+	if simSeconds == 0 {
+		simSeconds = 10
+	}
+	if runs == 0 {
+		runs = 3
+	}
+	fprintf(w, "Fig 6 — ingress speed mismatch (10 × 100KB TCP flows, 70%% load)\n")
+	fprintf(w, "%-18s %10s %10s %12s %12s\n", "case", "q median", "q 95th", "FCT med(ms)", "FCT 95(ms)")
+
+	cases := []struct {
+		name    string
+		ingress float64
+		pacing  bool
+	}{
+		{"100M", 100e6, false},
+		{"10G no pacing", 10e9, false},
+		{"10G pacing", 10e9, true},
+	}
+	var out []Fig6Case
+	for _, c := range cases {
+		var queues []int
+		var fcts []float64
+		completed := 0
+		for run := 0; run < runs; run++ {
+			q, f := fig6Run(c.ingress, c.pacing, simSeconds, opt.Seed+int64(run))
+			queues = append(queues, q...)
+			fcts = append(fcts, f...)
+			completed += len(f)
+		}
+		res := Fig6Case{
+			Name:          c.name,
+			QueueMedian:   percentileInts(queues, 50),
+			Queue95th:     percentileInts(queues, 95),
+			FCTMedianMs:   netsim.Percentile(fcts, 50) * 1000,
+			FCT95thMs:     netsim.Percentile(fcts, 95) * 1000,
+			CompletedFlow: completed,
+		}
+		out = append(out, res)
+		fprintf(w, "%-18s %10.1f %10.1f %12.1f %12.1f\n",
+			res.Name, res.QueueMedian, res.Queue95th, res.FCTMedianMs, res.FCT95thMs)
+	}
+	return out
+}
+
+// fig6Run executes one simulation: 10 sources (nodes 0-9), middlebox M
+// (node 10), sink D (node 11); M-D fixed at 100 Mbps with an unbounded
+// queue, as in §5's "speed mismatch" study.
+func fig6Run(ingressBps float64, pacing bool, simSeconds float64, seed int64) (queueSamples []int, fcts []float64) {
+	const (
+		nSrc       = 10
+		mNode      = 10
+		dNode      = 11
+		flowBytes  = 100_000
+		bottleneck = 100e6
+		loadFrac   = 0.70
+	)
+	var sim netsim.Simulator
+	nw := netsim.NewNetwork(&sim, nSrc+2)
+	for i := 0; i < nSrc; i++ {
+		nw.AddDuplex(i, mNode, ingressBps, 0.002, 0)
+	}
+	nw.AddDuplex(mNode, dNode, bottleneck, 0.005, 0) // unbounded queue at M
+
+	rng := rand.New(rand.NewSource(seed))
+	// Poisson flow arrivals at 70% of the bottleneck.
+	arrivalRate := loadFrac * bottleneck / (flowBytes * 8) // flows per second
+	flowID := 0
+	var schedule func()
+	schedule = func() {
+		gap := rng.ExpFloat64() / arrivalRate
+		sim.Schedule(gap, func() {
+			if sim.Now() > simSeconds {
+				return
+			}
+			flowID++
+			src := rng.Intn(nSrc)
+			id := flowID
+			nw.SetFlowPath(id, []int{src, mNode, dNode})
+			nw.SetFlowPath(id, []int{dNode, mNode, src})
+			conn := &netsim.TCPConn{
+				Net: nw, Flow: id, Src: src, Dst: dNode,
+				FlowSize: flowBytes, Pacing: pacing, InitRTT: 0.02,
+				Done: func(f float64) { fcts = append(fcts, f) },
+			}
+			conn.Start()
+			schedule()
+		})
+	}
+	schedule()
+
+	sampler := &netsim.QueueSampler{Link: nw.Link(mNode, dNode), Period: 0.001}
+	sampler.Start(&sim)
+	sim.Run(simSeconds + 3) // include drain time
+	sampler.Stop()
+	return sampler.Samples(), fcts
+}
+
+func percentileInts(samples []int, p float64) float64 {
+	f := make([]float64, len(samples))
+	for i, v := range samples {
+		f[i] = float64(v)
+	}
+	return netsim.Percentile(f, p)
+}

@@ -1,0 +1,179 @@
+package experiments
+
+import (
+	"cisp"
+	"cisp/internal/los"
+	"cisp/internal/traffic"
+)
+
+// Fig8Result summarises the European design (Fig 8: 1.04× stretch, ~3k
+// towers, cost similar to the US network).
+type Fig8Result struct {
+	Cities       int
+	MeanStretch  float64
+	FiberStretch float64
+	TowersUsed   float64
+	CostPerGB    float64
+}
+
+// Fig8Europe designs a European cISP with the same methodology and compares
+// its headline numbers against the US design.
+func Fig8Europe(opt Options) *Fig8Result {
+	w := opt.out()
+	s := cisp.NewScenario(cisp.ScenarioConfig{
+		Region: cisp.Europe, Scale: opt.Scale, Seed: opt.Seed, MaxCities: opt.MaxCities,
+	})
+	tm := s.PopulationTraffic()
+	top, err := s.DesignCISP(tm, s.DefaultBudget())
+	if err != nil {
+		fprintf(w, "fig8: %v\n", err)
+		return nil
+	}
+	agg := opt.aggregateGbps()
+	plan := s.Provision(top, scaleTo(tm, agg))
+	res := &Fig8Result{
+		Cities:       len(s.Cities),
+		MeanStretch:  top.MeanStretch(),
+		FiberStretch: top.MeanFiberStretch(),
+		TowersUsed:   top.CostUsed(),
+		CostPerGB:    s.CostPerGB(plan, agg),
+	}
+	fprintf(w, "Fig 8 — Europe cISP (paper: 1.04x stretch, ~3k towers)\n")
+	fprintf(w, "  %d cities, %.0f towers, stretch %.3f (fiber %.3f), $%.2f/GB at %.0f Gbps\n",
+		res.Cities, res.TowersUsed, res.MeanStretch, res.FiberStretch, res.CostPerGB, agg)
+	return res
+}
+
+// Fig9Row is one traffic-model cost curve.
+type Fig9Row struct {
+	Model  string
+	Points []Fig4cPoint
+}
+
+// Fig9TrafficModels reproduces Fig 9: cost per GB across aggregate
+// throughput for the City-City, DC-DC and City-DC traffic models. The
+// city-city model needs the widest footprint and is the most expensive.
+func Fig9TrafficModels(opt Options, aggregates []float64) []Fig9Row {
+	w := opt.out()
+	// A combined site list: cities plus the six Google DC locations.
+	base := cisp.NewScenario(cisp.ScenarioConfig{Region: cisp.US, Scale: opt.Scale, Seed: opt.Seed, MaxCities: opt.MaxCities})
+	sites := append([]cisp.City(nil), base.Cities...)
+	dcStart := len(sites)
+	sites = append(sites, dcSites()...)
+	s := cisp.NewScenario(cisp.ScenarioConfig{
+		Region: cisp.US, Scale: opt.Scale, Seed: opt.Seed, Sites: sites,
+	})
+
+	cityIdx := make([]int, dcStart)
+	for i := range cityIdx {
+		cityIdx[i] = i
+	}
+	dcIdx := make([]int, len(sites)-dcStart)
+	for i := range dcIdx {
+		dcIdx[i] = dcStart + i
+	}
+
+	models := []struct {
+		name string
+		tm   traffic.Matrix
+	}{
+		{"City-City", traffic.PopulationProduct(sites)},
+		{"DC-DC", traffic.UniformPairs(len(sites), dcIdx)},
+		{"City-DC", traffic.CityToDC(sites, cityIdx, dcIdx)},
+	}
+
+	fprintf(w, "Fig 9 — cost per GB by traffic model\n")
+	var rows []Fig9Row
+	for _, m := range models {
+		top, err := s.DesignGreedy(m.tm, s.DefaultBudget())
+		if err != nil {
+			fprintf(w, "fig9 %s: %v\n", m.name, err)
+			continue
+		}
+		row := Fig9Row{Model: m.name}
+		for _, agg := range aggregates {
+			plan := s.Provision(top, scaleTo(m.tm, agg))
+			row.Points = append(row.Points, Fig4cPoint{
+				AggregateGbps: agg,
+				CostPerGB:     s.CostPerGB(plan, agg),
+			})
+		}
+		rows = append(rows, row)
+		fprintf(w, "  %-10s:", m.name)
+		for _, pt := range row.Points {
+			fprintf(w, " %6.0fGbps=$%.3f", pt.AggregateGbps, pt.CostPerGB)
+		}
+		fprintf(w, "\n")
+	}
+	return rows
+}
+
+func dcSites() []cisp.City {
+	return cisp.GoogleDCSites()
+}
+
+// Fig10Row is one tower-constraint combination.
+type Fig10Row struct {
+	RangeKm      float64
+	UsableHeight float64
+	CostIncrPct  float64
+	StretchIncr  float64 // percent
+	MWShare      float64 // fraction of demand carried over microwave
+}
+
+// Fig10TowerConstraints reproduces Fig 10: cost and stretch increase as the
+// maximum hop range shrinks and the usable antenna height on towers is
+// restricted (paper: at worst +11% cost and +10% stretch).
+func Fig10TowerConstraints(opt Options, combos [][2]float64) []Fig10Row {
+	w := opt.out()
+	fprintf(w, "Fig 10 — tower height & range constraints (increase vs 100km/1.0 baseline)\n")
+	fprintf(w, "%10s %8s %10s %12s %10s\n", "range(km)", "height", "cost+%", "stretch+%", "MW share")
+
+	// Cost is charged per microwave-served gigabyte: when constraints push
+	// demand onto fiber, the microwave network serves fewer bytes for its
+	// towers — exactly the "more expensive" effect the paper measures.
+	eval := func(rangeKm, height float64) (costPerGB, stretch, mwShare float64, ok bool) {
+		p := los.DefaultParams()
+		p.MaxRange = rangeKm * 1000
+		p.UsableHeightFrac = height
+		s := cisp.NewScenario(cisp.ScenarioConfig{
+			Region: cisp.US, Scale: opt.Scale, Seed: opt.Seed, LOS: p, MaxCities: opt.MaxCities,
+		})
+		tm := s.PopulationTraffic()
+		top, err := s.DesignGreedy(tm, s.DefaultBudget())
+		if err != nil {
+			return 0, 0, 0, false
+		}
+		agg := opt.aggregateGbps()
+		plan := s.Provision(top, scaleTo(tm, agg))
+		served := agg - plan.FiberFallbackGbps
+		if served <= 0 {
+			return 0, top.MeanStretch(), 0, false
+		}
+		return s.CostPerGB(plan, served), top.MeanStretch(), served / agg, true
+	}
+
+	baseCost, baseStretch, _, ok := eval(100, 1.0)
+	if !ok {
+		fprintf(w, "fig10: baseline failed\n")
+		return nil
+	}
+	var rows []Fig10Row
+	for _, c := range combos {
+		cost, stretch, share, ok := eval(c[0], c[1])
+		if !ok {
+			continue
+		}
+		row := Fig10Row{
+			RangeKm:      c[0],
+			UsableHeight: c[1],
+			CostIncrPct:  (cost/baseCost - 1) * 100,
+			StretchIncr:  (stretch/baseStretch - 1) * 100,
+			MWShare:      share,
+		}
+		rows = append(rows, row)
+		fprintf(w, "%10.0f %8.2f %10.1f %12.1f %9.0f%%\n",
+			row.RangeKm, row.UsableHeight, row.CostIncrPct, row.StretchIncr, row.MWShare*100)
+	}
+	return rows
+}

@@ -1,0 +1,108 @@
+package fiber
+
+import (
+	"math"
+	"testing"
+
+	"cisp/internal/cities"
+	"cisp/internal/geo"
+)
+
+func TestConnected(t *testing.T) {
+	cs := cities.USCenters()
+	nw := Synthesize(Config{Seed: 1}, cs)
+	for i := range cs {
+		if math.IsInf(nw.RouteLen(0, i), 1) {
+			t.Fatalf("city %d (%s) unreachable over fiber", i, cs[i].Name)
+		}
+	}
+}
+
+func TestRouteLongerThanGeodesic(t *testing.T) {
+	cs := cities.USCenters()
+	nw := Synthesize(Config{Seed: 1}, cs)
+	for i := 0; i < len(cs); i++ {
+		for j := i + 1; j < len(cs); j++ {
+			geod := cs[i].Loc.DistanceTo(cs[j].Loc)
+			if nw.RouteLen(i, j) < geod*0.999 {
+				t.Fatalf("fiber route %s-%s shorter than geodesic", cs[i].Name, cs[j].Name)
+			}
+		}
+	}
+}
+
+func TestCalibration(t *testing.T) {
+	// The paper's fiber baseline: latency-optimal fiber paths are ~1.93×
+	// c-latency. Require our synthetic conduits to land near that.
+	nw := Synthesize(Config{Seed: 1}, cities.USCenters())
+	s := nw.MeanStretch()
+	if s < 1.7 || s > 2.2 {
+		t.Fatalf("mean fiber stretch = %.3f, want ≈1.9 (paper: 1.93)", s)
+	}
+	t.Logf("mean fiber latency stretch: %.3f", s)
+}
+
+func TestLatencyDistApplies1_5(t *testing.T) {
+	nw := Synthesize(Config{Seed: 3}, cities.USCenters()[:10])
+	if got, want := nw.LatencyDist(0, 1), nw.RouteLen(0, 1)*geo.FiberLatencyFactor; got != want {
+		t.Fatalf("LatencyDist = %v, want %v", got, want)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	cs := cities.USCenters()[:30]
+	a := Synthesize(Config{Seed: 9}, cs)
+	b := Synthesize(Config{Seed: 9}, cs)
+	for i := range cs {
+		for j := range cs {
+			if a.RouteLen(i, j) != b.RouteLen(i, j) {
+				t.Fatalf("route %d-%d differs across identical seeds", i, j)
+			}
+		}
+	}
+}
+
+func TestSymmetry(t *testing.T) {
+	cs := cities.USCenters()[:40]
+	nw := Synthesize(Config{Seed: 2}, cs)
+	for i := range cs {
+		for j := range cs {
+			if nw.RouteLen(i, j) != nw.RouteLen(j, i) {
+				t.Fatalf("asymmetric route length %d-%d", i, j)
+			}
+		}
+	}
+}
+
+func TestTriangle(t *testing.T) {
+	cs := cities.USCenters()[:40]
+	nw := Synthesize(Config{Seed: 2}, cs)
+	for i := 0; i < len(cs); i++ {
+		for j := 0; j < len(cs); j++ {
+			for k := 0; k < 10; k++ {
+				if nw.RouteLen(i, j) > nw.RouteLen(i, k)+nw.RouteLen(k, j)+1e-6 {
+					t.Fatalf("shortest-path triangle violation %d-%d via %d", i, j, k)
+				}
+			}
+		}
+	}
+}
+
+func TestEuropeNetwork(t *testing.T) {
+	cs := cities.EuropeCenters()
+	nw := Synthesize(Config{Seed: 4}, cs)
+	s := nw.MeanStretch()
+	// §6.2: "we assume that fiber distances between cities are inflated over
+	// geodesic distance in the same way as in the US (~1.9×)".
+	if s < 1.6 || s > 2.3 {
+		t.Fatalf("Europe mean fiber stretch = %.3f, want ≈1.9", s)
+	}
+}
+
+func BenchmarkSynthesizeUS(b *testing.B) {
+	cs := cities.USCenters()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Synthesize(Config{Seed: int64(i)}, cs)
+	}
+}

@@ -1,0 +1,94 @@
+package gaming
+
+import "testing"
+
+func TestConventionalGrowsWithRTT(t *testing.T) {
+	cfg := Config{Seed: 1}
+	r100 := SimulateConventional(100, cfg)
+	r300 := SimulateConventional(300, cfg)
+	if r300.MeanFrameMs <= r100.MeanFrameMs {
+		t.Fatal("frame time should grow with RTT")
+	}
+	// Slope ≈ 1 per ms of RTT.
+	slope := (r300.MeanFrameMs - r100.MeanFrameMs) / 200
+	if slope < 0.9 || slope > 1.1 {
+		t.Fatalf("conventional slope = %v, want ~1", slope)
+	}
+}
+
+func TestAugmentedFlattensCurve(t *testing.T) {
+	// Fig 12: the augmented line grows at ~1/3 the slope and sits far below
+	// the conventional line at high RTT.
+	cfg := Config{Seed: 2}
+	rtts := []float64{0, 50, 100, 150, 200, 250, 300}
+	conv, aug := FrameTimeCurve(rtts, 1.0/3, cfg)
+	for i := range rtts {
+		if aug[i] > conv[i]+1 {
+			t.Fatalf("augmented (%.0f) worse than conventional (%.0f) at RTT %.0f",
+				aug[i], conv[i], rtts[i])
+		}
+	}
+	convSlope := (conv[len(conv)-1] - conv[0]) / 300
+	augSlope := (aug[len(aug)-1] - aug[0]) / 300
+	if augSlope > convSlope*0.45 {
+		t.Fatalf("augmented slope %.2f not ~1/3 of conventional %.2f", augSlope, convSlope)
+	}
+	// At 300 ms the gap should be substantial (paper: ~500 vs ~250 ms).
+	if conv[len(conv)-1]-aug[len(aug)-1] < 150 {
+		t.Fatalf("at 300ms RTT: conventional %.0f vs augmented %.0f — gap too small",
+			conv[len(conv)-1], aug[len(aug)-1])
+	}
+}
+
+func TestZeroRTTEquivalence(t *testing.T) {
+	// With no network latency both modes reduce to processing time.
+	cfg := Config{Seed: 3}
+	conv := SimulateConventional(0, cfg)
+	aug := SimulateAugmented(0, 0, cfg)
+	if diff := conv.MeanFrameMs - aug.MeanFrameMs; diff > 10 || diff < -10 {
+		t.Fatalf("at zero RTT modes differ by %v ms", diff)
+	}
+	if conv.MeanFrameMs < 120 || conv.MeanFrameMs > 160 {
+		t.Fatalf("processing-only frame time %v outside configured ~140ms", conv.MeanFrameMs)
+	}
+}
+
+func TestSpeculationMissesFallBack(t *testing.T) {
+	// With a 50% hit rate the augmented mean sits between the pure-low and
+	// pure-conventional cases.
+	cfg := Config{Seed: 4, SpecHitRate: 0.5}
+	full := SimulateAugmented(300, 100, Config{Seed: 4, SpecHitRate: 1})
+	half := SimulateAugmented(300, 100, cfg)
+	conv := SimulateConventional(300, Config{Seed: 4})
+	if !(half.MeanFrameMs > full.MeanFrameMs && half.MeanFrameMs < conv.MeanFrameMs) {
+		t.Fatalf("half-hit mean %v not between full-hit %v and conventional %v",
+			half.MeanFrameMs, full.MeanFrameMs, conv.MeanFrameMs)
+	}
+}
+
+func TestBandwidthOverheadReported(t *testing.T) {
+	// Speculation streams one outcome per direction: 4× for Pacman, within
+	// the paper's quoted 2-4.5× band for richer games.
+	r := SimulateAugmented(100, 33, Config{Seed: 5})
+	if r.BandwidthFactor != 4 {
+		t.Fatalf("bandwidth factor = %v, want 4 (four speculated directions)", r.BandwidthFactor)
+	}
+	if c := SimulateConventional(100, Config{Seed: 5}); c.BandwidthFactor != 1 {
+		t.Fatalf("conventional bandwidth factor = %v, want 1", c.BandwidthFactor)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a := SimulateAugmented(200, 66, Config{Seed: 9})
+	b := SimulateAugmented(200, 66, Config{Seed: 9})
+	if a.MeanFrameMs != b.MeanFrameMs || a.P95FrameMs != b.P95FrameMs {
+		t.Fatal("simulation not deterministic")
+	}
+}
+
+func TestP95AboveMean(t *testing.T) {
+	r := SimulateConventional(150, Config{Seed: 6})
+	if r.P95FrameMs < r.MeanFrameMs {
+		t.Fatalf("p95 (%v) below mean (%v)", r.P95FrameMs, r.MeanFrameMs)
+	}
+}

@@ -1,0 +1,140 @@
+// Package geo provides the geodesic and microwave-propagation primitives the
+// cISP design pipeline is built on: great-circle distances on a spherical
+// Earth, c-latency computation, and the Fresnel-zone / Earth-bulge clearance
+// formulae of §3.1 of the paper.
+//
+// Conventions: coordinates are degrees (north/east positive), distances are
+// meters, durations are time.Duration. A Point is a small comparable value
+// type, so it can be used directly as a map key.
+package geo
+
+import (
+	"fmt"
+	"math"
+	"time"
+)
+
+const (
+	// EarthRadius is the mean Earth radius in meters (IUGG R1).
+	EarthRadius = 6371008.8
+
+	// C is the speed of light in vacuum, in meters per second. Microwave
+	// links propagate at essentially this speed; the paper's "c-latency"
+	// between two sites is geodesic distance divided by C.
+	C = 299792458.0
+
+	// FiberLatencyFactor converts a fiber route length into a c-equivalent
+	// distance: light in silica travels at roughly 2/3 c, so the paper
+	// multiplies fiber distances by 1.5 when comparing against microwave
+	// (§3.2, "which we multiply by 1.5 to account for fiber's higher
+	// latency").
+	FiberLatencyFactor = 1.5
+)
+
+// Point is a position on the Earth's surface in degrees.
+type Point struct {
+	Lat float64 // latitude, degrees north
+	Lon float64 // longitude, degrees east
+}
+
+// String implements fmt.Stringer.
+func (p Point) String() string {
+	return fmt.Sprintf("(%.4f, %.4f)", p.Lat, p.Lon)
+}
+
+// Valid reports whether p is a plausible surface coordinate.
+func (p Point) Valid() bool {
+	return p.Lat >= -90 && p.Lat <= 90 && p.Lon >= -180 && p.Lon <= 180 &&
+		!math.IsNaN(p.Lat) && !math.IsNaN(p.Lon)
+}
+
+func rad(deg float64) float64 { return deg * math.Pi / 180 }
+func deg(rad float64) float64 { return rad * 180 / math.Pi }
+
+// DistanceTo returns the great-circle (geodesic) distance from p to q in
+// meters, using the haversine formula, which is numerically stable for the
+// short and medium distances that dominate tower-to-tower hops.
+func (p Point) DistanceTo(q Point) float64 {
+	φ1, φ2 := rad(p.Lat), rad(q.Lat)
+	dφ := rad(q.Lat - p.Lat)
+	dλ := rad(q.Lon - p.Lon)
+	s1 := math.Sin(dφ / 2)
+	s2 := math.Sin(dλ / 2)
+	a := s1*s1 + math.Cos(φ1)*math.Cos(φ2)*s2*s2
+	if a > 1 {
+		a = 1
+	}
+	return 2 * EarthRadius * math.Asin(math.Sqrt(a))
+}
+
+// InitialBearingTo returns the initial great-circle bearing from p to q in
+// degrees clockwise from north, in [0, 360).
+func (p Point) InitialBearingTo(q Point) float64 {
+	φ1, φ2 := rad(p.Lat), rad(q.Lat)
+	dλ := rad(q.Lon - p.Lon)
+	y := math.Sin(dλ) * math.Cos(φ2)
+	x := math.Cos(φ1)*math.Sin(φ2) - math.Sin(φ1)*math.Cos(φ2)*math.Cos(dλ)
+	θ := deg(math.Atan2(y, x))
+	return math.Mod(θ+360, 360)
+}
+
+// Destination returns the point reached by travelling dist meters from p
+// along the given initial bearing (degrees clockwise from north).
+func (p Point) Destination(bearingDeg, dist float64) Point {
+	δ := dist / EarthRadius
+	θ := rad(bearingDeg)
+	φ1 := rad(p.Lat)
+	λ1 := rad(p.Lon)
+	sinφ2 := math.Sin(φ1)*math.Cos(δ) + math.Cos(φ1)*math.Sin(δ)*math.Cos(θ)
+	φ2 := math.Asin(sinφ2)
+	y := math.Sin(θ) * math.Sin(δ) * math.Cos(φ1)
+	x := math.Cos(δ) - math.Sin(φ1)*sinφ2
+	λ2 := λ1 + math.Atan2(y, x)
+	lon := math.Mod(deg(λ2)+540, 360) - 180
+	return Point{Lat: deg(φ2), Lon: lon}
+}
+
+// Intermediate returns the point a fraction f of the way along the great
+// circle from p to q (f=0 yields p, f=1 yields q).
+func (p Point) Intermediate(q Point, f float64) Point {
+	d := p.DistanceTo(q) / EarthRadius
+	if d == 0 {
+		return p
+	}
+	sinD := math.Sin(d)
+	a := math.Sin((1-f)*d) / sinD
+	b := math.Sin(f*d) / sinD
+	φ1, λ1 := rad(p.Lat), rad(p.Lon)
+	φ2, λ2 := rad(q.Lat), rad(q.Lon)
+	x := a*math.Cos(φ1)*math.Cos(λ1) + b*math.Cos(φ2)*math.Cos(λ2)
+	y := a*math.Cos(φ1)*math.Sin(λ1) + b*math.Cos(φ2)*math.Sin(λ2)
+	z := a*math.Sin(φ1) + b*math.Sin(φ2)
+	φ := math.Atan2(z, math.Sqrt(x*x+y*y))
+	λ := math.Atan2(y, x)
+	return Point{Lat: deg(φ), Lon: deg(λ)}
+}
+
+// Midpoint returns the point halfway along the great circle from p to q.
+func (p Point) Midpoint(q Point) Point { return p.Intermediate(q, 0.5) }
+
+// CLatency returns the one-way speed-of-light travel time over dist meters —
+// the paper's "c-latency" when dist is the geodesic distance between sites.
+func CLatency(dist float64) time.Duration {
+	return time.Duration(dist / C * float64(time.Second))
+}
+
+// FiberLatency returns the one-way latency of a fiber route of the given
+// physical length, accounting for the ~2/3 c propagation speed in silica.
+func FiberLatency(routeLen float64) time.Duration {
+	return time.Duration(routeLen * FiberLatencyFactor / C * float64(time.Second))
+}
+
+// Stretch returns the ratio of an achieved latency-equivalent path length to
+// the geodesic distance — the paper's headline metric. It returns +Inf for a
+// zero geodesic to keep callers' min/max logic simple.
+func Stretch(pathLen, geodesic float64) float64 {
+	if geodesic <= 0 {
+		return math.Inf(1)
+	}
+	return pathLen / geodesic
+}

@@ -1,0 +1,201 @@
+package geo
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+// Chicago and New York, the corridor the paper's HFT discussion centres on.
+var (
+	chicago = Point{Lat: 41.8781, Lon: -87.6298}
+	newYork = Point{Lat: 40.7128, Lon: -74.0060}
+)
+
+func TestDistanceChicagoNewYork(t *testing.T) {
+	d := chicago.DistanceTo(newYork)
+	// Widely-quoted great-circle distance is ~1145 km.
+	if d < 1130e3 || d > 1160e3 {
+		t.Fatalf("Chicago-NY distance = %.1f km, want ~1145 km", d/1000)
+	}
+}
+
+func TestDistanceZero(t *testing.T) {
+	if d := chicago.DistanceTo(chicago); d != 0 {
+		t.Fatalf("self distance = %v, want 0", d)
+	}
+}
+
+func TestDistanceSymmetry(t *testing.T) {
+	f := func(lat1, lon1, lat2, lon2 float64) bool {
+		p := Point{Lat: clampLat(lat1), Lon: clampLon(lon1)}
+		q := Point{Lat: clampLat(lat2), Lon: clampLon(lon2)}
+		d1, d2 := p.DistanceTo(q), q.DistanceTo(p)
+		return math.Abs(d1-d2) < 1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTriangleInequality(t *testing.T) {
+	f := func(a1, o1, a2, o2, a3, o3 float64) bool {
+		p := Point{clampLat(a1), clampLon(o1)}
+		q := Point{clampLat(a2), clampLon(o2)}
+		r := Point{clampLat(a3), clampLon(o3)}
+		// Spherical triangle inequality with small numeric slack.
+		return p.DistanceTo(r) <= p.DistanceTo(q)+q.DistanceTo(r)+1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDestinationRoundTrip(t *testing.T) {
+	f := func(lat, lon, bearing, distKm float64) bool {
+		p := Point{clampLat(lat) * 0.8, clampLon(lon)} // keep away from poles
+		b := math.Mod(math.Abs(bearing), 360)
+		d := math.Mod(math.Abs(distKm), 500) * 1000
+		q := p.Destination(b, d)
+		return math.Abs(p.DistanceTo(q)-d) < 1.0 // within a meter
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIntermediateEndpoints(t *testing.T) {
+	p0 := chicago.Intermediate(newYork, 0)
+	p1 := chicago.Intermediate(newYork, 1)
+	if chicago.DistanceTo(p0) > 1 {
+		t.Errorf("Intermediate(0) = %v, want %v", p0, chicago)
+	}
+	if newYork.DistanceTo(p1) > 1 {
+		t.Errorf("Intermediate(1) = %v, want %v", p1, newYork)
+	}
+}
+
+func TestIntermediateOnPath(t *testing.T) {
+	// Points along the great circle should divide the distance linearly.
+	total := chicago.DistanceTo(newYork)
+	for _, f := range []float64{0.1, 0.25, 0.5, 0.75, 0.9} {
+		m := chicago.Intermediate(newYork, f)
+		got := chicago.DistanceTo(m)
+		if math.Abs(got-f*total) > 5 {
+			t.Errorf("Intermediate(%v): distance %f, want %f", f, got, f*total)
+		}
+	}
+}
+
+func TestMidpointEquidistant(t *testing.T) {
+	m := chicago.Midpoint(newYork)
+	d1, d2 := chicago.DistanceTo(m), newYork.DistanceTo(m)
+	if math.Abs(d1-d2) > 1 {
+		t.Fatalf("midpoint not equidistant: %f vs %f", d1, d2)
+	}
+}
+
+func TestCLatency(t *testing.T) {
+	// 299.792458 km should take exactly 1 ms.
+	got := CLatency(299792.458)
+	if got != time.Millisecond {
+		t.Fatalf("CLatency(299792m) = %v, want 1ms", got)
+	}
+}
+
+func TestFiberLatencyFactor(t *testing.T) {
+	d := 1000e3
+	got, want := FiberLatency(d), time.Duration(float64(CLatency(d))*1.5)
+	if diff := got - want; diff < -time.Nanosecond || diff > time.Nanosecond {
+		t.Fatalf("FiberLatency = %v, want %v", got, want)
+	}
+}
+
+func TestFresnelMidPaperFormula(t *testing.T) {
+	// Paper: hFres ≈ 8.7 m (D/1km)^1/2 (f/1GHz)^-1/2.
+	for _, dKm := range []float64{10, 50, 100} {
+		got := FresnelMid(dKm*1000, 11)
+		want := 8.7 * math.Sqrt(dKm) / math.Sqrt(11)
+		if math.Abs(got-want)/want > 0.01 {
+			t.Errorf("FresnelMid(%v km) = %.2f m, paper formula gives %.2f m", dKm, got, want)
+		}
+	}
+}
+
+func TestEarthBulgeMidPaperFormula(t *testing.T) {
+	// Paper: hEarth ≈ (1m/50K)(D/1km)² with K = 1.3.
+	for _, dKm := range []float64{10, 50, 100} {
+		got := EarthBulgeMid(dKm*1000, DefaultRefraction)
+		want := dKm * dKm / (50 * DefaultRefraction)
+		if math.Abs(got-want)/want > 0.03 {
+			t.Errorf("EarthBulgeMid(%v km) = %.2f m, paper formula gives %.2f m", dKm, got, want)
+		}
+	}
+}
+
+func TestClearance100kmHop(t *testing.T) {
+	// A 100 km hop at 11 GHz, K=1.3 needs roughly 150-180 m of clearance at
+	// the midpoint (bulge ~154 m + Fresnel ~26 m); sanity-check the order of
+	// magnitude that drives the tall-tower requirement.
+	c := RequiredClearanceMid(100e3, DefaultFrequencyGHz, DefaultRefraction)
+	if c < 150 || c > 210 {
+		t.Fatalf("clearance for 100km hop = %.1f m, want 150-210 m", c)
+	}
+}
+
+func TestFresnelMonotonic(t *testing.T) {
+	f := func(aKm, bKm float64) bool {
+		a := math.Mod(math.Abs(aKm), 100) + 1
+		b := math.Mod(math.Abs(bKm), 100) + 1
+		if a > b {
+			a, b = b, a
+		}
+		return FresnelMid(a*1000, 11) <= FresnelMid(b*1000, 11)+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStretch(t *testing.T) {
+	if s := Stretch(150, 100); s != 1.5 {
+		t.Errorf("Stretch = %v, want 1.5", s)
+	}
+	if s := Stretch(100, 0); !math.IsInf(s, 1) {
+		t.Errorf("Stretch with zero geodesic = %v, want +Inf", s)
+	}
+}
+
+func TestPointValid(t *testing.T) {
+	cases := []struct {
+		p    Point
+		want bool
+	}{
+		{Point{0, 0}, true},
+		{Point{91, 0}, false},
+		{Point{0, 181}, false},
+		{Point{-90, -180}, true},
+		{Point{math.NaN(), 0}, false},
+	}
+	for _, c := range cases {
+		if got := c.p.Valid(); got != c.want {
+			t.Errorf("Valid(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+}
+
+func TestBearingCardinal(t *testing.T) {
+	p := Point{Lat: 40, Lon: -100}
+	north := p.InitialBearingTo(Point{Lat: 41, Lon: -100})
+	if math.Abs(north-0) > 0.5 && math.Abs(north-360) > 0.5 {
+		t.Errorf("northward bearing = %v, want ~0", north)
+	}
+	east := p.InitialBearingTo(Point{Lat: 40, Lon: -99})
+	if math.Abs(east-90) > 1 {
+		t.Errorf("eastward bearing = %v, want ~90", east)
+	}
+}
+
+func clampLat(v float64) float64 { return math.Mod(math.Abs(v), 85) }
+func clampLon(v float64) float64 { return math.Mod(math.Abs(v), 175) }

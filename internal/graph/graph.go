@@ -1,0 +1,217 @@
+// Package graph implements the weighted-graph algorithms the cISP pipeline
+// needs: heap-based Dijkstra over large sparse tower graphs, shortest-path
+// extraction, node-blocked searches for tower-disjoint routing (Fig 4b of
+// the paper), and all-pairs helpers for small site graphs.
+//
+// Nodes are dense integer IDs; edges are undirected with non-negative float
+// weights (meters, in this codebase).
+package graph
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+)
+
+// Edge is a directed half-edge in an adjacency list.
+type Edge struct {
+	To     int
+	Weight float64
+}
+
+// Graph is an undirected weighted graph. The zero value is an empty graph;
+// use New for a pre-sized one.
+type Graph struct {
+	adj [][]Edge
+}
+
+// New returns a graph with n isolated nodes.
+func New(n int) *Graph {
+	return &Graph{adj: make([][]Edge, n)}
+}
+
+// N returns the number of nodes.
+func (g *Graph) N() int { return len(g.adj) }
+
+// Edges returns the total number of undirected edges.
+func (g *Graph) Edges() int {
+	total := 0
+	for _, a := range g.adj {
+		total += len(a)
+	}
+	return total / 2
+}
+
+// AddNode appends an isolated node and returns its ID.
+func (g *Graph) AddNode() int {
+	g.adj = append(g.adj, nil)
+	return len(g.adj) - 1
+}
+
+// AddEdge adds an undirected edge of the given non-negative weight. It
+// panics on out-of-range nodes or negative weight — both are programming
+// errors in this codebase, not runtime conditions.
+func (g *Graph) AddEdge(u, v int, w float64) {
+	if u < 0 || v < 0 || u >= len(g.adj) || v >= len(g.adj) {
+		panic(fmt.Sprintf("graph: edge (%d,%d) out of range n=%d", u, v, len(g.adj)))
+	}
+	if w < 0 || math.IsNaN(w) {
+		panic(fmt.Sprintf("graph: negative or NaN weight %v", w))
+	}
+	g.adj[u] = append(g.adj[u], Edge{To: v, Weight: w})
+	g.adj[v] = append(g.adj[v], Edge{To: u, Weight: w})
+}
+
+// Neighbors returns the adjacency list of u. The slice is shared with the
+// graph and must not be modified.
+func (g *Graph) Neighbors(u int) []Edge { return g.adj[u] }
+
+// item is a heap entry; stale duplicates are skipped on pop.
+type item struct {
+	node int
+	dist float64
+}
+
+type pq []item
+
+func (q pq) Len() int            { return len(q) }
+func (q pq) Less(i, j int) bool  { return q[i].dist < q[j].dist }
+func (q pq) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *pq) Push(x interface{}) { *q = append(*q, x.(item)) }
+func (q *pq) Pop() interface{} {
+	old := *q
+	n := len(old)
+	it := old[n-1]
+	*q = old[:n-1]
+	return it
+}
+
+// Dijkstra computes single-source shortest distances from src. Unreachable
+// nodes get +Inf distance and prev -1. prev[src] is -1.
+func (g *Graph) Dijkstra(src int) (dist []float64, prev []int) {
+	return g.dijkstra(src, -1, nil)
+}
+
+// DijkstraBlocked is Dijkstra with a set of unusable nodes (blocked[i] true
+// means node i may not be traversed; src itself is never blocked). Used for
+// tower-disjoint path iteration.
+func (g *Graph) DijkstraBlocked(src int, blocked []bool) (dist []float64, prev []int) {
+	return g.dijkstra(src, -1, blocked)
+}
+
+// dijkstra runs until exhaustion or until target is settled (target=-1 to
+// settle all nodes).
+func (g *Graph) dijkstra(src, target int, blocked []bool) ([]float64, []int) {
+	n := len(g.adj)
+	dist := make([]float64, n)
+	prev := make([]int, n)
+	done := make([]bool, n)
+	for i := range dist {
+		dist[i] = math.Inf(1)
+		prev[i] = -1
+	}
+	dist[src] = 0
+	q := pq{{node: src, dist: 0}}
+	for len(q) > 0 {
+		it := heap.Pop(&q).(item)
+		u := it.node
+		if done[u] {
+			continue
+		}
+		done[u] = true
+		if u == target {
+			break
+		}
+		for _, e := range g.adj[u] {
+			v := e.To
+			if done[v] || (blocked != nil && blocked[v]) {
+				continue
+			}
+			if nd := dist[u] + e.Weight; nd < dist[v] {
+				dist[v] = nd
+				prev[v] = u
+				heap.Push(&q, item{node: v, dist: nd})
+			}
+		}
+	}
+	return dist, prev
+}
+
+// ShortestPath returns the node sequence (src..dst inclusive) and length of
+// the shortest path, or (nil, +Inf) if dst is unreachable.
+func (g *Graph) ShortestPath(src, dst int) ([]int, float64) {
+	return g.ShortestPathBlocked(src, dst, nil)
+}
+
+// ShortestPathBlocked is ShortestPath avoiding blocked nodes.
+func (g *Graph) ShortestPathBlocked(src, dst int, blocked []bool) ([]int, float64) {
+	if src == dst {
+		return []int{src}, 0
+	}
+	dist, prev := g.dijkstra(src, dst, blocked)
+	if math.IsInf(dist[dst], 1) {
+		return nil, math.Inf(1)
+	}
+	return extractPath(prev, src, dst), dist[dst]
+}
+
+func extractPath(prev []int, src, dst int) []int {
+	var rev []int
+	for v := dst; v != -1; v = prev[v] {
+		rev = append(rev, v)
+		if v == src {
+			break
+		}
+	}
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return rev
+}
+
+// DisjointPaths returns up to k node-disjoint shortest paths between src and
+// dst, found iteratively: after each path is extracted, its interior nodes
+// are blocked and the search repeats (the paper's Fig 4b "tower-disjoint
+// shortest paths" procedure). It stops early when no further path exists.
+func (g *Graph) DisjointPaths(src, dst, k int) (paths [][]int, lengths []float64) {
+	blocked := make([]bool, len(g.adj))
+	for i := 0; i < k; i++ {
+		path, length := g.ShortestPathBlocked(src, dst, blocked)
+		if path == nil {
+			break
+		}
+		paths = append(paths, path)
+		lengths = append(lengths, length)
+		for _, v := range path {
+			if v != src && v != dst {
+				blocked[v] = true
+			}
+		}
+	}
+	return paths, lengths
+}
+
+// PathLength sums edge weights along the node sequence, returning +Inf if a
+// consecutive pair is not connected.
+func (g *Graph) PathLength(path []int) float64 {
+	total := 0.0
+	for i := 0; i+1 < len(path); i++ {
+		w := math.Inf(1)
+		for _, e := range g.adj[path[i]] {
+			if e.To == path[i+1] && e.Weight < w {
+				w = e.Weight
+			}
+		}
+		if math.IsInf(w, 1) {
+			return w
+		}
+		total += w
+	}
+	return total
+}
+
+// Connected reports whether dst is reachable from src.
+func (g *Graph) Connected(src, dst int) bool {
+	_, l := g.ShortestPath(src, dst)
+	return !math.IsInf(l, 1)
+}

@@ -1,0 +1,184 @@
+package ilp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"cisp/internal/lp"
+)
+
+func approx(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestKnapsack(t *testing.T) {
+	// max 10a+13b+7c s.t. 3a+4b+2c <= 6, binary → best is a+c? values:
+	// a+b: weight 7 no; a+c: w5 v17; b+c: w6 v20 ← optimum.
+	p := &Problem{
+		LP: lp.Problem{
+			NumVars:   3,
+			Objective: []float64{-10, -13, -7},
+		},
+		Binary: []int{0, 1, 2},
+	}
+	p.LP.AddConstraint([]int{0, 1, 2}, []float64{3, 4, 2}, lp.LE, 6)
+	s, err := Solve(p, Options{})
+	if err != nil || s.Status != Optimal {
+		t.Fatalf("status=%v err=%v", s.Status, err)
+	}
+	if !approx(s.Objective, -20, 1e-6) {
+		t.Fatalf("objective = %v, want -20 (items b+c)", s.Objective)
+	}
+	if s.X[1] != 1 || s.X[2] != 1 || s.X[0] != 0 {
+		t.Fatalf("x = %v, want [0 1 1]", s.X)
+	}
+}
+
+func TestBinaryInfeasible(t *testing.T) {
+	// x0 + x1 = 1.5 has no binary solution (and no way to mix: both binary).
+	p := &Problem{
+		LP:     lp.Problem{NumVars: 2, Objective: []float64{1, 1}},
+		Binary: []int{0, 1},
+	}
+	p.LP.AddConstraint([]int{0, 1}, []float64{1, 1}, lp.EQ, 1.5)
+	s, err := Solve(p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Status != Infeasible {
+		t.Fatalf("status = %v, want infeasible", s.Status)
+	}
+}
+
+func TestMixedIntegerContinuous(t *testing.T) {
+	// min -y - 0.5 x with y binary, x continuous <= 2.5, x <= 2y.
+	// y=1 → x=2 (bounded by 2y): obj -1-1 = -2? wait x<=2.5 and x<=2 → x=2,
+	// obj = -1 - 1 = -2. y=0 → x=0 obj 0. Optimum -2.
+	p := &Problem{
+		LP:     lp.Problem{NumVars: 2, Objective: []float64{-0.5, -1}}, // x=var0, y=var1
+		Binary: []int{1},
+	}
+	p.LP.AddConstraint([]int{0}, []float64{1}, lp.LE, 2.5)
+	p.LP.AddConstraint([]int{0, 1}, []float64{1, -2}, lp.LE, 0)
+	s, err := Solve(p, Options{})
+	if err != nil || s.Status != Optimal {
+		t.Fatalf("status=%v err=%v", s.Status, err)
+	}
+	if !approx(s.Objective, -2, 1e-6) {
+		t.Fatalf("objective = %v, want -2", s.Objective)
+	}
+	if s.X[1] != 1 {
+		t.Fatalf("y = %v, want 1", s.X[1])
+	}
+}
+
+func TestSetCover(t *testing.T) {
+	// Universe {1,2,3}; sets A={1,2} cost 3, B={2,3} cost 3, C={1,2,3} cost 5.
+	// Optimum: C alone (5) beats A+B (6).
+	p := &Problem{
+		LP:     lp.Problem{NumVars: 3, Objective: []float64{3, 3, 5}},
+		Binary: []int{0, 1, 2},
+	}
+	p.LP.AddConstraint([]int{0, 2}, []float64{1, 1}, lp.GE, 1)       // element 1
+	p.LP.AddConstraint([]int{0, 1, 2}, []float64{1, 1, 1}, lp.GE, 1) // element 2
+	p.LP.AddConstraint([]int{1, 2}, []float64{1, 1}, lp.GE, 1)       // element 3
+	s, err := Solve(p, Options{})
+	if err != nil || s.Status != Optimal {
+		t.Fatalf("status=%v err=%v", s.Status, err)
+	}
+	if !approx(s.Objective, 5, 1e-6) {
+		t.Fatalf("objective = %v, want 5", s.Objective)
+	}
+}
+
+func TestNodeBudgetReturnsIncumbent(t *testing.T) {
+	// A 12-item knapsack; with MaxNodes=1 we should still terminate.
+	rng := rand.New(rand.NewSource(1))
+	n := 12
+	p := &Problem{LP: lp.Problem{NumVars: n, Objective: make([]float64, n)}}
+	vars := make([]int, n)
+	weights := make([]float64, n)
+	for i := 0; i < n; i++ {
+		p.LP.Objective[i] = -(1 + rng.Float64()*9)
+		vars[i] = i
+		weights[i] = 1 + rng.Float64()*4
+		p.Binary = append(p.Binary, i)
+	}
+	p.LP.AddConstraint(vars, weights, lp.LE, 10)
+	s, err := Solve(p, Options{MaxNodes: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Status != Feasible && s.Status != Infeasible && s.Status != Optimal {
+		t.Fatalf("unexpected status %v", s.Status)
+	}
+}
+
+// TestMatchesBruteForce compares B&B against exhaustive enumeration on random
+// small knapsacks — the key correctness property.
+func TestMatchesBruteForce(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(5)
+		values := make([]float64, n)
+		weights := make([]float64, n)
+		for i := range values {
+			values[i] = 1 + rng.Float64()*9
+			weights[i] = 1 + rng.Float64()*4
+		}
+		cap := 2 + rng.Float64()*8
+
+		p := &Problem{LP: lp.Problem{NumVars: n, Objective: make([]float64, n)}}
+		vars := make([]int, n)
+		for i := 0; i < n; i++ {
+			p.LP.Objective[i] = -values[i]
+			vars[i] = i
+			p.Binary = append(p.Binary, i)
+		}
+		p.LP.AddConstraint(vars, weights, lp.LE, cap)
+
+		s, err := Solve(p, Options{})
+		if err != nil || s.Status != Optimal {
+			t.Fatalf("seed %d: status=%v err=%v", seed, s.Status, err)
+		}
+
+		// Brute force.
+		best := 0.0
+		for mask := 0; mask < 1<<n; mask++ {
+			w, v := 0.0, 0.0
+			for i := 0; i < n; i++ {
+				if mask&(1<<i) != 0 {
+					w += weights[i]
+					v += values[i]
+				}
+			}
+			if w <= cap && v > best {
+				best = v
+			}
+		}
+		if !approx(-s.Objective, best, 1e-6) {
+			t.Fatalf("seed %d: B&B found %v, brute force %v", seed, -s.Objective, best)
+		}
+	}
+}
+
+func BenchmarkKnapsack15(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	n := 15
+	p := &Problem{LP: lp.Problem{NumVars: n, Objective: make([]float64, n)}}
+	vars := make([]int, n)
+	weights := make([]float64, n)
+	for i := 0; i < n; i++ {
+		p.LP.Objective[i] = -(1 + rng.Float64()*9)
+		vars[i] = i
+		weights[i] = 1 + rng.Float64()*4
+		p.Binary = append(p.Binary, i)
+	}
+	p.LP.AddConstraint(vars, weights, lp.LE, 15)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Solve(p, Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,148 @@
+// Package los evaluates microwave hop feasibility between towers: §3.1's
+// line-of-sight test with full first-Fresnel-zone clearance over terrain and
+// clutter, Earth-curvature bulge under atmospheric refraction K, and the
+// range and usable-antenna-height restrictions studied in §6.5.
+package los
+
+import (
+	"math"
+
+	"cisp/internal/geo"
+	"cisp/internal/terrain"
+	"cisp/internal/towers"
+)
+
+// Params configures the feasibility test. The zero value is not useful; use
+// DefaultParams (the paper's baseline: f=11 GHz, K=1.3, 100 km range, tower
+// tops usable).
+type Params struct {
+	FreqGHz          float64 // carrier frequency
+	K                float64 // effective Earth-radius factor
+	MaxRange         float64 // maximum hop length, meters
+	UsableHeightFrac float64 // fraction of tower height available for antennae (§6.5)
+	ProfileStep      float64 // terrain sampling step, meters
+}
+
+// DefaultParams returns the paper's baseline §3.1/§4 parameters.
+func DefaultParams() Params {
+	return Params{
+		FreqGHz:          geo.DefaultFrequencyGHz,
+		K:                geo.DefaultRefraction,
+		MaxRange:         geo.MaxHopRange,
+		UsableHeightFrac: 1.0,
+		ProfileStep:      500,
+	}
+}
+
+// Evaluator tests hop feasibility over a terrain model.
+type Evaluator struct {
+	Terrain *terrain.Model
+	Params  Params
+}
+
+// NewEvaluator returns an evaluator with the given terrain and parameters.
+func NewEvaluator(t *terrain.Model, p Params) *Evaluator {
+	if p.ProfileStep <= 0 {
+		p.ProfileStep = 500
+	}
+	return &Evaluator{Terrain: t, Params: p}
+}
+
+// AntennaHeight returns the height above ground at which an antenna can be
+// mounted on the tower under the usable-height restriction.
+func (e *Evaluator) AntennaHeight(t towers.Tower) float64 {
+	f := e.Params.UsableHeightFrac
+	if f <= 0 || f > 1 {
+		f = 1
+	}
+	return t.Height * f
+}
+
+// HopFeasible reports whether a microwave hop between towers a and b clears
+// terrain, clutter, Earth bulge, and a full first Fresnel zone, and is
+// within range.
+func (e *Evaluator) HopFeasible(a, b towers.Tower) bool {
+	return e.hopFeasibleAt(a.Loc, b.Loc, e.antennaASL(a), e.antennaASL(b))
+}
+
+// PointFeasible is HopFeasible for arbitrary endpoints with explicit
+// above-sea-level antenna heights (used for city gateway attachments).
+func (e *Evaluator) PointFeasible(a, b geo.Point, aASL, bASL float64) bool {
+	return e.hopFeasibleAt(a, b, aASL, bASL)
+}
+
+// antennaASL is the antenna's height above sea level.
+func (e *Evaluator) antennaASL(t towers.Tower) float64 {
+	return e.Terrain.Elevation(t.Loc) + e.AntennaHeight(t)
+}
+
+func (e *Evaluator) hopFeasibleAt(pa, pb geo.Point, ha, hb float64) bool {
+	total := pa.DistanceTo(pb)
+	if total > e.Params.MaxRange {
+		return false
+	}
+	if total <= 0 {
+		return true
+	}
+	// Adaptive sampling: never more than ~200 samples, never coarser than
+	// the configured step over long hops.
+	step := e.Params.ProfileStep
+	if minStep := total / 200; step < minStep {
+		step = minStep
+	}
+	n := int(total/step) + 1
+	if n < 2 {
+		n = 2
+	}
+	for i := 1; i < n; i++ {
+		f := float64(i) / float64(n)
+		d1 := f * total
+		d2 := total - d1
+		p := pa.Intermediate(pb, f)
+		// Straight sight-line height at this point.
+		line := ha + (hb-ha)*f
+		// Required clearance: surface + curvature bulge + full Fresnel zone.
+		needed := e.Terrain.SurfaceHeight(p) +
+			geo.EarthBulge(d1, d2, e.Params.K) +
+			geo.FresnelRadius(d1, d2, e.Params.FreqGHz)
+		if line < needed {
+			return false
+		}
+	}
+	return true
+}
+
+// ClearanceMargin returns the minimum clearance margin in meters along the
+// hop (line height minus required height); negative means infeasible. Range
+// violations return -Inf. Useful for diagnostics and tests.
+func (e *Evaluator) ClearanceMargin(a, b towers.Tower) float64 {
+	pa, pb := a.Loc, b.Loc
+	total := pa.DistanceTo(pb)
+	if total > e.Params.MaxRange {
+		return math.Inf(-1)
+	}
+	ha, hb := e.antennaASL(a), e.antennaASL(b)
+	step := e.Params.ProfileStep
+	if minStep := total / 200; step < minStep {
+		step = minStep
+	}
+	n := int(total/step) + 1
+	if n < 2 {
+		n = 2
+	}
+	margin := math.Inf(1)
+	for i := 1; i < n; i++ {
+		f := float64(i) / float64(n)
+		d1 := f * total
+		d2 := total - d1
+		p := pa.Intermediate(pb, f)
+		line := ha + (hb-ha)*f
+		needed := e.Terrain.SurfaceHeight(p) +
+			geo.EarthBulge(d1, d2, e.Params.K) +
+			geo.FresnelRadius(d1, d2, e.Params.FreqGHz)
+		if m := line - needed; m < margin {
+			margin = m
+		}
+	}
+	return margin
+}

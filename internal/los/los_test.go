@@ -1,0 +1,154 @@
+package los
+
+import (
+	"math"
+	"testing"
+
+	"cisp/internal/geo"
+	"cisp/internal/terrain"
+	"cisp/internal/towers"
+)
+
+func towerAt(lat, lon, height float64) towers.Tower {
+	return towers.Tower{Loc: geo.Point{Lat: lat, Lon: lon}, Height: height}
+}
+
+func flatEval() *Evaluator {
+	return NewEvaluator(terrain.Flat(), DefaultParams())
+}
+
+func TestShortHopFlatTerrain(t *testing.T) {
+	e := flatEval()
+	a := towerAt(40, -100, 100)
+	b := towerAt(40, -99.8, 100) // ~17 km
+	if !e.HopFeasible(a, b) {
+		t.Fatal("17 km hop between 100 m towers on flat terrain must be feasible")
+	}
+}
+
+func TestRangeLimit(t *testing.T) {
+	e := flatEval()
+	a := towerAt(40, -100, 300)
+	b := towerAt(40, -98.5, 300) // ~128 km > 100 km range
+	if e.HopFeasible(a, b) {
+		t.Fatal("hop beyond MaxRange must be infeasible")
+	}
+	if m := e.ClearanceMargin(a, b); !math.IsInf(m, -1) {
+		t.Fatalf("margin for out-of-range hop = %v, want -Inf", m)
+	}
+}
+
+func TestEarthBulgeBlocksLongLowHop(t *testing.T) {
+	e := flatEval()
+	// 95 km hop: midpoint bulge ~ (47.5*47.5)/(12.74*1.3) ≈ 136 m, plus
+	// Fresnel ~25 m. Two 60 m towers cannot clear it; two 250 m towers can.
+	a, b := towerAt(40, -100, 60), towerAt(40, -98.9, 60)
+	if e.HopFeasible(a, b) {
+		t.Fatal("60 m towers should not clear a ~94 km hop's Earth bulge")
+	}
+	a2, b2 := towerAt(40, -100, 250), towerAt(40, -98.9, 250)
+	if !e.HopFeasible(a2, b2) {
+		t.Fatal("250 m towers should clear a ~94 km hop on flat terrain")
+	}
+}
+
+func TestMountainBlocksHop(t *testing.T) {
+	// A single ridge across the middle of the hop.
+	ridge := terrain.Ridge{
+		Crest:  []geo.Point{{Lat: 39, Lon: -99.5}, {Lat: 41, Lon: -99.5}},
+		Height: 2000, Width: 10e3,
+	}
+	m := terrain.New(1, []terrain.Ridge{ridge}, nil, 0, 0, 0)
+	e := NewEvaluator(m, DefaultParams())
+	a, b := towerAt(40, -100, 200), towerAt(40, -99, 200)
+	if e.HopFeasible(a, b) {
+		t.Fatal("2000 m ridge between towers must block the hop")
+	}
+	// The same hop on flat ground is fine.
+	if !flatEval().HopFeasible(a, b) {
+		t.Fatal("control hop without the ridge should be feasible")
+	}
+}
+
+func TestUsableHeightRestrictionShrinksFeasibility(t *testing.T) {
+	// A hop that barely clears with full tower height should fail at 45%.
+	p := DefaultParams()
+	full := NewEvaluator(terrain.Flat(), p)
+	a, b := towerAt(40, -100, 170), towerAt(40, -98.95, 170) // ~89 km
+	if !full.HopFeasible(a, b) {
+		t.Fatal("baseline hop should be feasible at full height")
+	}
+	p.UsableHeightFrac = 0.45
+	restricted := NewEvaluator(terrain.Flat(), p)
+	if restricted.HopFeasible(a, b) {
+		t.Fatal("hop should fail when only 45% of tower height is usable")
+	}
+}
+
+func TestMarginConsistentWithFeasible(t *testing.T) {
+	m := terrain.ContiguousUS(3)
+	e := NewEvaluator(m, DefaultParams())
+	cases := []struct{ a, b towers.Tower }{
+		{towerAt(41.8, -87.6, 150), towerAt(41.9, -88.5, 150)},
+		{towerAt(39.5, -106.5, 120), towerAt(39.5, -105.5, 120)}, // across the Rockies
+		{towerAt(35, -101, 200), towerAt(35, -100.2, 200)},
+		{towerAt(40.7, -74.0, 250), towerAt(40.9, -74.8, 250)},
+	}
+	for i, tc := range cases {
+		feasible := e.HopFeasible(tc.a, tc.b)
+		margin := e.ClearanceMargin(tc.a, tc.b)
+		if feasible != (margin >= 0) {
+			t.Errorf("case %d: feasible=%v but margin=%v", i, feasible, margin)
+		}
+	}
+}
+
+func TestTallerTowersNeverHurt(t *testing.T) {
+	m := terrain.ContiguousUS(9)
+	e := NewEvaluator(m, DefaultParams())
+	base := 80.0
+	for d := 0.2; d <= 0.9; d += 0.1 {
+		a := towerAt(38, -95, base)
+		b := towerAt(38, -95+d, base)
+		tallA, tallB := a, b
+		tallA.Height, tallB.Height = base*3, base*3
+		if e.HopFeasible(a, b) && !e.HopFeasible(tallA, tallB) {
+			t.Fatalf("raising towers made a feasible hop infeasible at Δlon=%v", d)
+		}
+		if m1, m2 := e.ClearanceMargin(a, b), e.ClearanceMargin(tallA, tallB); !math.IsInf(m1, -1) && m2 < m1 {
+			t.Fatalf("taller towers reduced margin: %v -> %v", m1, m2)
+		}
+	}
+}
+
+func TestZeroDistanceHop(t *testing.T) {
+	e := flatEval()
+	a := towerAt(40, -100, 100)
+	if !e.HopFeasible(a, a) {
+		t.Fatal("zero-length hop should be trivially feasible")
+	}
+}
+
+func TestPointFeasible(t *testing.T) {
+	e := flatEval()
+	a := geo.Point{Lat: 40, Lon: -100}
+	b := geo.Point{Lat: 40, Lon: -99.5}
+	if !e.PointFeasible(a, b, 120, 120) {
+		t.Fatal("explicit-height hop on flat terrain should pass")
+	}
+	if e.PointFeasible(a, b, 1, 1) {
+		t.Fatal("1 m antennae cannot clear a 43 km hop")
+	}
+}
+
+func BenchmarkHopFeasible90km(b *testing.B) {
+	m := terrain.ContiguousUS(1)
+	e := NewEvaluator(m, DefaultParams())
+	t1 := towerAt(40, -100, 150)
+	t2 := towerAt(40, -98.95, 150)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.HopFeasible(t1, t2)
+	}
+}

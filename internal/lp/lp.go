@@ -1,0 +1,351 @@
+// Package lp implements a dense two-phase primal simplex solver for linear
+// programs in the form
+//
+//	minimize    c·x
+//	subject to  a_i·x {≤,=,≥} b_i   for each constraint i
+//	            x ≥ 0
+//
+// It is the in-repo substitute for the commercial solver (Gurobi) the paper
+// uses for its Step-2 ILP: exact on the same formulations, merely slower.
+// Problems are stated with sparse constraint rows but solved on a dense
+// tableau, which is simple and adequate at the scales the cISP flow ILP
+// reaches before its exponential blow-up makes any solver irrelevant
+// (Fig 2a).
+package lp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Sense is a constraint direction.
+type Sense int
+
+// Constraint senses.
+const (
+	LE Sense = iota // a·x ≤ b
+	GE              // a·x ≥ b
+	EQ              // a·x = b
+)
+
+// Term is one coefficient of a sparse constraint row.
+type Term struct {
+	Var   int
+	Coeff float64
+}
+
+// Constraint is a sparse linear constraint.
+type Constraint struct {
+	Terms []Term
+	Sense Sense
+	RHS   float64
+}
+
+// Problem is a minimisation LP over n non-negative variables.
+type Problem struct {
+	NumVars   int
+	Objective []float64 // length NumVars; minimised
+	Cons      []Constraint
+}
+
+// AddConstraint appends a constraint built from parallel slices.
+func (p *Problem) AddConstraint(vars []int, coeffs []float64, s Sense, rhs float64) {
+	if len(vars) != len(coeffs) {
+		panic("lp: vars/coeffs length mismatch")
+	}
+	terms := make([]Term, len(vars))
+	for i := range vars {
+		terms[i] = Term{Var: vars[i], Coeff: coeffs[i]}
+	}
+	p.Cons = append(p.Cons, Constraint{Terms: terms, Sense: s, RHS: rhs})
+}
+
+// Status describes a solve outcome.
+type Status int
+
+// Solve outcomes.
+const (
+	Optimal Status = iota
+	Infeasible
+	Unbounded
+)
+
+func (s Status) String() string {
+	switch s {
+	case Optimal:
+		return "optimal"
+	case Infeasible:
+		return "infeasible"
+	case Unbounded:
+		return "unbounded"
+	}
+	return fmt.Sprintf("status(%d)", int(s))
+}
+
+// Solution is a solved LP.
+type Solution struct {
+	Status    Status
+	X         []float64
+	Objective float64
+}
+
+const eps = 1e-9
+
+// ErrIterationLimit is returned when the simplex fails to terminate within
+// its iteration budget (cycling or a pathological instance).
+var ErrIterationLimit = errors.New("lp: iteration limit exceeded")
+
+// Solve runs two-phase simplex and returns the solution. The returned error
+// is non-nil only for internal failures (iteration limit); infeasibility and
+// unboundedness are reported via Solution.Status.
+func Solve(p *Problem) (*Solution, error) {
+	m := len(p.Cons)
+	n := p.NumVars
+
+	// Normalise to b ≥ 0, count slack/artificial columns.
+	type rowSpec struct {
+		terms []Term
+		sense Sense
+		rhs   float64
+	}
+	rows := make([]rowSpec, m)
+	for i, c := range p.Cons {
+		r := rowSpec{terms: c.Terms, sense: c.Sense, rhs: c.RHS}
+		if r.rhs < 0 {
+			neg := make([]Term, len(r.terms))
+			for k, t := range r.terms {
+				neg[k] = Term{Var: t.Var, Coeff: -t.Coeff}
+			}
+			r.terms = neg
+			r.rhs = -r.rhs
+			switch r.sense {
+			case LE:
+				r.sense = GE
+			case GE:
+				r.sense = LE
+			}
+		}
+		rows[i] = r
+	}
+
+	nSlack := 0
+	for _, r := range rows {
+		if r.sense != EQ {
+			nSlack++
+		}
+	}
+	nArt := 0
+	for _, r := range rows {
+		if r.sense != LE {
+			nArt++ // GE and EQ rows need artificials
+		}
+	}
+
+	total := n + nSlack + nArt
+	// Tableau: m rows × (total+1) cols (last col = RHS), plus objective row.
+	tab := make([][]float64, m+1)
+	for i := range tab {
+		tab[i] = make([]float64, total+1)
+	}
+	basis := make([]int, m)
+
+	slackAt := n
+	artAt := n + nSlack
+	artCols := make([]int, 0, nArt)
+	for i, r := range rows {
+		for _, t := range r.terms {
+			if t.Var < 0 || t.Var >= n {
+				return nil, fmt.Errorf("lp: constraint %d references variable %d out of range [0,%d)", i, t.Var, n)
+			}
+			tab[i][t.Var] += t.Coeff
+		}
+		tab[i][total] = r.rhs
+		switch r.sense {
+		case LE:
+			tab[i][slackAt] = 1
+			basis[i] = slackAt
+			slackAt++
+		case GE:
+			tab[i][slackAt] = -1
+			slackAt++
+			tab[i][artAt] = 1
+			basis[i] = artAt
+			artCols = append(artCols, artAt)
+			artAt++
+		case EQ:
+			tab[i][artAt] = 1
+			basis[i] = artAt
+			artCols = append(artCols, artAt)
+			artAt++
+		}
+	}
+
+	// Phase 1: minimise sum of artificials.
+	if nArt > 0 {
+		obj := tab[m]
+		for j := range obj {
+			obj[j] = 0
+		}
+		for _, j := range artCols {
+			obj[j] = 1
+		}
+		// Price out the artificial basis.
+		for i, b := range basis {
+			if obj[b] != 0 {
+				f := obj[b]
+				for j := 0; j <= total; j++ {
+					obj[j] -= f * tab[i][j]
+				}
+			}
+		}
+		st, err := simplex(tab, basis, total)
+		if err != nil {
+			return nil, err
+		}
+		if st == Unbounded {
+			return nil, errors.New("lp: phase-1 unbounded (internal error)")
+		}
+		if -tab[m][total] > 1e-7 {
+			return &Solution{Status: Infeasible}, nil
+		}
+		// Drive any artificial still in the basis out (degenerate rows).
+		for i, b := range basis {
+			if !isArt(b, n+nSlack) {
+				continue
+			}
+			pivoted := false
+			for j := 0; j < n+nSlack; j++ {
+				if math.Abs(tab[i][j]) > eps {
+					pivot(tab, basis, i, j, total)
+					pivoted = true
+					break
+				}
+			}
+			if !pivoted {
+				// Redundant row; leave the artificial at zero.
+				_ = i
+			}
+		}
+	}
+
+	// Phase 2: original objective; forbid artificial columns.
+	obj := tab[m]
+	for j := range obj {
+		obj[j] = 0
+	}
+	for j := 0; j < n && j < len(p.Objective); j++ {
+		obj[j] = p.Objective[j]
+	}
+	// Blank out artificial columns so they can never re-enter.
+	for _, j := range artCols {
+		for i := 0; i <= m; i++ {
+			tab[i][j] = 0
+		}
+	}
+	for i, b := range basis {
+		if obj[b] != 0 {
+			f := obj[b]
+			for j := 0; j <= total; j++ {
+				obj[j] -= f * tab[i][j]
+			}
+		}
+	}
+	st, err := simplex(tab, basis, total)
+	if err != nil {
+		return nil, err
+	}
+	if st == Unbounded {
+		return &Solution{Status: Unbounded}, nil
+	}
+
+	x := make([]float64, n)
+	for i, b := range basis {
+		if b < n {
+			x[b] = tab[i][total]
+		}
+	}
+	objVal := 0.0
+	for j := 0; j < n && j < len(p.Objective); j++ {
+		objVal += p.Objective[j] * x[j]
+	}
+	return &Solution{Status: Optimal, X: x, Objective: objVal}, nil
+}
+
+func isArt(col, artStart int) bool { return col >= artStart }
+
+// simplex runs primal simplex iterations on the tableau until optimality or
+// unboundedness. Dantzig pricing with a Bland fallback to guarantee
+// termination on degenerate problems.
+func simplex(tab [][]float64, basis []int, total int) (Status, error) {
+	m := len(basis)
+	maxIter := 200 * (m + total + 10)
+	blandAfter := maxIter / 2
+	for iter := 0; iter < maxIter; iter++ {
+		obj := tab[m]
+		// Entering column.
+		enter := -1
+		if iter < blandAfter {
+			best := -eps
+			for j := 0; j < total; j++ {
+				if obj[j] < best {
+					best = obj[j]
+					enter = j
+				}
+			}
+		} else {
+			for j := 0; j < total; j++ { // Bland: first negative
+				if obj[j] < -eps {
+					enter = j
+					break
+				}
+			}
+		}
+		if enter < 0 {
+			return Optimal, nil
+		}
+		// Ratio test.
+		leave := -1
+		bestRatio := math.Inf(1)
+		for i := 0; i < m; i++ {
+			a := tab[i][enter]
+			if a > eps {
+				r := tab[i][total] / a
+				if r < bestRatio-eps || (math.Abs(r-bestRatio) <= eps && (leave == -1 || basis[i] < basis[leave])) {
+					bestRatio = r
+					leave = i
+				}
+			}
+		}
+		if leave < 0 {
+			return Unbounded, nil
+		}
+		pivot(tab, basis, leave, enter, total)
+	}
+	return Optimal, ErrIterationLimit
+}
+
+// pivot makes column enter basic in row leave.
+func pivot(tab [][]float64, basis []int, leave, enter, total int) {
+	m := len(basis)
+	pr := tab[leave]
+	pv := pr[enter]
+	inv := 1 / pv
+	for j := 0; j <= total; j++ {
+		pr[j] *= inv
+	}
+	for i := 0; i <= m; i++ {
+		if i == leave {
+			continue
+		}
+		f := tab[i][enter]
+		if f == 0 {
+			continue
+		}
+		row := tab[i]
+		for j := 0; j <= total; j++ {
+			row[j] -= f * pr[j]
+		}
+	}
+	basis[leave] = enter
+}

@@ -1,0 +1,232 @@
+package lp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func approx(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestSimple2D(t *testing.T) {
+	// max x+y s.t. x+2y<=4, 3x+y<=6  (minimize -(x+y)); optimum at (1.6,1.2)=2.8.
+	p := &Problem{NumVars: 2, Objective: []float64{-1, -1}}
+	p.AddConstraint([]int{0, 1}, []float64{1, 2}, LE, 4)
+	p.AddConstraint([]int{0, 1}, []float64{3, 1}, LE, 6)
+	s, err := Solve(p)
+	if err != nil || s.Status != Optimal {
+		t.Fatalf("status=%v err=%v", s.Status, err)
+	}
+	if !approx(s.Objective, -2.8, 1e-7) {
+		t.Fatalf("objective = %v, want -2.8", s.Objective)
+	}
+	if !approx(s.X[0], 1.6, 1e-7) || !approx(s.X[1], 1.2, 1e-7) {
+		t.Fatalf("x = %v, want [1.6 1.2]", s.X)
+	}
+}
+
+func TestEqualityConstraint(t *testing.T) {
+	// min x+y s.t. x+y=3, x<=1 → x=1,y=2, obj 3; or any split, obj is 3.
+	p := &Problem{NumVars: 2, Objective: []float64{1, 1}}
+	p.AddConstraint([]int{0, 1}, []float64{1, 1}, EQ, 3)
+	p.AddConstraint([]int{0}, []float64{1}, LE, 1)
+	s, err := Solve(p)
+	if err != nil || s.Status != Optimal {
+		t.Fatalf("status=%v err=%v", s.Status, err)
+	}
+	if !approx(s.Objective, 3, 1e-7) {
+		t.Fatalf("objective = %v, want 3", s.Objective)
+	}
+	if s.X[0] > 1+1e-7 {
+		t.Fatalf("x0 = %v violates x0<=1", s.X[0])
+	}
+}
+
+func TestGEConstraint(t *testing.T) {
+	// min 2x+3y s.t. x+y>=10, x<=4 → x=4,y=6, obj 26.
+	p := &Problem{NumVars: 2, Objective: []float64{2, 3}}
+	p.AddConstraint([]int{0, 1}, []float64{1, 1}, GE, 10)
+	p.AddConstraint([]int{0}, []float64{1}, LE, 4)
+	s, err := Solve(p)
+	if err != nil || s.Status != Optimal {
+		t.Fatalf("status=%v err=%v", s.Status, err)
+	}
+	if !approx(s.Objective, 26, 1e-6) {
+		t.Fatalf("objective = %v, want 26", s.Objective)
+	}
+}
+
+func TestInfeasible(t *testing.T) {
+	p := &Problem{NumVars: 1, Objective: []float64{1}}
+	p.AddConstraint([]int{0}, []float64{1}, GE, 5)
+	p.AddConstraint([]int{0}, []float64{1}, LE, 3)
+	s, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Status != Infeasible {
+		t.Fatalf("status = %v, want infeasible", s.Status)
+	}
+}
+
+func TestUnbounded(t *testing.T) {
+	// min -x with only x>=0: unbounded below.
+	p := &Problem{NumVars: 1, Objective: []float64{-1}}
+	p.AddConstraint([]int{0}, []float64{1}, GE, 0)
+	s, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Status != Unbounded {
+		t.Fatalf("status = %v, want unbounded", s.Status)
+	}
+}
+
+func TestNegativeRHS(t *testing.T) {
+	// -x <= -2 means x >= 2; min x → 2.
+	p := &Problem{NumVars: 1, Objective: []float64{1}}
+	p.AddConstraint([]int{0}, []float64{-1}, LE, -2)
+	s, err := Solve(p)
+	if err != nil || s.Status != Optimal {
+		t.Fatalf("status=%v err=%v", s.Status, err)
+	}
+	if !approx(s.X[0], 2, 1e-7) {
+		t.Fatalf("x = %v, want 2", s.X[0])
+	}
+}
+
+func TestDegenerate(t *testing.T) {
+	// Classic degeneracy: redundant constraints through the optimum.
+	p := &Problem{NumVars: 2, Objective: []float64{-1, -1}}
+	p.AddConstraint([]int{0, 1}, []float64{1, 1}, LE, 2)
+	p.AddConstraint([]int{0, 1}, []float64{2, 2}, LE, 4) // redundant
+	p.AddConstraint([]int{0}, []float64{1}, LE, 2)
+	s, err := Solve(p)
+	if err != nil || s.Status != Optimal {
+		t.Fatalf("status=%v err=%v", s.Status, err)
+	}
+	if !approx(s.Objective, -2, 1e-7) {
+		t.Fatalf("objective = %v, want -2", s.Objective)
+	}
+}
+
+func TestZeroObjectiveFeasibility(t *testing.T) {
+	// Pure feasibility problem (zero objective) with equality rows.
+	p := &Problem{NumVars: 3, Objective: []float64{0, 0, 0}}
+	p.AddConstraint([]int{0, 1, 2}, []float64{1, 1, 1}, EQ, 6)
+	p.AddConstraint([]int{0, 1}, []float64{1, -1}, EQ, 0)
+	s, err := Solve(p)
+	if err != nil || s.Status != Optimal {
+		t.Fatalf("status=%v err=%v", s.Status, err)
+	}
+	if !approx(s.X[0], s.X[1], 1e-7) {
+		t.Fatalf("x0 != x1: %v", s.X)
+	}
+	if !approx(s.X[0]+s.X[1]+s.X[2], 6, 1e-7) {
+		t.Fatalf("sum constraint violated: %v", s.X)
+	}
+}
+
+func TestTransportationProblem(t *testing.T) {
+	// 2 sources (supply 20, 30) × 2 sinks (demand 25, 25) min-cost transport.
+	// Costs: c[s][t] = [[1, 4], [2, 1]]. Optimum ships 20 via s0→t0,
+	// 5 via s1→t0, 25 via s1→t1: cost 20+10+25 = 55.
+	// Vars: x00, x01, x10, x11.
+	p := &Problem{NumVars: 4, Objective: []float64{1, 4, 2, 1}}
+	p.AddConstraint([]int{0, 1}, []float64{1, 1}, EQ, 20)
+	p.AddConstraint([]int{2, 3}, []float64{1, 1}, EQ, 30)
+	p.AddConstraint([]int{0, 2}, []float64{1, 1}, EQ, 25)
+	p.AddConstraint([]int{1, 3}, []float64{1, 1}, EQ, 25)
+	s, err := Solve(p)
+	if err != nil || s.Status != Optimal {
+		t.Fatalf("status=%v err=%v", s.Status, err)
+	}
+	if !approx(s.Objective, 55, 1e-6) {
+		t.Fatalf("objective = %v, want 55", s.Objective)
+	}
+}
+
+// TestRandomFeasibleBounded checks, property-style, that solutions of random
+// box-constrained problems respect all constraints and are no worse than any
+// random feasible point we can sample.
+func TestRandomFeasibleBounded(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(4)
+		p := &Problem{NumVars: n, Objective: make([]float64, n)}
+		for j := 0; j < n; j++ {
+			p.Objective[j] = rng.Float64()*4 - 2
+			// Box: x_j <= u_j keeps everything bounded.
+			p.AddConstraint([]int{j}, []float64{1}, LE, 1+rng.Float64()*5)
+		}
+		// A couple of random ≤ rows with positive coefficients (always
+		// feasible at origin).
+		for k := 0; k < 2; k++ {
+			vars := make([]int, n)
+			coefs := make([]float64, n)
+			for j := 0; j < n; j++ {
+				vars[j], coefs[j] = j, rng.Float64()
+			}
+			p.AddConstraint(vars, coefs, LE, 1+rng.Float64()*10)
+		}
+		s, err := Solve(p)
+		if err != nil || s.Status != Optimal {
+			return false
+		}
+		// Check feasibility of the reported solution.
+		for _, c := range p.Cons {
+			lhs := 0.0
+			for _, tm := range c.Terms {
+				lhs += tm.Coeff * s.X[tm.Var]
+			}
+			if c.Sense == LE && lhs > c.RHS+1e-6 {
+				return false
+			}
+		}
+		for _, x := range s.X {
+			if x < -1e-9 {
+				return false
+			}
+		}
+		// Origin is feasible: objective must be <= 0 at worst.
+		return s.Objective <= 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOutOfRangeVariable(t *testing.T) {
+	p := &Problem{NumVars: 1, Objective: []float64{1}}
+	p.AddConstraint([]int{3}, []float64{1}, LE, 1)
+	if _, err := Solve(p); err == nil {
+		t.Fatal("expected error for out-of-range variable index")
+	}
+}
+
+func BenchmarkSolve50x100(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	n, m := 100, 50
+	p := &Problem{NumVars: n, Objective: make([]float64, n)}
+	for j := 0; j < n; j++ {
+		p.Objective[j] = rng.Float64()
+		p.AddConstraint([]int{j}, []float64{1}, LE, 10)
+	}
+	for i := 0; i < m; i++ {
+		vars := make([]int, 10)
+		coefs := make([]float64, 10)
+		for k := range vars {
+			vars[k] = rng.Intn(n)
+			coefs[k] = rng.Float64()
+		}
+		p.AddConstraint(vars, coefs, GE, rng.Float64()*5)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Solve(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,138 @@
+// Package media models the alternative line-of-sight physical layers the
+// paper's framework is designed to absorb (§3.4: "the above outlined
+// approach applies broadly across other line-of-sight media, such as
+// free-space optics and millimeter wave networking"), and quantifies the
+// §4 observation that "at sufficiently high bandwidth ... shorter-range,
+// but higher-bandwidth technologies like MMW or free-space optics [become]
+// more cost-effective" than parallel microwave series.
+//
+// Each Medium carries the range/bandwidth/cost parameters that matter to
+// the provisioning arithmetic; ProvisionLink compares, for one long-haul
+// link, the towers and radios each medium needs at a target bandwidth.
+package media
+
+import (
+	"math"
+	"sort"
+)
+
+// Medium is one line-of-sight technology.
+type Medium struct {
+	Name string
+
+	// MaxHop is the practicable tower-to-tower range, meters.
+	MaxHop float64
+
+	// GbpsPerLink is the bandwidth of one radio/terminal pair on a hop.
+	GbpsPerLink float64
+
+	// InstallPerHop is the equipment+install cost of one hop's link, $.
+	InstallPerHop float64
+
+	// K2 reports whether the k² cross-connection trick applies (microwave's
+	// frequency-channel angular-reuse; pencil-beam media gain nothing from
+	// it but also do not interfere, so parallel systems scale linearly and
+	// can share towers).
+	K2 bool
+
+	// SystemsPerTower is how many parallel systems one tower can host
+	// (pencil-beam media pack more terminals per structure).
+	SystemsPerTower int
+}
+
+// Paper-parameterised media. Microwave follows §2; millimeter wave and FSO
+// use the shorter-range / higher-rate / similar-cost profile the paper
+// sketches.
+func Microwave() Medium {
+	return Medium{Name: "microwave", MaxHop: 100e3, GbpsPerLink: 1, InstallPerHop: 150_000, K2: true, SystemsPerTower: 1}
+}
+
+// MillimeterWave returns the MMW profile: ~3× shorter hops, ~10× the rate.
+func MillimeterWave() Medium {
+	return Medium{Name: "mmw", MaxHop: 35e3, GbpsPerLink: 10, InstallPerHop: 130_000, K2: false, SystemsPerTower: 4}
+}
+
+// FreeSpaceOptics returns the FSO profile: short hops, very high rate.
+func FreeSpaceOptics() Medium {
+	return Medium{Name: "fso", MaxHop: 25e3, GbpsPerLink: 40, InstallPerHop: 170_000, K2: false, SystemsPerTower: 4}
+}
+
+// LinkPlan is the provisioning bill for one long-haul link on one medium.
+type LinkPlan struct {
+	Medium   Medium
+	Hops     int // hops per series (ceil(length / MaxHop))
+	Series   int // parallel systems needed for the bandwidth
+	Towers   int // tower sites required (series beyond SystemsPerTower need new rows)
+	Installs int // radio/terminal pairs
+	Capex    float64
+}
+
+// ProvisionLink sizes one link of the given length (meters) for the target
+// bandwidth (Gbps) on the medium, using the paper's rules: microwave gains
+// k² capacity from k parallel tower series; pencil-beam media scale
+// linearly but pack several systems per tower.
+func ProvisionLink(m Medium, lengthM, targetGbps float64, newTowerCost float64) LinkPlan {
+	hops := int(math.Ceil(lengthM / m.MaxHop))
+	if hops < 1 {
+		hops = 1
+	}
+	units := targetGbps / m.GbpsPerLink
+	var series int
+	if m.K2 {
+		series = int(math.Ceil(math.Sqrt(math.Max(units, 1))))
+	} else {
+		series = int(math.Ceil(math.Max(units, 1)))
+	}
+	towerRows := int(math.Ceil(float64(series) / float64(max(m.SystemsPerTower, 1))))
+	towers := towerRows * (hops + 1)
+	installs := series * hops
+	return LinkPlan{
+		Medium: m, Hops: hops, Series: series, Towers: towers, Installs: installs,
+		Capex: float64(installs)*m.InstallPerHop + float64(towers)*newTowerCost,
+	}
+}
+
+// Cheapest returns the media ranked by capex for the link (cheapest first).
+func Cheapest(lengthM, targetGbps, newTowerCost float64, media ...Medium) []LinkPlan {
+	if len(media) == 0 {
+		media = []Medium{Microwave(), MillimeterWave(), FreeSpaceOptics()}
+	}
+	plans := make([]LinkPlan, len(media))
+	for i, m := range media {
+		plans[i] = ProvisionLink(m, lengthM, targetGbps, newTowerCost)
+	}
+	sort.Slice(plans, func(a, b int) bool { return plans[a].Capex < plans[b].Capex })
+	return plans
+}
+
+// CrossoverGbps finds (by doubling search) the bandwidth at which medium b
+// becomes cheaper than medium a for a link of the given length, or +Inf if
+// it never does below the cap.
+func CrossoverGbps(a, b Medium, lengthM, newTowerCost, capGbps float64) float64 {
+	for g := 1.0; g <= capGbps; g *= 2 {
+		pa := ProvisionLink(a, lengthM, g, newTowerCost)
+		pb := ProvisionLink(b, lengthM, g, newTowerCost)
+		if pb.Capex < pa.Capex {
+			// Binary-search the interval [g/2, g] for a tighter estimate.
+			lo, hi := g/2, g
+			for i := 0; i < 20; i++ {
+				mid := (lo + hi) / 2
+				if ProvisionLink(b, lengthM, mid, newTowerCost).Capex <
+					ProvisionLink(a, lengthM, mid, newTowerCost).Capex {
+					hi = mid
+				} else {
+					lo = mid
+				}
+			}
+			return hi
+		}
+	}
+	return math.Inf(1)
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

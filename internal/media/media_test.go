@@ -1,0 +1,118 @@
+package media
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestProvisionMicrowavePaperRules(t *testing.T) {
+	mw := Microwave()
+	// 500 km at 1 Gbps: 5 hops, one series, 6 towers.
+	p := ProvisionLink(mw, 500e3, 1, 100_000)
+	if p.Hops != 5 || p.Series != 1 || p.Towers != 6 || p.Installs != 5 {
+		t.Fatalf("unexpected plan %+v", p)
+	}
+	// §3.3's bands: 1-4 Gbps → 2 series; 4-9 → 3.
+	if ProvisionLink(mw, 500e3, 3.5, 0).Series != 2 {
+		t.Error("3.5 Gbps should need 2 microwave series")
+	}
+	if ProvisionLink(mw, 500e3, 8.9, 0).Series != 3 {
+		t.Error("8.9 Gbps should need 3 microwave series")
+	}
+}
+
+func TestShortRangeMediaNeedMoreHops(t *testing.T) {
+	l := 300e3
+	mw := ProvisionLink(Microwave(), l, 1, 0)
+	mmw := ProvisionLink(MillimeterWave(), l, 1, 0)
+	fso := ProvisionLink(FreeSpaceOptics(), l, 1, 0)
+	if !(fso.Hops > mmw.Hops && mmw.Hops > mw.Hops) {
+		t.Fatalf("hop ordering wrong: mw=%d mmw=%d fso=%d", mw.Hops, mmw.Hops, fso.Hops)
+	}
+}
+
+func TestMicrowaveCheapestAtLowBandwidth(t *testing.T) {
+	// The paper's §2 premise: microwave is the best range/cost trade-off at
+	// cISP's ~1 Gbps per-link operating point.
+	plans := Cheapest(500e3, 1, 100_000)
+	if plans[0].Medium.Name != "microwave" {
+		t.Fatalf("at 1 Gbps the cheapest medium is %s, want microwave", plans[0].Medium.Name)
+	}
+}
+
+func TestHighBandwidthCrossover(t *testing.T) {
+	// §4: "at sufficiently high bandwidth ... shorter-range, but
+	// higher-bandwidth technologies like MMW or free-space optics [become]
+	// more cost-effective".
+	cross := CrossoverGbps(Microwave(), MillimeterWave(), 500e3, 100_000, 1<<20)
+	if math.IsInf(cross, 1) {
+		t.Fatal("MMW never overtakes microwave — the paper's crossover is missing")
+	}
+	if cross < 2 {
+		t.Fatalf("crossover at %.0f Gbps — microwave should win at low bandwidth", cross)
+	}
+	t.Logf("MMW overtakes microwave at ~%.0f Gbps on a 500 km link", cross)
+
+	// And the ranking actually flips past the crossover.
+	past := Cheapest(500e3, cross*2, 100_000)
+	if past[0].Medium.Name == "microwave" {
+		t.Fatal("microwave still cheapest past the crossover")
+	}
+}
+
+func TestCapexMonotoneInBandwidth(t *testing.T) {
+	f := func(g1, g2 float64) bool {
+		a := math.Mod(math.Abs(g1), 500) + 0.1
+		b := math.Mod(math.Abs(g2), 500) + 0.1
+		if a > b {
+			a, b = b, a
+		}
+		for _, m := range []Medium{Microwave(), MillimeterWave(), FreeSpaceOptics()} {
+			pa := ProvisionLink(m, 400e3, a, 100_000)
+			pb := ProvisionLink(m, 400e3, b, 100_000)
+			if pb.Capex < pa.Capex-1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCapexMonotoneInLength(t *testing.T) {
+	f := func(l1, l2 float64) bool {
+		a := math.Mod(math.Abs(l1), 2000e3) + 1e3
+		b := math.Mod(math.Abs(l2), 2000e3) + 1e3
+		if a > b {
+			a, b = b, a
+		}
+		pa := ProvisionLink(Microwave(), a, 10, 100_000)
+		pb := ProvisionLink(Microwave(), b, 10, 100_000)
+		return pb.Capex >= pa.Capex-1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCheapestSorted(t *testing.T) {
+	plans := Cheapest(800e3, 50, 100_000)
+	for i := 1; i < len(plans); i++ {
+		if plans[i].Capex < plans[i-1].Capex {
+			t.Fatal("Cheapest not sorted")
+		}
+	}
+	if len(plans) != 3 {
+		t.Fatalf("expected 3 default media, got %d", len(plans))
+	}
+}
+
+func TestTinyLink(t *testing.T) {
+	p := ProvisionLink(Microwave(), 500, 0.1, 0)
+	if p.Hops != 1 || p.Series != 1 {
+		t.Fatalf("sub-hop link plan %+v", p)
+	}
+}

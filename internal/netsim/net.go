@@ -1,0 +1,206 @@
+package netsim
+
+import "fmt"
+
+// PacketKind distinguishes payload data from transport acknowledgements.
+type PacketKind int
+
+// Packet kinds.
+const (
+	Data PacketKind = iota
+	Ack
+)
+
+// Packet is the unit of transmission.
+type Packet struct {
+	Flow     int // flow identifier (routing + delivery demux)
+	Seq      int64
+	Kind     PacketKind
+	Size     int // bytes on the wire
+	Src, Dst int // node IDs
+	SentAt   float64
+	AckNo    int64 // for Ack packets: cumulative next-expected sequence
+}
+
+// fibKey routes per (flow, destination) so a TCP flow's data and reverse
+// ACKs can share a flow ID.
+type fibKey struct {
+	flow int
+	dst  int
+}
+
+// Node is a store-and-forward router / host.
+type Node struct {
+	ID  int
+	net *Network
+	fib map[fibKey]int // next-hop node ID
+}
+
+// Link is a unidirectional fixed-rate link with a FIFO queue.
+type Link struct {
+	From, To  int
+	RateBps   float64
+	PropDelay float64 // seconds
+	QueueCap  int     // packets; 0 = unbounded
+
+	net          *Network
+	queue        []*Packet
+	transmitting bool
+
+	// Counters.
+	TxPackets   int64
+	TxBytes     int64
+	Drops       int64
+	busyTime    float64
+	maxQueueLen int
+}
+
+// QueueLen returns the instantaneous queue length in packets (including the
+// packet in transmission).
+func (l *Link) QueueLen() int {
+	n := len(l.queue)
+	if l.transmitting {
+		n++
+	}
+	return n
+}
+
+// MaxQueueLen returns the high-water queue length observed.
+func (l *Link) MaxQueueLen() int { return l.maxQueueLen }
+
+// Utilization returns the fraction of [0, now] the link spent transmitting.
+func (l *Link) Utilization(now float64) float64 {
+	if now <= 0 {
+		return 0
+	}
+	u := l.busyTime / now
+	if u > 1 {
+		u = 1
+	}
+	return u
+}
+
+// Network is a set of nodes and directed links plus per-flow delivery
+// handlers.
+type Network struct {
+	Sim      *Simulator
+	nodes    []*Node
+	links    map[[2]int]*Link
+	handlers map[int]func(*Packet) // flow → delivery callback at Dst
+}
+
+// NewNetwork creates a network with n nodes attached to sim.
+func NewNetwork(sim *Simulator, n int) *Network {
+	nw := &Network{
+		Sim:      sim,
+		links:    make(map[[2]int]*Link),
+		handlers: make(map[int]func(*Packet)),
+	}
+	for i := 0; i < n; i++ {
+		nw.nodes = append(nw.nodes, &Node{ID: i, net: nw, fib: make(map[fibKey]int)})
+	}
+	return nw
+}
+
+// N returns the number of nodes.
+func (nw *Network) N() int { return len(nw.nodes) }
+
+// AddLink adds a unidirectional link and returns it. Panics if it exists.
+func (nw *Network) AddLink(from, to int, rateBps, propDelay float64, queueCap int) *Link {
+	key := [2]int{from, to}
+	if _, dup := nw.links[key]; dup {
+		panic(fmt.Sprintf("netsim: duplicate link %d->%d", from, to))
+	}
+	l := &Link{From: from, To: to, RateBps: rateBps, PropDelay: propDelay, QueueCap: queueCap, net: nw}
+	nw.links[key] = l
+	return l
+}
+
+// AddDuplex adds links in both directions with identical parameters.
+func (nw *Network) AddDuplex(a, b int, rateBps, propDelay float64, queueCap int) (ab, ba *Link) {
+	return nw.AddLink(a, b, rateBps, propDelay, queueCap), nw.AddLink(b, a, rateBps, propDelay, queueCap)
+}
+
+// Link returns the directed link from→to, or nil.
+func (nw *Network) Link(from, to int) *Link { return nw.links[[2]int{from, to}] }
+
+// Links returns all directed links (iteration order unspecified).
+func (nw *Network) Links() map[[2]int]*Link { return nw.links }
+
+// SetFlowPath installs forwarding state for flow along the node path
+// (path[0] is the packet source, path[len-1] the destination). Panics if a
+// hop has no link.
+func (nw *Network) SetFlowPath(flow int, path []int) {
+	dst := path[len(path)-1]
+	for i := 0; i+1 < len(path); i++ {
+		if nw.Link(path[i], path[i+1]) == nil {
+			panic(fmt.Sprintf("netsim: no link %d->%d on path of flow %d", path[i], path[i+1], flow))
+		}
+		nw.nodes[path[i]].fib[fibKey{flow: flow, dst: dst}] = path[i+1]
+	}
+}
+
+// OnDeliver registers the callback invoked when a packet of the flow reaches
+// its Dst node.
+func (nw *Network) OnDeliver(flow int, fn func(*Packet)) { nw.handlers[flow] = fn }
+
+// Inject sends pkt from its Src node, stamping SentAt.
+func (nw *Network) Inject(pkt *Packet) {
+	pkt.SentAt = nw.Sim.Now()
+	nw.forward(nw.nodes[pkt.Src], pkt)
+}
+
+// forward moves pkt one hop (or delivers it).
+func (nw *Network) forward(at *Node, pkt *Packet) {
+	if at.ID == pkt.Dst {
+		if h := nw.handlers[pkt.Flow]; h != nil {
+			h(pkt)
+		}
+		return
+	}
+	next, ok := at.fib[fibKey{flow: pkt.Flow, dst: pkt.Dst}]
+	if !ok {
+		// No route: drop silently (counted nowhere; routing bugs surface in
+		// tests via missing deliveries).
+		return
+	}
+	l := nw.Link(at.ID, next)
+	l.enqueue(pkt)
+}
+
+// enqueue places pkt on the link, dropping if the queue is full.
+func (l *Link) enqueue(pkt *Packet) {
+	if l.QueueCap > 0 && len(l.queue) >= l.QueueCap {
+		l.Drops++
+		return
+	}
+	l.queue = append(l.queue, pkt)
+	if q := l.QueueLen(); q > l.maxQueueLen {
+		l.maxQueueLen = q
+	}
+	if !l.transmitting {
+		l.startNext()
+	}
+}
+
+func (l *Link) startNext() {
+	if len(l.queue) == 0 {
+		l.transmitting = false
+		return
+	}
+	l.transmitting = true
+	pkt := l.queue[0]
+	l.queue = l.queue[1:]
+	tx := float64(pkt.Size) * 8 / l.RateBps
+	l.busyTime += tx
+	l.TxPackets++
+	l.TxBytes += int64(pkt.Size)
+	sim := l.net.Sim
+	sim.Schedule(tx, func() {
+		// Transmission finished: propagate, then free the transmitter.
+		sim.Schedule(l.PropDelay, func() {
+			l.net.forward(l.net.nodes[l.To], pkt)
+		})
+		l.startNext()
+	})
+}

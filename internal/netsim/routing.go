@@ -1,0 +1,211 @@
+package netsim
+
+import (
+	"math"
+	"sort"
+)
+
+// TopoLink describes one duplex link of a simulation topology.
+type TopoLink struct {
+	A, B      int
+	RateBps   float64
+	PropDelay float64
+	QueueCap  int
+}
+
+// Commodity is one routed demand.
+type Commodity struct {
+	Flow     int
+	Src, Dst int
+	Demand   float64 // bps, used by utilization-aware schemes
+}
+
+// Scheme selects a routing algorithm, mirroring §5: ns-3's default shortest
+// path, minimise-max-link-utilization (common ISP traffic engineering), and
+// throughput-optimal (widest-path) routing.
+type Scheme int
+
+// Routing schemes.
+const (
+	ShortestPath Scheme = iota
+	MinMaxUtilization
+	ThroughputOptimal
+)
+
+func (s Scheme) String() string {
+	switch s {
+	case ShortestPath:
+		return "shortest-path"
+	case MinMaxUtilization:
+		return "min-max-utilization"
+	case ThroughputOptimal:
+		return "throughput-optimal"
+	}
+	return "unknown"
+}
+
+// BuildTopology adds every duplex link to the network.
+func BuildTopology(nw *Network, links []TopoLink) {
+	for _, l := range links {
+		nw.AddDuplex(l.A, l.B, l.RateBps, l.PropDelay, l.QueueCap)
+	}
+}
+
+// InstallRoutes computes a path per commodity under the scheme and installs
+// forwarding state. It returns the chosen paths keyed by flow ID.
+// Commodities are processed in decreasing demand for the utilization-aware
+// schemes, which route sequentially against the residual network.
+func InstallRoutes(nw *Network, links []TopoLink, comms []Commodity, scheme Scheme) map[int][]int {
+	n := nw.N()
+	adj := make([][]halfLink, n)
+	for _, l := range links {
+		fw, bw := new(float64), new(float64)
+		adj[l.A] = append(adj[l.A], halfLink{to: l.B, delay: l.PropDelay, cap: l.RateBps, load: fw})
+		adj[l.B] = append(adj[l.B], halfLink{to: l.A, delay: l.PropDelay, cap: l.RateBps, load: bw})
+	}
+
+	order := make([]Commodity, len(comms))
+	copy(order, comms)
+	if scheme != ShortestPath {
+		sort.Slice(order, func(i, j int) bool { return order[i].Demand > order[j].Demand })
+	}
+
+	paths := make(map[int][]int, len(comms))
+	for _, c := range order {
+		var path []int
+		switch scheme {
+		case ShortestPath:
+			path = dijkstraDelay(adj, c.Src, c.Dst)
+		case MinMaxUtilization:
+			path = minimaxPath(adj, c.Src, c.Dst, func(h halfLink) float64 {
+				return (*h.load + c.Demand) / h.cap
+			})
+		case ThroughputOptimal:
+			path = minimaxPath(adj, c.Src, c.Dst, func(h halfLink) float64 {
+				// Maximise residual capacity == minimise its negation.
+				return -(h.cap - *h.load - c.Demand)
+			})
+		}
+		if path == nil {
+			continue
+		}
+		paths[c.Flow] = path
+		nw.SetFlowPath(c.Flow, path)
+		// Account the demand on each traversed half-link.
+		for i := 0; i+1 < len(path); i++ {
+			for k := range adj[path[i]] {
+				if adj[path[i]][k].to == path[i+1] {
+					*adj[path[i]][k].load += c.Demand
+					break
+				}
+			}
+		}
+	}
+	return paths
+}
+
+// halfLink is one direction of a topology link with a shared load counter.
+type halfLink struct {
+	to    int
+	delay float64
+	cap   float64
+	load  *float64
+}
+
+// dijkstraDelay finds the minimum propagation-delay path.
+func dijkstraDelay(adj [][]halfLink, src, dst int) []int {
+	n := len(adj)
+	dist := make([]float64, n)
+	prev := make([]int, n)
+	done := make([]bool, n)
+	for i := range dist {
+		dist[i] = math.Inf(1)
+		prev[i] = -1
+	}
+	dist[src] = 0
+	for {
+		u, best := -1, math.Inf(1)
+		for v := 0; v < n; v++ {
+			if !done[v] && dist[v] < best {
+				u, best = v, dist[v]
+			}
+		}
+		if u < 0 || u == dst {
+			break
+		}
+		done[u] = true
+		for _, h := range adj[u] {
+			if nd := dist[u] + h.delay; nd < dist[h.to] {
+				dist[h.to] = nd
+				prev[h.to] = u
+			}
+		}
+	}
+	if math.IsInf(dist[dst], 1) {
+		return nil
+	}
+	return unwind(prev, src, dst)
+}
+
+// minimaxPath finds the path minimising the maximum of cost(halfLink) over
+// its links, breaking ties by total propagation delay.
+func minimaxPath(adj [][]halfLink, src, dst int, cost func(halfLink) float64) []int {
+	n := len(adj)
+	bottleneck := make([]float64, n)
+	delay := make([]float64, n)
+	prev := make([]int, n)
+	done := make([]bool, n)
+	for i := range bottleneck {
+		bottleneck[i] = math.Inf(1)
+		delay[i] = math.Inf(1)
+		prev[i] = -1
+	}
+	bottleneck[src] = math.Inf(-1)
+	delay[src] = 0
+	for {
+		u := -1
+		bb, bd := math.Inf(1), math.Inf(1)
+		for v := 0; v < n; v++ {
+			if done[v] {
+				continue
+			}
+			if bottleneck[v] < bb || (bottleneck[v] == bb && delay[v] < bd) {
+				u, bb, bd = v, bottleneck[v], delay[v]
+			}
+		}
+		if u < 0 || math.IsInf(bottleneck[u], 1) || u == dst {
+			break
+		}
+		done[u] = true
+		for _, h := range adj[u] {
+			nb := math.Max(bottleneck[u], cost(h))
+			ndel := delay[u] + h.delay
+			if nb < bottleneck[h.to] || (nb == bottleneck[h.to] && ndel < delay[h.to]) {
+				bottleneck[h.to] = nb
+				delay[h.to] = ndel
+				prev[h.to] = u
+			}
+		}
+	}
+	if math.IsInf(bottleneck[dst], 1) {
+		return nil
+	}
+	return unwind(prev, src, dst)
+}
+
+func unwind(prev []int, src, dst int) []int {
+	var rev []int
+	for v := dst; v != -1; v = prev[v] {
+		rev = append(rev, v)
+		if v == src {
+			break
+		}
+	}
+	if rev[len(rev)-1] != src {
+		return nil
+	}
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return rev
+}

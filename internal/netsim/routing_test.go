@@ -1,0 +1,115 @@
+package netsim
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// diamond: 0 -(fast but narrow)- 1 -  3 and 0 - 2 - 3 (slow but wide).
+func diamondLinks() []TopoLink {
+	return []TopoLink{
+		{A: 0, B: 1, RateBps: 10e6, PropDelay: 0.001, QueueCap: 100},
+		{A: 1, B: 3, RateBps: 10e6, PropDelay: 0.001, QueueCap: 100},
+		{A: 0, B: 2, RateBps: 100e6, PropDelay: 0.010, QueueCap: 100},
+		{A: 2, B: 3, RateBps: 100e6, PropDelay: 0.010, QueueCap: 100},
+	}
+}
+
+func TestShortestPathPicksLowDelay(t *testing.T) {
+	var sim Simulator
+	nw := NewNetwork(&sim, 4)
+	links := diamondLinks()
+	BuildTopology(nw, links)
+	paths := InstallRoutes(nw, links, []Commodity{{Flow: 1, Src: 0, Dst: 3, Demand: 1e6}}, ShortestPath)
+	p := paths[1]
+	if len(p) != 3 || p[1] != 1 {
+		t.Fatalf("shortest path = %v, want via node 1 (2 ms vs 20 ms)", p)
+	}
+}
+
+func TestMinMaxUtilSpreadsLoad(t *testing.T) {
+	var sim Simulator
+	nw := NewNetwork(&sim, 4)
+	// Equal 10 Mbps capacities, different delays: shortest-path stacks both
+	// flows on the fast path (160% util); min-max must split them.
+	links := []TopoLink{
+		{A: 0, B: 1, RateBps: 10e6, PropDelay: 0.001, QueueCap: 100},
+		{A: 1, B: 3, RateBps: 10e6, PropDelay: 0.001, QueueCap: 100},
+		{A: 0, B: 2, RateBps: 10e6, PropDelay: 0.010, QueueCap: 100},
+		{A: 2, B: 3, RateBps: 10e6, PropDelay: 0.010, QueueCap: 100},
+	}
+	BuildTopology(nw, links)
+	comms := []Commodity{
+		{Flow: 1, Src: 0, Dst: 3, Demand: 8e6},
+		{Flow: 2, Src: 0, Dst: 3, Demand: 8e6},
+	}
+	paths := InstallRoutes(nw, links, comms, MinMaxUtilization)
+	if len(paths) != 2 {
+		t.Fatalf("routed %d commodities", len(paths))
+	}
+	via := map[int]bool{}
+	for _, p := range paths {
+		via[p[1]] = true
+	}
+	if !via[1] || !via[2] {
+		t.Fatalf("min-max routing did not spread load: %v", paths)
+	}
+}
+
+func TestThroughputOptimalPrefersWide(t *testing.T) {
+	var sim Simulator
+	nw := NewNetwork(&sim, 4)
+	links := diamondLinks()
+	BuildTopology(nw, links)
+	paths := InstallRoutes(nw, links, []Commodity{{Flow: 1, Src: 0, Dst: 3, Demand: 1e6}}, ThroughputOptimal)
+	p := paths[1]
+	if len(p) != 3 || p[1] != 2 {
+		t.Fatalf("widest path = %v, want via node 2 (100 Mbps)", p)
+	}
+}
+
+func TestSchemesDeliverTraffic(t *testing.T) {
+	for _, scheme := range []Scheme{ShortestPath, MinMaxUtilization, ThroughputOptimal} {
+		var sim Simulator
+		nw := NewNetwork(&sim, 4)
+		links := diamondLinks()
+		BuildTopology(nw, links)
+		comms := []Commodity{
+			{Flow: 1, Src: 0, Dst: 3, Demand: 2e6},
+			{Flow: 2, Src: 3, Dst: 0, Demand: 2e6},
+		}
+		InstallRoutes(nw, links, comms, scheme)
+		mon := NewFlowMonitor()
+		rng := rand.New(rand.NewSource(1))
+		for _, c := range comms {
+			s := &UDPSource{Net: nw, Flow: c.Flow, Src: c.Src, Dst: c.Dst,
+				RateBps: c.Demand, PktSize: 500, Poisson: true, Rng: rng, Monitor: mon}
+			s.Start()
+		}
+		sim.Run(0.5)
+		agg := mon.Aggregate()
+		if agg.RxPackets == 0 {
+			t.Fatalf("%v delivered nothing", scheme)
+		}
+		if agg.LossRate() > 0.05 {
+			t.Fatalf("%v lost %.1f%% at low load", scheme, agg.LossRate()*100)
+		}
+	}
+}
+
+func TestSchemeString(t *testing.T) {
+	if ShortestPath.String() != "shortest-path" || Scheme(99).String() != "unknown" {
+		t.Fatal("Scheme.String broken")
+	}
+}
+
+func TestUnreachableCommodityOmitted(t *testing.T) {
+	var sim Simulator
+	nw := NewNetwork(&sim, 3)
+	links := []TopoLink{{A: 0, B: 1, RateBps: 1e6, PropDelay: 0.001, QueueCap: 10}}
+	BuildTopology(nw, links)
+	paths := InstallRoutes(nw, links, []Commodity{{Flow: 1, Src: 0, Dst: 2, Demand: 1e5}}, ShortestPath)
+	if _, ok := paths[1]; ok {
+		t.Fatal("unreachable commodity got a path")
+	}
+}

@@ -1,0 +1,81 @@
+// Package netsim is a discrete-event packet-level network simulator — the
+// in-repo substitute for ns-3 in the paper's routing and queuing study (§5)
+// and traffic-mix study (§6.4). It models store-and-forward routers with
+// FIFO queues, fixed-rate links with propagation delay, UDP constant-rate
+// and Poisson sources, a simplified TCP Reno with optional pacing (for the
+// Fig 6 speed-mismatch experiment), per-flow delay/loss accounting
+// (FlowMonitor-equivalent), and per-link utilization monitoring.
+//
+// Three routing schemes are provided, as in §5: latency-shortest paths,
+// minimise-maximum-link-utilization, and throughput-optimal (widest-path)
+// routing.
+package netsim
+
+import "container/heap"
+
+// Simulator is a discrete-event scheduler. The zero value is ready to use.
+type Simulator struct {
+	now    float64 // seconds
+	seq    int64
+	events eventHeap
+}
+
+type event struct {
+	at  float64
+	seq int64 // FIFO tie-break for simultaneous events
+	fn  func()
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// Now returns the current simulation time in seconds.
+func (s *Simulator) Now() float64 { return s.now }
+
+// Schedule runs fn after delay seconds of simulated time. Negative delays
+// are clamped to zero (run "now", after pending same-time events).
+func (s *Simulator) Schedule(delay float64, fn func()) {
+	if delay < 0 {
+		delay = 0
+	}
+	s.seq++
+	heap.Push(&s.events, event{at: s.now + delay, seq: s.seq, fn: fn})
+}
+
+// Run processes events until the queue drains or simulated time reaches
+// until (inclusive of events scheduled exactly at until).
+func (s *Simulator) Run(until float64) {
+	for len(s.events) > 0 {
+		e := s.events[0]
+		if e.at > until {
+			break
+		}
+		heap.Pop(&s.events)
+		if e.at > s.now {
+			s.now = e.at
+		}
+		e.fn()
+	}
+	if s.now < until {
+		s.now = until
+	}
+}
+
+// Pending returns the number of queued events (useful in tests).
+func (s *Simulator) Pending() int { return len(s.events) }

@@ -1,0 +1,221 @@
+package netsim
+
+import (
+	"math"
+	"testing"
+)
+
+func TestEventOrdering(t *testing.T) {
+	var sim Simulator
+	var got []int
+	sim.Schedule(0.3, func() { got = append(got, 3) })
+	sim.Schedule(0.1, func() { got = append(got, 1) })
+	sim.Schedule(0.2, func() { got = append(got, 2) })
+	sim.Run(1)
+	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Fatalf("events ran in order %v", got)
+	}
+	if sim.Now() != 1 {
+		t.Fatalf("Now = %v, want 1 after Run(1)", sim.Now())
+	}
+}
+
+func TestSimultaneousEventsFIFO(t *testing.T) {
+	var sim Simulator
+	var got []int
+	for i := 0; i < 5; i++ {
+		i := i
+		sim.Schedule(0.5, func() { got = append(got, i) })
+	}
+	sim.Run(1)
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("same-time events not FIFO: %v", got)
+		}
+	}
+}
+
+func TestRunStopsAtHorizon(t *testing.T) {
+	var sim Simulator
+	fired := false
+	sim.Schedule(2.0, func() { fired = true })
+	sim.Run(1.0)
+	if fired {
+		t.Fatal("event beyond horizon fired")
+	}
+	if sim.Pending() != 1 {
+		t.Fatalf("pending = %d, want 1", sim.Pending())
+	}
+	sim.Run(3.0)
+	if !fired {
+		t.Fatal("event did not fire on extended run")
+	}
+}
+
+func TestNestedScheduling(t *testing.T) {
+	var sim Simulator
+	count := 0
+	var tick func()
+	tick = func() {
+		count++
+		if count < 10 {
+			sim.Schedule(0.1, tick)
+		}
+	}
+	sim.Schedule(0.1, tick)
+	sim.Run(10)
+	if count != 10 {
+		t.Fatalf("ticks = %d, want 10", count)
+	}
+	if math.Abs(sim.Now()-10) > 1e-12 {
+		t.Fatalf("Now = %v", sim.Now())
+	}
+}
+
+func TestSingleLinkTiming(t *testing.T) {
+	// 1000-byte packet over 1 Mbps with 5 ms propagation: arrival at
+	// 8 ms (tx) + 5 ms (prop) = 13 ms.
+	var sim Simulator
+	nw := NewNetwork(&sim, 2)
+	nw.AddLink(0, 1, 1e6, 0.005, 0)
+	nw.SetFlowPath(7, []int{0, 1})
+	var arrived float64 = -1
+	nw.OnDeliver(7, func(p *Packet) { arrived = sim.Now() })
+	nw.Inject(&Packet{Flow: 7, Size: 1000, Src: 0, Dst: 1})
+	sim.Run(1)
+	if math.Abs(arrived-0.013) > 1e-9 {
+		t.Fatalf("arrival at %v, want 0.013", arrived)
+	}
+}
+
+func TestQueueingDelaySerializes(t *testing.T) {
+	// Two packets injected simultaneously: second arrives one tx-time later.
+	var sim Simulator
+	nw := NewNetwork(&sim, 2)
+	nw.AddLink(0, 1, 1e6, 0, 0)
+	nw.SetFlowPath(1, []int{0, 1})
+	var arrivals []float64
+	nw.OnDeliver(1, func(p *Packet) { arrivals = append(arrivals, sim.Now()) })
+	nw.Inject(&Packet{Flow: 1, Size: 1000, Src: 0, Dst: 1})
+	nw.Inject(&Packet{Flow: 1, Size: 1000, Src: 0, Dst: 1})
+	sim.Run(1)
+	if len(arrivals) != 2 {
+		t.Fatalf("arrivals = %v", arrivals)
+	}
+	if math.Abs(arrivals[1]-arrivals[0]-0.008) > 1e-9 {
+		t.Fatalf("second packet spaced %v, want 0.008 (serialization)", arrivals[1]-arrivals[0])
+	}
+}
+
+func TestQueueCapDrops(t *testing.T) {
+	var sim Simulator
+	nw := NewNetwork(&sim, 2)
+	l := nw.AddLink(0, 1, 1e6, 0, 2)
+	nw.SetFlowPath(1, []int{0, 1})
+	delivered := 0
+	nw.OnDeliver(1, func(p *Packet) { delivered++ })
+	for i := 0; i < 10; i++ {
+		nw.Inject(&Packet{Flow: 1, Size: 1000, Src: 0, Dst: 1})
+	}
+	sim.Run(1)
+	// One in flight + 2 queued survive the burst.
+	if delivered != 3 {
+		t.Fatalf("delivered = %d, want 3", delivered)
+	}
+	if l.Drops != 7 {
+		t.Fatalf("drops = %d, want 7", l.Drops)
+	}
+}
+
+func TestMultiHopForwarding(t *testing.T) {
+	var sim Simulator
+	nw := NewNetwork(&sim, 4)
+	nw.AddDuplex(0, 1, 1e9, 0.001, 0)
+	nw.AddDuplex(1, 2, 1e9, 0.002, 0)
+	nw.AddDuplex(2, 3, 1e9, 0.003, 0)
+	nw.SetFlowPath(5, []int{0, 1, 2, 3})
+	var at float64 = -1
+	nw.OnDeliver(5, func(p *Packet) { at = sim.Now() })
+	nw.Inject(&Packet{Flow: 5, Size: 500, Src: 0, Dst: 3})
+	sim.Run(1)
+	wantProp := 0.001 + 0.002 + 0.003
+	wantTx := 3 * (500 * 8 / 1e9)
+	if math.Abs(at-(wantProp+wantTx)) > 1e-9 {
+		t.Fatalf("end-to-end %v, want %v", at, wantProp+wantTx)
+	}
+}
+
+func TestUtilization(t *testing.T) {
+	var sim Simulator
+	nw := NewNetwork(&sim, 2)
+	l := nw.AddLink(0, 1, 1e6, 0, 0)
+	nw.SetFlowPath(1, []int{0, 1})
+	nw.OnDeliver(1, func(p *Packet) {})
+	// 50 packets of 1000B at 1 Mbps = 0.4 s busy in a 1 s window.
+	for i := 0; i < 50; i++ {
+		nw.Inject(&Packet{Flow: 1, Size: 1000, Src: 0, Dst: 1})
+	}
+	sim.Run(1)
+	if u := l.Utilization(1); math.Abs(u-0.4) > 1e-6 {
+		t.Fatalf("utilization = %v, want 0.4", u)
+	}
+}
+
+func TestUDPSourceCBR(t *testing.T) {
+	var sim Simulator
+	nw := NewNetwork(&sim, 2)
+	nw.AddLink(0, 1, 1e9, 0.004, 0)
+	nw.SetFlowPath(1, []int{0, 1})
+	mon := NewFlowMonitor()
+	src := &UDPSource{Net: nw, Flow: 1, Src: 0, Dst: 1, RateBps: 4e6, PktSize: 500, Monitor: mon}
+	src.Start()
+	sim.Run(1)
+	src.Stop()
+	sim.Run(1.5) // drain in-flight packets
+	f := mon.Flow(1)
+	// 4 Mbps / (500B*8) = 1000 pkt/s.
+	if f.TxPackets < 990 || f.TxPackets > 1010 {
+		t.Fatalf("tx = %d, want ~1000", f.TxPackets)
+	}
+	if f.LossRate() != 0 {
+		t.Fatalf("loss on uncongested link: %v", f.LossRate())
+	}
+	// Mean delay ≈ prop + tx = 4 ms + 4 µs.
+	if d := f.MeanDelay(); math.Abs(d-0.004004) > 1e-6 {
+		t.Fatalf("mean delay = %v, want ~4.004 ms", d)
+	}
+}
+
+func TestUDPOverloadLoses(t *testing.T) {
+	var sim Simulator
+	nw := NewNetwork(&sim, 2)
+	nw.AddLink(0, 1, 1e6, 0.001, 20) // 1 Mbps bottleneck
+	nw.SetFlowPath(1, []int{0, 1})
+	mon := NewFlowMonitor()
+	src := &UDPSource{Net: nw, Flow: 1, Src: 0, Dst: 1, RateBps: 2e6, PktSize: 500, Monitor: mon}
+	src.Start()
+	sim.Run(2)
+	src.Stop()
+	sim.Run(3) // drain
+	loss := mon.Flow(1).LossRate()
+	// Offered 2x capacity: ~50% loss.
+	if loss < 0.4 || loss > 0.6 {
+		t.Fatalf("loss = %v, want ~0.5", loss)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	vals := []float64{1, 2, 3, 4, 5}
+	if p := Percentile(vals, 50); p != 3 {
+		t.Fatalf("median = %v", p)
+	}
+	if p := Percentile(vals, 0); p != 1 {
+		t.Fatalf("p0 = %v", p)
+	}
+	if p := Percentile(vals, 100); p != 5 {
+		t.Fatalf("p100 = %v", p)
+	}
+	if !math.IsNaN(Percentile(nil, 50)) {
+		t.Fatal("empty percentile should be NaN")
+	}
+}

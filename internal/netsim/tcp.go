@@ -1,0 +1,233 @@
+package netsim
+
+import "math"
+
+// TCPConn is a simplified TCP Reno sender/receiver pair for the Fig 6
+// speed-mismatch study: slow start, congestion avoidance, fast retransmit on
+// triple duplicate ACKs, retransmission timeouts, and optional packet pacing
+// (sends spaced at cwnd per SRTT rather than back-to-back on ACK clocking).
+//
+// The connection transfers FlowSize bytes of payload in MSS-sized segments;
+// Done is invoked with the flow completion time once the final segment is
+// cumulatively acknowledged.
+type TCPConn struct {
+	Net      *Network
+	Flow     int
+	Src, Dst int
+	FlowSize int // payload bytes
+	MSS      int // payload bytes per segment (default 1460)
+	Pacing   bool
+	InitRTT  float64 // initial SRTT estimate, seconds (default 50 ms)
+	InitCwnd float64 // initial window, packets (default 10)
+	Done     func(fct float64)
+
+	// Sender state (packet sequence numbers are 1-based).
+	nPkts     int64
+	sndUna    int64 // lowest unacked
+	sndNxt    int64 // next new sequence to send
+	cwnd      float64
+	ssthresh  float64
+	dupAcks   int
+	srtt      float64
+	rttvar    float64
+	rto       float64
+	rtoGen    int64
+	sentAt    map[int64]float64
+	retxMark  map[int64]bool
+	startTime float64
+	finished  bool
+
+	// Pacing.
+	nextPaceAt float64
+
+	// Receiver state.
+	rcvNext int64
+	rcvBuf  map[int64]bool
+}
+
+const ackSize = 40 // bytes on the wire for a pure ACK
+
+// Start opens the connection and begins transmitting at the current
+// simulation time. The forward (data) and reverse (ACK) paths must already
+// be installed for c.Flow via SetFlowPath.
+func (c *TCPConn) Start() {
+	if c.MSS == 0 {
+		c.MSS = 1460
+	}
+	if c.InitRTT == 0 {
+		c.InitRTT = 0.05
+	}
+	if c.InitCwnd == 0 {
+		c.InitCwnd = 10
+	}
+	c.nPkts = int64((c.FlowSize + c.MSS - 1) / c.MSS)
+	if c.nPkts == 0 {
+		c.nPkts = 1
+	}
+	c.sndUna, c.sndNxt = 1, 1
+	c.cwnd = c.InitCwnd
+	c.ssthresh = 1e9
+	c.srtt = c.InitRTT
+	c.rttvar = c.InitRTT / 2
+	c.rto = c.srtt + 4*c.rttvar
+	c.sentAt = make(map[int64]float64)
+	c.retxMark = make(map[int64]bool)
+	c.rcvNext = 1
+	c.rcvBuf = make(map[int64]bool)
+	c.startTime = c.Net.Sim.Now()
+	c.nextPaceAt = c.startTime
+
+	c.Net.OnDeliver(c.Flow, c.onPacket)
+	c.trySend()
+	c.armRTO()
+}
+
+// onPacket handles both data arriving at the receiver and ACKs arriving back
+// at the sender (demuxed by Kind).
+func (c *TCPConn) onPacket(p *Packet) {
+	if p.Kind == Data {
+		c.receiverOnData(p)
+	} else {
+		c.senderOnAck(p)
+	}
+}
+
+func (c *TCPConn) receiverOnData(p *Packet) {
+	if p.Seq >= c.rcvNext {
+		c.rcvBuf[p.Seq] = true
+	}
+	for c.rcvBuf[c.rcvNext] {
+		delete(c.rcvBuf, c.rcvNext)
+		c.rcvNext++
+	}
+	// Cumulative ACK back to the sender.
+	c.Net.Inject(&Packet{
+		Flow: c.Flow, Kind: Ack, Size: ackSize,
+		Src: c.Dst, Dst: c.Src, AckNo: c.rcvNext,
+	})
+}
+
+func (c *TCPConn) senderOnAck(p *Packet) {
+	if c.finished {
+		return
+	}
+	if p.AckNo > c.sndUna {
+		acked := p.AckNo - c.sndUna
+		// RTT sample from the newest cumulatively acked, un-retransmitted
+		// segment (Karn's rule).
+		if ts, ok := c.sentAt[p.AckNo-1]; ok && !c.retxMark[p.AckNo-1] {
+			c.updateRTT(c.Net.Sim.Now() - ts)
+		}
+		for s := c.sndUna; s < p.AckNo; s++ {
+			delete(c.sentAt, s)
+			delete(c.retxMark, s)
+		}
+		c.sndUna = p.AckNo
+		c.dupAcks = 0
+		if c.cwnd < c.ssthresh {
+			c.cwnd += float64(acked) // slow start
+		} else {
+			c.cwnd += float64(acked) / c.cwnd // congestion avoidance
+		}
+		c.armRTO()
+		if c.sndUna > c.nPkts {
+			c.finish()
+			return
+		}
+		c.trySend()
+		return
+	}
+	// Duplicate ACK.
+	c.dupAcks++
+	if c.dupAcks == 3 {
+		c.ssthresh = math.Max(c.cwnd/2, 2)
+		c.cwnd = c.ssthresh
+		c.resend(c.sndUna)
+		c.armRTO()
+	}
+}
+
+func (c *TCPConn) updateRTT(sample float64) {
+	const alpha, beta = 1.0 / 8, 1.0 / 4
+	c.rttvar = (1-beta)*c.rttvar + beta*math.Abs(c.srtt-sample)
+	c.srtt = (1-alpha)*c.srtt + alpha*sample
+	c.rto = math.Max(c.srtt+4*c.rttvar, 0.01)
+}
+
+// trySend transmits as much of the window as allowed, paced or back-to-back.
+func (c *TCPConn) trySend() {
+	if c.finished {
+		return
+	}
+	for c.sndNxt < c.sndUna+int64(c.cwnd) && c.sndNxt <= c.nPkts {
+		if c.Pacing {
+			now := c.Net.Sim.Now()
+			// Pace at cwnd/SRTT, doubled during slow start so pacing does
+			// not slow window growth (standard pacing-gain practice).
+			rate := math.Max(c.cwnd, 1) / c.srtt
+			if c.cwnd < c.ssthresh {
+				rate *= 2
+			}
+			gap := 1 / rate
+			at := math.Max(now, c.nextPaceAt)
+			c.nextPaceAt = at + gap
+			seq := c.sndNxt
+			c.sndNxt++
+			c.Net.Sim.Schedule(at-now, func() { c.emit(seq) })
+		} else {
+			seq := c.sndNxt
+			c.sndNxt++
+			c.emit(seq)
+		}
+	}
+}
+
+// emit puts one segment on the wire.
+func (c *TCPConn) emit(seq int64) {
+	if c.finished {
+		return
+	}
+	size := c.MSS + 40 // header overhead
+	if seq == c.nPkts {
+		if rem := c.FlowSize % c.MSS; rem != 0 {
+			size = rem + 40
+		}
+	}
+	c.sentAt[seq] = c.Net.Sim.Now()
+	c.Net.Inject(&Packet{
+		Flow: c.Flow, Seq: seq, Kind: Data, Size: size,
+		Src: c.Src, Dst: c.Dst,
+	})
+}
+
+func (c *TCPConn) resend(seq int64) {
+	c.retxMark[seq] = true
+	c.emit(seq)
+}
+
+// armRTO (re)schedules the retransmission timer.
+func (c *TCPConn) armRTO() {
+	c.rtoGen++
+	gen := c.rtoGen
+	una := c.sndUna
+	c.Net.Sim.Schedule(c.rto, func() {
+		if c.finished || gen != c.rtoGen || c.sndUna != una {
+			return
+		}
+		// Timeout: shrink to one segment and retransmit.
+		c.ssthresh = math.Max(c.cwnd/2, 2)
+		c.cwnd = 1
+		c.rto = math.Min(c.rto*2, 60)
+		c.dupAcks = 0
+		c.resend(c.sndUna)
+		c.armRTO()
+	})
+}
+
+func (c *TCPConn) finish() {
+	c.finished = true
+	c.rtoGen++
+	if c.Done != nil {
+		c.Done(c.Net.Sim.Now() - c.startTime)
+	}
+}

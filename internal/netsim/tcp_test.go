@@ -1,0 +1,147 @@
+package netsim
+
+import "testing"
+
+// twoNodeTCP wires a duplex path 0↔1 and returns the network.
+func twoNodeTCP(rate float64, prop float64, qcap int) (*Simulator, *Network) {
+	var sim Simulator
+	nw := NewNetwork(&sim, 2)
+	nw.AddDuplex(0, 1, rate, prop, qcap)
+	nw.SetFlowPath(1, []int{0, 1})
+	nw.SetFlowPath(1, []int{1, 0}) // reverse path for ACKs
+	return &sim, nw
+}
+
+func TestTCPCompletesCleanPath(t *testing.T) {
+	sim, nw := twoNodeTCP(10e6, 0.005, 0)
+	var fct float64 = -1
+	c := &TCPConn{Net: nw, Flow: 1, Src: 0, Dst: 1, FlowSize: 100_000, InitRTT: 0.01,
+		Done: func(f float64) { fct = f }}
+	c.Start()
+	sim.Run(10)
+	if fct < 0 {
+		t.Fatal("transfer did not complete")
+	}
+	// Lower bound: transfer time at line rate + 1 RTT ≈ 80ms + 10ms.
+	if fct < 0.08 {
+		t.Fatalf("FCT %v faster than line rate", fct)
+	}
+	if fct > 1 {
+		t.Fatalf("FCT %v unreasonably slow on a clean path", fct)
+	}
+}
+
+func TestTCPCompletesWithTinyQueue(t *testing.T) {
+	// Queue of 5 packets forces drops; Reno must still finish via fast
+	// retransmit / RTO.
+	sim, nw := twoNodeTCP(10e6, 0.005, 5)
+	done := false
+	c := &TCPConn{Net: nw, Flow: 1, Src: 0, Dst: 1, FlowSize: 200_000, InitRTT: 0.01,
+		Done: func(f float64) { done = true }}
+	c.Start()
+	sim.Run(60)
+	if !done {
+		t.Fatal("transfer did not survive a lossy bottleneck")
+	}
+}
+
+func TestTCPDeliversExactBytes(t *testing.T) {
+	sim, nw := twoNodeTCP(10e6, 0.002, 0)
+	var rxPayload int64
+	// Wrap the connection's handler to count payload bytes first.
+	c := &TCPConn{Net: nw, Flow: 1, Src: 0, Dst: 1, FlowSize: 14_600, InitRTT: 0.01}
+	c.Start()
+	inner := nw.handlers[1]
+	seen := map[int64]bool{}
+	nw.OnDeliver(1, func(p *Packet) {
+		if p.Kind == Data && !seen[p.Seq] {
+			seen[p.Seq] = true
+			rxPayload += int64(p.Size - 40)
+		}
+		inner(p)
+	})
+	sim.Run(10)
+	if rxPayload != 14_600 {
+		t.Fatalf("unique payload delivered = %d, want 14600", rxPayload)
+	}
+}
+
+func TestTCPPacingReducesBurstQueue(t *testing.T) {
+	// The Fig 6 mechanism in miniature: a fast ingress (1 Gbps) into a slow
+	// egress (10 Mbps). Without pacing the initial window lands as a burst
+	// in the egress queue; with pacing it is spread over the SRTT estimate.
+	run := func(pacing bool) int {
+		var sim Simulator
+		nw := NewNetwork(&sim, 3)
+		nw.AddDuplex(0, 1, 1e9, 0.001, 0)  // source → M, fast
+		nw.AddDuplex(1, 2, 10e6, 0.005, 0) // M → sink, slow, unbounded queue
+		nw.SetFlowPath(1, []int{0, 1, 2})
+		nw.SetFlowPath(1, []int{2, 1, 0})
+		bottleneck := nw.Link(1, 2)
+		// One initial window exactly (10 segments): the entire flow goes out
+		// as the pre-ACK-clock burst that pacing is meant to smooth.
+		c := &TCPConn{Net: nw, Flow: 1, Src: 0, Dst: 2, FlowSize: 14_600,
+			Pacing: pacing, InitRTT: 0.05}
+		c.Start()
+		sim.Run(30)
+		return bottleneck.MaxQueueLen()
+	}
+	unpaced := run(false)
+	paced := run(true)
+	if paced >= unpaced {
+		t.Fatalf("pacing did not reduce peak queue: paced=%d unpaced=%d", paced, unpaced)
+	}
+	t.Logf("peak bottleneck queue: unpaced=%d pkts, paced=%d pkts", unpaced, paced)
+}
+
+func TestTCPFCTUnaffectedByPacingOnCleanPath(t *testing.T) {
+	// Fig 6(b): pacing does not hurt flow completion times materially.
+	run := func(pacing bool) float64 {
+		sim, nw := twoNodeTCP(100e6, 0.005, 0)
+		var fct float64
+		c := &TCPConn{Net: nw, Flow: 1, Src: 0, Dst: 1, FlowSize: 100_000,
+			Pacing: pacing, InitRTT: 0.01, Done: func(f float64) { fct = f }}
+		c.Start()
+		sim.Run(10)
+		return fct
+	}
+	up, p := run(false), run(true)
+	if up == 0 || p == 0 {
+		t.Fatal("a transfer did not finish")
+	}
+	if p > up*3 {
+		t.Fatalf("pacing tripled FCT: %v vs %v", p, up)
+	}
+}
+
+func TestTCPSmallFlow(t *testing.T) {
+	sim, nw := twoNodeTCP(10e6, 0.001, 0)
+	done := false
+	c := &TCPConn{Net: nw, Flow: 1, Src: 0, Dst: 1, FlowSize: 100, // < 1 MSS
+		Done: func(f float64) { done = true }}
+	c.Start()
+	sim.Run(5)
+	if !done {
+		t.Fatal("sub-MSS flow did not complete")
+	}
+}
+
+func TestTCPThroughputApproachesLineRate(t *testing.T) {
+	sim, nw := twoNodeTCP(50e6, 0.002, 0)
+	var fct float64
+	const size = 2_000_000
+	c := &TCPConn{Net: nw, Flow: 1, Src: 0, Dst: 1, FlowSize: size, InitRTT: 0.004,
+		Done: func(f float64) { fct = f }}
+	c.Start()
+	sim.Run(30)
+	if fct == 0 {
+		t.Fatal("did not finish")
+	}
+	gput := float64(size) * 8 / fct
+	if gput < 0.5*50e6 {
+		t.Fatalf("goodput %v bps — less than half of the 50 Mbps line", gput)
+	}
+	if gput > 50e6 {
+		t.Fatalf("goodput %v exceeds line rate", gput)
+	}
+}

@@ -1,0 +1,200 @@
+package netsim
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// FlowStats accumulates FlowMonitor-style per-flow metrics.
+type FlowStats struct {
+	TxPackets int64
+	RxPackets int64
+	DelaySum  float64 // seconds, summed over delivered packets
+}
+
+// MeanDelay returns the mean one-way delay of delivered packets in seconds.
+func (f *FlowStats) MeanDelay() float64 {
+	if f.RxPackets == 0 {
+		return 0
+	}
+	return f.DelaySum / float64(f.RxPackets)
+}
+
+// LossRate returns 1 - delivered/sent (0 when nothing was sent).
+func (f *FlowStats) LossRate() float64 {
+	if f.TxPackets == 0 {
+		return 0
+	}
+	return 1 - float64(f.RxPackets)/float64(f.TxPackets)
+}
+
+// FlowMonitor aggregates per-flow stats, mirroring ns-3's FlowMonitor.
+type FlowMonitor struct {
+	flows map[int]*FlowStats
+}
+
+// NewFlowMonitor returns an empty monitor.
+func NewFlowMonitor() *FlowMonitor { return &FlowMonitor{flows: make(map[int]*FlowStats)} }
+
+// Flow returns (allocating if needed) the stats for a flow ID.
+func (m *FlowMonitor) Flow(id int) *FlowStats {
+	f := m.flows[id]
+	if f == nil {
+		f = &FlowStats{}
+		m.flows[id] = f
+	}
+	return f
+}
+
+// Aggregate sums all per-flow stats.
+func (m *FlowMonitor) Aggregate() FlowStats {
+	var a FlowStats
+	for _, f := range m.flows {
+		a.TxPackets += f.TxPackets
+		a.RxPackets += f.RxPackets
+		a.DelaySum += f.DelaySum
+	}
+	return a
+}
+
+// MeanDelay returns the packet-weighted mean delay across flows, seconds.
+func (m *FlowMonitor) MeanDelay() float64 {
+	a := m.Aggregate()
+	return a.MeanDelay()
+}
+
+// LossRate returns the aggregate loss rate across flows.
+func (m *FlowMonitor) LossRate() float64 {
+	a := m.Aggregate()
+	return a.LossRate()
+}
+
+// UDPSource generates fixed-size datagrams at a target rate, either with
+// constant spacing or Poisson (exponential) inter-arrivals, stamping and
+// counting through a FlowMonitor. The paper's §5 experiments use uniform
+// 500-byte packets.
+type UDPSource struct {
+	Net     *Network
+	Flow    int
+	Src     int
+	Dst     int
+	RateBps float64
+	PktSize int // bytes
+	Poisson bool
+	Rng     *rand.Rand // required when Poisson
+	Monitor *FlowMonitor
+
+	seq     int64
+	stopped bool
+}
+
+// Start begins sending at sim time now and keeps sending until Stop or the
+// simulation ends.
+func (u *UDPSource) Start() {
+	u.Net.OnDeliver(u.Flow, func(p *Packet) {
+		f := u.Monitor.Flow(u.Flow)
+		f.RxPackets++
+		f.DelaySum += u.Net.Sim.Now() - p.SentAt
+	})
+	u.scheduleNext()
+}
+
+// Stop halts future sends.
+func (u *UDPSource) Stop() { u.stopped = true }
+
+func (u *UDPSource) interval() float64 {
+	mean := float64(u.PktSize) * 8 / u.RateBps
+	if !u.Poisson {
+		return mean
+	}
+	return u.Rng.ExpFloat64() * mean
+}
+
+func (u *UDPSource) scheduleNext() {
+	if u.stopped || u.RateBps <= 0 {
+		return
+	}
+	u.Net.Sim.Schedule(u.interval(), func() {
+		if u.stopped {
+			return
+		}
+		u.seq++
+		u.Monitor.Flow(u.Flow).TxPackets++
+		u.Net.Inject(&Packet{
+			Flow: u.Flow, Seq: u.seq, Kind: Data, Size: u.PktSize,
+			Src: u.Src, Dst: u.Dst,
+		})
+		u.scheduleNext()
+	})
+}
+
+// QueueSampler records a link's queue length at a fixed period, for the
+// Fig 6 queue-occupancy distributions.
+type QueueSampler struct {
+	Link    *Link
+	Period  float64
+	samples []int
+	stopped bool
+}
+
+// Start begins sampling.
+func (q *QueueSampler) Start(sim *Simulator) {
+	var tick func()
+	tick = func() {
+		if q.stopped {
+			return
+		}
+		q.samples = append(q.samples, q.Link.QueueLen())
+		sim.Schedule(q.Period, tick)
+	}
+	sim.Schedule(q.Period, tick)
+}
+
+// Stop halts sampling.
+func (q *QueueSampler) Stop() { q.stopped = true }
+
+// Samples returns the raw samples.
+func (q *QueueSampler) Samples() []int { return q.samples }
+
+// Percentile returns the p-th percentile (0-100) of sampled queue lengths.
+func (q *QueueSampler) Percentile(p float64) float64 {
+	if len(q.samples) == 0 {
+		return 0
+	}
+	s := append([]int(nil), q.samples...)
+	sort.Ints(s)
+	return percentileInts(s, p)
+}
+
+func percentileInts(sorted []int, p float64) float64 {
+	if len(sorted) == 0 {
+		return math.NaN()
+	}
+	idx := p / 100 * float64(len(sorted)-1)
+	lo := int(math.Floor(idx))
+	hi := int(math.Ceil(idx))
+	if lo == hi {
+		return float64(sorted[lo])
+	}
+	frac := idx - float64(lo)
+	return float64(sorted[lo])*(1-frac) + float64(sorted[hi])*frac
+}
+
+// Percentile returns the p-th percentile (0-100) of a float slice (sorted or
+// not; the input is not modified).
+func Percentile(values []float64, p float64) float64 {
+	if len(values) == 0 {
+		return math.NaN()
+	}
+	s := append([]float64(nil), values...)
+	sort.Float64s(s)
+	idx := p / 100 * float64(len(s)-1)
+	lo := int(math.Floor(idx))
+	hi := int(math.Ceil(idx))
+	if lo == hi {
+		return s[lo]
+	}
+	frac := idx - float64(lo)
+	return s[lo]*(1-frac) + s[hi]*frac
+}

@@ -1,0 +1,181 @@
+package towers
+
+import (
+	"math/rand"
+	"testing"
+
+	"cisp/internal/cities"
+	"cisp/internal/geo"
+)
+
+func testCities() []cities.City {
+	all := cities.USCenters()
+	if len(all) > 20 {
+		all = all[:20]
+	}
+	return all
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	cs := testCities()
+	r1 := Generate(GenConfig{Seed: 5}, cs)
+	r2 := Generate(GenConfig{Seed: 5}, cs)
+	if r1.Len() != r2.Len() {
+		t.Fatalf("same seed produced %d vs %d towers", r1.Len(), r2.Len())
+	}
+	for i := 0; i < r1.Len(); i++ {
+		if r1.Tower(i).Loc != r2.Tower(i).Loc {
+			t.Fatalf("tower %d differs across identical seeds", i)
+		}
+	}
+}
+
+func TestGenerateNonTrivial(t *testing.T) {
+	r := Generate(GenConfig{Seed: 1}, testCities())
+	if r.Len() < 200 {
+		t.Fatalf("registry has %d towers, want a substantial set", r.Len())
+	}
+}
+
+func TestCullHeightRule(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	ts := []Tower{
+		{Loc: geo.Point{Lat: 40, Lon: -100}, Height: 50, Rental: false},  // dropped
+		{Loc: geo.Point{Lat: 40, Lon: -100}, Height: 50, Rental: true},   // kept (rental)
+		{Loc: geo.Point{Lat: 40, Lon: -100}, Height: 150, Rental: false}, // kept (tall)
+	}
+	out := Cull(ts, rng)
+	if len(out) != 2 {
+		t.Fatalf("cull kept %d towers, want 2", len(out))
+	}
+	for _, tw := range out {
+		if !tw.Rental && tw.Height < CullMinHeight {
+			t.Errorf("short non-rental tower survived: %+v", tw)
+		}
+	}
+}
+
+func TestCullDensityCap(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	var ts []Tower
+	for i := 0; i < 200; i++ {
+		ts = append(ts, Tower{
+			Loc:    geo.Point{Lat: 40.1, Lon: -100.1},
+			Height: 150,
+		})
+	}
+	out := Cull(ts, rng)
+	if len(out) != CullMaxPerCell {
+		t.Fatalf("dense cell kept %d towers, want cap %d", len(out), CullMaxPerCell)
+	}
+}
+
+func TestRegistryCulled(t *testing.T) {
+	r := Generate(GenConfig{Seed: 3}, testCities())
+	counts := map[cellKey]int{}
+	for _, tw := range r.Towers() {
+		if !tw.Rental && tw.Height < CullMinHeight {
+			t.Fatalf("registry contains short non-rental tower %+v", tw)
+		}
+		counts[keyFor(tw.Loc)]++
+	}
+	for k, n := range counts {
+		if n > CullMaxPerCell {
+			t.Fatalf("cell %v holds %d towers, cap is %d", k, n, CullMaxPerCell)
+		}
+	}
+}
+
+func TestWithinRange(t *testing.T) {
+	ts := []Tower{
+		{Loc: geo.Point{Lat: 40, Lon: -100}, Height: 150},
+		{Loc: geo.Point{Lat: 40, Lon: -100.5}, Height: 150}, // ~42 km away
+		{Loc: geo.Point{Lat: 40, Lon: -103}, Height: 150},   // ~256 km away
+	}
+	r := NewRegistry(ts)
+	got := r.WithinRange(geo.Point{Lat: 40, Lon: -100}, 100e3)
+	if len(got) != 2 {
+		t.Fatalf("WithinRange found %d towers, want 2", len(got))
+	}
+	if got[0] != 0 || got[1] != 1 {
+		t.Fatalf("WithinRange order = %v, want nearest-first [0 1]", got)
+	}
+}
+
+func TestWithinRangeMatchesBruteForce(t *testing.T) {
+	r := Generate(GenConfig{Seed: 7}, testCities())
+	center := geo.Point{Lat: 35, Lon: -95}
+	const dist = 120e3
+	want := map[int]bool{}
+	for _, tw := range r.Towers() {
+		if center.DistanceTo(tw.Loc) <= dist {
+			want[tw.ID] = true
+		}
+	}
+	got := r.WithinRange(center, dist)
+	if len(got) != len(want) {
+		t.Fatalf("index found %d towers, brute force %d", len(got), len(want))
+	}
+	for _, id := range got {
+		if !want[id] {
+			t.Fatalf("index returned tower %d outside range", id)
+		}
+	}
+}
+
+func TestPairsVisitsEachOnce(t *testing.T) {
+	r := Generate(GenConfig{Seed: 9, RuralPerCell: 0.5}, testCities()[:5])
+	seen := map[[2]int]bool{}
+	r.Pairs(80e3, func(i, j int) {
+		if i >= j {
+			t.Fatalf("pair (%d,%d) not ordered", i, j)
+		}
+		k := [2]int{i, j}
+		if seen[k] {
+			t.Fatalf("pair %v visited twice", k)
+		}
+		seen[k] = true
+		if d := r.Tower(i).Loc.DistanceTo(r.Tower(j).Loc); d > 80e3 {
+			t.Fatalf("pair %v at distance %.0f m exceeds range", k, d)
+		}
+	})
+	if len(seen) == 0 {
+		t.Fatal("no pairs found")
+	}
+}
+
+func TestUrbanDensityExceedsRural(t *testing.T) {
+	cs := testCities()
+	r := Generate(GenConfig{Seed: 11}, cs)
+	nyc := cs[0].Loc
+	urban := len(r.WithinRange(nyc, 50e3))
+	rural := len(r.WithinRange(geo.Point{Lat: 41.5, Lon: -109.5}, 50e3)) // SW Wyoming
+	if urban <= rural {
+		t.Fatalf("urban tower count (%d) should exceed rural (%d)", urban, rural)
+	}
+}
+
+func TestPoisson(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	n, sum := 10000, 0
+	for i := 0; i < n; i++ {
+		sum += poisson(rng, 3)
+	}
+	mean := float64(sum) / float64(n)
+	if mean < 2.8 || mean > 3.2 {
+		t.Fatalf("poisson(3) sample mean = %v", mean)
+	}
+	if poisson(rng, 0) != 0 {
+		t.Error("poisson(0) != 0")
+	}
+}
+
+func BenchmarkWithinRange(b *testing.B) {
+	r := Generate(GenConfig{Seed: 1}, testCities())
+	p := geo.Point{Lat: 40, Lon: -95}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.WithinRange(p, 100e3)
+	}
+}

@@ -1,0 +1,208 @@
+// Package traffic builds the demand matrices the paper designs for and
+// stresses against: the city-city population-product model (§4), the
+// inter-data-center and city-to-data-center models (§6.3), weighted mixes of
+// the three (§6.4), and the γ population perturbations of §5.
+//
+// A Matrix is symmetric with a zero diagonal; units are either the paper's
+// relative weights h_st ∈ [0,1] or absolute Gbps after ScaleToAggregate.
+package traffic
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"cisp/internal/cities"
+)
+
+// Matrix is a symmetric demand matrix over a site list.
+type Matrix [][]float64
+
+// New returns an n×n zero matrix.
+func New(n int) Matrix {
+	m := make(Matrix, n)
+	for i := range m {
+		m[i] = make([]float64, n)
+	}
+	return m
+}
+
+// N returns the number of sites.
+func (m Matrix) N() int { return len(m) }
+
+// Set sets the symmetric demand between i and j.
+func (m Matrix) Set(i, j int, v float64) {
+	if i == j {
+		return
+	}
+	m[i][j], m[j][i] = v, v
+}
+
+// Total returns Σ_{s<t} demand.
+func (m Matrix) Total() float64 {
+	sum := 0.0
+	for i := range m {
+		for j := i + 1; j < len(m); j++ {
+			sum += m[i][j]
+		}
+	}
+	return sum
+}
+
+// Clone returns an independent copy.
+func (m Matrix) Clone() Matrix {
+	c := New(len(m))
+	for i := range m {
+		copy(c[i], m[i])
+	}
+	return c
+}
+
+// Validate checks symmetry, non-negativity and a zero diagonal.
+func (m Matrix) Validate() error {
+	for i := range m {
+		if len(m[i]) != len(m) {
+			return fmt.Errorf("traffic: row %d has %d cols, want %d", i, len(m[i]), len(m))
+		}
+		if m[i][i] != 0 {
+			return fmt.Errorf("traffic: non-zero diagonal at %d", i)
+		}
+		for j := range m[i] {
+			if m[i][j] < 0 || math.IsNaN(m[i][j]) {
+				return fmt.Errorf("traffic: invalid demand %v at (%d,%d)", m[i][j], i, j)
+			}
+			if m[i][j] != m[j][i] {
+				return fmt.Errorf("traffic: asymmetric at (%d,%d)", i, j)
+			}
+		}
+	}
+	return nil
+}
+
+// PopulationProduct returns the paper's §4 model: h_ij proportional to the
+// product of site populations, normalised so the largest entry is 1.
+func PopulationProduct(cs []cities.City) Matrix {
+	n := len(cs)
+	m := New(n)
+	maxV := 0.0
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			v := float64(cs[i].Population) * float64(cs[j].Population)
+			m.Set(i, j, v)
+			if v > maxV {
+				maxV = v
+			}
+		}
+	}
+	if maxV > 0 {
+		for i := range m {
+			for j := range m[i] {
+				m[i][j] /= maxV
+			}
+		}
+	}
+	return m
+}
+
+// UniformPairs returns equal demand between every pair of the given site
+// indices (the paper's inter-DC model: "we provision equal capacity between
+// each DC-pair"), zero elsewhere, over n total sites.
+func UniformPairs(n int, sites []int) Matrix {
+	m := New(n)
+	for a := 0; a < len(sites); a++ {
+		for b := a + 1; b < len(sites); b++ {
+			m.Set(sites[a], sites[b], 1)
+		}
+	}
+	return m
+}
+
+// CityToDC returns the paper's DC-edge model: each city sends to its closest
+// data center, with demand proportional to the city's population. cityIdx
+// and dcIdx index into the combined site list cs.
+func CityToDC(cs []cities.City, cityIdx, dcIdx []int) Matrix {
+	m := New(len(cs))
+	maxPop := 0
+	for _, ci := range cityIdx {
+		if cs[ci].Population > maxPop {
+			maxPop = cs[ci].Population
+		}
+	}
+	if maxPop == 0 {
+		return m
+	}
+	for _, ci := range cityIdx {
+		best, bestD := -1, math.Inf(1)
+		for _, di := range dcIdx {
+			if d := cs[ci].Loc.DistanceTo(cs[di].Loc); d < bestD {
+				best, bestD = di, d
+			}
+		}
+		if best >= 0 {
+			m.Set(ci, best, float64(cs[ci].Population)/float64(maxPop))
+		}
+	}
+	return m
+}
+
+// Mix returns Σ w_k · normalised(m_k): each component is first scaled to
+// unit total demand so the weights express the §6.4 traffic proportions
+// (e.g. 4:3:3), then combined. Panics on length mismatch.
+func Mix(weights []float64, ms ...Matrix) Matrix {
+	if len(weights) != len(ms) {
+		panic("traffic: Mix weights/matrices length mismatch")
+	}
+	if len(ms) == 0 {
+		return New(0)
+	}
+	n := ms[0].N()
+	out := New(n)
+	for k, m := range ms {
+		tot := m.Total()
+		if tot == 0 {
+			continue
+		}
+		f := weights[k] / tot
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				out[i][j] += m[i][j] * f
+				out[j][i] = out[i][j]
+			}
+		}
+	}
+	return out
+}
+
+// ScaleToAggregate scales m so Σ_{s<t} equals aggregate (e.g. Gbps),
+// returning a copy.
+func ScaleToAggregate(m Matrix, aggregate float64) Matrix {
+	tot := m.Total()
+	out := m.Clone()
+	if tot == 0 {
+		return out
+	}
+	f := aggregate / tot
+	for i := range out {
+		for j := range out[i] {
+			out[i][j] *= f
+		}
+	}
+	return out
+}
+
+// PerturbPopulations applies §5's population perturbation: each city's
+// population is re-weighted by an independent factor drawn uniformly from
+// [1-γ, 1+γ]. Deterministic in seed.
+func PerturbPopulations(cs []cities.City, gamma float64, seed int64) []cities.City {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]cities.City, len(cs))
+	copy(out, cs)
+	for i := range out {
+		f := 1 - gamma + 2*gamma*rng.Float64()
+		out[i].Population = int(float64(out[i].Population) * f)
+		if out[i].Population < 0 {
+			out[i].Population = 0
+		}
+	}
+	return out
+}

@@ -1,0 +1,170 @@
+package traffic
+
+import (
+	"math"
+	"testing"
+
+	"cisp/internal/cities"
+)
+
+func TestPopulationProduct(t *testing.T) {
+	cs := cities.USCenters()[:10]
+	m := PopulationProduct(cs)
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// The two largest centers should carry the max demand of exactly 1.
+	if m[0][1] != 1 {
+		t.Fatalf("largest pair demand = %v, want 1 after normalisation", m[0][1])
+	}
+	for i := range m {
+		for j := range m[i] {
+			if m[i][j] > 1 {
+				t.Fatalf("demand (%d,%d) = %v > 1", i, j, m[i][j])
+			}
+		}
+	}
+	// Monotone in population product: pair (0,1) >= pair (8,9).
+	if m[8][9] > m[0][1] {
+		t.Fatal("smaller cities carry more traffic than larger ones")
+	}
+}
+
+func TestUniformPairs(t *testing.T) {
+	m := UniformPairs(6, []int{1, 3, 5})
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if m[1][3] != 1 || m[3][5] != 1 || m[1][5] != 1 {
+		t.Fatal("DC pairs not uniform")
+	}
+	if m[0][1] != 0 || m[2][4] != 0 {
+		t.Fatal("non-DC pairs carry traffic")
+	}
+	if m.Total() != 3 {
+		t.Fatalf("total = %v, want 3", m.Total())
+	}
+}
+
+func TestCityToDC(t *testing.T) {
+	us := cities.USCenters()[:8]
+	dcs := cities.GoogleDCs()
+	all := append(append([]cities.City(nil), us...), dcs...)
+	cityIdx := make([]int, len(us))
+	for i := range us {
+		cityIdx[i] = i
+	}
+	dcIdx := make([]int, len(dcs))
+	for i := range dcs {
+		dcIdx[i] = len(us) + i
+	}
+	m := CityToDC(all, cityIdx, dcIdx)
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Every city has demand to exactly one DC.
+	for _, ci := range cityIdx {
+		nonzero := 0
+		for _, di := range dcIdx {
+			if m[ci][di] > 0 {
+				nonzero++
+			}
+		}
+		if nonzero != 1 {
+			t.Fatalf("city %d connects to %d DCs, want 1", ci, nonzero)
+		}
+	}
+	// No city-city or DC-DC demand.
+	for a := 0; a < len(us); a++ {
+		for b := a + 1; b < len(us); b++ {
+			if m[a][b] != 0 {
+				t.Fatal("city-city demand present in DC-edge model")
+			}
+		}
+	}
+}
+
+func TestMixProportions(t *testing.T) {
+	a := New(4)
+	a.Set(0, 1, 5) // total 5
+	b := New(4)
+	b.Set(2, 3, 2) // total 2
+	m := Mix([]float64{4, 3}, a, b)
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// After normalisation the components contribute 4 and 3.
+	if math.Abs(m[0][1]-4) > 1e-9 || math.Abs(m[2][3]-3) > 1e-9 {
+		t.Fatalf("mix = %v / %v, want 4 / 3", m[0][1], m[2][3])
+	}
+	if math.Abs(m.Total()-7) > 1e-9 {
+		t.Fatalf("mix total = %v, want 7", m.Total())
+	}
+}
+
+func TestScaleToAggregate(t *testing.T) {
+	m := New(3)
+	m.Set(0, 1, 1)
+	m.Set(1, 2, 3)
+	s := ScaleToAggregate(m, 100)
+	if math.Abs(s.Total()-100) > 1e-9 {
+		t.Fatalf("scaled total = %v, want 100", s.Total())
+	}
+	// Proportions preserved.
+	if math.Abs(s[1][2]/s[0][1]-3) > 1e-9 {
+		t.Fatal("scaling distorted proportions")
+	}
+	// Original untouched.
+	if m.Total() != 4 {
+		t.Fatal("ScaleToAggregate mutated its input")
+	}
+}
+
+func TestScaleZeroMatrix(t *testing.T) {
+	m := New(3)
+	s := ScaleToAggregate(m, 100)
+	if s.Total() != 0 {
+		t.Fatal("scaling a zero matrix should stay zero")
+	}
+}
+
+func TestPerturbPopulations(t *testing.T) {
+	cs := cities.USCenters()[:20]
+	p1 := PerturbPopulations(cs, 0.3, 7)
+	p2 := PerturbPopulations(cs, 0.3, 7)
+	for i := range p1 {
+		if p1[i].Population != p2[i].Population {
+			t.Fatal("perturbation not deterministic")
+		}
+		lo := int(float64(cs[i].Population) * 0.699)
+		hi := int(float64(cs[i].Population) * 1.301)
+		if p1[i].Population < lo || p1[i].Population > hi {
+			t.Fatalf("city %d perturbed outside [1-γ,1+γ]: %d not in [%d,%d]",
+				i, p1[i].Population, lo, hi)
+		}
+	}
+	// γ=0 is identity.
+	p0 := PerturbPopulations(cs, 0, 7)
+	for i := range p0 {
+		if p0[i].Population != cs[i].Population {
+			t.Fatal("γ=0 changed populations")
+		}
+	}
+}
+
+func TestValidateCatchesAsymmetry(t *testing.T) {
+	m := New(3)
+	m[0][1] = 5 // set without mirror
+	if err := m.Validate(); err == nil {
+		t.Fatal("asymmetric matrix validated")
+	}
+}
+
+func TestMixPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Mix([]float64{1}, New(2), New(2))
+}

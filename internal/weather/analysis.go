@@ -1,0 +1,157 @@
+package weather
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+
+	"cisp/internal/design"
+	"cisp/internal/geo"
+	"cisp/internal/linkbuild"
+)
+
+// YearAnalysis is the Fig 7 result: per-city-pair stretch statistics across
+// a year of sampled weather intervals, plus the fiber-only baseline.
+type YearAnalysis struct {
+	// Per-pair stretch values (unsorted, one per city pair with traffic).
+	Best  []float64 // fair-weather (minimum across the year)
+	P99   []float64 // 99th percentile across the year
+	Worst []float64 // maximum across the year
+	Fiber []float64 // fiber-only stretch
+
+	// FailedLinksPerDay records how many built links were down each day.
+	FailedLinksPerDay []int
+}
+
+// Config for the year-long analysis.
+type Config struct {
+	FreqGHz      float64 // default 11
+	FadeMarginDB float64 // default DefaultFadeMargin
+	Days         int     // default 365
+	Seed         int64   // interval-picking seed
+}
+
+func (c *Config) setDefaults() {
+	if c.FreqGHz == 0 {
+		c.FreqGHz = geo.DefaultFrequencyGHz
+	}
+	if c.FadeMarginDB == 0 {
+		c.FadeMarginDB = DefaultFadeMargin
+	}
+	if c.Days == 0 {
+		c.Days = 365
+	}
+}
+
+// AnalyzeYear reproduces §6.1: for each day a uniformly random 30-minute
+// interval is drawn, failed microwave links are identified (a link fails if
+// any of its tower-tower hops exceeds the fade margin), traffic is rerouted
+// over the surviving hybrid network, and per-pair stretch is recorded.
+func AnalyzeYear(top *design.Topology, links *linkbuild.Links, gen *Generator, cfg Config) *YearAnalysis {
+	cfg.setDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	p := top.P
+	n := p.N
+
+	// Hop geometry per built link.
+	type hopGeo struct{ a, b geo.Point }
+	linkHops := make([][]hopGeo, len(top.Built))
+	for li, l := range top.Built {
+		for _, h := range links.Hops(l.I, l.J) {
+			linkHops[li] = append(linkHops[li], hopGeo{
+				a: links.Reg.Tower(h[0]).Loc,
+				b: links.Reg.Tower(h[1]).Loc,
+			})
+		}
+	}
+
+	// Track per-pair stretch samples across days.
+	type pairStat struct {
+		samples []float64
+	}
+	stats := make([][]pairStat, n)
+	for i := range stats {
+		stats[i] = make([]pairStat, n)
+	}
+
+	an := &YearAnalysis{}
+	for day := 0; day < cfg.Days; day++ {
+		interval := rng.Intn(48)
+		field := gen.FieldAt(day, interval)
+
+		// Identify failed links.
+		failed := make([]bool, len(top.Built))
+		nFailed := 0
+		for li := range top.Built {
+			for _, h := range linkHops[li] {
+				if field.HopFails(h.a, h.b, cfg.FreqGHz, cfg.FadeMarginDB) {
+					failed[li] = true
+					nFailed++
+					break
+				}
+			}
+		}
+		an.FailedLinksPerDay = append(an.FailedLinksPerDay, nFailed)
+
+		// Rebuild the hybrid APSP with surviving links only.
+		surv := design.NewTopology(p)
+		for li, l := range top.Built {
+			if !failed[li] {
+				surv.AddLink(l.I, l.J)
+			}
+		}
+		for s := 0; s < n; s++ {
+			for t := s + 1; t < n; t++ {
+				if p.Traffic[s][t] <= 0 {
+					continue
+				}
+				st := surv.Dist(s, t) / p.Geodesic[s][t]
+				stats[s][t].samples = append(stats[s][t].samples, st)
+			}
+		}
+	}
+
+	fiberOnly := design.NewTopology(p)
+	for s := 0; s < n; s++ {
+		for t := s + 1; t < n; t++ {
+			if p.Traffic[s][t] <= 0 {
+				continue
+			}
+			samples := stats[s][t].samples
+			if len(samples) == 0 {
+				continue
+			}
+			sorted := append([]float64(nil), samples...)
+			sort.Float64s(sorted)
+			an.Best = append(an.Best, sorted[0])
+			an.Worst = append(an.Worst, sorted[len(sorted)-1])
+			an.P99 = append(an.P99, quantile(sorted, 0.99))
+			an.Fiber = append(an.Fiber, fiberOnly.Dist(s, t)/p.Geodesic[s][t])
+		}
+	}
+	return an
+}
+
+func quantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return math.NaN()
+	}
+	idx := q * float64(len(sorted)-1)
+	lo := int(math.Floor(idx))
+	hi := int(math.Ceil(idx))
+	if lo == hi {
+		return sorted[lo]
+	}
+	f := idx - float64(lo)
+	return sorted[lo]*(1-f) + sorted[hi]*f
+}
+
+// Median of an unsorted slice (convenience for reporting).
+func Median(v []float64) float64 {
+	if len(v) == 0 {
+		return math.NaN()
+	}
+	s := append([]float64(nil), v...)
+	sort.Float64s(s)
+	return quantile(s, 0.5)
+}

@@ -1,0 +1,64 @@
+// Package weather models precipitation impairment of microwave links
+// (§6.1): ITU-R P.838-style rain attenuation, a seeded synthetic
+// precipitation field standing in for NASA's TRMM/GPM data (substitution
+// S6), binary link-failure determination against a fade margin, and the
+// year-long reroute analysis behind Fig 7. It also reproduces the §2
+// HFT-link loss statistics as a trace generator.
+package weather
+
+import "math"
+
+// p838Anchor holds power-law coefficients γ = k·R^α (dB/km) for horizontal
+// polarisation at an anchor frequency, following ITU-R P.838-3. Intermediate
+// frequencies are interpolated log-linearly in frequency, which is the
+// recommendation's own interpolation rule.
+type p838Anchor struct {
+	fGHz, k, alpha float64
+}
+
+var p838Table = []p838Anchor{
+	{6, 0.00175, 1.4011},
+	{8, 0.00454, 1.3270},
+	{10, 0.01217, 1.2571},
+	{12, 0.02386, 1.1825},
+	{15, 0.04481, 1.1233},
+	{18, 0.07078, 1.0818},
+}
+
+// SpecificAttenuation returns the rain-induced attenuation in dB/km for a
+// rain rate R (mm/h) at carrier frequency fGHz, per the ITU-R P.838 power
+// law γ = k·R^α. Frequencies are clamped to the supported 6-18 GHz band the
+// paper proposes for cISP.
+func SpecificAttenuation(rainMMh, fGHz float64) float64 {
+	if rainMMh <= 0 {
+		return 0
+	}
+	k, alpha := p838Coeffs(fGHz)
+	return k * math.Pow(rainMMh, alpha)
+}
+
+func p838Coeffs(fGHz float64) (k, alpha float64) {
+	t := p838Table
+	if fGHz <= t[0].fGHz {
+		return t[0].k, t[0].alpha
+	}
+	if fGHz >= t[len(t)-1].fGHz {
+		return t[len(t)-1].k, t[len(t)-1].alpha
+	}
+	for i := 0; i+1 < len(t); i++ {
+		a, b := t[i], t[i+1]
+		if fGHz >= a.fGHz && fGHz <= b.fGHz {
+			// Log-linear in frequency for k; linear for α.
+			w := (math.Log(fGHz) - math.Log(a.fGHz)) / (math.Log(b.fGHz) - math.Log(a.fGHz))
+			k = math.Exp(math.Log(a.k)*(1-w) + math.Log(b.k)*w)
+			alpha = a.alpha*(1-w) + b.alpha*w
+			return k, alpha
+		}
+	}
+	return t[len(t)-1].k, t[len(t)-1].alpha
+}
+
+// DefaultFadeMargin is the attenuation budget in dB beyond which we
+// conservatively declare a hop failed (the paper treats precipitation
+// impairment as binary link failure).
+const DefaultFadeMargin = 30.0

@@ -1,0 +1,208 @@
+package weather
+
+import (
+	"math"
+	"math/rand"
+
+	"cisp/internal/geo"
+)
+
+// StormCell is a convective precipitation cell with a Gaussian rain-rate
+// profile.
+type StormCell struct {
+	Center geo.Point
+	Radius float64 // sigma, meters
+	PeakMM float64 // peak rain rate, mm/h
+}
+
+// FrontalBand is a line of stratiform rain (a weather front).
+type FrontalBand struct {
+	A, B   geo.Point
+	Width  float64 // half-width, meters
+	RateMM float64 // rain rate inside the band, mm/h
+}
+
+// Field is the precipitation state for one interval.
+type Field struct {
+	Cells []StormCell
+	Bands []FrontalBand
+}
+
+// RainRate returns the rain rate in mm/h at p (max of overlapping systems).
+func (f *Field) RainRate(p geo.Point) float64 {
+	rate := 0.0
+	for i := range f.Cells {
+		c := &f.Cells[i]
+		d := p.DistanceTo(c.Center)
+		x := d / c.Radius
+		if x > 3.5 {
+			continue
+		}
+		if r := c.PeakMM * math.Exp(-0.5*x*x); r > rate {
+			rate = r
+		}
+	}
+	for i := range f.Bands {
+		b := &f.Bands[i]
+		if distToSegment(p, b.A, b.B) <= b.Width {
+			if b.RateMM > rate {
+				rate = b.RateMM
+			}
+		}
+	}
+	return rate
+}
+
+// Generator produces deterministic synthetic precipitation fields over a
+// region, one per (day, interval) pair, with a seasonal convective cycle.
+// Storm counts scale with the region's area so the same climatology works
+// for a metro-scale test box and the full contiguous US.
+type Generator struct {
+	Seed           int64
+	MinLat, MaxLat float64
+	MinLon, MaxLon float64
+
+	// CellsPerMkm2 is the mean number of convective cells per million km²
+	// per interval at the seasonal peak. Default 1.
+	CellsPerMkm2 float64
+
+	// BandsPerMkm2 is the mean number of frontal bands per million km² per
+	// interval. Default 0.08.
+	BandsPerMkm2 float64
+
+	SevereDays []int // days with hurricane-like widespread rain
+}
+
+// areaMkm2 approximates the region's area in millions of km².
+func (g *Generator) areaMkm2() float64 {
+	latKm := (g.MaxLat - g.MinLat) * 111.2
+	midLat := (g.MaxLat + g.MinLat) / 2 * math.Pi / 180
+	lonKm := (g.MaxLon - g.MinLon) * 111.2 * math.Cos(midLat)
+	a := latKm * lonKm / 1e6
+	if a < 0.05 {
+		a = 0.05
+	}
+	return a
+}
+
+// FieldAt returns the precipitation field for the given day of year
+// (0-364) and half-hour interval (0-47). Deterministic in (Seed, day,
+// interval).
+func (g *Generator) FieldAt(day, interval int) *Field {
+	rng := rand.New(rand.NewSource(g.Seed*100003 + int64(day)*59 + int64(interval)))
+	area := g.areaMkm2()
+	cellDensity := g.CellsPerMkm2
+	if cellDensity == 0 {
+		cellDensity = 1
+	}
+	bandDensity := g.BandsPerMkm2
+	if bandDensity == 0 {
+		bandDensity = 0.08
+	}
+	// Seasonal modulation: more convection mid-year (northern summer).
+	season := 0.5 + 0.5*math.Sin(2*math.Pi*(float64(day)-80)/365)
+	f := &Field{}
+
+	nCells := poisson(rng, cellDensity*area*(0.4+1.2*season))
+	for i := 0; i < nCells; i++ {
+		// A fifth-power tail: most cells are weak stratiform showers; the
+		// intense cores that can break a 30 dB fade margin are rare, as in
+		// real convective climatology.
+		u := rng.Float64()
+		f.Cells = append(f.Cells, StormCell{
+			Center: g.randPoint(rng),
+			Radius: 5e3 + rng.Float64()*25e3,
+			PeakMM: 5 + 115*u*u*u*u*u,
+		})
+	}
+	nBands := poisson(rng, bandDensity*area)
+	for i := 0; i < nBands; i++ {
+		a := g.randPoint(rng)
+		b := a.Destination(rng.Float64()*360, 300e3+rng.Float64()*700e3)
+		// Stratiform band rain stays light enough that a hop inside the
+		// band keeps ~0.2 dB/km — failures come from embedded cells.
+		f.Bands = append(f.Bands, FrontalBand{
+			A: a, B: b,
+			Width:  40e3 + rng.Float64()*80e3,
+			RateMM: 2 + rng.Float64()*8,
+		})
+	}
+	for _, sd := range g.SevereDays {
+		if sd == day {
+			// Hurricane-like system: an intense, very large cell.
+			f.Cells = append(f.Cells, StormCell{
+				Center: g.randPoint(rng),
+				Radius: 150e3 + rng.Float64()*150e3,
+				PeakMM: 80 + rng.Float64()*80,
+			})
+		}
+	}
+	return f
+}
+
+func (g *Generator) randPoint(rng *rand.Rand) geo.Point {
+	return geo.Point{
+		Lat: g.MinLat + rng.Float64()*(g.MaxLat-g.MinLat),
+		Lon: g.MinLon + rng.Float64()*(g.MaxLon-g.MinLon),
+	}
+}
+
+// PathAttenuation integrates specific attenuation along the great circle
+// between two points, sampling every stepM meters (dB total).
+func (f *Field) PathAttenuation(a, b geo.Point, fGHz, stepM float64) float64 {
+	total := a.DistanceTo(b)
+	if total == 0 {
+		return 0
+	}
+	n := int(total/stepM) + 1
+	if n < 2 {
+		n = 2
+	}
+	dB := 0.0
+	segKm := total / float64(n) / 1000
+	for i := 0; i <= n; i++ {
+		p := a.Intermediate(b, float64(i)/float64(n))
+		w := 1.0
+		if i == 0 || i == n {
+			w = 0.5 // trapezoidal ends
+		}
+		dB += w * SpecificAttenuation(f.RainRate(p), fGHz) * segKm
+	}
+	return dB
+}
+
+// HopFails reports whether the hop a-b exceeds the fade margin under f.
+func (f *Field) HopFails(a, b geo.Point, fGHz, fadeMarginDB float64) bool {
+	return f.PathAttenuation(a, b, fGHz, 2000) > fadeMarginDB
+}
+
+func distToSegment(p, a, b geo.Point) float64 {
+	const mPerDegLat = 111194.9
+	cosLat := math.Cos(a.Lat * math.Pi / 180)
+	bx := (b.Lon - a.Lon) * mPerDegLat * cosLat
+	by := (b.Lat - a.Lat) * mPerDegLat
+	px := (p.Lon - a.Lon) * mPerDegLat * cosLat
+	py := (p.Lat - a.Lat) * mPerDegLat
+	l2 := bx*bx + by*by
+	t := 0.0
+	if l2 > 0 {
+		t = (px*bx + py*by) / l2
+		t = math.Max(0, math.Min(1, t))
+	}
+	return math.Hypot(px-t*bx, py-t*by)
+}
+
+func poisson(rng *rand.Rand, mean float64) int {
+	if mean <= 0 {
+		return 0
+	}
+	l := math.Exp(-mean)
+	k, p := 0, 1.0
+	for {
+		p *= rng.Float64()
+		if p <= l {
+			return k
+		}
+		k++
+	}
+}

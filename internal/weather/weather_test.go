@@ -1,0 +1,242 @@
+package weather
+
+import (
+	"math"
+	"sort"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"cisp/internal/cities"
+	"cisp/internal/design"
+	"cisp/internal/fiber"
+	"cisp/internal/geo"
+	"cisp/internal/linkbuild"
+	"cisp/internal/los"
+	"cisp/internal/terrain"
+	"cisp/internal/towers"
+	"cisp/internal/traffic"
+)
+
+func TestSpecificAttenuationMonotone(t *testing.T) {
+	f := func(r1, r2 float64) bool {
+		a := math.Mod(math.Abs(r1), 150)
+		b := math.Mod(math.Abs(r2), 150)
+		if a > b {
+			a, b = b, a
+		}
+		return SpecificAttenuation(a, 11) <= SpecificAttenuation(b, 11)+1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSpecificAttenuationAnchors(t *testing.T) {
+	// At 11 GHz and 50 mm/h the ITU power law gives roughly 2 dB/km
+	// (k≈0.017, α≈1.22 → 0.017·50^1.22 ≈ 2).
+	got := SpecificAttenuation(50, 11)
+	if got < 1 || got > 4 {
+		t.Fatalf("γ(50mm/h, 11GHz) = %v dB/km, want ~2", got)
+	}
+	if SpecificAttenuation(0, 11) != 0 {
+		t.Fatal("zero rain must give zero attenuation")
+	}
+	// Higher frequency attenuates more.
+	if SpecificAttenuation(50, 18) <= SpecificAttenuation(50, 6) {
+		t.Fatal("attenuation should grow with frequency")
+	}
+}
+
+func TestFieldDeterministic(t *testing.T) {
+	g := &Generator{Seed: 4, MinLat: 30, MaxLat: 45, MinLon: -110, MaxLon: -80}
+	a := g.FieldAt(100, 5)
+	b := g.FieldAt(100, 5)
+	if len(a.Cells) != len(b.Cells) || len(a.Bands) != len(b.Bands) {
+		t.Fatal("field generation not deterministic")
+	}
+	p := geo.Point{Lat: 38, Lon: -95}
+	if a.RainRate(p) != b.RainRate(p) {
+		t.Fatal("rain rate not deterministic")
+	}
+}
+
+func TestStormCellProfile(t *testing.T) {
+	f := &Field{Cells: []StormCell{{
+		Center: geo.Point{Lat: 40, Lon: -100}, Radius: 20e3, PeakMM: 60,
+	}}}
+	at := f.RainRate(geo.Point{Lat: 40, Lon: -100})
+	near := f.RainRate(geo.Point{Lat: 40.2, Lon: -100})
+	far := f.RainRate(geo.Point{Lat: 43, Lon: -100})
+	if math.Abs(at-60) > 1e-9 {
+		t.Fatalf("peak rain = %v, want 60", at)
+	}
+	if !(near < at && near > 0) {
+		t.Fatalf("rain at 22km = %v, want between 0 and peak", near)
+	}
+	if far != 0 {
+		t.Fatalf("rain 330km away = %v, want 0", far)
+	}
+}
+
+func TestFrontalBand(t *testing.T) {
+	f := &Field{Bands: []FrontalBand{{
+		A: geo.Point{Lat: 35, Lon: -100}, B: geo.Point{Lat: 45, Lon: -100},
+		Width: 50e3, RateMM: 15,
+	}}}
+	if r := f.RainRate(geo.Point{Lat: 40, Lon: -100}); r != 15 {
+		t.Fatalf("in-band rain = %v, want 15", r)
+	}
+	if r := f.RainRate(geo.Point{Lat: 40, Lon: -95}); r != 0 {
+		t.Fatalf("rain 400km off-band = %v, want 0", r)
+	}
+}
+
+func TestHopFailsUnderHeavyRain(t *testing.T) {
+	// A 50 km hop through a 100 mm/h storm core: γ ≈ 0.017·100^1.22 ≈ 5
+	// dB/km → way beyond any margin.
+	f := &Field{Cells: []StormCell{{
+		Center: geo.Point{Lat: 40, Lon: -100}, Radius: 60e3, PeakMM: 100,
+	}}}
+	a := geo.Point{Lat: 40, Lon: -100.3}
+	b := geo.Point{Lat: 40, Lon: -99.7}
+	if !f.HopFails(a, b, 11, DefaultFadeMargin) {
+		t.Fatal("hop through storm core should fail")
+	}
+	dry := &Field{}
+	if dry.HopFails(a, b, 11, DefaultFadeMargin) {
+		t.Fatal("dry hop failed")
+	}
+}
+
+func TestPathAttenuationAdditive(t *testing.T) {
+	// Attenuation over a longer path through uniform rain grows ~linearly.
+	f := &Field{Bands: []FrontalBand{{
+		A: geo.Point{Lat: 20, Lon: -100}, B: geo.Point{Lat: 60, Lon: -100},
+		Width: 500e3, RateMM: 20,
+	}}}
+	a := geo.Point{Lat: 40, Lon: -100}
+	short := f.PathAttenuation(a, geo.Point{Lat: 40.2, Lon: -100}, 11, 1000)
+	long := f.PathAttenuation(a, geo.Point{Lat: 40.4, Lon: -100}, 11, 1000)
+	if ratio := long / short; math.Abs(ratio-2) > 0.1 {
+		t.Fatalf("attenuation ratio = %v, want ~2 for double distance", ratio)
+	}
+}
+
+var yearOnce struct {
+	sync.Once
+	an *YearAnalysis
+}
+
+func yearAnalysis(t testing.TB) *YearAnalysis {
+	t.Helper()
+	yearOnce.Do(func() {
+		all := cities.USCenters()
+		names := []string{"Chicago, IL", "Indianapolis, IN", "St. Louis, MO", "Columbus, OH", "Detroit, MI", "Milwaukee, WI", "Louisville, KY", "Cincinnati, OH"}
+		var cs []cities.City
+		for _, name := range names {
+			c, _ := cities.ByName(all, name)
+			cs = append(cs, c)
+		}
+		reg := towers.Generate(towers.GenConfig{Seed: 3, RuralPerCell: 2, CityTowerScale: 12}, cs)
+		ev := los.NewEvaluator(terrain.Flat(), los.DefaultParams())
+		links := linkbuild.Build(cs, reg, ev, linkbuild.Config{})
+		fn := fiber.Synthesize(fiber.Config{Seed: 5}, cs)
+		n := len(cs)
+		mk := func() [][]float64 {
+			m := make([][]float64, n)
+			for i := range m {
+				m[i] = make([]float64, n)
+			}
+			return m
+		}
+		p := &design.Problem{N: n, Budget: 200, Traffic: traffic.PopulationProduct(cs),
+			Geodesic: mk(), MW: mk(), MWCost: mk(), FiberLat: mk()}
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if i == j {
+					continue
+				}
+				p.Geodesic[i][j] = cs[i].Loc.DistanceTo(cs[j].Loc)
+				p.MW[i][j] = links.MWDist(i, j)
+				p.MWCost[i][j] = float64(links.TowerCount(i, j))
+				p.FiberLat[i][j] = fn.LatencyDist(i, j)
+			}
+		}
+		top := design.Greedy(p, design.GreedyOptions{})
+		gen := &Generator{Seed: 11, MinLat: 37, MaxLat: 43, MinLon: -92, MaxLon: -81}
+		yearOnce.an = AnalyzeYear(top, links, gen, Config{Days: 120, Seed: 2})
+	})
+	return yearOnce.an
+}
+
+func TestYearAnalysisShape(t *testing.T) {
+	an := yearAnalysis(t)
+	if len(an.Best) == 0 {
+		t.Fatal("no pairs analyzed")
+	}
+	for i := range an.Best {
+		if an.Best[i] > an.P99[i]+1e-9 || an.P99[i] > an.Worst[i]+1e-9 {
+			t.Fatalf("pair %d: ordering violated best=%v p99=%v worst=%v",
+				i, an.Best[i], an.P99[i], an.Worst[i])
+		}
+		if an.Worst[i] > an.Fiber[i]+1e-9 {
+			t.Fatalf("pair %d: weather stretch %v exceeds fiber fallback %v",
+				i, an.Worst[i], an.Fiber[i])
+		}
+		if an.Best[i] < 1 {
+			t.Fatalf("pair %d: best stretch %v < 1", i, an.Best[i])
+		}
+	}
+}
+
+func TestYearAnalysisFig7Property(t *testing.T) {
+	// The paper's headline: 99th-percentile latencies are nearly the best,
+	// and even the worst weather beats fiber by a wide margin in the median.
+	an := yearAnalysis(t)
+	mBest, mP99 := Median(an.Best), Median(an.P99)
+	if mP99 > mBest*1.35 {
+		t.Errorf("median 99th-pctile stretch %v too far above best %v", mP99, mBest)
+	}
+	mWorst, mFiber := Median(an.Worst), Median(an.Fiber)
+	if mWorst >= mFiber {
+		t.Errorf("median worst-case %v not better than fiber %v", mWorst, mFiber)
+	}
+	t.Logf("median stretch: best %.3f, p99 %.3f, worst %.3f, fiber %.3f",
+		mBest, mP99, mWorst, mFiber)
+}
+
+func TestHFTTraceStatistics(t *testing.T) {
+	trace := HFTTrace(1)
+	if len(trace) != 2743 {
+		t.Fatalf("trace length %d, want 2743 minutes", len(trace))
+	}
+	sum := 0.0
+	s := append([]float64(nil), trace...)
+	sort.Float64s(s)
+	for _, v := range trace {
+		if v < 0 || v > 1 {
+			t.Fatalf("loss %v outside [0,1]", v)
+		}
+		sum += v
+	}
+	mean := sum / float64(len(trace))
+	median := s[len(s)/2]
+	// Paper: mean 16.1%, median 1.4%.
+	if mean < 0.10 || mean > 0.22 {
+		t.Errorf("trace mean loss %v, want ≈0.161", mean)
+	}
+	if median < 0.005 || median > 0.03 {
+		t.Errorf("trace median loss %v, want ≈0.014", median)
+	}
+	t.Logf("HFT trace: mean %.3f (paper 0.161), median %.3f (paper 0.014)", mean, median)
+}
+
+func TestMedian(t *testing.T) {
+	if m := Median([]float64{3, 1, 2}); m != 2 {
+		t.Fatalf("median = %v", m)
+	}
+	if !math.IsNaN(Median(nil)) {
+		t.Fatal("median of empty should be NaN")
+	}
+}

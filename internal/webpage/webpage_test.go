@@ -1,0 +1,173 @@
+package webpage
+
+import (
+	"math"
+	"sort"
+	"testing"
+)
+
+func medianOf(v []float64) float64 {
+	s := append([]float64(nil), v...)
+	sort.Float64s(s)
+	return s[len(s)/2]
+}
+
+func loadAll(pages []Page, cfg ReplayConfig) (plts, objTimes []float64, c2s, s2c int64) {
+	for _, p := range pages {
+		r := Replay(p, cfg)
+		plts = append(plts, r.PLT)
+		objTimes = append(objTimes, r.ObjectTimes...)
+		c2s += r.BytesC2S
+		s2c += r.BytesS2C
+	}
+	return
+}
+
+func TestCorpusShape(t *testing.T) {
+	pages := Corpus(CorpusConfig{Seed: 1})
+	if len(pages) != 80 {
+		t.Fatalf("corpus has %d pages, want the paper's 80", len(pages))
+	}
+	var counts []float64
+	for _, p := range pages {
+		counts = append(counts, float64(len(p.Objects)))
+		if p.BaseRTT < 0.02 || p.BaseRTT > 0.15 {
+			t.Fatalf("page RTT %v outside recorded range", p.BaseRTT)
+		}
+		for i, o := range p.Objects {
+			if o.Parent >= i {
+				t.Fatalf("object %d depends on later object %d", i, o.Parent)
+			}
+			if o.Origin < 0 || o.Origin >= p.Origins {
+				t.Fatalf("object origin out of range")
+			}
+		}
+	}
+	m := medianOf(counts)
+	if m < 30 || m > 120 {
+		t.Fatalf("median objects/page = %v, want Web-like 30-120", m)
+	}
+}
+
+func TestCorpusDeterministic(t *testing.T) {
+	a := Corpus(CorpusConfig{Seed: 9})
+	b := Corpus(CorpusConfig{Seed: 9})
+	for i := range a {
+		if len(a[i].Objects) != len(b[i].Objects) || a[i].BaseRTT != b[i].BaseRTT {
+			t.Fatal("corpus not deterministic")
+		}
+	}
+}
+
+func TestReplayBaselinePositive(t *testing.T) {
+	pages := Corpus(CorpusConfig{Seed: 2, Pages: 10})
+	for _, p := range pages {
+		r := Replay(p, ReplayConfig{})
+		if r.PLT <= 0 {
+			t.Fatal("non-positive PLT")
+		}
+		if len(r.ObjectTimes) != len(p.Objects) {
+			t.Fatal("missing object timings")
+		}
+		for _, ot := range r.ObjectTimes {
+			if ot <= 0 || ot > r.PLT {
+				t.Fatalf("object time %v outside (0, PLT=%v]", ot, r.PLT)
+			}
+		}
+		if r.BytesS2C <= r.BytesC2S {
+			t.Fatal("responses should dominate bytes")
+		}
+	}
+}
+
+// TestFig13Reproduction checks the paper's Fig 13 shape: a 66% RTT reduction
+// gives a ~31% median PLT reduction (less than the RTT cut because of
+// compute), the selective condition is slightly worse (paper: 27%), and
+// individual object load times improve more than PLTs (paper: 49%).
+func TestFig13Reproduction(t *testing.T) {
+	pages := Corpus(CorpusConfig{Seed: 3})
+	base, baseObj, _, _ := loadAll(pages, ReplayConfig{})
+	cisp, cispObj, _, _ := loadAll(pages, ReplayConfig{RTTScaleC2S: 0.33, RTTScaleS2C: 0.33})
+	sel, _, _, _ := loadAll(pages, ReplayConfig{RTTScaleC2S: 0.33, RTTScaleS2C: 1.0})
+
+	pltCut := 1 - medianOf(cisp)/medianOf(base)
+	selCut := 1 - medianOf(sel)/medianOf(base)
+	objCut := 1 - medianOf(cispObj)/medianOf(baseObj)
+
+	t.Logf("median PLT cut %.0f%% (paper 31%%), selective %.0f%% (paper 27%%), object %.0f%% (paper 49%%)",
+		pltCut*100, selCut*100, objCut*100)
+
+	if pltCut < 0.20 || pltCut > 0.50 {
+		t.Errorf("cISP PLT reduction %.2f outside the plausible band around the paper's 0.31", pltCut)
+	}
+	if selCut <= 0 || selCut >= pltCut {
+		t.Errorf("selective reduction %.2f should be positive but below full cISP %.2f", selCut, pltCut)
+	}
+	if objCut <= pltCut {
+		t.Errorf("object-level cut %.2f should exceed PLT cut %.2f (compute overhead dilutes PLT)", objCut, pltCut)
+	}
+	// PLT improvement must be smaller than the 66% RTT improvement.
+	if pltCut >= 0.66 {
+		t.Errorf("PLT cut %.2f implausibly matches the full RTT cut", pltCut)
+	}
+}
+
+func TestSelectiveBytesFraction(t *testing.T) {
+	// §7.2: the selective mode sends only client→server traffic over cISP —
+	// about 8.5% of total bytes in the paper's replay.
+	pages := Corpus(CorpusConfig{Seed: 3})
+	_, _, c2s, s2c := loadAll(pages, ReplayConfig{})
+	frac := float64(c2s) / float64(c2s+s2c)
+	t.Logf("client-to-server byte fraction: %.1f%% (paper: 8.5%%)", frac*100)
+	if frac <= 0.01 || frac > 0.20 {
+		t.Fatalf("upstream byte fraction %.3f outside a single-digit-percent band", frac)
+	}
+}
+
+func TestSmallObjectsImproveMost(t *testing.T) {
+	// Paper: objects under 1460 B improve by 59%, more than large ones whose
+	// transfer time is bandwidth-bound. Compare sub-MSS objects against
+	// >100 KB objects by mean load time.
+	pages := Corpus(CorpusConfig{Seed: 4})
+	var smallBase, smallCisp, bigBase, bigCisp float64
+	var nSmall, nBig int
+	for _, p := range pages {
+		rb := Replay(p, ReplayConfig{})
+		rc := Replay(p, ReplayConfig{RTTScaleC2S: 0.33, RTTScaleS2C: 0.33})
+		for i, o := range p.Objects {
+			switch {
+			case o.Size < 1460:
+				smallBase += rb.ObjectTimes[i]
+				smallCisp += rc.ObjectTimes[i]
+				nSmall++
+			case o.Size > 100_000:
+				bigBase += rb.ObjectTimes[i]
+				bigCisp += rc.ObjectTimes[i]
+				nBig++
+			}
+		}
+	}
+	if nSmall == 0 || nBig == 0 {
+		t.Skip("degenerate corpus")
+	}
+	smallCut := 1 - smallCisp/smallBase
+	bigCut := 1 - bigCisp/bigBase
+	t.Logf("small-object cut %.0f%% (paper 59%%), >100KB-object cut %.0f%%", smallCut*100, bigCut*100)
+	if smallCut <= bigCut {
+		t.Errorf("small objects (%.2f) should improve more than bandwidth-bound large ones (%.2f)", smallCut, bigCut)
+	}
+}
+
+func TestRTTScalingMonotone(t *testing.T) {
+	pages := Corpus(CorpusConfig{Seed: 5, Pages: 10})
+	for _, p := range pages {
+		prev := math.Inf(1)
+		for _, scale := range []float64{1.0, 0.66, 0.33} {
+			r := Replay(p, ReplayConfig{RTTScaleC2S: scale, RTTScaleS2C: scale})
+			if r.PLT > prev+1e-12 {
+				t.Fatalf("PLT increased when RTT dropped (scale %v)", scale)
+			}
+			prev = r.PLT
+		}
+	}
+}
