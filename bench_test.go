@@ -5,12 +5,14 @@
 package cisp_test
 
 import (
+	"fmt"
 	"testing"
 
 	"cisp"
 	"cisp/internal/capacity"
 	"cisp/internal/design"
 	"cisp/internal/experiments"
+	"cisp/internal/parallel"
 	"cisp/internal/traffic"
 )
 
@@ -132,6 +134,56 @@ func BenchmarkFig13WebBrowsing(b *testing.B) {
 func BenchmarkCostBenefit(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		experiments.CostBenefit(benchOpts(15), 0.81)
+	}
+}
+
+// BenchmarkGreedyPoolWidth measures the Step-2 greedy design at 80 cities
+// — past every fan-out grain, so candidate seeding, refreshAll, the
+// snapshot APSP update and the fiber closure all hit the pool — under a
+// one-worker pool versus the GOMAXPROCS default. Compare the two series
+// with benchstat; on multi-core the wide pool should win while producing
+// the bit-identical design (asserted via the stretch metric).
+func BenchmarkGreedyPoolWidth(b *testing.B) {
+	s := cisp.NewScenario(cisp.ScenarioConfig{
+		Region: cisp.US, Scale: cisp.ScaleSmall, Seed: 30, MaxCities: 80,
+	})
+	p, err := s.Problem(s.PopulationTraffic(), 25*80)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, w := range []int{1, 0} {
+		name := "gomaxprocs"
+		if w == 1 {
+			name = "sequential"
+		}
+		b.Run(name, func(b *testing.B) {
+			prev := parallel.SetWorkers(w)
+			defer parallel.SetWorkers(prev)
+			var stretch float64
+			for i := 0; i < b.N; i++ {
+				stretch = design.Greedy(p, design.GreedyOptions{}).MeanStretch()
+			}
+			b.ReportMetric(stretch, "stretch")
+		})
+	}
+}
+
+// BenchmarkRunAllFigures measures the concurrent experiment runner on a
+// bundle of independent figure reproductions, sequential vs pooled.
+func BenchmarkRunAllFigures(b *testing.B) {
+	specs := []experiments.Spec{
+		{Name: "4c", Run: func(o experiments.Options) { experiments.Fig4cCostPerGB(o, []float64{10, 50}) }},
+		{Name: "12", Run: func(o experiments.Options) { experiments.Fig12Gaming(o, []float64{0, 150}) }},
+		{Name: "econ", Run: func(o experiments.Options) { experiments.CostBenefit(o, 0.81) }},
+	}
+	for _, par := range []int{1, 0} {
+		b.Run(fmt.Sprintf("parallelism=%d", par), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				opt := benchOpts(16)
+				opt.Parallelism = par
+				experiments.RunAll(opt, specs)
+			}
+		})
 	}
 }
 

@@ -3,29 +3,42 @@
 // Usage:
 //
 //	cispbench [-scale small|medium|full] [-seed N] [-fig all|2,3,4a,...]
+//	          [-parallel N] [-workers N]
 //
-// Each figure's output is the same rows/series the paper reports; see
-// EXPERIMENTS.md for the paper-vs-measured record.
+// Independent figures execute concurrently in a bounded pool (-parallel,
+// GOMAXPROCS wide by default); output is still emitted in figure order,
+// streamed as each figure completes (-parallel 1 streams within figures
+// too, like a plain sequential run). Concurrent figures each hold their
+// own scenario and contend for CPU, so peak memory grows with -parallel
+// and wall-clock figures (Fig 2's runtime columns) are only faithful at
+// -parallel 1 — which is also the sequential memory profile for -scale
+// full on small machines.
+// -workers bounds the inner worker pool the design and link-build hot
+// paths fan out on. Each figure's output is the same rows/series the paper
+// reports; see EXPERIMENTS.md for the paper-vs-measured record.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
-	"time"
 
 	"cisp"
 	"cisp/internal/experiments"
+	"cisp/internal/parallel"
 )
 
 func main() {
 	scale := flag.String("scale", "small", "scenario scale: small, medium, full")
 	seed := flag.Int64("seed", 1, "scenario seed")
 	figs := flag.String("fig", "all", "comma-separated figure list (2,3,4a,4b,4c,5,6,7,8,9,10,11,12,13,econ) or 'all'")
+	par := flag.Int("parallel", 0, "concurrent figure runs (0 = GOMAXPROCS, 1 = sequential)")
+	workers := flag.Int("workers", 0, "inner worker-pool width for the design/link-build hot paths (0 = GOMAXPROCS)")
 	flag.Parse()
 
-	opt := experiments.Options{Seed: *seed, Out: os.Stdout}
+	opt := experiments.Options{Seed: *seed, Out: os.Stdout, Parallelism: *par}
 	switch strings.ToLower(*scale) {
 	case "small":
 		opt.Scale = cisp.ScaleSmall
@@ -37,25 +50,8 @@ func main() {
 		fmt.Fprintf(os.Stderr, "unknown scale %q\n", *scale)
 		os.Exit(2)
 	}
-
-	want := map[string]bool{}
-	if *figs == "all" {
-		for _, f := range []string{"2", "3", "4a", "4b", "4c", "5", "6", "7", "8", "9", "10", "11", "12", "13", "econ", "ext"} {
-			want[f] = true
-		}
-	} else {
-		for _, f := range strings.Split(*figs, ",") {
-			want[strings.TrimSpace(f)] = true
-		}
-	}
-
-	run := func(name string, fn func()) {
-		if !want[name] {
-			return
-		}
-		start := time.Now()
-		fn()
-		fmt.Printf("  [%s done in %v]\n\n", name, time.Since(start).Round(time.Millisecond))
+	if *workers > 0 {
+		parallel.SetWorkers(*workers)
 	}
 
 	budgets := []float64{0, 200, 500, 1000, 2000, 4000}
@@ -66,33 +62,64 @@ func main() {
 		aggregates = []float64{10, 25, 50, 100, 200}
 	}
 
-	run("2", func() {
-		sizes := []int{4, 6, 8, 10, 12}
-		if opt.Scale != cisp.ScaleSmall {
-			sizes = []int{5, 10, 15, 20, 30, 40, 60}
+	all := []experiments.Spec{
+		{Name: "2", Run: func(o experiments.Options) {
+			sizes := []int{4, 6, 8, 10, 12}
+			if o.Scale != cisp.ScaleSmall {
+				sizes = []int{5, 10, 15, 20, 30, 40, 60}
+			}
+			experiments.Fig2Scaling(o, sizes, 12, 5)
+		}},
+		{Name: "3", Run: func(o experiments.Options) { experiments.Fig3USNetwork(o) }},
+		{Name: "4a", Run: func(o experiments.Options) { experiments.Fig4aStretchVsBudget(o, budgets) }},
+		{Name: "4b", Run: func(o experiments.Options) { experiments.Fig4bDisjointPaths(o, 20) }},
+		{Name: "4c", Run: func(o experiments.Options) { experiments.Fig4cCostPerGB(o, aggregates) }},
+		{Name: "5", Run: func(o experiments.Options) {
+			experiments.Fig5Perturbation(o, []float64{0, 0.1, 0.3, 0.5}, loads)
+		}},
+		{Name: "6", Run: func(o experiments.Options) { experiments.Fig6SpeedMismatch(o, 10, 3) }},
+		{Name: "7", Run: func(o experiments.Options) { experiments.Fig7Weather(o, 365) }},
+		{Name: "8", Run: func(o experiments.Options) { experiments.Fig8Europe(o) }},
+		{Name: "9", Run: func(o experiments.Options) { experiments.Fig9TrafficModels(o, aggregates) }},
+		{Name: "10", Run: func(o experiments.Options) {
+			experiments.Fig10TowerConstraints(o, [][2]float64{
+				{100, 0.85}, {80, 1.0}, {100, 0.65}, {70, 1.0}, {100, 0.45},
+				{70, 0.45}, {60, 1.0}, {60, 0.65}, {60, 0.45},
+			})
+		}},
+		{Name: "11", Run: func(o experiments.Options) { experiments.Fig11MixDeviation(o, loads) }},
+		{Name: "12", Run: func(o experiments.Options) {
+			experiments.Fig12Gaming(o, []float64{0, 25, 50, 75, 100, 150, 200, 250, 300})
+		}},
+		{Name: "13", Run: func(o experiments.Options) { experiments.Fig13WebBrowsing(o, 80) }},
+		{Name: "econ", Run: func(o experiments.Options) { experiments.CostBenefit(o, 0.81) }},
+		{Name: "ext", Run: func(o experiments.Options) { experiments.Extensions(o) }},
+	}
+	// "all" derives from the spec table itself, so new figures can't be
+	// silently skipped by a stale name list.
+	want := map[string]bool{}
+	if *figs == "all" {
+		for _, s := range all {
+			want[s.Name] = true
 		}
-		experiments.Fig2Scaling(opt, sizes, 12, 5)
-	})
-	run("3", func() { experiments.Fig3USNetwork(opt) })
-	run("4a", func() { experiments.Fig4aStretchVsBudget(opt, budgets) })
-	run("4b", func() { experiments.Fig4bDisjointPaths(opt, 20) })
-	run("4c", func() { experiments.Fig4cCostPerGB(opt, aggregates) })
-	run("5", func() { experiments.Fig5Perturbation(opt, []float64{0, 0.1, 0.3, 0.5}, loads) })
-	run("6", func() { experiments.Fig6SpeedMismatch(opt, 10, 3) })
-	run("7", func() { experiments.Fig7Weather(opt, 365) })
-	run("8", func() { experiments.Fig8Europe(opt) })
-	run("9", func() { experiments.Fig9TrafficModels(opt, aggregates) })
-	run("10", func() {
-		experiments.Fig10TowerConstraints(opt, [][2]float64{
-			{100, 0.85}, {80, 1.0}, {100, 0.65}, {70, 1.0}, {100, 0.45},
-			{70, 0.45}, {60, 1.0}, {60, 0.65}, {60, 0.45},
-		})
-	})
-	run("11", func() { experiments.Fig11MixDeviation(opt, loads) })
-	run("12", func() {
-		experiments.Fig12Gaming(opt, []float64{0, 25, 50, 75, 100, 150, 200, 250, 300})
-	})
-	run("13", func() { experiments.Fig13WebBrowsing(opt, 80) })
-	run("econ", func() { experiments.CostBenefit(opt, 0.81) })
-	run("ext", func() { experiments.Extensions(opt) })
+	} else {
+		for _, f := range strings.Split(*figs, ",") {
+			want[strings.TrimSpace(f)] = true
+		}
+	}
+	var specs []experiments.Spec
+	for _, s := range all {
+		if want[s.Name] {
+			specs = append(specs, s)
+		}
+	}
+	figPar := *par
+	if figPar <= 0 {
+		figPar = runtime.GOMAXPROCS(0)
+	}
+	if want["2"] && len(specs) > 1 && figPar > 1 {
+		fmt.Fprintln(os.Stderr,
+			"note: concurrent figures contend for CPU and inflate Fig 2's measured design runtimes; use -parallel 1 for timing fidelity")
+	}
+	experiments.RunAll(opt, specs)
 }

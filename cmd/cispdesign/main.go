@@ -4,7 +4,11 @@
 // Usage:
 //
 //	cispdesign [-region us|europe] [-scale small|medium|full] [-seed N]
-//	           [-budget towers] [-aggregate gbps] [-geojson]
+//	           [-budget towers] [-aggregate gbps] [-geojson] [-workers N]
+//
+// -workers bounds the worker pool the link-build and design hot paths fan
+// out on (0 = GOMAXPROCS); the designed topology is identical at every
+// width.
 package main
 
 import (
@@ -16,6 +20,7 @@ import (
 	"strings"
 
 	"cisp"
+	"cisp/internal/parallel"
 )
 
 func main() {
@@ -25,7 +30,11 @@ func main() {
 	budget := flag.Float64("budget", 0, "tower budget (0 = 25 per city, as in the paper)")
 	aggregate := flag.Float64("aggregate", 0, "aggregate Gbps to provision (0 = scale default)")
 	geojson := flag.Bool("geojson", false, "emit the topology as GeoJSON on stdout")
+	workers := flag.Int("workers", 0, "worker-pool width for the design/link-build hot paths (0 = GOMAXPROCS)")
 	flag.Parse()
+	if *workers > 0 {
+		parallel.SetWorkers(*workers)
+	}
 
 	cfg := cisp.ScenarioConfig{Seed: *seed}
 	switch strings.ToLower(*region) {

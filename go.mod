@@ -1,0 +1,3 @@
+module cisp
+
+go 1.24

@@ -2,6 +2,8 @@ package design
 
 import (
 	"container/heap"
+
+	"cisp/internal/parallel"
 )
 
 // GreedyOptions tunes the heuristic.
@@ -78,15 +80,28 @@ func Greedy(p *Problem, opt GreedyOptions) *Topology {
 	h := &gainHeap{perCost: opt.PerCost, costOf: func(i, j int) float64 { return p.MWCost[i][j] }}
 
 	// Seed the heap with every useful link, positive gain or not (synergy
-	// can activate them later).
+	// can activate them later). Collecting the candidate pairs is cheap and
+	// stays inline; the O(n²)-per-pair gain evaluations fan out on the pool,
+	// indexed by pair so the entry order — and hence the heap — is identical
+	// to a sequential scan.
+	var pairs [][2]int
 	for i := 0; i < p.N; i++ {
 		for j := i + 1; j < p.N; j++ {
 			if !p.usefulLink(i, j, t.fiberD) || p.MWCost[i][j] > budget {
 				continue
 			}
-			h.entries = append(h.entries, heapEntry{i: i, j: j, gain: t.gainOf(i, j), epoch: 0})
+			pairs = append(pairs, [2]int{i, j})
 		}
 	}
+	h.entries = make([]heapEntry, len(pairs))
+	for k, ij := range pairs {
+		h.entries[k] = heapEntry{i: ij[0], j: ij[1], epoch: 0}
+	}
+	parallel.For(len(h.entries), gainGrain, func(lo, hi int) {
+		for k := lo; k < hi; k++ {
+			h.entries[k].gain = t.gainOf(h.entries[k].i, h.entries[k].j)
+		}
+	})
 	heap.Init(h)
 
 	refreshEvery := opt.RefreshEvery
@@ -96,10 +111,12 @@ func Greedy(p *Problem, opt GreedyOptions) *Topology {
 	epoch := 0
 	remaining := budget
 	refreshAll := func() {
-		for k := range h.entries {
-			h.entries[k].gain = t.gainOf(h.entries[k].i, h.entries[k].j)
-			h.entries[k].epoch = epoch
-		}
+		parallel.For(len(h.entries), gainGrain, func(lo, hi int) {
+			for k := lo; k < hi; k++ {
+				h.entries[k].gain = t.gainOf(h.entries[k].i, h.entries[k].j)
+				h.entries[k].epoch = epoch
+			}
+		})
 		heap.Init(h)
 	}
 	for h.Len() > 0 {

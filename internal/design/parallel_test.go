@@ -1,0 +1,71 @@
+package design
+
+import (
+	"testing"
+
+	"cisp/internal/parallel"
+)
+
+// sameDesign asserts two topologies built the exact same link list, in the
+// same order, with bitwise-equal stretch.
+func sameDesign(t *testing.T, label string, seq, par *Topology) {
+	t.Helper()
+	if len(seq.Built) != len(par.Built) {
+		t.Fatalf("%s: sequential built %d links, parallel %d", label, len(seq.Built), len(par.Built))
+	}
+	for k := range seq.Built {
+		if seq.Built[k] != par.Built[k] {
+			t.Fatalf("%s: link %d differs: sequential %+v, parallel %+v",
+				label, k, seq.Built[k], par.Built[k])
+		}
+	}
+	if s, p := seq.MeanStretch(), par.MeanStretch(); s != p {
+		t.Fatalf("%s: MeanStretch differs bitwise: sequential %v, parallel %v", label, s, p)
+	}
+	if s, p := seq.CostUsed(), par.CostUsed(); s != p {
+		t.Fatalf("%s: CostUsed differs: sequential %v, parallel %v", label, s, p)
+	}
+}
+
+// TestGreedyParallelDeterminism: the pool's determinism contract applied to
+// the full design path — a wide pool must reproduce the one-worker run
+// bit-for-bit, Built list and stretch alike. n=70 exceeds every fan-out
+// grain (apsGrain=64 is the largest), so the parallel candidate seeding,
+// refreshAll, snapshot APSP update, Dijkstra fiber closure and chunked
+// stretch reduction are all exercised for real.
+func TestGreedyParallelDeterminism(t *testing.T) {
+	for seed := int64(0); seed < 3; seed++ {
+		p := randomProblem(seed+700, 70, 80)
+
+		prev := parallel.SetWorkers(1)
+		seq := Greedy(p, GreedyOptions{})
+		seqPC := Greedy(p, GreedyOptions{PerCost: true})
+
+		parallel.SetWorkers(8)
+		par := Greedy(p, GreedyOptions{})
+		parPC := Greedy(p, GreedyOptions{PerCost: true})
+		parallel.SetWorkers(prev)
+
+		if len(seq.Built) == 0 {
+			t.Fatalf("seed %d: greedy built nothing — test exercises nothing", seed)
+		}
+		sameDesign(t, "greedy", seq, par)
+		sameDesign(t, "greedy/per-cost", seqPC, parPC)
+	}
+}
+
+// TestGreedyILPParallelDeterminism: same contract for the paper's full
+// method (greedy pruning + exact refinement) at the exact solvers' scale.
+func TestGreedyILPParallelDeterminism(t *testing.T) {
+	for seed := int64(0); seed < 3; seed++ {
+		p := randomProblem(seed+800, 10, 40)
+
+		prev := parallel.SetWorkers(1)
+		seq := GreedyILP(p, 20_000)
+		parallel.SetWorkers(8)
+		par := GreedyILP(p, 20_000)
+		parallel.SetWorkers(prev)
+
+		sameDesign(t, "greedy-ilp", seq, par)
+	}
+}

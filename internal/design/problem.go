@@ -23,6 +23,9 @@ package design
 import (
 	"fmt"
 	"math"
+
+	"cisp/internal/graph"
+	"cisp/internal/parallel"
 )
 
 // Problem is a Step-2 instance over n sites. All matrices are n×n and
@@ -91,18 +94,29 @@ func (p *Problem) totalTraffic() float64 {
 	return sum
 }
 
-// fiberClosure returns the metric closure of FiberLat (Floyd-Warshall), so
-// downstream code can treat fiber distances as shortest fiber paths even if
-// the caller supplied raw per-pair conduit lengths.
+// fiberClosure returns the metric closure of FiberLat, so downstream code
+// can treat fiber distances as shortest fiber paths even if the caller
+// supplied raw per-pair conduit lengths. The closure is a per-source
+// shortest-path fan-out via internal/graph — FiberLat is a complete
+// matrix, so the dense O(n²)-per-source Dijkstra matches Floyd-Warshall's
+// total cost while each source owns one output row, letting the sources
+// parallelize on the pool with results independent of the worker count.
+// The lower triangle mirrors the upper one: float sums along reversed
+// paths can round differently, and the rest of the solver assumes exact
+// symmetry.
 func (p *Problem) fiberClosure() [][]float64 {
 	n := p.N
 	d := make([][]float64, n)
+	parallel.For(n, closureGrain, func(lo, hi int) {
+		for s := lo; s < hi; s++ {
+			d[s] = graph.DenseSourceShortest(p.FiberLat, s)
+		}
+	})
 	for i := 0; i < n; i++ {
-		d[i] = make([]float64, n)
-		copy(d[i], p.FiberLat[i])
-		d[i][i] = 0
+		for j := i + 1; j < n; j++ {
+			d[j][i] = d[i][j]
+		}
 	}
-	floydWarshall(d)
 	return d
 }
 

@@ -1,6 +1,23 @@
 package design
 
-import "math"
+import (
+	"math"
+	"sync"
+
+	"cisp/internal/parallel"
+)
+
+// Grain sizes for the pool: a parallel region only fans out goroutines when
+// its index range exceeds the grain, so small instances (the exact solvers'
+// regime, where AddLink and objective sit inside a branch-and-bound loop)
+// keep running inline with zero scheduling overhead. Per-index work in the
+// APSP update and the stretch reductions is O(n), so the grain is a row
+// count; candidate gains are O(n²) each, so there the grain is 1.
+const (
+	apsGrain     = 64 // sources per updateAPSP / rows per objective reduction
+	gainGrain    = 1  // candidate pairs per gain evaluation
+	closureGrain = 16 // Dijkstra sources per fiberClosure fan-out
+)
 
 // Link is one built microwave city-city link.
 type Link struct {
@@ -19,6 +36,14 @@ type Topology struct {
 	d      [][]float64 // hybrid latency-equivalent APSP
 	fiberD [][]float64 // fiber-only metric closure (for pruning/baselines)
 	cost   float64
+
+	// built holds the normalized (i<j) pairs of Built for O(1) HasLink.
+	// It is materialized from Built on the first query (sync.Once, so
+	// concurrent first reads are safe) rather than maintained eagerly:
+	// the exact solvers clone topologies once per branch-and-bound node
+	// and never call HasLink, so they must not pay for map copies.
+	builtOnce sync.Once
+	built     map[[2]int]struct{}
 }
 
 // NewTopology returns the fiber-only topology for p (no microwave links).
@@ -43,33 +68,69 @@ func (t *Topology) Clone() *Topology {
 	return c
 }
 
+// normPair returns the (min,max) normalization of a link key.
+func normPair(i, j int) [2]int {
+	if i > j {
+		i, j = j, i
+	}
+	return [2]int{i, j}
+}
+
 // AddLink builds the microwave link (i,j) and updates the APSP matrix in
 // O(n²) using the single-edge-insertion identity.
 func (t *Topology) AddLink(i, j int) {
 	w := t.P.MW[i][j]
 	t.Built = append(t.Built, Link{I: i, J: j, Dist: w, Cost: t.P.MWCost[i][j]})
+	if t.built != nil {
+		t.built[normPair(i, j)] = struct{}{}
+	}
 	t.cost += t.P.MWCost[i][j]
 	updateAPSP(t.d, i, j, w)
 }
 
 // updateAPSP relaxes all pairs through a new edge (i,j) of weight w.
+//
+// At greedy scale (n > apsGrain) the endpoint rows are snapshotted first,
+// so every source relaxes against the pre-insertion distances: the
+// single-edge-insertion identity needs nothing newer (a shortest path uses
+// the new edge at most once), and it makes the per-source relaxations
+// order-independent — the pool fans them out with results bit-identical at
+// every worker count. Small instances (the exact solvers' regime, where
+// AddLink sits inside a branch-and-bound loop) keep the allocation-free
+// in-place scan; the gate depends only on n, never on the worker count.
 func updateAPSP(d [][]float64, i, j int, w float64) {
 	n := len(d)
-	for s := 0; s < n; s++ {
-		dsi, dsj := d[s][i], d[s][j]
-		if math.IsInf(dsi, 1) && math.IsInf(dsj, 1) {
-			continue
+	if n <= apsGrain {
+		for s := 0; s < n; s++ {
+			relaxRow(d[s], d[i], d[j], i, j, w, n)
 		}
-		ds := d[s]
-		for u := 0; u < n; u++ {
-			via1 := dsi + w + d[j][u]
-			via2 := dsj + w + d[i][u]
-			if via1 < ds[u] {
-				ds[u] = via1
-			}
-			if via2 < ds[u] {
-				ds[u] = via2
-			}
+		return
+	}
+	di := append([]float64(nil), d[i]...)
+	dj := append([]float64(nil), d[j]...)
+	parallel.For(n, apsGrain, func(lo, hi int) {
+		for s := lo; s < hi; s++ {
+			relaxRow(d[s], di, dj, i, j, w, n)
+		}
+	})
+}
+
+// relaxRow relaxes one source row through the new edge (i,j): ds[u] =
+// min(ds[u], ds[i]+w+dj[u], ds[j]+w+di[u]), where di/dj are the edge
+// endpoints' distance rows.
+func relaxRow(ds, di, dj []float64, i, j int, w float64, n int) {
+	dsi, dsj := ds[i], ds[j]
+	if math.IsInf(dsi, 1) && math.IsInf(dsj, 1) {
+		return
+	}
+	for u := 0; u < n; u++ {
+		via1 := dsi + w + dj[u]
+		via2 := dsj + w + di[u]
+		if via1 < ds[u] {
+			ds[u] = via1
+		}
+		if via2 < ds[u] {
+			ds[u] = via2
 		}
 	}
 }
@@ -83,41 +144,61 @@ func (t *Topology) Dist(i, j int) float64 { return t.d[i][j] }
 // FiberDist returns the fiber-only latency-equivalent distance.
 func (t *Topology) FiberDist(i, j int) float64 { return t.fiberD[i][j] }
 
+// stretchSum is a partial traffic-weighted stretch accumulation.
+type stretchSum struct{ num, den float64 }
+
+// stretchOver reduces Σ h_st·d[s][u]/geo_su (and Σ h_st) over all s<u pairs
+// of the given distance matrix. At greedy scale the row sums fan out on the
+// pool; the chunk-ordered merge keeps the float result independent of the
+// worker count. Small instances (objective() runs per branch-and-bound
+// node) take the plain accumulation — the gate depends only on n.
+func (p *Problem) stretchOver(d [][]float64) stretchSum {
+	if p.N <= apsGrain {
+		var acc stretchSum
+		for s := 0; s < p.N; s++ {
+			acc = acc.addRow(p, d, s)
+		}
+		return acc
+	}
+	return parallel.Reduce(p.N, apsGrain, func(lo, hi int) stretchSum {
+		var acc stretchSum
+		for s := lo; s < hi; s++ {
+			acc = acc.addRow(p, d, s)
+		}
+		return acc
+	}, func(a, b stretchSum) stretchSum {
+		return stretchSum{a.num + b.num, a.den + b.den}
+	})
+}
+
+// addRow accumulates source row s of the stretch sum.
+func (acc stretchSum) addRow(p *Problem, d [][]float64, s int) stretchSum {
+	for u := s + 1; u < p.N; u++ {
+		h := p.Traffic[s][u]
+		if h == 0 {
+			continue
+		}
+		acc.num += h * d[s][u] / p.Geodesic[s][u]
+		acc.den += h
+	}
+	return acc
+}
+
 // MeanStretch returns the traffic-weighted mean stretch,
 // Σ h_st · (D_st/d_st) / Σ h_st — the paper's objective normalised per unit
 // traffic. Pairs with zero traffic are ignored.
 func (t *Topology) MeanStretch() float64 {
-	p := t.P
-	num, den := 0.0, 0.0
-	for s := 0; s < p.N; s++ {
-		for u := s + 1; u < p.N; u++ {
-			h := p.Traffic[s][u]
-			if h == 0 {
-				continue
-			}
-			num += h * t.d[s][u] / p.Geodesic[s][u]
-			den += h
-		}
-	}
-	if den == 0 {
+	s := t.P.stretchOver(t.d)
+	if s.den == 0 {
 		return math.NaN()
 	}
-	return num / den
+	return s.num / s.den
 }
 
 // objective is the un-normalised Σ h_st·D_st/d_st (what the solvers
 // minimise; same argmin as MeanStretch).
 func (t *Topology) objective() float64 {
-	p := t.P
-	sum := 0.0
-	for s := 0; s < p.N; s++ {
-		for u := s + 1; u < p.N; u++ {
-			if h := p.Traffic[s][u]; h != 0 {
-				sum += h * t.d[s][u] / p.Geodesic[s][u]
-			}
-		}
-	}
-	return sum
+	return t.P.stretchOver(t.d).num
 }
 
 // gainOf returns the objective decrease from adding link (i,j) to the
@@ -144,33 +225,28 @@ func (t *Topology) gainOf(i, j int) float64 {
 	return gain
 }
 
-// HasLink reports whether the (i,j) microwave link is built.
+// HasLink reports whether the (i,j) microwave link is built. O(1) after
+// the first call: backed by a set keyed on the normalized pair, built once
+// from Built (concurrent first calls are safe; like every other accessor,
+// HasLink must not race with AddLink).
 func (t *Topology) HasLink(i, j int) bool {
-	for _, l := range t.Built {
-		if (l.I == i && l.J == j) || (l.I == j && l.J == i) {
-			return true
+	t.builtOnce.Do(func() {
+		m := make(map[[2]int]struct{}, len(t.Built))
+		for _, l := range t.Built {
+			m[normPair(l.I, l.J)] = struct{}{}
 		}
-	}
-	return false
+		t.built = m
+	})
+	_, ok := t.built[normPair(i, j)]
+	return ok
 }
 
 // MeanFiberStretch returns the traffic-weighted mean stretch of the
 // fiber-only baseline (no MW links) — the paper's ~1.93× reference.
 func (t *Topology) MeanFiberStretch() float64 {
-	p := t.P
-	num, den := 0.0, 0.0
-	for s := 0; s < p.N; s++ {
-		for u := s + 1; u < p.N; u++ {
-			h := p.Traffic[s][u]
-			if h == 0 {
-				continue
-			}
-			num += h * t.fiberD[s][u] / p.Geodesic[s][u]
-			den += h
-		}
-	}
-	if den == 0 {
+	s := t.P.stretchOver(t.fiberD)
+	if s.den == 0 {
 		return math.NaN()
 	}
-	return num / den
+	return s.num / s.den
 }

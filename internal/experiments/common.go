@@ -25,6 +25,10 @@ type Options struct {
 
 	// MaxCities truncates the scenario's city set when > 0 (test speed-ups).
 	MaxCities int
+
+	// Parallelism bounds how many independent figure reproductions RunAll
+	// executes concurrently. 0 means GOMAXPROCS; 1 forces sequential runs.
+	Parallelism int
 }
 
 func (o *Options) out() io.Writer {

@@ -1,0 +1,115 @@
+package experiments
+
+import (
+	"bytes"
+	"runtime"
+	"time"
+
+	"cisp/internal/parallel"
+)
+
+// Spec names one experiment invocation for the concurrent runner. Run
+// receives an Options copy whose Out points at a per-spec buffer, so specs
+// never interleave writes.
+type Spec struct {
+	Name string
+	Run  func(Options)
+}
+
+// Timing records one completed spec, in spec order.
+type Timing struct {
+	Name    string
+	Seconds float64
+}
+
+// RunAll executes independent figure reproductions in a bounded pool of
+// opt.Parallelism workers (GOMAXPROCS when 0 — deliberately not the
+// parallel.SetWorkers override, which bounds the inner design/link-build
+// pool and is an independent knob) instead of back-to-back.
+//
+// With one worker, specs write straight to opt.Out, streaming within each
+// figure exactly like a back-to-back run. With more, every spec gets a
+// private copy of opt with an in-memory Out and a flusher streams the
+// buffers to opt.Out strictly in spec order, each as soon as it and all
+// earlier specs have finished — at any pool width the combined output is
+// identical to the sequential run regardless of which spec completes
+// first. Experiments build their scenarios from Options alone and share
+// no mutable state, which is what makes the fan-out safe. Note that
+// figures whose *output* is a wall-clock measurement (Fig 2's runtime
+// columns, the timing lines) are only trustworthy at Parallelism 1:
+// concurrent figures contend for the same cores.
+func RunAll(opt Options, specs []Spec) []Timing {
+	workers := opt.Parallelism
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers == 1 || len(specs) == 1 {
+		// Sequential: write straight to opt.Out so long figures stream row
+		// by row as they compute, exactly like a back-to-back run.
+		times := make([]Timing, len(specs))
+		w := opt.out()
+		for k, s := range specs {
+			o := opt
+			o.Out = w
+			start := time.Now()
+			s.Run(o)
+			times[k] = Timing{Name: s.Name, Seconds: time.Since(start).Seconds()}
+			fprintf(w, "  [%s done in %.3fs]\n\n", s.Name, times[k].Seconds)
+		}
+		return times
+	}
+	bufs := make([]*bytes.Buffer, len(specs))
+	times := make([]Timing, len(specs))
+	ok := make([]bool, len(specs)) // spec finished without panicking
+	done := make([]chan struct{}, len(specs))
+	tasks := make([]func(), len(specs))
+	for k := range specs {
+		k := k
+		bufs[k] = &bytes.Buffer{}
+		done[k] = make(chan struct{})
+		tasks[k] = func() {
+			defer close(done[k]) // even on panic, so the flusher never hangs
+			o := opt
+			o.Out = bufs[k]
+			start := time.Now()
+			specs[k].Run(o)
+			times[k] = Timing{Name: specs[k].Name, Seconds: time.Since(start).Seconds()}
+			ok[k] = true
+		}
+	}
+
+	// The flusher streams completed buffers in spec order, stopping at the
+	// first spec that panicked (ok[k] false: its truncated buffer and a
+	// bogus timing line are suppressed) or, via quit, at the first spec
+	// that never ran because a panic stopped the pool. The deferred join
+	// waits for it either way, so opt.Out is never written concurrently
+	// with (or after) RunAll's unwind.
+	flushed := make(chan struct{})
+	quit := make(chan struct{})
+	go func() {
+		defer close(flushed)
+		w := opt.out()
+		for k := range specs {
+			select {
+			case <-done[k]:
+			case <-quit:
+				select {
+				case <-done[k]: // finished after all; keep flushing
+				default:
+					return
+				}
+			}
+			if !ok[k] {
+				return
+			}
+			w.Write(bufs[k].Bytes())
+			fprintf(w, "  [%s done in %.3fs]\n\n", specs[k].Name, times[k].Seconds)
+		}
+	}()
+	defer func() {
+		close(quit)
+		<-flushed
+	}()
+	parallel.Run(workers, tasks)
+	return times
+}

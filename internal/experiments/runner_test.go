@@ -1,0 +1,43 @@
+package experiments
+
+import (
+	"bytes"
+	"regexp"
+	"testing"
+)
+
+// TestRunAllMatchesSequential: the concurrent runner must produce the same
+// figure output as back-to-back runs, flushed in spec order, at any pool
+// width.
+func TestRunAllMatchesSequential(t *testing.T) {
+	specs := []Spec{
+		{Name: "4c", Run: func(o Options) { Fig4cCostPerGB(o, []float64{5, 20}) }},
+		{Name: "12", Run: func(o Options) { Fig12Gaming(o, []float64{0, 150}) }},
+		{Name: "econ", Run: func(o Options) { CostBenefit(o, 0.81) }},
+	}
+	run := func(parallelism int) string {
+		var buf bytes.Buffer
+		opt := testOpts(21)
+		opt.Out = &buf
+		opt.Parallelism = parallelism
+		times := RunAll(opt, specs)
+		if len(times) != len(specs) {
+			t.Fatalf("parallelism %d: %d timings for %d specs", parallelism, len(times), len(specs))
+		}
+		for k, tm := range times {
+			if tm.Name != specs[k].Name || tm.Seconds <= 0 {
+				t.Fatalf("parallelism %d: bad timing %+v for spec %q", parallelism, tm, specs[k].Name)
+			}
+		}
+		// Timing lines vary run to run; strip them before comparing.
+		return regexp.MustCompile(`(?m)^  \[.* done in .*\]\n`).ReplaceAllString(buf.String(), "")
+	}
+	seq := run(1)
+	par := run(4)
+	if seq == "" {
+		t.Fatal("sequential run produced no output")
+	}
+	if seq != par {
+		t.Errorf("concurrent output differs from sequential:\n--- sequential ---\n%s\n--- parallel ---\n%s", seq, par)
+	}
+}

@@ -210,8 +210,69 @@ func (g *Graph) PathLength(path []int) float64 {
 	return total
 }
 
-// Connected reports whether dst is reachable from src.
+// DenseSourceShortest computes single-source shortest distances from src
+// over a complete weight matrix w (w[u][v] = +Inf where no edge; the
+// diagonal is ignored). It is the dense counterpart of Dijkstra: an O(n²)
+// scan-for-minimum with no heap and one allocation, which matches
+// Floyd-Warshall's per-source cost on complete graphs where the heap
+// version pays an extra log factor. Ties settle at the lowest node index,
+// and the resulting distances are bit-identical to heap Dijkstra's (each
+// dist[v] is a min over the same sums, and min is order-independent).
+func DenseSourceShortest(w [][]float64, src int) []float64 {
+	n := len(w)
+	dist := make([]float64, n)
+	done := make([]bool, n)
+	for i := range dist {
+		dist[i] = math.Inf(1)
+	}
+	dist[src] = 0
+	for range n {
+		u, best := -1, math.Inf(1)
+		for v := 0; v < n; v++ {
+			if !done[v] && dist[v] < best {
+				u, best = v, dist[v]
+			}
+		}
+		if u < 0 {
+			break // remaining nodes unreachable
+		}
+		done[u] = true
+		wu := w[u]
+		for v := 0; v < n; v++ {
+			if done[v] || v == u {
+				continue
+			}
+			if nd := best + wu[v]; nd < dist[v] {
+				dist[v] = nd
+			}
+		}
+	}
+	return dist
+}
+
+// Connected reports whether dst is reachable from src. Reachability needs
+// neither edge weights nor path reconstruction, so this is a plain
+// breadth-first search that exits as soon as dst is seen — no heap, no
+// prev array, no full-graph settle.
 func (g *Graph) Connected(src, dst int) bool {
-	_, l := g.ShortestPath(src, dst)
-	return !math.IsInf(l, 1)
+	if src == dst {
+		return true
+	}
+	seen := make([]bool, len(g.adj))
+	seen[src] = true
+	queue := []int{src}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, e := range g.adj[u] {
+			if e.To == dst {
+				return true
+			}
+			if !seen[e.To] {
+				seen[e.To] = true
+				queue = append(queue, e.To)
+			}
+		}
+	}
+	return false
 }

@@ -60,6 +60,66 @@ func TestUnreachable(t *testing.T) {
 	}
 }
 
+func TestDenseSourceShortestMatchesDijkstra(t *testing.T) {
+	// The heap-free dense Dijkstra must produce bit-identical distances to
+	// the adjacency-list one on random dense matrices (with some +Inf
+	// holes and an unreachable node).
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 20; trial++ {
+		n := 3 + rng.Intn(30)
+		w := make([][]float64, n+1)
+		for i := range w {
+			w[i] = make([]float64, n+1)
+			for j := range w[i] {
+				w[i][j] = math.Inf(1)
+			}
+		}
+		g := New(n + 1)
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if rng.Float64() < 0.2 {
+					continue // no edge
+				}
+				x := rng.Float64()*10 + 0.1
+				w[i][j], w[j][i] = x, x
+				g.AddEdge(i, j, x)
+			}
+		}
+		// Node n stays isolated in both representations.
+		for src := 0; src <= n; src++ {
+			dist, _ := g.Dijkstra(src)
+			dense := DenseSourceShortest(w, src)
+			for v := 0; v <= n; v++ {
+				if dist[v] != dense[v] && !(math.IsInf(dist[v], 1) && math.IsInf(dense[v], 1)) {
+					t.Fatalf("trial %d src %d: dense[%d] = %v, Dijkstra %v", trial, src, v, dense[v], dist[v])
+				}
+			}
+		}
+	}
+}
+
+func TestConnectedAgainstDijkstra(t *testing.T) {
+	// The BFS reachability fast path must agree with full Dijkstra on
+	// random graphs, including isolated nodes and src == dst.
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 20; trial++ {
+		n := 5 + rng.Intn(25)
+		g := randomGraph(rng, n)
+		g.AddNode() // isolated: unreachable from everyone else
+		for q := 0; q < 30; q++ {
+			src, dst := rng.Intn(g.N()), rng.Intn(g.N())
+			dist, _ := g.Dijkstra(src)
+			if got, want := g.Connected(src, dst), !math.IsInf(dist[dst], 1); got != want {
+				t.Fatalf("trial %d: Connected(%d,%d) = %v, Dijkstra says %v", trial, src, dst, got, want)
+			}
+		}
+	}
+	g := New(2)
+	if !g.Connected(1, 1) {
+		t.Fatal("Connected(v,v) = false on isolated node")
+	}
+}
+
 func TestSelfPath(t *testing.T) {
 	g := line(3)
 	path, d := g.ShortestPath(1, 1)

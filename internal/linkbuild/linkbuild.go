@@ -12,12 +12,11 @@ package linkbuild
 
 import (
 	"math"
-	"runtime"
-	"sync"
 
 	"cisp/internal/cities"
 	"cisp/internal/graph"
 	"cisp/internal/los"
+	"cisp/internal/parallel"
 	"cisp/internal/towers"
 )
 
@@ -60,34 +59,19 @@ func Build(cs []cities.City, reg *towers.Registry, ev *los.Evaluator, cfg Config
 		}
 	}
 
-	// Candidate tower pairs within microwave range, then parallel LOS checks.
+	// Candidate tower pairs within microwave range, then LOS checks fanned
+	// out on the shared pool (each check owns its feasible[k] slot).
 	type pair struct{ i, j int }
 	var cands []pair
 	reg.Pairs(ev.Params.MaxRange, func(i, j int) {
 		cands = append(cands, pair{i, j})
 	})
 	feasible := make([]bool, len(cands))
-	workers := runtime.GOMAXPROCS(0)
-	var wg sync.WaitGroup
-	chunk := (len(cands) + workers - 1) / workers
-	for w := 0; w < workers; w++ {
-		lo := w * chunk
-		hi := lo + chunk
-		if hi > len(cands) {
-			hi = len(cands)
+	parallel.For(len(cands), 32, func(lo, hi int) {
+		for k := lo; k < hi; k++ {
+			feasible[k] = ev.HopFeasible(reg.Tower(cands[k].i), reg.Tower(cands[k].j))
 		}
-		if lo >= hi {
-			continue
-		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			for k := lo; k < hi; k++ {
-				feasible[k] = ev.HopFeasible(reg.Tower(cands[k].i), reg.Tower(cands[k].j))
-			}
-		}(lo, hi)
-	}
-	wg.Wait()
+	})
 
 	hops := 0
 	for k, ok := range feasible {
@@ -98,15 +82,18 @@ func Build(cs []cities.City, reg *towers.Registry, ev *los.Evaluator, cfg Config
 		}
 	}
 
-	// All-pairs shortest microwave links: one Dijkstra per city.
+	// All-pairs shortest microwave links: one Dijkstra per city, each city
+	// owning its own row, fanned out on the pool.
 	l := &Links{Cities: cs, Reg: reg, g: g, feasibleHops: hops}
 	l.dist = make([][]float64, n)
 	l.prev = make([][]int, n)
-	for i := 0; i < n; i++ {
-		d, p := g.Dijkstra(i)
-		l.dist[i] = d[:n:n]
-		l.prev[i] = p
-	}
+	parallel.For(n, 1, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			d, p := g.Dijkstra(i)
+			l.dist[i] = d[:n:n]
+			l.prev[i] = p
+		}
+	})
 	// Mirror for exact symmetry.
 	for i := 0; i < n; i++ {
 		for j := i + 1; j < n; j++ {

@@ -1,0 +1,198 @@
+// Package parallel is the shared worker-pool subsystem behind every
+// concurrent hot path in the codebase: Step-1 line-of-sight sweeps
+// (internal/linkbuild), the Step-2 design loops (internal/design) and the
+// concurrent experiment runner (internal/experiments).
+//
+// It provides chunked index-range fan-out (For, Map), chunk-ordered
+// reduction (Reduce) and a bounded task pool (Run), all with panic
+// propagation back to the caller.
+//
+// Determinism contract: chunk boundaries depend only on the range length n —
+// never on the worker count — and Reduce folds per-chunk partials strictly
+// in chunk order. Any computation built on these primitives therefore
+// produces bit-identical results at every parallelism level, including the
+// sequential one-worker path. This is what lets the design solvers claim
+// "parallel output == sequential output" exactly, not just approximately.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// maxChunks bounds how many chunks a range is split into. It is a constant
+// — not a function of the worker count — so chunk boundaries, and therefore
+// any chunk-ordered reduction, are identical at every parallelism level.
+// 64 chunks keep the atomic-counter dispatch balanced well past the pool
+// widths of commodity machines while staying cheap to fold.
+const maxChunks = 64
+
+// workerOverride holds the SetWorkers value; 0 means "use GOMAXPROCS".
+var workerOverride atomic.Int64
+
+// Workers returns the pool width used when a call does not specify one: the
+// last SetWorkers value, or GOMAXPROCS when unset.
+func Workers() int {
+	if w := workerOverride.Load(); w > 0 {
+		return int(w)
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// SetWorkers overrides the default pool width (n <= 0 restores the
+// GOMAXPROCS default) and returns the previous override (0 if none was
+// set). Intended for CLI flags and determinism tests; safe for concurrent
+// use.
+func SetWorkers(n int) (prev int) {
+	if n < 0 {
+		n = 0
+	}
+	return int(workerOverride.Swap(int64(n)))
+}
+
+// chunkSize returns the deterministic chunk width for a range of n items.
+func chunkSize(n int) int {
+	return (n + maxChunks - 1) / maxChunks
+}
+
+// dispatch runs fn(i) for i in [0,n) on at most `workers` goroutines
+// pulling indices from an atomic counter. A panic in fn stops the pool:
+// in-flight indices drain, no new ones are dispatched, and the panic is
+// re-raised in the caller (the lowest-index panic observed, when several
+// in-flight indices fail together). Callers guarantee workers >= 2 and
+// n >= 1 — sequential execution is their own inline path, where a panic
+// propagates immediately.
+func dispatch(n, workers int, fn func(i int)) {
+	var (
+		next     atomic.Int64
+		stop     atomic.Bool
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		panicked bool
+		panicIdx int
+		panicVal interface{}
+	)
+	runOne := func(i int) {
+		defer func() {
+			if r := recover(); r != nil {
+				stop.Store(true)
+				mu.Lock()
+				if !panicked || i < panicIdx {
+					panicked, panicIdx, panicVal = true, i, r
+				}
+				mu.Unlock()
+			}
+		}()
+		fn(i)
+	}
+	for w := 0; w < min(workers, n); w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for !stop.Load() {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				runOne(i)
+			}
+		}()
+	}
+	wg.Wait()
+	if panicked {
+		panic(panicVal)
+	}
+}
+
+// forChunks runs fn over the fixed chunks of [0,n): chunk ci covers
+// [ci*size, min((ci+1)*size, n)). Chunks are dispatched to the pool when
+// parallel execution is worthwhile (workers > 1 and more indices than
+// grain); otherwise they run inline, in chunk order, with panics
+// propagating immediately.
+func forChunks(n, grain, workers int, fn func(ci, lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	if grain < 1 {
+		grain = 1
+	}
+	if workers <= 0 {
+		workers = Workers()
+	}
+	size := chunkSize(n)
+	nchunks := (n + size - 1) / size
+	runChunk := func(ci int) {
+		lo := ci * size
+		fn(ci, lo, min(lo+size, n))
+	}
+	if workers == 1 || n <= grain {
+		for ci := 0; ci < nchunks; ci++ {
+			runChunk(ci)
+		}
+		return
+	}
+	dispatch(nchunks, workers, runChunk)
+}
+
+// For runs fn over disjoint index ranges that exactly cover [0,n), using
+// the default pool width. grain is the smallest n worth fanning out —
+// ranges of at most grain indices (or a one-worker pool) run inline. fn
+// must only touch state owned by its [lo,hi) slice of the range; then the
+// result is independent of the worker count by construction.
+func For(n, grain int, fn func(lo, hi int)) {
+	forChunks(n, grain, 0, func(_, lo, hi int) { fn(lo, hi) })
+}
+
+// Map returns out where out[i] = fn(i), with fn calls fanned out across the
+// pool. Order and content of the result are independent of the worker
+// count.
+func Map[T any](n, grain int, fn func(i int) T) []T {
+	out := make([]T, n)
+	For(n, grain, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			out[i] = fn(i)
+		}
+	})
+	return out
+}
+
+// Reduce evaluates fn over the fixed chunks of [0,n) and folds the partial
+// results strictly in chunk order: merge(...merge(fn(c0), fn(c1))..., fn(ck)).
+// Because the chunking depends only on n, the merge tree — and hence the
+// floating-point result — is bit-identical at every parallelism level. A
+// zero T is returned for an empty range.
+func Reduce[T any](n, grain int, fn func(lo, hi int) T, merge func(a, b T) T) T {
+	var zero T
+	if n <= 0 {
+		return zero
+	}
+	size := chunkSize(n)
+	parts := make([]T, (n+size-1)/size)
+	forChunks(n, grain, 0, func(ci, lo, hi int) { parts[ci] = fn(lo, hi) })
+	acc := parts[0]
+	for _, p := range parts[1:] {
+		acc = merge(acc, p)
+	}
+	return acc
+}
+
+// Run executes the tasks on a pool of at most `workers` goroutines
+// (workers <= 0 uses the default width). With a one-worker pool the tasks
+// run inline in slice order and a panic propagates immediately, before any
+// later task runs — matching For's inline path.
+func Run(workers int, tasks []func()) {
+	if len(tasks) == 0 {
+		return
+	}
+	if workers <= 0 {
+		workers = Workers()
+	}
+	if workers == 1 {
+		for _, task := range tasks {
+			task()
+		}
+		return
+	}
+	dispatch(len(tasks), workers, func(i int) { tasks[i]() })
+}

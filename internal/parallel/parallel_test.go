@@ -1,0 +1,216 @@
+package parallel
+
+import (
+	"math/rand"
+	"sync/atomic"
+	"testing"
+)
+
+func withWorkers(t *testing.T, n int, fn func()) {
+	t.Helper()
+	prev := SetWorkers(n)
+	defer SetWorkers(prev)
+	fn()
+}
+
+func TestForCoversRangeExactlyOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 7, 32} {
+		for _, n := range []int{0, 1, 2, 3, 31, 64, 65, 1000} {
+			withWorkers(t, workers, func() {
+				hits := make([]int32, n)
+				For(n, 1, func(lo, hi int) {
+					if lo < 0 || hi > n || lo > hi {
+						t.Errorf("workers=%d n=%d: bad chunk [%d,%d)", workers, n, lo, hi)
+					}
+					for i := lo; i < hi; i++ {
+						atomic.AddInt32(&hits[i], 1)
+					}
+				})
+				for i, h := range hits {
+					if h != 1 {
+						t.Fatalf("workers=%d n=%d: index %d visited %d times", workers, n, i, h)
+					}
+				}
+			})
+		}
+	}
+}
+
+func TestForFewerItemsThanWorkers(t *testing.T) {
+	withWorkers(t, 16, func() {
+		var count atomic.Int64
+		For(3, 1, func(lo, hi int) { count.Add(int64(hi - lo)) })
+		if count.Load() != 3 {
+			t.Fatalf("covered %d of 3 indices", count.Load())
+		}
+	})
+}
+
+func TestForEmptyRange(t *testing.T) {
+	called := false
+	For(0, 1, func(lo, hi int) { called = true })
+	For(-5, 1, func(lo, hi int) { called = true })
+	if called {
+		t.Fatal("fn called on empty range")
+	}
+}
+
+func TestForGrainRunsInline(t *testing.T) {
+	// n <= grain must run inline in chunk order even with a wide pool.
+	withWorkers(t, 8, func() {
+		var order []int
+		For(10, 10, func(lo, hi int) { order = append(order, lo) }) // no races iff inline
+		for i := 1; i < len(order); i++ {
+			if order[i] <= order[i-1] {
+				t.Fatalf("inline chunks out of order: %v", order)
+			}
+		}
+	})
+}
+
+func TestMapOrdered(t *testing.T) {
+	for _, workers := range []int{1, 5} {
+		withWorkers(t, workers, func() {
+			out := Map(137, 1, func(i int) int { return i * i })
+			for i, v := range out {
+				if v != i*i {
+					t.Fatalf("workers=%d: out[%d] = %d", workers, i, v)
+				}
+			}
+		})
+	}
+}
+
+func TestReduceDeterministicAcrossWorkers(t *testing.T) {
+	// Float sums must be bit-identical at every pool width: fixed chunk
+	// boundaries and in-order merge are the whole point.
+	rng := rand.New(rand.NewSource(42))
+	xs := make([]float64, 10_000)
+	for i := range xs {
+		xs[i] = rng.NormFloat64() * 1e6
+	}
+	sum := func() float64 {
+		return Reduce(len(xs), 1, func(lo, hi int) float64 {
+			s := 0.0
+			for i := lo; i < hi; i++ {
+				s += xs[i]
+			}
+			return s
+		}, func(a, b float64) float64 { return a + b })
+	}
+	var ref float64
+	withWorkers(t, 1, func() { ref = sum() })
+	for _, workers := range []int{2, 3, 8, 31} {
+		withWorkers(t, workers, func() {
+			if got := sum(); got != ref {
+				t.Fatalf("workers=%d: sum %v != sequential %v", workers, got, ref)
+			}
+		})
+	}
+}
+
+func TestReduceEmpty(t *testing.T) {
+	got := Reduce(0, 1, func(lo, hi int) int { return 1 }, func(a, b int) int { return a + b })
+	if got != 0 {
+		t.Fatalf("empty Reduce = %d, want zero value", got)
+	}
+}
+
+func TestPanicPropagation(t *testing.T) {
+	for _, workers := range []int{1, 8} {
+		withWorkers(t, workers, func() {
+			defer func() {
+				r := recover()
+				if r == nil {
+					t.Fatalf("workers=%d: panic did not propagate", workers)
+				}
+				if s, ok := r.(string); !ok || s != "boom" {
+					t.Fatalf("workers=%d: panic value %v, want \"boom\"", workers, r)
+				}
+			}()
+			For(1000, 1, func(lo, hi int) {
+				for i := lo; i < hi; i++ {
+					if i == 500 {
+						panic("boom")
+					}
+				}
+			})
+		})
+	}
+}
+
+func TestPanicLowestChunkWins(t *testing.T) {
+	// When several chunks panic, the caller sees the lowest-index one.
+	withWorkers(t, 8, func() {
+		defer func() {
+			if r := recover(); r != "chunk0" {
+				t.Fatalf("got panic %v, want chunk0", r)
+			}
+		}()
+		For(1000, 1, func(lo, hi int) {
+			if lo == 0 {
+				panic("chunk0")
+			}
+			panic("later")
+		})
+	})
+}
+
+func TestRunExecutesAllTasks(t *testing.T) {
+	for _, workers := range []int{0, 1, 4, 100} {
+		done := make([]int32, 37)
+		tasks := make([]func(), len(done))
+		for i := range tasks {
+			i := i
+			tasks[i] = func() { atomic.AddInt32(&done[i], 1) }
+		}
+		Run(workers, tasks)
+		for i, d := range done {
+			if d != 1 {
+				t.Fatalf("workers=%d: task %d ran %d times", workers, i, d)
+			}
+		}
+	}
+}
+
+func TestRunPanicPropagation(t *testing.T) {
+	defer func() {
+		if r := recover(); r != "task2" {
+			t.Fatalf("got panic %v, want task2", r)
+		}
+	}()
+	Run(4, []func(){
+		func() {},
+		func() {},
+		func() { panic("task2") },
+	})
+}
+
+func TestRunSequentialPanicStopsImmediately(t *testing.T) {
+	// With a one-worker pool a panic propagates before later tasks run,
+	// matching For's inline path.
+	ran := 0
+	defer func() {
+		if r := recover(); r != "task1" {
+			t.Fatalf("got panic %v, want task1", r)
+		}
+		if ran != 1 {
+			t.Fatalf("%d tasks ran before the panic, want 1", ran)
+		}
+	}()
+	Run(1, []func(){
+		func() { ran++ },
+		func() { panic("task1") },
+		func() { ran++ },
+	})
+}
+
+func TestSetWorkersRestores(t *testing.T) {
+	prev := SetWorkers(3)
+	if w := Workers(); w != 3 {
+		t.Fatalf("Workers() = %d after SetWorkers(3)", w)
+	}
+	if got := SetWorkers(prev); got != 3 {
+		t.Fatalf("SetWorkers returned %d, want 3", got)
+	}
+}
