@@ -12,8 +12,10 @@ import (
 	"cisp/internal/capacity"
 	"cisp/internal/design"
 	"cisp/internal/experiments"
+	"cisp/internal/geo"
 	"cisp/internal/parallel"
 	"cisp/internal/traffic"
+	"cisp/internal/weather"
 )
 
 func benchOpts(seed int64) experiments.Options {
@@ -164,6 +166,43 @@ func BenchmarkGreedyPoolWidth(b *testing.B) {
 				stretch = design.Greedy(p, design.GreedyOptions{}).MeanStretch()
 			}
 			b.ReportMetric(stretch, "stretch")
+		})
+	}
+}
+
+// BenchmarkWeatherYearPoolWidth measures the weather-analysis hot path —
+// per-day field evaluation, graded link conditions and incremental APSP
+// removal fanned out over the pool — under a one-worker pool versus the
+// GOMAXPROCS default. The p99 metric must agree between the two series:
+// AnalyzeYear is bit-identical at every worker count.
+func BenchmarkWeatherYearPoolWidth(b *testing.B) {
+	s := cisp.NewScenario(cisp.ScenarioConfig{
+		Region: cisp.US, Scale: cisp.ScaleSmall, Seed: 31, MaxCities: 15,
+	})
+	tm := s.PopulationTraffic()
+	top, err := s.DesignGreedy(tm, s.DefaultBudget())
+	if err != nil {
+		b.Fatal(err)
+	}
+	sites := make([]geo.Point, len(s.Cities))
+	for i, c := range s.Cities {
+		sites[i] = c.Loc
+	}
+	gen := weather.NewRegionGenerator(9, sites)
+	for _, w := range []int{1, 0} {
+		name := "gomaxprocs"
+		if w == 1 {
+			name = "sequential"
+		}
+		b.Run(name, func(b *testing.B) {
+			prev := parallel.SetWorkers(w)
+			defer parallel.SetWorkers(prev)
+			var p99 float64
+			for i := 0; i < b.N; i++ {
+				an := weather.AnalyzeYear(top, s.Links, gen, weather.Config{Days: 120, Seed: 2})
+				p99 = weather.Median(an.P99)
+			}
+			b.ReportMetric(p99, "p99-stretch")
 		})
 	}
 }

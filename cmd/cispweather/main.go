@@ -1,11 +1,14 @@
 // Command cispweather runs the §6.1 year-long weather impairment study
-// (Fig 7): daily random 30-minute precipitation intervals fail microwave
-// links past the ITU-R P.838 fade margin; traffic reroutes over surviving
-// links and fiber.
+// (Fig 7) on the graded dynamic-network engine: daily random 30-minute
+// precipitation intervals degrade microwave links through the ITU-R P.838
+// adaptive-modulation ladder (and fail them past the fade margin); traffic
+// reroutes over surviving links and fiber via incremental APSP removal,
+// with the days fanned out across the worker pool.
 //
 // Usage:
 //
 //	cispweather [-scale small|medium|full] [-seed N] [-days 365]
+//	            [-trials N] [-workers N] [-graded]
 package main
 
 import (
@@ -16,13 +19,21 @@ import (
 
 	"cisp"
 	"cisp/internal/experiments"
+	"cisp/internal/parallel"
 )
 
 func main() {
 	scale := flag.String("scale", "small", "small, medium or full")
 	seed := flag.Int64("seed", 1, "seed")
 	days := flag.Int("days", 365, "days to sample (one 30-minute interval each)")
+	trials := flag.Int("trials", 1, "Monte-Carlo trials with distinct weather seeds")
+	workers := flag.Int("workers", 0, "worker-pool width for the per-day fan-out (0 = GOMAXPROCS)")
+	graded := flag.Bool("graded", false, "replay the stormiest interval in the packet simulator (TCP FCT, three routing schemes)")
 	flag.Parse()
+
+	if *workers > 0 {
+		parallel.SetWorkers(*workers)
+	}
 
 	opt := experiments.Options{Seed: *seed, Out: os.Stdout}
 	switch strings.ToLower(*scale) {
@@ -33,7 +44,9 @@ func main() {
 	default:
 		opt.Scale = cisp.ScaleSmall
 	}
-	res := experiments.Fig7Weather(opt, *days)
+	res := experiments.Fig7WeatherExt(opt, experiments.Fig7Config{
+		Days: *days, Trials: *trials, Graded: *graded,
+	})
 	if res == nil {
 		os.Exit(1)
 	}
@@ -47,4 +60,6 @@ func main() {
 	}
 	fmt.Printf("link failures: %.2f per sampled interval on average, %d worst-day\n",
 		float64(sum)/float64(len(res.Analysis.FailedLinksPerDay)), max)
+	fmt.Printf("graded capacity: fleet mean %.1f%%, %.2f degraded (non-failed) links per interval\n",
+		res.MeanCapacityFrac*100, res.MeanDegradedLinks)
 }

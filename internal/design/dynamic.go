@@ -1,0 +1,168 @@
+package design
+
+import (
+	"math"
+
+	"cisp/internal/graph"
+)
+
+// Dynamic answers "what is the hybrid APSP with these built links down?"
+// without rebuilding the topology. The weather study (internal/weather)
+// asks this once per sampled interval: most intervals lose zero or a
+// handful of links, so recomputing the fiber closure and re-inserting
+// every surviving link — O(n³ + L·n²) per interval — wastes almost all of
+// its work. Dynamic instead removes edges incrementally from the finished
+// topology's APSP: it finds the sources whose shortest-path rows could
+// have routed through a removed edge and recomputes only those rows by
+// Dijkstra over the remaining hybrid graph. A clear interval costs O(L);
+// a stormy one costs O((F+A)·n²) for F failed links and A affected
+// sources.
+//
+// A Dynamic is immutable after construction and safe for concurrent use;
+// per-call scratch state lives in a DynScratch, one per worker.
+type Dynamic struct {
+	t *Topology
+
+	// weight is the dense one-hop hybrid graph: the fiber metric closure
+	// (every closure entry is itself a shortest fiber path, so it is a
+	// valid direct edge) overlaid with the built microwave links.
+	weight [][]float64
+}
+
+// NewDynamic prepares incremental link removal over a finished topology.
+// The topology must not gain links (AddLink) while the Dynamic is in use.
+func NewDynamic(t *Topology) *Dynamic {
+	n := t.P.N
+	w := make([][]float64, n)
+	for i := range w {
+		w[i] = append([]float64(nil), t.fiberD[i]...)
+	}
+	for _, l := range t.Built {
+		if l.Dist < w[l.I][l.J] {
+			w[l.I][l.J], w[l.J][l.I] = l.Dist, l.Dist
+		}
+	}
+	return &Dynamic{t: t, weight: w}
+}
+
+// DynScratch holds one worker's reusable buffers for DistWithout calls.
+// It is not safe for concurrent use; allocate one per goroutine.
+type DynScratch struct {
+	weight   [][]float64 // patched copy of Dynamic.weight
+	affected []bool
+	out      [][]float64 // row pointers of the returned matrix
+}
+
+// NewScratch allocates a scratch sized for this Dynamic.
+func (dy *Dynamic) NewScratch() *DynScratch {
+	n := len(dy.weight)
+	sc := &DynScratch{
+		affected: make([]bool, n),
+		out:      make([][]float64, n),
+		weight:   make([][]float64, n),
+	}
+	for i := range sc.weight {
+		sc.weight[i] = append([]float64(nil), dy.weight[i]...)
+	}
+	return sc
+}
+
+// removalEps is the relative tolerance for deciding that a stored APSP
+// entry routes through a removed edge. Stored distances were accumulated
+// by a different sequence of float additions than the d[s][i]+w+d[j][u]
+// probe, so exact equality can miss a genuinely affected pair; treating
+// near-equal entries as affected is conservative — it only triggers a
+// redundant Dijkstra, never a stale distance.
+const removalEps = 1e-9
+
+// DistWithout returns the all-pairs latency-distance matrix of the hybrid
+// graph with the given built-link indices (positions in t.Built) removed.
+// Rows untouched by the removals alias the topology's own matrix, so the
+// result must be treated as read-only and is only valid until the next
+// DistWithout call on the same scratch.
+func (dy *Dynamic) DistWithout(removed []int, sc *DynScratch) [][]float64 {
+	t := dy.t
+	if len(removed) == 0 {
+		return t.d
+	}
+	n := len(dy.weight)
+
+	// Patch the scratch weights: removed pairs fall back to fiber, then
+	// surviving links that happen to share a removed pair re-assert
+	// themselves.
+	for _, li := range removed {
+		l := t.Built[li]
+		f := t.fiberD[l.I][l.J]
+		sc.weight[l.I][l.J], sc.weight[l.J][l.I] = f, f
+	}
+	inRemoved := func(li int) bool {
+		for _, r := range removed {
+			if r == li {
+				return true
+			}
+		}
+		return false
+	}
+	for li, l := range t.Built {
+		if inRemoved(li) {
+			continue
+		}
+		for _, r := range removed {
+			rl := t.Built[r]
+			if normPair(l.I, l.J) == normPair(rl.I, rl.J) && l.Dist < sc.weight[l.I][l.J] {
+				sc.weight[l.I][l.J], sc.weight[l.J][l.I] = l.Dist, l.Dist
+				break
+			}
+		}
+	}
+
+	// Mark sources whose rows could route through a removed edge: pair
+	// (s,u) is suspect when its stored distance matches the best path
+	// forced through the edge, within tolerance.
+	for i := range sc.affected {
+		sc.affected[i] = false
+	}
+	d := t.d
+	for _, li := range removed {
+		l := t.Built[li]
+		w := l.Dist
+		di, dj := d[l.I], d[l.J]
+		for s := 0; s < n; s++ {
+			if sc.affected[s] {
+				continue
+			}
+			ds := d[s]
+			dsi, dsj := ds[l.I], ds[l.J]
+			if math.IsInf(dsi, 1) && math.IsInf(dsj, 1) {
+				continue
+			}
+			for u := 0; u < n; u++ {
+				if u == s || math.IsInf(ds[u], 1) {
+					continue
+				}
+				alt := math.Min(dsi+w+dj[u], dsj+w+di[u])
+				if alt <= ds[u]*(1+removalEps) {
+					sc.affected[s] = true
+					break
+				}
+			}
+		}
+	}
+
+	// Recompute affected rows from scratch weights; alias the rest.
+	for s := 0; s < n; s++ {
+		if sc.affected[s] {
+			sc.out[s] = graph.DenseSourceShortest(sc.weight, s)
+		} else {
+			sc.out[s] = d[s]
+		}
+	}
+
+	// Restore the scratch weights for the next call.
+	for _, li := range removed {
+		l := t.Built[li]
+		w := dy.weight[l.I][l.J]
+		sc.weight[l.I][l.J], sc.weight[l.J][l.I] = w, w
+	}
+	return sc.out
+}

@@ -1,0 +1,155 @@
+package design
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// rebuildWithout is the ground truth for DistWithout: a full fiber-closure
+// rebuild plus re-insertion of every surviving link (what the weather
+// analysis did per day before Dynamic existed).
+func rebuildWithout(t *Topology, removed []int) *Topology {
+	isRemoved := make(map[int]bool, len(removed))
+	for _, li := range removed {
+		isRemoved[li] = true
+	}
+	surv := NewTopology(t.P)
+	for li, l := range t.Built {
+		if !isRemoved[li] {
+			surv.AddLink(l.I, l.J)
+		}
+	}
+	return surv
+}
+
+func assertDistMatch(t *testing.T, label string, got [][]float64, want *Topology, n int) {
+	t.Helper()
+	for s := 0; s < n; s++ {
+		for u := 0; u < n; u++ {
+			g, w := got[s][u], want.Dist(s, u)
+			if math.IsInf(g, 1) && math.IsInf(w, 1) {
+				continue
+			}
+			tol := 1e-9 * math.Max(1, w)
+			if math.Abs(g-w) > tol {
+				t.Fatalf("%s: dist(%d,%d) = %v, rebuild gives %v", label, s, u, g, w)
+			}
+		}
+	}
+}
+
+// TestDynamicRemovalMatchesRebuild: removing any subset of built links via
+// the incremental path must reproduce the full-rebuild distances.
+func TestDynamicRemovalMatchesRebuild(t *testing.T) {
+	for seed := int64(0); seed < 3; seed++ {
+		p := randomProblem(seed+900, 14, 120)
+		top := Greedy(p, GreedyOptions{})
+		if len(top.Built) < 3 {
+			t.Fatalf("seed %d: greedy built only %d links", seed, len(top.Built))
+		}
+		dy := NewDynamic(top)
+		sc := dy.NewScratch()
+		rng := rand.New(rand.NewSource(seed))
+
+		cases := [][]int{
+			nil, // no removals: alias of the base matrix
+			{0}, // single edge
+			{len(top.Built) - 1},
+			allIndices(len(top.Built)), // everything down → fiber only
+		}
+		// A few random subsets, scratch reused across calls.
+		for k := 0; k < 4; k++ {
+			var sub []int
+			for li := range top.Built {
+				if rng.Intn(2) == 0 {
+					sub = append(sub, li)
+				}
+			}
+			cases = append(cases, sub)
+		}
+		for ci, removed := range cases {
+			got := dy.DistWithout(removed, sc)
+			want := rebuildWithout(top, removed)
+			assertDistMatch(t, "case", got, want, p.N)
+			if ci == 0 && &got[0][0] != &top.d[0][0] {
+				t.Fatal("empty removal should alias the topology's own matrix")
+			}
+		}
+	}
+}
+
+// TestDynamicConcurrentScratches: one Dynamic, many goroutines, each with
+// its own scratch — results must match the sequential ground truth.
+func TestDynamicConcurrentScratches(t *testing.T) {
+	p := randomProblem(42, 12, 100)
+	top := Greedy(p, GreedyOptions{})
+	if len(top.Built) == 0 {
+		t.Fatal("greedy built nothing")
+	}
+	dy := NewDynamic(top)
+	const workers = 4
+	done := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			sc := dy.NewScratch()
+			for rep := 0; rep < 8; rep++ {
+				removed := []int{(w + rep) % len(top.Built)}
+				got := dy.DistWithout(removed, sc)
+				want := rebuildWithout(top, removed)
+				for s := 0; s < p.N; s++ {
+					for u := 0; u < p.N; u++ {
+						if math.Abs(got[s][u]-want.Dist(s, u)) > 1e-9*math.Max(1, want.Dist(s, u)) {
+							done <- errMismatch
+							return
+						}
+					}
+				}
+			}
+			done <- nil
+		}(w)
+	}
+	for w := 0; w < workers; w++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+var errMismatch = errString("concurrent DistWithout diverged from rebuild")
+
+type errString string
+
+func (e errString) Error() string { return string(e) }
+
+// BenchmarkDynamicRemoval compares incremental edge removal against the
+// full fiber-closure rebuild it replaced in the weather engine
+// (DESIGN.md §4), at a typical stormy-interval removal count.
+func BenchmarkDynamicRemoval(b *testing.B) {
+	p := randomProblem(7, 60, 1e9)
+	top := Greedy(p, GreedyOptions{})
+	if len(top.Built) < 2 {
+		b.Fatal("greedy built too few links")
+	}
+	removed := []int{0, len(top.Built) / 2}
+	b.Run("incremental", func(b *testing.B) {
+		dy := NewDynamic(top)
+		sc := dy.NewScratch()
+		for i := 0; i < b.N; i++ {
+			dy.DistWithout(removed, sc)
+		}
+	})
+	b.Run("rebuild", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			rebuildWithout(top, removed)
+		}
+	})
+}
+
+func allIndices(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}

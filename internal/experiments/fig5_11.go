@@ -31,6 +31,56 @@ type simConfig struct {
 	seed       int64
 }
 
+// hybridSimLinks builds the site-level link lists for a design, split into
+// the microwave layer (built links at provisioned capacity, series² × 1
+// Gbps per §3.3, in Built order so per-link weather conditions align) and
+// the fiber substrate (plentiful bandwidth, 1.5× propagation penalty;
+// conduits parallel to a *live* built microwave link are dropped — the
+// node pair is already connected and routing prefers the faster path
+// anyway). failed, when non-nil, marks built links (in Built order) that
+// are weather-failed: their parallel conduits are kept, since the fiber
+// fallback is exactly what the degraded network routes over. Pass nil for
+// clear sky.
+func hybridSimLinks(s *cisp.Scenario, top *cisp.Topology, plan *capacity.Plan,
+	designGbps, rateScale float64, queueCap int, failed []bool) (mw, fiberLs []netsim.TopoLink) {
+	mwPairs := make(map[[2]int]bool)
+	for li, l := range top.Built {
+		key := [2]int{l.I, l.J}
+		if key[0] > key[1] {
+			key[0], key[1] = key[1], key[0]
+		}
+		if failed == nil || !failed[li] {
+			mwPairs[key] = true
+		}
+		series := plan.Series[key]
+		if series == 0 {
+			series = 1
+		}
+		capBps := float64(series*series) * 1e9 * rateScale
+		mw = append(mw, netsim.TopoLink{
+			A: l.I, B: l.J,
+			RateBps:   capBps,
+			PropDelay: l.Dist / geo.C,
+			QueueCap:  queueCap,
+		})
+	}
+	fiberG := s.FiberNet.Graph()
+	fiberCap := designGbps * 2 * 1e9 * rateScale
+	for u := 0; u < fiberG.N(); u++ {
+		for _, e := range fiberG.Neighbors(u) {
+			if e.To > u && !mwPairs[[2]int{u, e.To}] {
+				fiberLs = append(fiberLs, netsim.TopoLink{
+					A: u, B: e.To,
+					RateBps:   fiberCap,
+					PropDelay: e.Weight * geo.FiberLatencyFactor / geo.C,
+					QueueCap:  queueCap,
+				})
+			}
+		}
+	}
+	return mw, fiberLs
+}
+
 // runPacketSim builds the site-level packet network for the design (built
 // microwave links at their provisioned capacities plus the fiber conduit
 // graph) and offers the demand matrix, returning mean one-way delay and
@@ -39,46 +89,10 @@ func runPacketSim(cfg simConfig, demand traffic.Matrix) (delayMs, lossPct float6
 	s := cfg.scenario
 	n := len(s.Cities)
 	var sim netsim.Simulator
-	fiberG := s.FiberNet.Graph()
 	nw := netsim.NewNetwork(&sim, n)
 
-	var links []netsim.TopoLink
-	mwPairs := make(map[[2]int]bool)
-	// Microwave links at provisioned capacity (series² × 1 Gbps), §3.3.
-	for _, l := range cfg.top.Built {
-		key := [2]int{l.I, l.J}
-		if key[0] > key[1] {
-			key[0], key[1] = key[1], key[0]
-		}
-		mwPairs[key] = true
-		series := cfg.plan.Series[key]
-		if series == 0 {
-			series = 1
-		}
-		capBps := float64(series*series) * 1e9 * cfg.rateScale
-		links = append(links, netsim.TopoLink{
-			A: l.I, B: l.J,
-			RateBps:   capBps,
-			PropDelay: l.Dist / geo.C,
-			QueueCap:  cfg.queueCap,
-		})
-	}
-	// Fiber conduits: plentiful bandwidth, 1.5× propagation penalty. A
-	// conduit parallel to a built microwave link is dropped — the node pair
-	// is already connected and routing prefers the faster path anyway.
-	fiberCap := cfg.designGbps * 2 * 1e9 * cfg.rateScale
-	for u := 0; u < fiberG.N(); u++ {
-		for _, e := range fiberG.Neighbors(u) {
-			if e.To > u && !mwPairs[[2]int{u, e.To}] {
-				links = append(links, netsim.TopoLink{
-					A: u, B: e.To,
-					RateBps:   fiberCap,
-					PropDelay: e.Weight * geo.FiberLatencyFactor / geo.C,
-					QueueCap:  cfg.queueCap,
-				})
-			}
-		}
-	}
+	mw, fiberLs := hybridSimLinks(s, cfg.top, cfg.plan, cfg.designGbps, cfg.rateScale, cfg.queueCap, nil)
+	links := append(mw, fiberLs...)
 	netsim.BuildTopology(nw, links)
 
 	// Commodities from the demand matrix.

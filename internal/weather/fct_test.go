@@ -1,0 +1,73 @@
+package weather
+
+import (
+	"testing"
+
+	"cisp/internal/netsim"
+)
+
+// fctFixture is a 3-node line: a fast microwave link 0-1 and a fiber
+// detour 0-2-1 with generous capacity but higher delay.
+func fctFixture() (mw, fiber []netsim.TopoLink, comms []netsim.Commodity) {
+	mw = []netsim.TopoLink{{A: 0, B: 1, RateBps: 100e6, PropDelay: 0.002, QueueCap: 100}}
+	fiber = []netsim.TopoLink{
+		{A: 0, B: 2, RateBps: 1e9, PropDelay: 0.01, QueueCap: 100},
+		{A: 2, B: 1, RateBps: 1e9, PropDelay: 0.01, QueueCap: 100},
+	}
+	comms = []netsim.Commodity{{Flow: 1, Src: 0, Dst: 1, Demand: 50e6}}
+	return
+}
+
+func TestMeasureFCTCompletesAndDegrades(t *testing.T) {
+	mw, fiber, comms := fctFixture()
+	schemes := []netsim.Scheme{netsim.ShortestPath}
+	cfg := FCTConfig{FlowBytes: 200_000, SimTime: 30}
+
+	clean := MeasureFCT(3, mw, nil, fiber, comms, schemes, cfg)
+	if len(clean) != 1 || clean[0].Completed != 1 {
+		t.Fatalf("clean run: %+v, want 1 completed flow", clean)
+	}
+
+	// Deep fade: the microwave link survives at the QPSK floor (1/6 rate),
+	// so the same transfer takes ~6x the serialization time.
+	degraded := MeasureFCT(3, mw,
+		[]LinkCondition{{WorstHopDB: DefaultFadeMargin, CapFrac: CapacityFraction(DefaultFadeMargin, DefaultFadeMargin)}},
+		fiber, comms, schemes, cfg)
+	if degraded[0].Completed != 1 {
+		t.Fatalf("degraded run did not complete: %+v", degraded[0])
+	}
+	if degraded[0].MeanMs <= clean[0].MeanMs*1.5 {
+		t.Fatalf("deep fade FCT %v ms not meaningfully above clear-sky %v ms",
+			degraded[0].MeanMs, clean[0].MeanMs)
+	}
+
+	// Outage: the flow must reroute over fiber and still complete, slower
+	// than microwave in propagation but at full rate.
+	failed := MeasureFCT(3, mw,
+		[]LinkCondition{{Failed: true}},
+		fiber, comms, schemes, cfg)
+	if failed[0].Completed != 1 {
+		t.Fatalf("outage run did not complete over fiber: %+v", failed[0])
+	}
+	if failed[0].MeanMs <= clean[0].MeanMs {
+		t.Fatalf("fiber-detour FCT %v ms should exceed microwave %v ms",
+			failed[0].MeanMs, clean[0].MeanMs)
+	}
+}
+
+func TestMeasureFCTDeterministic(t *testing.T) {
+	mw, fiber, comms := fctFixture()
+	schemes := []netsim.Scheme{netsim.ShortestPath, netsim.MinMaxUtilization, netsim.ThroughputOptimal}
+	cfg := FCTConfig{FlowBytes: 100_000, SimTime: 30}
+	conds := []LinkCondition{{WorstHopDB: 12, CapFrac: CapacityFraction(12, DefaultFadeMargin)}}
+	a := MeasureFCT(3, mw, conds, fiber, comms, schemes, cfg)
+	b := MeasureFCT(3, mw, conds, fiber, comms, schemes, cfg)
+	if len(a) != len(b) {
+		t.Fatalf("result lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("scheme %s: run 1 %+v, run 2 %+v", a[i].Scheme, a[i], b[i])
+		}
+	}
+}

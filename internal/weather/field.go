@@ -73,6 +73,25 @@ type Generator struct {
 	SevereDays []int // days with hurricane-like widespread rain
 }
 
+// NewRegionGenerator returns a Generator whose bounds cover the given
+// sites with a one-degree pad on every side — the Fig 7 convention, shared
+// by the experiment and benchmark paths so they sample the same
+// climatology for the same network.
+func NewRegionGenerator(seed int64, sites []geo.Point) *Generator {
+	minLat, maxLat, minLon, maxLon := 90.0, -90.0, 180.0, -180.0
+	for _, p := range sites {
+		minLat = math.Min(minLat, p.Lat)
+		maxLat = math.Max(maxLat, p.Lat)
+		minLon = math.Min(minLon, p.Lon)
+		maxLon = math.Max(maxLon, p.Lon)
+	}
+	return &Generator{
+		Seed:   seed,
+		MinLat: minLat - 1, MaxLat: maxLat + 1,
+		MinLon: minLon - 1, MaxLon: maxLon + 1,
+	}
+}
+
 // areaMkm2 approximates the region's area in millions of km².
 func (g *Generator) areaMkm2() float64 {
 	latKm := (g.MaxLat - g.MinLat) * 111.2

@@ -1,0 +1,70 @@
+package weather
+
+import (
+	"cisp/internal/design"
+	"cisp/internal/geo"
+	"cisp/internal/linkbuild"
+)
+
+// attenStepM is the great-circle sampling step for per-hop path
+// attenuation, matching HopFails' historical 2 km grid.
+const attenStepM = 2000
+
+// LinkCondition is the graded state of one built city-city link during a
+// precipitation interval. A link is a series of tower-tower hops; the hop
+// radios adapt their modulation independently, and the link runs at the
+// rate of its worst hop.
+type LinkCondition struct {
+	WorstHopDB float64 // highest per-hop path attenuation, dB
+	CapFrac    float64 // adaptive-modulation capacity fraction (0 = outage)
+	Failed     bool    // worst hop exceeded the fade margin (binary model)
+}
+
+// LinkGeometry caches the physical tower-hop endpoints of every built link
+// of a topology, so per-interval condition evaluation touches no registry
+// state. Immutable after construction; safe for concurrent use.
+type LinkGeometry struct {
+	hops [][][2]geo.Point // per built link, per hop: endpoint coordinates
+}
+
+// NewLinkGeometry extracts hop geometry for every built link of top from
+// the Step-1 link structure.
+func NewLinkGeometry(top *design.Topology, links *linkbuild.Links) *LinkGeometry {
+	lg := &LinkGeometry{hops: make([][][2]geo.Point, len(top.Built))}
+	for li, l := range top.Built {
+		for _, h := range links.Hops(l.I, l.J) {
+			lg.hops[li] = append(lg.hops[li], [2]geo.Point{
+				links.Reg.Tower(h[0]).Loc,
+				links.Reg.Tower(h[1]).Loc,
+			})
+		}
+	}
+	return lg
+}
+
+// NumLinks returns the number of built links covered.
+func (lg *LinkGeometry) NumLinks() int { return len(lg.hops) }
+
+// Conditions evaluates every built link's graded state under the
+// precipitation field: worst-hop attenuation, adaptive-modulation capacity
+// fraction, and the paper's binary failure verdict. The out slice is
+// reused when it has the right length (pass nil to allocate).
+func (lg *LinkGeometry) Conditions(f *Field, fGHz, fadeMarginDB float64, out []LinkCondition) []LinkCondition {
+	if len(out) != len(lg.hops) {
+		out = make([]LinkCondition, len(lg.hops))
+	}
+	for li, hops := range lg.hops {
+		worst := 0.0
+		for _, h := range hops {
+			if a := f.PathAttenuation(h[0], h[1], fGHz, attenStepM); a > worst {
+				worst = a
+			}
+		}
+		out[li] = LinkCondition{
+			WorstHopDB: worst,
+			CapFrac:    CapacityFraction(worst, fadeMarginDB),
+			Failed:     worst > fadeMarginDB,
+		}
+	}
+	return out
+}

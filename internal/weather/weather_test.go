@@ -13,6 +13,7 @@ import (
 	"cisp/internal/geo"
 	"cisp/internal/linkbuild"
 	"cisp/internal/los"
+	"cisp/internal/parallel"
 	"cisp/internal/terrain"
 	"cisp/internal/towers"
 	"cisp/internal/traffic"
@@ -123,14 +124,17 @@ func TestPathAttenuationAdditive(t *testing.T) {
 	}
 }
 
-var yearOnce struct {
+var fixtureOnce struct {
 	sync.Once
-	an *YearAnalysis
+	top   *design.Topology
+	links *linkbuild.Links
 }
 
-func yearAnalysis(t testing.TB) *YearAnalysis {
+// yearFixture builds (once) the midwest 8-city topology shared by the
+// year-analysis tests.
+func yearFixture(t testing.TB) (*design.Topology, *linkbuild.Links) {
 	t.Helper()
-	yearOnce.Do(func() {
+	fixtureOnce.Do(func() {
 		all := cities.USCenters()
 		names := []string{"Chicago, IL", "Indianapolis, IN", "St. Louis, MO", "Columbus, OH", "Detroit, MI", "Milwaukee, WI", "Louisville, KY", "Cincinnati, OH"}
 		var cs []cities.City
@@ -163,7 +167,21 @@ func yearAnalysis(t testing.TB) *YearAnalysis {
 				p.FiberLat[i][j] = fn.LatencyDist(i, j)
 			}
 		}
-		top := design.Greedy(p, design.GreedyOptions{})
+		fixtureOnce.top = design.Greedy(p, design.GreedyOptions{})
+		fixtureOnce.links = links
+	})
+	return fixtureOnce.top, fixtureOnce.links
+}
+
+var yearOnce struct {
+	sync.Once
+	an *YearAnalysis
+}
+
+func yearAnalysis(t testing.TB) *YearAnalysis {
+	t.Helper()
+	yearOnce.Do(func() {
+		top, links := yearFixture(t)
 		gen := &Generator{Seed: 11, MinLat: 37, MaxLat: 43, MinLon: -92, MaxLon: -81}
 		yearOnce.an = AnalyzeYear(top, links, gen, Config{Days: 120, Seed: 2})
 	})
@@ -238,5 +256,171 @@ func TestMedian(t *testing.T) {
 	}
 	if !math.IsNaN(Median(nil)) {
 		t.Fatal("median of empty should be NaN")
+	}
+	if m := Median([]float64{7}); m != 7 {
+		t.Fatalf("median of single sample = %v, want 7", m)
+	}
+	if m := Median([]float64{1, 2, 3, 4}); m != 2.5 {
+		t.Fatalf("median of even-length slice = %v, want 2.5", m)
+	}
+}
+
+func TestQuantileEdges(t *testing.T) {
+	if !math.IsNaN(quantile(nil, 0.5)) {
+		t.Fatal("quantile of empty should be NaN")
+	}
+	single := []float64{42}
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		if v := quantile(single, q); v != 42 {
+			t.Fatalf("quantile(%v) of single sample = %v, want 42", q, v)
+		}
+	}
+	s := []float64{1, 2, 3, 4, 5}
+	if v := quantile(s, 0); v != 1 {
+		t.Fatalf("q=0 should be the minimum, got %v", v)
+	}
+	if v := quantile(s, 1); v != 5 {
+		t.Fatalf("q=1 should be the maximum, got %v", v)
+	}
+	if v := quantile(s, 0.5); v != 3 {
+		t.Fatalf("q=0.5 = %v, want 3", v)
+	}
+}
+
+func TestCapacityFraction(t *testing.T) {
+	const m = DefaultFadeMargin
+	if f := CapacityFraction(0, m); f != 1 {
+		t.Fatalf("clear sky fraction = %v, want 1", f)
+	}
+	if f := CapacityFraction(-1, m); f != 1 {
+		t.Fatalf("negative attenuation fraction = %v, want 1", f)
+	}
+	if f := CapacityFraction(m+0.001, m); f != 0 {
+		t.Fatalf("past-margin fraction = %v, want 0 (outage)", f)
+	}
+	if f := CapacityFraction(m, m); f != float64(acmMinBits)/acmMaxBits {
+		t.Fatalf("at-margin fraction = %v, want QPSK floor %v", f, float64(acmMinBits)/acmMaxBits)
+	}
+	// Monotone non-increasing across the ladder.
+	prev := 1.0
+	for a := 0.0; a <= m+3; a += 0.25 {
+		f := CapacityFraction(a, m)
+		if f > prev+1e-12 {
+			t.Fatalf("fraction increased: f(%v)=%v after %v", a, f, prev)
+		}
+		prev = f
+	}
+	// A mid-margin fade must land strictly between outage and clear sky.
+	if f := CapacityFraction(m/2, m); f <= 0 || f >= 1 {
+		t.Fatalf("half-margin fraction = %v, want graded value in (0,1)", f)
+	}
+}
+
+// TestConditionsMatchHopFails: the graded model's binary verdict must agree
+// with the legacy per-hop HopFails rule on the real fixture.
+func TestConditionsMatchHopFails(t *testing.T) {
+	top, links := yearFixture(t)
+	lg := NewLinkGeometry(top, links)
+	if lg.NumLinks() != len(top.Built) {
+		t.Fatalf("geometry covers %d links, topology built %d", lg.NumLinks(), len(top.Built))
+	}
+	gen := &Generator{Seed: 11, MinLat: 37, MaxLat: 43, MinLon: -92, MaxLon: -81}
+	field := gen.FieldAt(200, 30) // mid-summer: convection likely
+	conds := lg.Conditions(field, geo.DefaultFrequencyGHz, DefaultFadeMargin, nil)
+	for li, hops := range lg.hops {
+		anyFail := false
+		for _, h := range hops {
+			if field.HopFails(h[0], h[1], geo.DefaultFrequencyGHz, DefaultFadeMargin) {
+				anyFail = true
+				break
+			}
+		}
+		if anyFail != conds[li].Failed {
+			t.Fatalf("link %d: HopFails says %v, Conditions says %v", li, anyFail, conds[li].Failed)
+		}
+		if conds[li].Failed && conds[li].CapFrac != 0 {
+			t.Fatalf("link %d: failed but capacity fraction %v", li, conds[li].CapFrac)
+		}
+		if !conds[li].Failed && conds[li].CapFrac <= 0 {
+			t.Fatalf("link %d: alive but capacity fraction %v", li, conds[li].CapFrac)
+		}
+	}
+}
+
+// TestAnalyzeYearParallelDeterminism: the dynamic engine's determinism
+// contract — a wide pool must reproduce the one-worker run bit-for-bit on
+// every output field, across multiple seeds (mirroring
+// internal/design/parallel_test.go).
+func TestAnalyzeYearParallelDeterminism(t *testing.T) {
+	top, links := yearFixture(t)
+	sameF64 := func(label string, a, b []float64) {
+		t.Helper()
+		if len(a) != len(b) {
+			t.Fatalf("%s: length %d vs %d", label, len(a), len(b))
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("%s[%d]: sequential %v, parallel %v", label, i, a[i], b[i])
+			}
+		}
+	}
+	sameInt := func(label string, a, b []int) {
+		t.Helper()
+		if len(a) != len(b) {
+			t.Fatalf("%s: length %d vs %d", label, len(a), len(b))
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("%s[%d]: sequential %v, parallel %v", label, i, a[i], b[i])
+			}
+		}
+	}
+	for seed := int64(0); seed < 2; seed++ {
+		gen := &Generator{Seed: 20 + seed, MinLat: 37, MaxLat: 43, MinLon: -92, MaxLon: -81}
+		cfg := Config{Days: 90, Seed: 5 + seed}
+
+		prev := parallel.SetWorkers(1)
+		seq := AnalyzeYear(top, links, gen, cfg)
+		parallel.SetWorkers(8)
+		par := AnalyzeYear(top, links, gen, cfg)
+		parallel.SetWorkers(prev)
+
+		sameF64("Best", seq.Best, par.Best)
+		sameF64("P99", seq.P99, par.P99)
+		sameF64("Worst", seq.Worst, par.Worst)
+		sameF64("Fiber", seq.Fiber, par.Fiber)
+		sameF64("MeanCapacityPerDay", seq.MeanCapacityPerDay, par.MeanCapacityPerDay)
+		sameInt("FailedLinksPerDay", seq.FailedLinksPerDay, par.FailedLinksPerDay)
+		sameInt("DegradedLinksPerDay", seq.DegradedLinksPerDay, par.DegradedLinksPerDay)
+		sameInt("Intervals", seq.Intervals, par.Intervals)
+	}
+}
+
+// TestAnalyzeYearGradedStats: the graded record must be shaped and bounded
+// like a real fleet log.
+func TestAnalyzeYearGradedStats(t *testing.T) {
+	an := yearAnalysis(t)
+	days := len(an.FailedLinksPerDay)
+	if len(an.DegradedLinksPerDay) != days || len(an.MeanCapacityPerDay) != days || len(an.Intervals) != days {
+		t.Fatalf("per-day series disagree on length: failed %d, degraded %d, cap %d, intervals %d",
+			days, len(an.DegradedLinksPerDay), len(an.MeanCapacityPerDay), len(an.Intervals))
+	}
+	sawDegraded := false
+	for day := 0; day < days; day++ {
+		if iv := an.Intervals[day]; iv < 0 || iv > 47 {
+			t.Fatalf("day %d: interval %d outside [0,47]", day, iv)
+		}
+		if c := an.MeanCapacityPerDay[day]; c < 0 || c > 1 {
+			t.Fatalf("day %d: mean capacity %v outside [0,1]", day, c)
+		}
+		if an.FailedLinksPerDay[day] > 0 && an.MeanCapacityPerDay[day] >= 1 {
+			t.Fatalf("day %d: %d failures but full fleet capacity", day, an.FailedLinksPerDay[day])
+		}
+		if an.DegradedLinksPerDay[day] > 0 {
+			sawDegraded = true
+		}
+	}
+	if !sawDegraded {
+		t.Fatal("120 midwest days without a single degraded link — graded model is inert")
 	}
 }
