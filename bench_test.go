@@ -13,6 +13,7 @@ import (
 	"cisp/internal/design"
 	"cisp/internal/experiments"
 	"cisp/internal/geo"
+	"cisp/internal/netsim"
 	"cisp/internal/parallel"
 	"cisp/internal/traffic"
 	"cisp/internal/weather"
@@ -221,6 +222,77 @@ func BenchmarkRunAllFigures(b *testing.B) {
 				opt := benchOpts(16)
 				opt.Parallelism = par
 				experiments.RunAll(opt, specs)
+			}
+		})
+	}
+}
+
+// --- Packet vs fluid engine (DESIGN.md §6) ---
+
+// scaleBench caches a designed ~100-node backbone (94 cities + 6 DC sites,
+// greedy design, provisioned capacities, fiber substrate) for the engine
+// benchmarks: the design is expensive, the replay is what's measured. The
+// construction is experiments.DesignedMixTopology — exactly what the
+// Fig6Scale experiment replays over.
+var scaleBench struct {
+	opt      experiments.Options
+	nodes    int
+	links    []netsim.TopoLink
+	designTM traffic.Matrix
+}
+
+func scaleBenchSetup(b *testing.B) {
+	b.Helper()
+	if scaleBench.links != nil {
+		return
+	}
+	scaleBench.opt = experiments.Options{Scale: cisp.ScaleSmall, Seed: 40, MaxCities: 94}
+	links, nodes, tm, err := experiments.DesignedMixTopology(scaleBench.opt)
+	if err != nil {
+		b.Fatal(err)
+	}
+	scaleBench.nodes = nodes
+	scaleBench.links = links
+	scaleBench.designTM = tm
+}
+
+func scaleScenario(totalFlows int, horizon float64) *netsim.Scenario {
+	return &netsim.Scenario{
+		Nodes: scaleBench.nodes, Links: scaleBench.links,
+		Comms:  experiments.MixCommodities(scaleBench.opt, scaleBench.designTM, totalFlows),
+		Scheme: netsim.ShortestPath, FlowBytes: 250 << 10, Horizon: horizon,
+	}
+}
+
+// BenchmarkPacketMode measures the refactored discrete-event engine on the
+// designed backbone at its practical flow scale.
+func BenchmarkPacketMode(b *testing.B) {
+	scaleBenchSetup(b)
+	sc := scaleScenario(800, 60)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := sc.Run(netsim.PacketMode)
+		if res.Completed == 0 {
+			b.Fatal("packet mode completed nothing")
+		}
+		b.ReportMetric(float64(res.Completed), "flows-done")
+	}
+}
+
+// BenchmarkFluidMode measures the flow-level engine replaying the same
+// traffic mix with 10⁵-10⁶ concurrent flows over the same designed
+// topology — the scale the packet engine cannot reach.
+func BenchmarkFluidMode(b *testing.B) {
+	scaleBenchSetup(b)
+	for _, flows := range []int{100_000, 1_000_000} {
+		b.Run(fmt.Sprintf("flows=%d", flows), func(b *testing.B) {
+			sc := scaleScenario(flows, 300)
+			for i := 0; i < b.N; i++ {
+				res := sc.Run(netsim.FluidMode)
+				if res.Completed == 0 {
+					b.Fatal("fluid mode completed nothing")
+				}
+				b.ReportMetric(float64(res.Completed), "flows-done")
 			}
 		})
 	}

@@ -3,7 +3,7 @@
 // Usage:
 //
 //	cispbench [-scale small|medium|full] [-seed N] [-fig all|2,3,4a,...]
-//	          [-parallel N] [-workers N]
+//	          [-parallel N] [-workers N] [-mode packet|fluid] [-flows N]
 //
 // Independent figures execute concurrently in a bounded pool (-parallel,
 // GOMAXPROCS wide by default); output is still emitted in figure order,
@@ -16,6 +16,10 @@
 // -workers bounds the inner worker pool the design and link-build hot
 // paths fan out on. Each figure's output is the same rows/series the paper
 // reports; see EXPERIMENTS.md for the paper-vs-measured record.
+// -mode and -flows drive the "6s" traffic-mix replay: -mode=packet runs
+// the discrete-event engine (clamped to ~1.5k flows), -mode=fluid the
+// flow-level max-min engine, which replays the same scenario with 10⁵-10⁶
+// concurrent flows.
 package main
 
 import (
@@ -27,16 +31,25 @@ import (
 
 	"cisp"
 	"cisp/internal/experiments"
+	"cisp/internal/netsim"
 	"cisp/internal/parallel"
 )
 
 func main() {
 	scale := flag.String("scale", "small", "scenario scale: small, medium, full")
 	seed := flag.Int64("seed", 1, "scenario seed")
-	figs := flag.String("fig", "all", "comma-separated figure list (2,3,4a,4b,4c,5,6,7,8,9,10,11,12,13,econ) or 'all'")
+	figs := flag.String("fig", "all", "comma-separated figure list (2,3,4a,4b,4c,5,6,6s,7,8,9,10,11,12,13,econ) or 'all'")
 	par := flag.Int("parallel", 0, "concurrent figure runs (0 = GOMAXPROCS, 1 = sequential)")
 	workers := flag.Int("workers", 0, "inner worker-pool width for the design/link-build hot paths (0 = GOMAXPROCS)")
+	modeStr := flag.String("mode", "fluid", "simulation engine for the 6s traffic-mix replay: packet or fluid")
+	flows := flag.Int("flows", 100_000, "concurrent flows for the 6s traffic-mix replay (packet mode clamps to ~1.5k)")
 	flag.Parse()
+
+	mode, err := netsim.ParseMode(*modeStr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
 
 	opt := experiments.Options{Seed: *seed, Out: os.Stdout, Parallelism: *par}
 	switch strings.ToLower(*scale) {
@@ -78,6 +91,7 @@ func main() {
 			experiments.Fig5Perturbation(o, []float64{0, 0.1, 0.3, 0.5}, loads)
 		}},
 		{Name: "6", Run: func(o experiments.Options) { experiments.Fig6SpeedMismatch(o, 10, 3) }},
+		{Name: "6s", Run: func(o experiments.Options) { experiments.Fig6Scale(o, mode, *flows) }},
 		{Name: "7", Run: func(o experiments.Options) { experiments.Fig7Weather(o, 365) }},
 		{Name: "8", Run: func(o experiments.Options) { experiments.Fig8Europe(o) }},
 		{Name: "9", Run: func(o experiments.Options) { experiments.Fig9TrafficModels(o, aggregates) }},

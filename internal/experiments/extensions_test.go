@@ -1,6 +1,10 @@
 package experiments
 
-import "testing"
+import (
+	"testing"
+
+	"cisp/internal/netsim"
+)
 
 func TestExtensions(t *testing.T) {
 	res := Extensions(testOpts(30))
@@ -10,5 +14,31 @@ func TestExtensions(t *testing.T) {
 	if res.AcqFeasibleRate > 0 && res.AcqAfterConfirm < res.AcqFeasibleRate-0.1 {
 		t.Errorf("confirming priority towers reduced buildability: %.2f -> %.2f",
 			res.AcqFeasibleRate, res.AcqAfterConfirm)
+	}
+}
+
+func TestFig6ScaleBothModes(t *testing.T) {
+	// The same small scenario on both engines: the fluid replay must carry
+	// far more flows than the packet clamp allows, and both must complete
+	// a healthy share of what they offer.
+	fl := Fig6Scale(testOpts(21), netsim.FluidMode, 30_000)
+	if fl == nil {
+		t.Fatal("fluid run failed")
+	}
+	if fl.Flows != 30_000 {
+		t.Fatalf("fluid offered %d flows, want 30000", fl.Flows)
+	}
+	if fl.Completed == 0 {
+		t.Fatal("fluid mode completed nothing")
+	}
+	pk := Fig6Scale(testOpts(21), netsim.PacketMode, 30_000)
+	if pk == nil {
+		t.Fatal("packet run failed")
+	}
+	if pk.Flows > 1500 {
+		t.Fatalf("packet mode ran %d flows; clamp missing", pk.Flows)
+	}
+	if pk.Completed == 0 {
+		t.Fatal("packet mode completed nothing")
 	}
 }

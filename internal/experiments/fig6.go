@@ -55,8 +55,8 @@ func Fig6SpeedMismatch(opt Options, simSeconds float64, runs int) []Fig6Case {
 		}
 		res := Fig6Case{
 			Name:          c.name,
-			QueueMedian:   percentileInts(queues, 50),
-			Queue95th:     percentileInts(queues, 95),
+			QueueMedian:   netsim.PercentileInts(queues, 50),
+			Queue95th:     netsim.PercentileInts(queues, 95),
 			FCTMedianMs:   netsim.Percentile(fcts, 50) * 1000,
 			FCT95thMs:     netsim.Percentile(fcts, 95) * 1000,
 			CompletedFlow: completed,
@@ -119,12 +119,4 @@ func fig6Run(ingressBps float64, pacing bool, simSeconds float64, seed int64) (q
 	sim.Run(simSeconds + 3) // include drain time
 	sampler.Stop()
 	return sampler.Samples(), fcts
-}
-
-func percentileInts(samples []int, p float64) float64 {
-	f := make([]float64, len(samples))
-	for i, v := range samples {
-		f[i] = float64(v)
-	}
-	return netsim.Percentile(f, p)
 }

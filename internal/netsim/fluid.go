@@ -1,0 +1,459 @@
+package netsim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+)
+
+// FluidSim is the flow-level counterpart of the packet simulator: instead of
+// individual packets it models each flow as a fluid stream whose rate is the
+// weighted max-min fair share of its path (progressive filling, the
+// steady-state allocation TCP approximates), recomputed event-driven on
+// every flow arrival and departure. This is what lets §6.4-style traffic
+// mixes from internal/traffic be replayed with 10⁵–10⁶ concurrent flows
+// over full designed topologies — far beyond what per-packet simulation
+// reaches.
+//
+// Flows that share a route are grouped: the allocator works on routes
+// (bounded by distinct commodity paths, ~10⁴ on a 100-node design), not
+// individual flows, and each group tracks its members' departures through a
+// cumulative service accumulator — a flow of B bytes arriving when the
+// group has served S bytes per flow departs when the accumulator reaches
+// S + B. Per-event cost is therefore O(links² + Σ route lengths),
+// independent of the number of concurrent flows.
+//
+// The simulation is deterministic: allocation iterates links and routes in
+// index order and all heap orderings carry explicit tie-breaks.
+type FluidSim struct {
+	// RateTol suppresses departure-event rescheduling for groups whose
+	// per-flow rate changed by at most this relative fraction in a
+	// recomputation (their rate is still updated). 0 (the default) tracks
+	// every change exactly; small values (e.g. 1e-3) trade bounded rate
+	// staleness for fewer heap operations on huge runs.
+	RateTol float64
+
+	nNodes  int
+	links   []fluidLink
+	linkIdx map[[2]int]int32
+	groups  []fluidGroup
+	now     float64
+
+	// Per-flow state, indexed by flow ID (assigned densely by StartAt).
+	flowRoute []int32
+	flowBytes []float64
+	flowThr   []float64 // departure threshold on the group's service axis
+	flowStart []float64
+	flowFCT   []float64 // -1 until completed
+
+	active    int // currently running flows
+	activeG   int // groups with at least one running flow
+	completed int
+
+	arrivals arrivalHeap
+	deps     depHeap
+
+	// Allocator state. linkW is maintained incrementally (active flows per
+	// link); scratch arrays are reused across recomputations.
+	linkW    []float64
+	scratchW []float64
+	scratchR []float64
+	frozenAt []int64
+	epoch    int64
+}
+
+type fluidLink struct {
+	from, to int
+	capBps   float64
+	groups   []int32 // routes crossing this link (static)
+}
+
+type fluidGroup struct {
+	links    []int32
+	n        int     // active flows
+	rate     float64 // per-flow rate, bps
+	svc      float64 // cumulative per-flow service, bytes
+	lastT    float64 // time svc was last advanced to
+	thr      thrHeap // pending departure thresholds, min first
+	gen      int64   // invalidates stale departure events
+	hasEvent bool    // a departure event with the current gen is queued
+}
+
+type thrItem struct {
+	thr  float64
+	flow int32
+}
+
+type thrHeap []thrItem
+
+func (h thrHeap) Len() int { return len(h) }
+func (h thrHeap) Less(i, j int) bool {
+	if h[i].thr != h[j].thr {
+		return h[i].thr < h[j].thr
+	}
+	return h[i].flow < h[j].flow
+}
+func (h thrHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *thrHeap) Push(x interface{}) { *h = append(*h, x.(thrItem)) }
+func (h *thrHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+
+type depItem struct {
+	t   float64
+	g   int32
+	gen int64
+}
+
+type depHeap []depItem
+
+func (h depHeap) Len() int { return len(h) }
+func (h depHeap) Less(i, j int) bool {
+	if h[i].t != h[j].t {
+		return h[i].t < h[j].t
+	}
+	return h[i].g < h[j].g
+}
+func (h depHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *depHeap) Push(x interface{}) { *h = append(*h, x.(depItem)) }
+func (h *depHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+
+type arrivalItem struct {
+	t     float64
+	flow  int32
+	route int32
+	bytes float64
+}
+
+type arrivalHeap []arrivalItem
+
+func (h arrivalHeap) Len() int { return len(h) }
+func (h arrivalHeap) Less(i, j int) bool {
+	if h[i].t != h[j].t {
+		return h[i].t < h[j].t
+	}
+	return h[i].flow < h[j].flow
+}
+func (h arrivalHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *arrivalHeap) Push(x interface{}) { *h = append(*h, x.(arrivalItem)) }
+func (h *arrivalHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+
+// NewFluid builds a fluid simulator over the duplex topology (two directed
+// fluid links per TopoLink; queue capacities are meaningless at the fluid
+// level and ignored).
+func NewFluid(nNodes int, links []TopoLink) *FluidSim {
+	f := &FluidSim{nNodes: nNodes, linkIdx: make(map[[2]int]int32, 2*len(links))}
+	add := func(a, b int, capBps float64) {
+		key := [2]int{a, b}
+		if _, dup := f.linkIdx[key]; dup {
+			panic(fmt.Sprintf("netsim: duplicate fluid link %d->%d", a, b))
+		}
+		f.linkIdx[key] = int32(len(f.links))
+		f.links = append(f.links, fluidLink{from: a, to: b, capBps: capBps})
+	}
+	for _, l := range links {
+		add(l.A, l.B, l.RateBps)
+		add(l.B, l.A, l.RateBps)
+	}
+	f.linkW = make([]float64, len(f.links))
+	f.scratchW = make([]float64, len(f.links))
+	f.scratchR = make([]float64, len(f.links))
+	return f
+}
+
+// AddRoute registers a directed route (a node path of length >= 2) and
+// returns its ID. All flows started on the same route share one allocation
+// group. Panics if a hop has no link.
+func (f *FluidSim) AddRoute(path []int) int {
+	if len(path) < 2 {
+		panic("netsim: fluid route must have at least two nodes")
+	}
+	gid := int32(len(f.groups))
+	g := fluidGroup{links: make([]int32, len(path)-1)}
+	for i := 0; i+1 < len(path); i++ {
+		li, ok := f.linkIdx[[2]int{path[i], path[i+1]}]
+		if !ok {
+			panic(fmt.Sprintf("netsim: no fluid link %d->%d on route", path[i], path[i+1]))
+		}
+		g.links[i] = li
+		f.links[li].groups = append(f.links[li].groups, gid)
+	}
+	f.groups = append(f.groups, g)
+	f.frozenAt = append(f.frozenAt, 0)
+	return int(gid)
+}
+
+// StartAt schedules a flow of the given payload on a registered route,
+// arriving at time at (>= the current simulation time), and returns its
+// flow ID. FCTs are measured from at.
+func (f *FluidSim) StartAt(route int, bytes float64, at float64) int {
+	if at < f.now {
+		at = f.now
+	}
+	if bytes <= 0 {
+		bytes = 1
+	}
+	id := int32(len(f.flowRoute))
+	f.flowRoute = append(f.flowRoute, int32(route))
+	f.flowBytes = append(f.flowBytes, bytes)
+	f.flowThr = append(f.flowThr, 0)
+	f.flowStart = append(f.flowStart, at)
+	f.flowFCT = append(f.flowFCT, -1)
+	heap.Push(&f.arrivals, arrivalItem{t: at, flow: id, route: int32(route), bytes: bytes})
+	return int(id)
+}
+
+// Start schedules a flow arriving now.
+func (f *FluidSim) Start(route int, bytes float64) int {
+	return f.StartAt(route, bytes, f.now)
+}
+
+// Now returns the current simulation time in seconds.
+func (f *FluidSim) Now() float64 { return f.now }
+
+// Active returns the number of currently running flows.
+func (f *FluidSim) Active() int { return f.active }
+
+// Completed returns the number of finished flows.
+func (f *FluidSim) Completed() int { return f.completed }
+
+// FCT returns a flow's completion time in seconds (measured from its
+// arrival) and whether it has completed.
+func (f *FluidSim) FCT(flow int) (float64, bool) {
+	v := f.flowFCT[flow]
+	return v, v >= 0
+}
+
+// ServedBytes returns how much of a flow's payload has been transferred.
+func (f *FluidSim) ServedBytes(flow int) float64 {
+	if f.flowFCT[flow] >= 0 {
+		return f.flowBytes[flow]
+	}
+	if f.flowThr[flow] == 0 {
+		return 0 // scheduled but not yet admitted (thresholds are always > 0)
+	}
+	g := &f.groups[f.flowRoute[flow]]
+	svc := g.svc + g.rate/8*(f.now-g.lastT)
+	served := f.flowBytes[flow] - (f.flowThr[flow] - svc)
+	if served < 0 {
+		return 0
+	}
+	if served > f.flowBytes[flow] {
+		return f.flowBytes[flow]
+	}
+	return served
+}
+
+// RouteRate returns the current per-flow max-min rate (bps) on a route.
+func (f *FluidSim) RouteRate(route int) float64 { return f.groups[route].rate }
+
+// advance accrues a group's service up to the current time.
+func (f *FluidSim) advance(g *fluidGroup) {
+	if f.now > g.lastT {
+		g.svc += g.rate / 8 * (f.now - g.lastT)
+	}
+	g.lastT = f.now
+}
+
+// Run processes arrivals and departures until the event queues drain or
+// simulated time reaches until (inclusive). Rates are recomputed after each
+// batch of same-time events.
+func (f *FluidSim) Run(until float64) {
+	for {
+		tA, tD := math.Inf(1), math.Inf(1)
+		if len(f.arrivals) > 0 {
+			tA = f.arrivals[0].t
+		}
+		// Skip stale departure events (superseded by a newer reschedule).
+		for len(f.deps) > 0 {
+			top := f.deps[0]
+			if g := &f.groups[top.g]; g.gen != top.gen {
+				heap.Pop(&f.deps)
+				continue
+			}
+			tD = top.t
+			break
+		}
+		t := math.Min(tA, tD)
+		if t > until || math.IsInf(t, 1) {
+			break
+		}
+		if t > f.now {
+			f.now = t
+		}
+		changed := false
+		// Departures first: their service accrual is closed at t before any
+		// same-instant arrival perturbs the group.
+		for len(f.deps) > 0 && f.deps[0].t <= f.now {
+			it := heap.Pop(&f.deps).(depItem)
+			g := &f.groups[it.g]
+			if g.gen != it.gen {
+				continue
+			}
+			f.departGroup(it.g)
+			changed = true
+		}
+		for len(f.arrivals) > 0 && f.arrivals[0].t <= f.now {
+			it := heap.Pop(&f.arrivals).(arrivalItem)
+			f.admit(it)
+			changed = true
+		}
+		if changed {
+			f.recompute()
+		}
+	}
+	if f.now < until {
+		f.now = until
+	}
+	// Close service accrual so rate/progress queries at the horizon are
+	// consistent.
+	for gi := range f.groups {
+		if f.groups[gi].n > 0 {
+			f.advance(&f.groups[gi])
+		}
+	}
+}
+
+// admit activates an arrived flow.
+func (f *FluidSim) admit(it arrivalItem) {
+	g := &f.groups[it.route]
+	f.advance(g)
+	if g.n == 0 {
+		f.activeG++
+	}
+	g.n++
+	g.gen++ // the pending-departure minimum may have changed
+	g.hasEvent = false
+	f.flowThr[it.flow] = g.svc + it.bytes
+	heap.Push(&g.thr, thrItem{thr: g.svc + it.bytes, flow: it.flow})
+	for _, li := range g.links {
+		f.linkW[li]++
+	}
+	f.active++
+}
+
+// departGroup completes every flow of the group whose threshold has been
+// reached at the current time.
+func (f *FluidSim) departGroup(gi int32) {
+	g := &f.groups[gi]
+	f.advance(g)
+	// The fired event corresponds to the minimum threshold under the rates
+	// it was computed with; floating-point round-trip can leave svc a hair
+	// short. Snap forward so the due flow always departs.
+	if len(g.thr) > 0 && g.svc < g.thr[0].thr {
+		g.svc = g.thr[0].thr
+	}
+	for len(g.thr) > 0 && g.thr[0].thr <= g.svc {
+		it := heap.Pop(&g.thr).(thrItem)
+		f.flowFCT[it.flow] = f.now - f.flowStart[it.flow]
+		f.completed++
+		f.active--
+		g.n--
+		for _, li := range g.links {
+			f.linkW[li]--
+		}
+	}
+	if g.n == 0 {
+		f.activeG--
+		g.rate = 0
+	}
+	g.gen++
+	g.hasEvent = false
+}
+
+// recompute reruns weighted progressive filling: repeatedly find the link
+// with the smallest fair share (residual capacity / unfrozen flow count),
+// freeze every route through it at that per-flow rate, and subtract the
+// frozen routes from their other links. Groups whose rate changed (beyond
+// RateTol) or whose pending event was invalidated get a fresh departure
+// event.
+func (f *FluidSim) recompute() {
+	f.epoch++
+	for li := range f.links {
+		f.scratchW[li] = f.linkW[li]
+		f.scratchR[li] = f.links[li].capBps
+	}
+	remaining := f.activeG
+	for remaining > 0 {
+		best, bestShare := int32(-1), math.Inf(1)
+		for li := range f.links {
+			if f.scratchW[li] > 0 {
+				share := f.scratchR[li] / f.scratchW[li]
+				if share < 0 {
+					share = 0
+				}
+				if share < bestShare {
+					best, bestShare = int32(li), share
+				}
+			}
+		}
+		if best < 0 {
+			break // defensive: every active group weights some link
+		}
+		for _, gi := range f.links[best].groups {
+			g := &f.groups[gi]
+			if g.n == 0 || f.frozenAt[gi] == f.epoch {
+				continue
+			}
+			f.frozenAt[gi] = f.epoch
+			remaining--
+			f.setRate(gi, bestShare)
+			w := float64(g.n)
+			for _, li := range g.links {
+				f.scratchW[li] -= w
+				f.scratchR[li] -= bestShare * w
+				if f.scratchW[li] < 1e-9 {
+					f.scratchW[li] = 0
+				}
+				if f.scratchR[li] < 0 {
+					f.scratchR[li] = 0
+				}
+			}
+		}
+	}
+}
+
+// setRate applies a group's new allocation and (re)schedules its next
+// departure event when needed. The rate itself is always applied; RateTol
+// only suppresses the event reschedule for sub-tolerance changes (the
+// outstanding event then fires up to tolerance-early or -late, which
+// departGroup absorbs).
+func (f *FluidSim) setRate(gi int32, r float64) {
+	g := &f.groups[gi]
+	reschedule := r != g.rate
+	if reschedule {
+		f.advance(g)
+		if g.rate > 0 && r > 0 && math.Abs(r-g.rate) <= f.RateTol*g.rate {
+			reschedule = false
+		}
+		g.rate = r
+	}
+	if (reschedule || !g.hasEvent) && g.n > 0 {
+		g.gen++
+		g.hasEvent = false
+		if len(g.thr) > 0 && g.rate > 0 {
+			dt := (g.thr[0].thr - g.svc) * 8 / g.rate
+			if dt < 0 {
+				dt = 0
+			}
+			heap.Push(&f.deps, depItem{t: g.lastT + dt, g: gi, gen: g.gen})
+			g.hasEvent = true
+		}
+	}
+}

@@ -11,7 +11,9 @@ const (
 	Ack
 )
 
-// Packet is the unit of transmission.
+// Packet is the unit of transmission. Packets delivered to OnDeliver
+// handlers are recycled into the network's pool after the handler returns;
+// handlers must not retain them past the call.
 type Packet struct {
 	Flow     int // flow identifier (routing + delivery demux)
 	Seq      int64
@@ -20,20 +22,34 @@ type Packet struct {
 	Src, Dst int // node IDs
 	SentAt   float64
 	AckNo    int64 // for Ack packets: cumulative next-expected sequence
+
+	// Source-routing state, resolved once at Inject: hops[i] carries the
+	// packet from path[i] to path[i+1]; hop indexes the next link to take.
+	hops   []*Link
+	hop    int
+	pooled bool // allocated from the network's pool; recycled on delivery/drop
 }
 
-// fibKey routes per (flow, destination) so a TCP flow's data and reverse
-// ACKs can share a flow ID.
-type fibKey struct {
-	flow int
+// route is one installed forwarding path of a flow, with the traversed
+// links resolved once at SetFlowPath time so the per-packet hot path is a
+// slice index — no map lookups.
+type route struct {
 	dst  int
+	hops []*Link
+}
+
+// flowState indexes the at-most-two installed paths of a flow (data and
+// reverse ACK directions) plus its delivery handler.
+type flowState struct {
+	routes  [2]route
+	nRoutes int
+	deliver func(*Packet)
 }
 
 // Node is a store-and-forward router / host.
 type Node struct {
 	ID  int
 	net *Network
-	fib map[fibKey]int // next-hop node ID
 }
 
 // Link is a unidirectional fixed-rate link with a FIFO queue.
@@ -43,15 +59,22 @@ type Link struct {
 	PropDelay float64 // seconds
 	QueueCap  int     // packets; 0 = unbounded
 
+	// Drop, when non-nil, is consulted on every enqueue: returning true
+	// discards the packet (counted in Drops). Used for loss injection in
+	// tests and loss-model experiments.
+	Drop func(*Packet) bool
+
 	net          *Network
 	queue        []*Packet
 	transmitting bool
+	txStart      float64 // start time of the in-flight transmission
+	txDur        float64 // its duration
 
 	// Counters.
 	TxPackets   int64
 	TxBytes     int64
 	Drops       int64
-	busyTime    float64
+	busyTime    float64 // completed transmission time only
 	maxQueueLen int
 }
 
@@ -69,35 +92,46 @@ func (l *Link) QueueLen() int {
 func (l *Link) MaxQueueLen() int { return l.maxQueueLen }
 
 // Utilization returns the fraction of [0, now] the link spent transmitting.
+// Completed transmissions are credited in full; an in-flight one is
+// pro-rated to now, so a run truncated mid-packet is not over-reported.
 func (l *Link) Utilization(now float64) float64 {
 	if now <= 0 {
 		return 0
 	}
-	u := l.busyTime / now
+	busy := l.busyTime
+	if l.transmitting && now > l.txStart {
+		part := now - l.txStart
+		if part > l.txDur {
+			part = l.txDur
+		}
+		busy += part
+	}
+	u := busy / now
 	if u > 1 {
 		u = 1
 	}
 	return u
 }
 
-// Network is a set of nodes and directed links plus per-flow delivery
-// handlers.
+// Network is a set of nodes and directed links plus per-flow forwarding
+// state and delivery handlers, indexed by flow ID (flows must be small
+// non-negative integers; IDs are dense in every caller).
 type Network struct {
-	Sim      *Simulator
-	nodes    []*Node
-	links    map[[2]int]*Link
-	handlers map[int]func(*Packet) // flow → delivery callback at Dst
+	Sim   *Simulator
+	nodes []*Node
+	links map[[2]int]*Link // construction-time lookup only
+	flows []flowState
+	pool  []*Packet
 }
 
 // NewNetwork creates a network with n nodes attached to sim.
 func NewNetwork(sim *Simulator, n int) *Network {
 	nw := &Network{
-		Sim:      sim,
-		links:    make(map[[2]int]*Link),
-		handlers: make(map[int]func(*Packet)),
+		Sim:   sim,
+		links: make(map[[2]int]*Link),
 	}
 	for i := 0; i < n; i++ {
-		nw.nodes = append(nw.nodes, &Node{ID: i, net: nw, fib: make(map[fibKey]int)})
+		nw.nodes = append(nw.nodes, &Node{ID: i, net: nw})
 	}
 	return nw
 }
@@ -127,51 +161,128 @@ func (nw *Network) Link(from, to int) *Link { return nw.links[[2]int{from, to}] 
 // Links returns all directed links (iteration order unspecified).
 func (nw *Network) Links() map[[2]int]*Link { return nw.links }
 
+// flow returns (growing the table if needed) the state for a flow ID.
+func (nw *Network) flow(id int) *flowState {
+	if id < 0 {
+		panic(fmt.Sprintf("netsim: negative flow ID %d", id))
+	}
+	if id >= len(nw.flows) {
+		if id < cap(nw.flows) {
+			nw.flows = nw.flows[:id+1]
+		} else {
+			// Amortized doubling: sequential flow installs stay O(n) total.
+			grown := make([]flowState, id+1, max(id+1, 2*cap(nw.flows)))
+			copy(grown, nw.flows)
+			nw.flows = grown
+		}
+	}
+	return &nw.flows[id]
+}
+
 // SetFlowPath installs forwarding state for flow along the node path
-// (path[0] is the packet source, path[len-1] the destination). Panics if a
-// hop has no link.
+// (path[0] is the packet source, path[len-1] the destination), resolving
+// every traversed link once. A flow holds at most two paths — one per
+// destination (data and reverse-ACK directions); re-installing a path to
+// the same destination replaces it. Panics if a hop has no link.
 func (nw *Network) SetFlowPath(flow int, path []int) {
 	dst := path[len(path)-1]
+	hops := make([]*Link, len(path)-1)
 	for i := 0; i+1 < len(path); i++ {
-		if nw.Link(path[i], path[i+1]) == nil {
+		l := nw.Link(path[i], path[i+1])
+		if l == nil {
 			panic(fmt.Sprintf("netsim: no link %d->%d on path of flow %d", path[i], path[i+1], flow))
 		}
-		nw.nodes[path[i]].fib[fibKey{flow: flow, dst: dst}] = path[i+1]
+		hops[i] = l
 	}
+	f := nw.flow(flow)
+	for i := 0; i < f.nRoutes; i++ {
+		if f.routes[i].dst == dst {
+			f.routes[i].hops = hops
+			return
+		}
+	}
+	if f.nRoutes == len(f.routes) {
+		panic(fmt.Sprintf("netsim: flow %d already has %d installed paths", flow, len(f.routes)))
+	}
+	f.routes[f.nRoutes] = route{dst: dst, hops: hops}
+	f.nRoutes++
 }
 
 // OnDeliver registers the callback invoked when a packet of the flow reaches
 // its Dst node.
-func (nw *Network) OnDeliver(flow int, fn func(*Packet)) { nw.handlers[flow] = fn }
+func (nw *Network) OnDeliver(flow int, fn func(*Packet)) { nw.flow(flow).deliver = fn }
 
-// Inject sends pkt from its Src node, stamping SentAt.
-func (nw *Network) Inject(pkt *Packet) {
-	pkt.SentAt = nw.Sim.Now()
-	nw.forward(nw.nodes[pkt.Src], pkt)
+// newPacket returns a zeroed packet from the pool (or a fresh one), marked
+// for recycling on delivery or drop.
+func (nw *Network) newPacket() *Packet {
+	if n := len(nw.pool); n > 0 {
+		p := nw.pool[n-1]
+		nw.pool = nw.pool[:n-1]
+		return p
+	}
+	return &Packet{pooled: true}
 }
 
-// forward moves pkt one hop (or delivers it).
-func (nw *Network) forward(at *Node, pkt *Packet) {
-	if at.ID == pkt.Dst {
-		if h := nw.handlers[pkt.Flow]; h != nil {
+// release recycles a pool-allocated packet. Externally built packets (plain
+// &Packet{} handed to Inject) are left alone.
+func (nw *Network) release(p *Packet) {
+	if !p.pooled {
+		return
+	}
+	*p = Packet{pooled: true}
+	nw.pool = append(nw.pool, p)
+}
+
+// Inject sends pkt from its Src node, stamping SentAt. Packets whose flow
+// has no installed path to pkt.Dst are dropped silently (routing bugs
+// surface in tests via missing deliveries).
+func (nw *Network) Inject(pkt *Packet) {
+	pkt.SentAt = nw.Sim.Now()
+	if pkt.Flow < 0 || pkt.Flow >= len(nw.flows) {
+		nw.release(pkt)
+		return
+	}
+	f := &nw.flows[pkt.Flow]
+	pkt.hops = nil
+	for i := 0; i < f.nRoutes; i++ {
+		if f.routes[i].dst == pkt.Dst {
+			pkt.hops = f.routes[i].hops
+			break
+		}
+	}
+	if pkt.hops == nil {
+		nw.release(pkt)
+		return
+	}
+	pkt.hop = 0
+	nw.step(pkt)
+}
+
+// step moves pkt one hop (or delivers it).
+func (nw *Network) step(pkt *Packet) {
+	if pkt.hop >= len(pkt.hops) {
+		if h := nw.flows[pkt.Flow].deliver; h != nil {
 			h(pkt)
 		}
+		nw.release(pkt)
 		return
 	}
-	next, ok := at.fib[fibKey{flow: pkt.Flow, dst: pkt.Dst}]
-	if !ok {
-		// No route: drop silently (counted nowhere; routing bugs surface in
-		// tests via missing deliveries).
-		return
-	}
-	l := nw.Link(at.ID, next)
+	l := pkt.hops[pkt.hop]
+	pkt.hop++
 	l.enqueue(pkt)
 }
 
-// enqueue places pkt on the link, dropping if the queue is full.
+// enqueue places pkt on the link, dropping if the queue is full or the
+// link's Drop hook claims it.
 func (l *Link) enqueue(pkt *Packet) {
+	if l.Drop != nil && l.Drop(pkt) {
+		l.Drops++
+		l.net.release(pkt)
+		return
+	}
 	if l.QueueCap > 0 && len(l.queue) >= l.QueueCap {
 		l.Drops++
+		l.net.release(pkt)
 		return
 	}
 	l.queue = append(l.queue, pkt)
@@ -190,16 +301,20 @@ func (l *Link) startNext() {
 	}
 	l.transmitting = true
 	pkt := l.queue[0]
+	l.queue[0] = nil // drop the reference so the pool can recycle promptly
 	l.queue = l.queue[1:]
 	tx := float64(pkt.Size) * 8 / l.RateBps
-	l.busyTime += tx
+	l.txStart = l.net.Sim.Now()
+	l.txDur = tx
 	l.TxPackets++
 	l.TxBytes += int64(pkt.Size)
 	sim := l.net.Sim
 	sim.Schedule(tx, func() {
-		// Transmission finished: propagate, then free the transmitter.
+		// Transmission finished: credit the busy time, propagate, then free
+		// the transmitter.
+		l.busyTime += tx
 		sim.Schedule(l.PropDelay, func() {
-			l.net.forward(l.net.nodes[l.To], pkt)
+			l.net.step(pkt)
 		})
 		l.startNext()
 	})

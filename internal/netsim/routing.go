@@ -18,6 +18,10 @@ type Commodity struct {
 	Flow     int
 	Src, Dst int
 	Demand   float64 // bps, used by utilization-aware schemes
+
+	// Count is how many concurrent flows the Scenario driver runs on this
+	// commodity's path (0 and 1 both mean one). Routing ignores it.
+	Count int
 }
 
 // Scheme selects a routing algorithm, mirroring §5: ns-3's default shortest
@@ -56,7 +60,18 @@ func BuildTopology(nw *Network, links []TopoLink) {
 // Commodities are processed in decreasing demand for the utilization-aware
 // schemes, which route sequentially against the residual network.
 func InstallRoutes(nw *Network, links []TopoLink, comms []Commodity, scheme Scheme) map[int][]int {
-	n := nw.N()
+	paths := ComputeRoutes(nw.N(), links, comms, scheme)
+	for flow, path := range paths {
+		nw.SetFlowPath(flow, path)
+	}
+	return paths
+}
+
+// ComputeRoutes is the pure routing core behind InstallRoutes: it computes
+// a path per commodity under the scheme without touching a Network, so the
+// packet and fluid engines can share identical paths. The returned map is
+// keyed by flow ID; unroutable commodities are omitted.
+func ComputeRoutes(n int, links []TopoLink, comms []Commodity, scheme Scheme) map[int][]int {
 	adj := make([][]halfLink, n)
 	for _, l := range links {
 		fw, bw := new(float64), new(float64)
@@ -90,7 +105,6 @@ func InstallRoutes(nw *Network, links []TopoLink, comms []Commodity, scheme Sche
 			continue
 		}
 		paths[c.Flow] = path
-		nw.SetFlowPath(c.Flow, path)
 		// Account the demand on each traversed half-link.
 		for i := 0; i+1 < len(path); i++ {
 			for k := range adj[path[i]] {

@@ -1,0 +1,285 @@
+package netsim
+
+import (
+	"fmt"
+	"math/rand"
+
+	"cisp/internal/parallel"
+)
+
+// Mode selects the simulation engine a Scenario runs on.
+type Mode int
+
+// Engine modes.
+const (
+	// PacketMode is the discrete-event per-packet engine: full queuing,
+	// loss and TCP dynamics, practical up to ~10³-10⁴ flows.
+	PacketMode Mode = iota
+	// FluidMode is the flow-level max-min engine: no queuing transients,
+	// practical up to 10⁵-10⁶ concurrent flows.
+	FluidMode
+)
+
+func (m Mode) String() string {
+	switch m {
+	case PacketMode:
+		return "packet"
+	case FluidMode:
+		return "fluid"
+	}
+	return "unknown"
+}
+
+// ParseMode parses "packet" or "fluid".
+func ParseMode(s string) (Mode, error) {
+	switch s {
+	case "packet":
+		return PacketMode, nil
+	case "fluid":
+		return FluidMode, nil
+	}
+	return 0, fmt.Errorf("netsim: unknown mode %q (want packet or fluid)", s)
+}
+
+// Scenario is a declarative bulk-simulation input shared by both engines:
+// a topology, routed commodities (each carrying Count concurrent flows of
+// FlowBytes payload), and a horizon. The same Scenario can be run in
+// packet mode for microscopic fidelity and in fluid mode for scale; both
+// route with ComputeRoutes, so per-flow paths are identical across modes
+// and per-flow mean rates are directly comparable.
+type Scenario struct {
+	Nodes  int
+	Links  []TopoLink
+	Comms  []Commodity
+	Scheme Scheme
+
+	FlowBytes   int     // payload per flow (default 100 KB)
+	Horizon     float64 // simulated seconds (default 30)
+	StartSpread float64 // flow starts drawn uniformly from [0, StartSpread] (0 = all at t=0)
+	Seed        int64   // start-time randomness (packet and fluid draw identically)
+	Pacing      bool    // packet mode: TCP pacing
+	QueueCap    int     // packet mode: per-link queue override (0 = keep TopoLink values)
+	RateTol     float64 // fluid mode: reschedule-suppression tolerance
+}
+
+// FlowResult is one flow's outcome.
+type FlowResult struct {
+	Flow        int     // commodity flow ID this flow ran on
+	Start       float64 // start time, seconds
+	FCT         float64 // flow completion time, seconds (0 if incomplete)
+	Completed   bool
+	MeanRateBps float64 // payload*8/FCT when completed, served*8/elapsed otherwise
+}
+
+// ScenarioResult is the outcome of one Scenario run.
+type ScenarioResult struct {
+	Mode      Mode
+	Flows     []FlowResult
+	Completed int
+	End       float64 // simulation end time
+}
+
+// FCTs returns the completion times of all completed flows, in flow order.
+func (r *ScenarioResult) FCTs() []float64 {
+	var out []float64
+	for _, f := range r.Flows {
+		if f.Completed {
+			out = append(out, f.FCT)
+		}
+	}
+	return out
+}
+
+// MeanRateByCommodity averages per-flow mean rates per commodity flow ID.
+func (r *ScenarioResult) MeanRateByCommodity() map[int]float64 {
+	sum := map[int]float64{}
+	cnt := map[int]int{}
+	for _, f := range r.Flows {
+		sum[f.Flow] += f.MeanRateBps
+		cnt[f.Flow]++
+	}
+	out := make(map[int]float64, len(sum))
+	for k, s := range sum {
+		out[k] = s / float64(cnt[k])
+	}
+	return out
+}
+
+func (sc *Scenario) defaults() (flowBytes int, horizon float64) {
+	flowBytes = sc.FlowBytes
+	if flowBytes == 0 {
+		flowBytes = 100 << 10
+	}
+	horizon = sc.Horizon
+	if horizon == 0 {
+		horizon = 30
+	}
+	return
+}
+
+// starts draws the per-flow start times; identical in both modes so the
+// engines see the same offered load. Flows are ordered commodity-major.
+func (sc *Scenario) starts(total int) []float64 {
+	out := make([]float64, total)
+	if sc.StartSpread <= 0 {
+		return out
+	}
+	rng := rand.New(rand.NewSource(sc.Seed + 1))
+	for i := range out {
+		out[i] = rng.Float64() * sc.StartSpread
+	}
+	return out
+}
+
+// Run executes the scenario on the selected engine.
+func (sc *Scenario) Run(mode Mode) *ScenarioResult {
+	if mode == FluidMode {
+		return sc.runFluid()
+	}
+	return sc.runPacket()
+}
+
+// RunMany fans independent scenario runs out over the shared worker pool
+// (internal/parallel), preserving input order. Each run owns its simulator,
+// so results are bit-identical to sequential execution at any pool width.
+func RunMany(scs []*Scenario, mode Mode) []*ScenarioResult {
+	return parallel.Map(len(scs), 1, func(i int) *ScenarioResult {
+		return scs[i].Run(mode)
+	})
+}
+
+func (sc *Scenario) runPacket() *ScenarioResult {
+	flowBytes, horizon := sc.defaults()
+	links := sc.Links
+	if sc.QueueCap > 0 {
+		links = append([]TopoLink(nil), sc.Links...)
+		for i := range links {
+			links[i].QueueCap = sc.QueueCap
+		}
+	}
+	var sim Simulator
+	nw := NewNetwork(&sim, sc.Nodes)
+	BuildTopology(nw, links)
+	paths := ComputeRoutes(sc.Nodes, links, sc.Comms, sc.Scheme)
+
+	// Flow IDs: each commodity keeps its own ID for its first flow; clones
+	// get fresh IDs past the maximum so delivery demux stays per-flow.
+	nextID := 0
+	for _, c := range sc.Comms {
+		if c.Flow >= nextID {
+			nextID = c.Flow + 1
+		}
+	}
+	total := 0
+	for _, c := range sc.Comms {
+		if paths[c.Flow] != nil {
+			total += max(c.Count, 1)
+		}
+	}
+	startAt := sc.starts(total)
+
+	res := &ScenarioResult{Mode: PacketMode}
+	type live struct {
+		conn *TCPConn
+		idx  int // index into res.Flows
+	}
+	var conns []live
+	fi := 0
+	for _, c := range sc.Comms {
+		path := paths[c.Flow]
+		if path == nil {
+			continue
+		}
+		rev := make([]int, len(path))
+		for i, v := range path {
+			rev[len(path)-1-i] = v
+		}
+		for k := 0; k < max(c.Count, 1); k++ {
+			id := c.Flow
+			if k > 0 {
+				id = nextID
+				nextID++
+			}
+			nw.SetFlowPath(id, path)
+			nw.SetFlowPath(id, rev)
+			idx := len(res.Flows)
+			res.Flows = append(res.Flows, FlowResult{Flow: c.Flow, Start: startAt[fi]})
+			conn := &TCPConn{
+				Net: nw, Flow: id, Src: c.Src, Dst: c.Dst,
+				FlowSize: flowBytes, Pacing: sc.Pacing,
+			}
+			conn.Done = func(fct float64) {
+				res.Flows[idx].FCT = fct
+				res.Flows[idx].Completed = true
+				res.Flows[idx].MeanRateBps = float64(flowBytes) * 8 / fct
+				res.Completed++
+			}
+			conns = append(conns, live{conn: conn, idx: idx})
+			sim.Schedule(startAt[fi], conn.Start)
+			fi++
+		}
+	}
+	sim.Run(horizon)
+	res.End = sim.Now()
+	for _, l := range conns {
+		fr := &res.Flows[l.idx]
+		if fr.Completed {
+			continue
+		}
+		if el := res.End - fr.Start; el > 0 {
+			fr.MeanRateBps = float64(l.conn.Acked()) * 8 / el
+		}
+	}
+	return res
+}
+
+func (sc *Scenario) runFluid() *ScenarioResult {
+	flowBytes, horizon := sc.defaults()
+	f := NewFluid(sc.Nodes, sc.Links)
+	f.RateTol = sc.RateTol
+	paths := ComputeRoutes(sc.Nodes, sc.Links, sc.Comms, sc.Scheme)
+
+	total := 0
+	for _, c := range sc.Comms {
+		if paths[c.Flow] != nil {
+			total += max(c.Count, 1)
+		}
+	}
+	startAt := sc.starts(total)
+
+	res := &ScenarioResult{Mode: FluidMode}
+	type live struct {
+		fid int // fluid flow ID
+		idx int
+	}
+	var flows []live
+	fi := 0
+	for _, c := range sc.Comms {
+		path := paths[c.Flow]
+		if path == nil {
+			continue
+		}
+		r := f.AddRoute(path)
+		for k := 0; k < max(c.Count, 1); k++ {
+			idx := len(res.Flows)
+			res.Flows = append(res.Flows, FlowResult{Flow: c.Flow, Start: startAt[fi]})
+			fid := f.StartAt(r, float64(flowBytes), startAt[fi])
+			flows = append(flows, live{fid: fid, idx: idx})
+			fi++
+		}
+	}
+	f.Run(horizon)
+	res.End = f.Now()
+	for _, l := range flows {
+		fr := &res.Flows[l.idx]
+		if fct, done := f.FCT(l.fid); done {
+			fr.FCT = fct
+			fr.Completed = true
+			fr.MeanRateBps = float64(flowBytes) * 8 / fct
+			res.Completed++
+		} else if el := res.End - fr.Start; el > 0 {
+			fr.MeanRateBps = f.ServedBytes(l.fid) * 8 / el
+		}
+	}
+	return res
+}

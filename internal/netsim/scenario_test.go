@@ -1,0 +1,157 @@
+package netsim
+
+import (
+	"math"
+	"testing"
+
+	"cisp/internal/parallel"
+)
+
+// agreementScenario is the shared small scenario for the packet/fluid
+// cross-validation: a chain 0-1-2 whose 1→2 link bottlenecks two long
+// flows while a third flow takes the residual on 0→1.
+func agreementScenario() *Scenario {
+	return &Scenario{
+		Nodes: 3,
+		Links: []TopoLink{
+			{A: 0, B: 1, RateBps: 20e6, PropDelay: 0.002, QueueCap: 0},
+			{A: 1, B: 2, RateBps: 10e6, PropDelay: 0.002, QueueCap: 0},
+		},
+		Comms: []Commodity{
+			{Flow: 1, Src: 0, Dst: 2, Demand: 5e6, Count: 2},
+			{Flow: 2, Src: 0, Dst: 1, Demand: 5e6, Count: 1},
+		},
+		Scheme:    ShortestPath,
+		FlowBytes: 4 << 20, // long flows amortize slow start
+		Horizon:   60,
+	}
+}
+
+// packetFluidAgreementTol is the tested cross-engine tolerance: per-flow
+// mean rates from the packet engine (real TCP with slow start, ACK
+// overhead and queuing) must lie within this relative fraction of the
+// fluid engine's max-min prediction on the shared scenario. Measured
+// deltas are ~0.1% on the bottlenecked route and ~3.5% on the residual
+// route; 10% leaves headroom without letting the engines drift apart.
+const packetFluidAgreementTol = 0.10
+
+func TestPacketFluidAgreement(t *testing.T) {
+	sc := agreementScenario()
+	pkt := sc.Run(PacketMode)
+	fl := sc.Run(FluidMode)
+
+	if pkt.Completed != len(pkt.Flows) {
+		t.Fatalf("packet mode completed %d/%d flows", pkt.Completed, len(pkt.Flows))
+	}
+	if fl.Completed != len(fl.Flows) {
+		t.Fatalf("fluid mode completed %d/%d flows", fl.Completed, len(fl.Flows))
+	}
+	pr := pkt.MeanRateByCommodity()
+	fr := fl.MeanRateByCommodity()
+	for _, flow := range []int{1, 2} {
+		p, f := pr[flow], fr[flow]
+		if f <= 0 || p <= 0 {
+			t.Fatalf("flow %d: non-positive rates packet=%v fluid=%v", flow, p, f)
+		}
+		if d := math.Abs(p-f) / f; d > packetFluidAgreementTol {
+			t.Errorf("flow %d: packet %0.f bps vs fluid %0.f bps — %.0f%% apart (tolerance %.0f%%)",
+				flow, p, f, d*100, packetFluidAgreementTol*100)
+		}
+	}
+	// The fluid prediction itself: the long flows split the 10 Mbps
+	// bottleneck while they overlap, so their overall mean is between the
+	// 5 Mbps share and the 10 Mbps solo rate; the short flow starts at the
+	// 10 Mbps residual and speeds up when the bottleneck clears.
+	if fr[1] < 5e6-1 || fr[1] > 10e6+1 {
+		t.Fatalf("fluid long-route mean rate %v outside [5,10] Mbps", fr[1])
+	}
+}
+
+func TestScenarioFluidHandlesHugeCounts(t *testing.T) {
+	sc := agreementScenario()
+	sc.Comms[0].Count = 50_000
+	sc.Comms[1].Count = 50_000
+	sc.FlowBytes = 100 << 10
+	sc.Horizon = 1 // truncated: most flows still running
+	res := sc.Run(FluidMode)
+	if len(res.Flows) != 100_000 {
+		t.Fatalf("flows = %d, want 100k", len(res.Flows))
+	}
+	// 100k flows on 10 Mbps can't finish in 1 s; incomplete flows must
+	// still report a served-bytes mean rate.
+	withRate := 0
+	for i := range res.Flows {
+		if res.Flows[i].MeanRateBps > 0 {
+			withRate++
+		}
+	}
+	if withRate == 0 {
+		t.Fatal("no incomplete flow reported a mean rate")
+	}
+}
+
+func TestScenarioStartSpreadDeterministic(t *testing.T) {
+	sc := agreementScenario()
+	sc.StartSpread = 2
+	a := sc.Run(FluidMode)
+	b := sc.Run(FluidMode)
+	for i := range a.Flows {
+		if a.Flows[i] != b.Flows[i] {
+			t.Fatalf("flow %d differs across identical runs: %+v vs %+v",
+				i, a.Flows[i], b.Flows[i])
+		}
+	}
+	// Packet mode must draw the same start times.
+	p := sc.Run(PacketMode)
+	for i := range p.Flows {
+		if p.Flows[i].Start != a.Flows[i].Start {
+			t.Fatalf("flow %d start differs across modes: %v vs %v",
+				i, p.Flows[i].Start, a.Flows[i].Start)
+		}
+	}
+}
+
+func TestRunManyMatchesSequential(t *testing.T) {
+	mk := func() []*Scenario {
+		var scs []*Scenario
+		for s := 0; s < 6; s++ {
+			sc := agreementScenario()
+			sc.Seed = int64(s)
+			sc.StartSpread = 1
+			sc.FlowBytes = 256 << 10
+			scs = append(scs, sc)
+		}
+		return scs
+	}
+	prev := parallel.SetWorkers(1)
+	seq := RunMany(mk(), FluidMode)
+	parallel.SetWorkers(0)
+	par := RunMany(mk(), FluidMode)
+	parallel.SetWorkers(prev)
+	for i := range seq {
+		if len(seq[i].Flows) != len(par[i].Flows) {
+			t.Fatalf("scenario %d: flow count differs", i)
+		}
+		for j := range seq[i].Flows {
+			if seq[i].Flows[j] != par[i].Flows[j] {
+				t.Fatalf("scenario %d flow %d: %+v vs %+v — fan-out not deterministic",
+					i, j, seq[i].Flows[j], par[i].Flows[j])
+			}
+		}
+	}
+}
+
+func TestParseMode(t *testing.T) {
+	if m, err := ParseMode("packet"); err != nil || m != PacketMode {
+		t.Fatal("packet parse failed")
+	}
+	if m, err := ParseMode("fluid"); err != nil || m != FluidMode {
+		t.Fatal("fluid parse failed")
+	}
+	if _, err := ParseMode("quantum"); err == nil {
+		t.Fatal("bad mode accepted")
+	}
+	if PacketMode.String() != "packet" || FluidMode.String() != "fluid" || Mode(9).String() != "unknown" {
+		t.Fatal("Mode.String broken")
+	}
+}

@@ -1,14 +1,23 @@
-// Package netsim is a discrete-event packet-level network simulator — the
-// in-repo substitute for ns-3 in the paper's routing and queuing study (§5)
-// and traffic-mix study (§6.4). It models store-and-forward routers with
-// FIFO queues, fixed-rate links with propagation delay, UDP constant-rate
-// and Poisson sources, a simplified TCP Reno with optional pacing (for the
-// Fig 6 speed-mismatch experiment), per-flow delay/loss accounting
-// (FlowMonitor-equivalent), and per-link utilization monitoring.
+// Package netsim is a two-mode network simulation engine — the in-repo
+// substitute for ns-3 in the paper's routing and queuing study (§5) and
+// traffic-mix study (§6.4); see DESIGN.md §6.
 //
-// Three routing schemes are provided, as in §5: latency-shortest paths,
+// Packet mode is a discrete-event packet-level simulator: store-and-forward
+// routers with FIFO queues, fixed-rate links with propagation delay, UDP
+// constant-rate and Poisson sources, a simplified TCP Reno with fast
+// recovery and optional pacing (for the Fig 6 speed-mismatch experiment),
+// per-flow delay/loss accounting (FlowMonitor-equivalent), and per-link
+// utilization monitoring.
+//
+// Fluid mode (FluidSim) is a flow-level simulator that advances each flow
+// at the max-min fair share of its path with event-driven rate
+// recomputation on arrival/departure, scaling the same scenarios to
+// 10⁵–10⁶ concurrent flows.
+//
+// Both modes run from a shared declarative Scenario and route identically
+// (ComputeRoutes) under the three §5 schemes: latency-shortest paths,
 // minimise-maximum-link-utilization, and throughput-optimal (widest-path)
-// routing.
+// routing. Bulk runs fan out over internal/parallel via RunMany.
 package netsim
 
 import "container/heap"

@@ -161,6 +161,48 @@ func TestUtilization(t *testing.T) {
 	}
 }
 
+func TestUtilizationTruncatedHorizon(t *testing.T) {
+	// A packet mid-transmission at the horizon must be pro-rated, not
+	// credited in full at tx start. 1000 B at 1 Mbps = 8 ms of tx starting
+	// at t = 0.5; at t = 0.504 the link has been busy 4 ms of 504 ms.
+	var sim Simulator
+	nw := NewNetwork(&sim, 2)
+	l := nw.AddLink(0, 1, 1e6, 0, 0)
+	nw.SetFlowPath(1, []int{0, 1})
+	nw.OnDeliver(1, func(p *Packet) {})
+	sim.Schedule(0.5, func() {
+		nw.Inject(&Packet{Flow: 1, Size: 1000, Src: 0, Dst: 1})
+	})
+	sim.Run(0.504)
+	want := 0.004 / 0.504
+	if u := l.Utilization(sim.Now()); math.Abs(u-want) > 1e-9 {
+		t.Fatalf("mid-packet utilization = %v, want %v (pro-rated)", u, want)
+	}
+	// After the transmission completes, the full 8 ms is credited.
+	sim.Run(0.508)
+	want = 0.008 / 0.508
+	if u := l.Utilization(sim.Now()); math.Abs(u-want) > 1e-9 {
+		t.Fatalf("completed utilization = %v, want %v", u, want)
+	}
+}
+
+func TestLinkDropHook(t *testing.T) {
+	var sim Simulator
+	nw := NewNetwork(&sim, 2)
+	l := nw.AddLink(0, 1, 1e6, 0, 0)
+	nw.SetFlowPath(1, []int{0, 1})
+	delivered := 0
+	nw.OnDeliver(1, func(p *Packet) { delivered++ })
+	l.Drop = func(p *Packet) bool { return p.Seq == 2 }
+	for s := int64(1); s <= 3; s++ {
+		nw.Inject(&Packet{Flow: 1, Seq: s, Size: 500, Src: 0, Dst: 1})
+	}
+	sim.Run(1)
+	if delivered != 2 || l.Drops != 1 {
+		t.Fatalf("delivered=%d drops=%d, want 2/1", delivered, l.Drops)
+	}
+}
+
 func TestUDPSourceCBR(t *testing.T) {
 	var sim Simulator
 	nw := NewNetwork(&sim, 2)

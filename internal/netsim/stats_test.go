@@ -1,0 +1,37 @@
+package netsim
+
+import (
+	"math"
+	"testing"
+)
+
+func TestPercentileIntsMatchesFloat(t *testing.T) {
+	ints := []int{9, 1, 5, 3, 7}
+	floats := []float64{9, 1, 5, 3, 7}
+	for _, p := range []float64{0, 25, 50, 75, 90, 100} {
+		a, b := PercentileInts(ints, p), Percentile(floats, p)
+		if a != b {
+			t.Fatalf("p%.0f: PercentileInts=%v Percentile=%v — the two paths diverged", p, a, b)
+		}
+	}
+	if got := PercentileInts(ints, 50); got != 5 {
+		t.Fatalf("median = %v, want 5", got)
+	}
+	if !math.IsNaN(PercentileInts(nil, 50)) {
+		t.Fatal("empty int percentile should be NaN")
+	}
+	// Input must not be reordered.
+	if ints[0] != 9 || ints[4] != 7 {
+		t.Fatalf("input mutated: %v", ints)
+	}
+}
+
+func TestPercentileInterpolates(t *testing.T) {
+	vals := []float64{10, 20}
+	if got := Percentile(vals, 50); got != 15 {
+		t.Fatalf("p50 of {10,20} = %v, want 15 (linear interpolation)", got)
+	}
+	if got := PercentileInts([]int{10, 20}, 25); got != 12.5 {
+		t.Fatalf("p25 of {10,20} = %v, want 12.5", got)
+	}
+}

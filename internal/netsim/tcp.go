@@ -3,9 +3,10 @@ package netsim
 import "math"
 
 // TCPConn is a simplified TCP Reno sender/receiver pair for the Fig 6
-// speed-mismatch study: slow start, congestion avoidance, fast retransmit on
-// triple duplicate ACKs, retransmission timeouts, and optional packet pacing
-// (sends spaced at cwnd per SRTT rather than back-to-back on ACK clocking).
+// speed-mismatch study: slow start, congestion avoidance, fast retransmit
+// plus fast recovery on triple duplicate ACKs, retransmission timeouts, and
+// optional packet pacing (sends spaced at cwnd per SRTT rather than
+// back-to-back on ACK clocking).
 //
 // The connection transfers FlowSize bytes of payload in MSS-sized segments;
 // Done is invoked with the flow completion time once the final segment is
@@ -21,31 +22,50 @@ type TCPConn struct {
 	InitCwnd float64 // initial window, packets (default 10)
 	Done     func(fct float64)
 
+	// RTOCount counts retransmission-timeout firings (visible to tests and
+	// experiments: a healthy fast-recovery path keeps it at zero for
+	// isolated losses).
+	RTOCount int
+
 	// Sender state (packet sequence numbers are 1-based).
-	nPkts     int64
-	sndUna    int64 // lowest unacked
-	sndNxt    int64 // next new sequence to send
-	cwnd      float64
-	ssthresh  float64
-	dupAcks   int
-	srtt      float64
-	rttvar    float64
-	rto       float64
-	rtoGen    int64
-	sentAt    map[int64]float64
-	retxMark  map[int64]bool
-	startTime float64
-	finished  bool
+	nPkts      int64
+	sndUna     int64 // lowest unacked
+	sndNxt     int64 // next sequence to send
+	maxSent    int64 // highest sequence ever emitted (Karn marking on re-sends)
+	cwnd       float64
+	ssthresh   float64
+	dupAcks    int
+	inRecovery bool // between fast retransmit and the next new ACK
+	srtt       float64
+	rttvar     float64
+	rto        float64
+	sentAt     []float64 // indexed by seq; NaN = not outstanding
+	retxMark   []bool    // Karn: retransmitted, no RTT sample
+	startTime  float64
+	finished   bool
+
+	// Retransmission timer: a single outstanding event per connection.
+	// ACK processing only moves the deadline; the timer lazily reschedules
+	// itself when it fires early, so the event heap holds at most one
+	// entry per connection instead of one stale closure per ACK.
+	rtoDeadline float64
+	rtoArmed    bool
 
 	// Pacing.
 	nextPaceAt float64
 
 	// Receiver state.
 	rcvNext int64
-	rcvBuf  map[int64]bool
+	rcvBuf  []bool // indexed by seq: received out of order
 }
 
 const ackSize = 40 // bytes on the wire for a pure ACK
+
+// minRTO is the retransmission-timer floor (RFC 6298 prescribes 1 s; Linux
+// ships 200 ms). Without a floor well above one RTT, the timer fires
+// spuriously during fast recovery — exactly the stall-then-collapse the
+// recovery path is meant to avoid.
+const minRTO = 0.2
 
 // Start opens the connection and begins transmitting at the current
 // simulation time. The forward (data) and reverse (ACK) paths must already
@@ -69,11 +89,14 @@ func (c *TCPConn) Start() {
 	c.ssthresh = 1e9
 	c.srtt = c.InitRTT
 	c.rttvar = c.InitRTT / 2
-	c.rto = c.srtt + 4*c.rttvar
-	c.sentAt = make(map[int64]float64)
-	c.retxMark = make(map[int64]bool)
+	c.rto = math.Max(c.srtt+4*c.rttvar, minRTO)
+	c.sentAt = make([]float64, c.nPkts+1)
+	for i := range c.sentAt {
+		c.sentAt[i] = math.NaN()
+	}
+	c.retxMark = make([]bool, c.nPkts+1)
 	c.rcvNext = 1
-	c.rcvBuf = make(map[int64]bool)
+	c.rcvBuf = make([]bool, c.nPkts+2)
 	c.startTime = c.Net.Sim.Now()
 	c.nextPaceAt = c.startTime
 
@@ -93,18 +116,17 @@ func (c *TCPConn) onPacket(p *Packet) {
 }
 
 func (c *TCPConn) receiverOnData(p *Packet) {
-	if p.Seq >= c.rcvNext {
+	if p.Seq >= c.rcvNext && p.Seq < int64(len(c.rcvBuf)) {
 		c.rcvBuf[p.Seq] = true
 	}
-	for c.rcvBuf[c.rcvNext] {
-		delete(c.rcvBuf, c.rcvNext)
+	for c.rcvNext < int64(len(c.rcvBuf)) && c.rcvBuf[c.rcvNext] {
 		c.rcvNext++
 	}
 	// Cumulative ACK back to the sender.
-	c.Net.Inject(&Packet{
-		Flow: c.Flow, Kind: Ack, Size: ackSize,
-		Src: c.Dst, Dst: c.Src, AckNo: c.rcvNext,
-	})
+	ack := c.Net.newPacket()
+	ack.Flow, ack.Kind, ack.Size = c.Flow, Ack, ackSize
+	ack.Src, ack.Dst, ack.AckNo = c.Dst, c.Src, c.rcvNext
+	c.Net.Inject(ack)
 }
 
 func (c *TCPConn) senderOnAck(p *Packet) {
@@ -115,16 +137,17 @@ func (c *TCPConn) senderOnAck(p *Packet) {
 		acked := p.AckNo - c.sndUna
 		// RTT sample from the newest cumulatively acked, un-retransmitted
 		// segment (Karn's rule).
-		if ts, ok := c.sentAt[p.AckNo-1]; ok && !c.retxMark[p.AckNo-1] {
-			c.updateRTT(c.Net.Sim.Now() - ts)
-		}
-		for s := c.sndUna; s < p.AckNo; s++ {
-			delete(c.sentAt, s)
-			delete(c.retxMark, s)
+		if s := p.AckNo - 1; s <= c.nPkts && !c.retxMark[s] && !math.IsNaN(c.sentAt[s]) {
+			c.updateRTT(c.Net.Sim.Now() - c.sentAt[s])
 		}
 		c.sndUna = p.AckNo
 		c.dupAcks = 0
-		if c.cwnd < c.ssthresh {
+		if c.inRecovery {
+			// Fast recovery ends on the first new ACK: deflate the window
+			// back to ssthresh (classic Reno).
+			c.cwnd = c.ssthresh
+			c.inRecovery = false
+		} else if c.cwnd < c.ssthresh {
 			c.cwnd += float64(acked) // slow start
 		} else {
 			c.cwnd += float64(acked) / c.cwnd // congestion avoidance
@@ -139,11 +162,23 @@ func (c *TCPConn) senderOnAck(p *Packet) {
 	}
 	// Duplicate ACK.
 	c.dupAcks++
+	if c.inRecovery {
+		// Each further dup ACK signals another delivered segment: inflate
+		// the window by one MSS and keep the pipe full. Without this the
+		// sender transmits nothing during a loss-side window of dup ACKs
+		// and stalls until the RTO fires.
+		c.cwnd++
+		c.trySend()
+		return
+	}
 	if c.dupAcks == 3 {
 		c.ssthresh = math.Max(c.cwnd/2, 2)
-		c.cwnd = c.ssthresh
 		c.resend(c.sndUna)
+		// Inflate by the three segments the dup ACKs proved delivered.
+		c.cwnd = c.ssthresh + 3
+		c.inRecovery = true
 		c.armRTO()
+		c.trySend()
 	}
 }
 
@@ -151,7 +186,19 @@ func (c *TCPConn) updateRTT(sample float64) {
 	const alpha, beta = 1.0 / 8, 1.0 / 4
 	c.rttvar = (1-beta)*c.rttvar + beta*math.Abs(c.srtt-sample)
 	c.srtt = (1-alpha)*c.srtt + alpha*sample
-	c.rto = math.Max(c.srtt+4*c.rttvar, 0.01)
+	c.rto = math.Max(c.srtt+4*c.rttvar, minRTO)
+}
+
+// Acked returns the payload bytes cumulatively acknowledged so far.
+func (c *TCPConn) Acked() int64 {
+	full := c.sndUna - 1
+	if full <= 0 {
+		return 0
+	}
+	if full >= c.nPkts {
+		return int64(c.FlowSize)
+	}
+	return full * int64(c.MSS)
 }
 
 // trySend transmits as much of the window as allowed, paced or back-to-back.
@@ -193,40 +240,62 @@ func (c *TCPConn) emit(seq int64) {
 			size = rem + 40
 		}
 	}
+	if seq <= c.maxSent {
+		c.retxMark[seq] = true // Karn: no RTT sample from a re-sent segment
+	} else {
+		c.maxSent = seq
+	}
 	c.sentAt[seq] = c.Net.Sim.Now()
-	c.Net.Inject(&Packet{
-		Flow: c.Flow, Seq: seq, Kind: Data, Size: size,
-		Src: c.Src, Dst: c.Dst,
-	})
+	p := c.Net.newPacket()
+	p.Flow, p.Seq, p.Kind, p.Size = c.Flow, seq, Data, size
+	p.Src, p.Dst = c.Src, c.Dst
+	c.Net.Inject(p)
 }
 
-func (c *TCPConn) resend(seq int64) {
-	c.retxMark[seq] = true
-	c.emit(seq)
-}
+// resend re-emits a segment; emit's maxSent watermark applies the Karn mark.
+func (c *TCPConn) resend(seq int64) { c.emit(seq) }
 
-// armRTO (re)schedules the retransmission timer.
+// armRTO pushes the retransmission deadline one RTO past now. The single
+// outstanding timer event reschedules itself lazily, so this is O(1) and
+// allocation-free on the per-ACK hot path.
 func (c *TCPConn) armRTO() {
-	c.rtoGen++
-	gen := c.rtoGen
-	una := c.sndUna
-	c.Net.Sim.Schedule(c.rto, func() {
-		if c.finished || gen != c.rtoGen || c.sndUna != una {
-			return
-		}
-		// Timeout: shrink to one segment and retransmit.
-		c.ssthresh = math.Max(c.cwnd/2, 2)
-		c.cwnd = 1
-		c.rto = math.Min(c.rto*2, 60)
-		c.dupAcks = 0
-		c.resend(c.sndUna)
-		c.armRTO()
-	})
+	c.rtoDeadline = c.Net.Sim.Now() + c.rto
+	if !c.rtoArmed {
+		c.rtoArmed = true
+		c.Net.Sim.Schedule(c.rto, c.onRTOTimer)
+	}
+}
+
+// onRTOTimer is the single retransmission-timer event. If ACKs have pushed
+// the deadline past now, it re-arms for the remainder; otherwise the
+// connection has been silent a full RTO: collapse to one segment and
+// retransmit.
+func (c *TCPConn) onRTOTimer() {
+	if c.finished {
+		c.rtoArmed = false
+		return
+	}
+	now := c.Net.Sim.Now()
+	if now < c.rtoDeadline {
+		c.Net.Sim.Schedule(c.rtoDeadline-now, c.onRTOTimer)
+		return
+	}
+	c.RTOCount++
+	c.ssthresh = math.Max(c.cwnd/2, 2)
+	c.cwnd = 1
+	c.rto = math.Min(c.rto*2, 60)
+	c.dupAcks = 0
+	c.inRecovery = false
+	// Go-back-N: slow-start retransmission resumes from the hole. Without
+	// the rollback a multi-loss burst costs one backed-off RTO per hole.
+	c.resend(c.sndUna)
+	c.sndNxt = c.sndUna + 1
+	c.rtoDeadline = now + c.rto
+	c.Net.Sim.Schedule(c.rto, c.onRTOTimer)
 }
 
 func (c *TCPConn) finish() {
 	c.finished = true
-	c.rtoGen++
 	if c.Done != nil {
 		c.Done(c.Net.Sim.Now() - c.startTime)
 	}

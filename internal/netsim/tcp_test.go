@@ -51,7 +51,7 @@ func TestTCPDeliversExactBytes(t *testing.T) {
 	// Wrap the connection's handler to count payload bytes first.
 	c := &TCPConn{Net: nw, Flow: 1, Src: 0, Dst: 1, FlowSize: 14_600, InitRTT: 0.01}
 	c.Start()
-	inner := nw.handlers[1]
+	inner := nw.flows[1].deliver
 	seen := map[int64]bool{}
 	nw.OnDeliver(1, func(p *Packet) {
 		if p.Kind == Data && !seen[p.Seq] {
@@ -123,6 +123,111 @@ func TestTCPSmallFlow(t *testing.T) {
 	sim.Run(5)
 	if !done {
 		t.Fatal("sub-MSS flow did not complete")
+	}
+}
+
+func TestTCPFastRecoverySingleLossNoRTO(t *testing.T) {
+	// A single mid-flow loss must be repaired by fast retransmit + fast
+	// recovery, without the retransmission timer ever firing. Before the
+	// recovery fix, a loss-side window of dup ACKs transmitted nothing and
+	// the flow stalled until RTO — silently inflating every reported FCT.
+	sim, nw := twoNodeTCP(10e6, 0.005, 0)
+	dropped := false
+	nw.Link(0, 1).Drop = func(p *Packet) bool {
+		if p.Kind == Data && p.Seq == 30 && !dropped {
+			dropped = true
+			return true
+		}
+		return false
+	}
+	var fct float64 = -1
+	c := &TCPConn{Net: nw, Flow: 1, Src: 0, Dst: 1, FlowSize: 200_000, InitRTT: 0.01,
+		Done: func(f float64) { fct = f }}
+	c.Start()
+	sim.Run(30)
+	if !dropped {
+		t.Fatal("loss injection never triggered")
+	}
+	if fct < 0 {
+		t.Fatal("transfer did not complete after a single loss")
+	}
+	if c.RTOCount != 0 {
+		t.Fatalf("RTO fired %d times; fast recovery should repair a single loss", c.RTOCount)
+	}
+	// Clean-path FCT for this transfer is ~0.19 s; one fast-recovered loss
+	// costs about an RTT plus the halved window, not an RTO (>= 200 ms).
+	if fct > 0.5 {
+		t.Fatalf("FCT %.3f s suggests a stall, not fast recovery", fct)
+	}
+}
+
+func TestTCPDupAckInflationKeepsSending(t *testing.T) {
+	// During recovery, each additional dup ACK must inflate cwnd and allow
+	// a new transmission: the highest sequence on the wire should keep
+	// growing between the fast retransmit and the recovery ACK.
+	sim, nw := twoNodeTCP(10e6, 0.005, 0)
+	dropped := false
+	var sentAfterRetx []int64
+	inRecoveryWindow := false
+	nw.Link(0, 1).Drop = func(p *Packet) bool {
+		if p.Kind != Data {
+			return false
+		}
+		if p.Seq == 20 && !dropped {
+			dropped = true
+			inRecoveryWindow = true
+			return true
+		}
+		if inRecoveryWindow && p.Seq > 20 {
+			sentAfterRetx = append(sentAfterRetx, p.Seq)
+		}
+		return false
+	}
+	done := false
+	c := &TCPConn{Net: nw, Flow: 1, Src: 0, Dst: 1, FlowSize: 300_000, InitRTT: 0.01,
+		Done: func(f float64) { done = true }}
+	c.Start()
+	sim.Run(30)
+	if !done {
+		t.Fatal("transfer did not complete")
+	}
+	if len(sentAfterRetx) == 0 {
+		t.Fatal("no new segments transmitted after the loss — recovery inflation missing")
+	}
+}
+
+func TestTCPPendingStaysBounded(t *testing.T) {
+	// The RTO timer is a single outstanding event per connection; the event
+	// heap must stay O(window), not O(packets). A 2 MB transfer is ~1370
+	// segments: with the old closure-per-ACK arming, hundreds of dead
+	// timers accumulated in the heap.
+	sim, nw := twoNodeTCP(10e6, 0.005, 50)
+	done := false
+	c := &TCPConn{Net: nw, Flow: 1, Src: 0, Dst: 1, FlowSize: 2_000_000, InitRTT: 0.01,
+		Done: func(f float64) { done = true }}
+	c.Start()
+	maxPending := 0
+	var sample func()
+	sample = func() {
+		if done {
+			return
+		}
+		if p := sim.Pending(); p > maxPending {
+			maxPending = p
+		}
+		sim.Schedule(0.005, sample)
+	}
+	sim.Schedule(0.005, sample)
+	sim.Run(60)
+	if !done {
+		t.Fatal("transfer did not complete")
+	}
+	// Events at any instant: per-link tx completion (<= 4 links), in-flight
+	// propagation events (<= queue + BDP), one RTO timer, one sampler.
+	// The 50-packet queue bounds in-flight data; 120 is comfortably above
+	// the legitimate ceiling and far below O(packets) = 1370.
+	if maxPending > 120 {
+		t.Fatalf("event heap grew to %d entries; RTO timers are leaking", maxPending)
 	}
 }
 

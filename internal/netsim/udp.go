@@ -1,10 +1,6 @@
 package netsim
 
-import (
-	"math"
-	"math/rand"
-	"sort"
-)
+import "math/rand"
 
 // FlowStats accumulates FlowMonitor-style per-flow metrics.
 type FlowStats struct {
@@ -121,10 +117,10 @@ func (u *UDPSource) scheduleNext() {
 		}
 		u.seq++
 		u.Monitor.Flow(u.Flow).TxPackets++
-		u.Net.Inject(&Packet{
-			Flow: u.Flow, Seq: u.seq, Kind: Data, Size: u.PktSize,
-			Src: u.Src, Dst: u.Dst,
-		})
+		p := u.Net.newPacket()
+		p.Flow, p.Seq, p.Kind, p.Size = u.Flow, u.seq, Data, u.PktSize
+		p.Src, p.Dst = u.Src, u.Dst
+		u.Net.Inject(p)
 		u.scheduleNext()
 	})
 }
@@ -162,39 +158,5 @@ func (q *QueueSampler) Percentile(p float64) float64 {
 	if len(q.samples) == 0 {
 		return 0
 	}
-	s := append([]int(nil), q.samples...)
-	sort.Ints(s)
-	return percentileInts(s, p)
-}
-
-func percentileInts(sorted []int, p float64) float64 {
-	if len(sorted) == 0 {
-		return math.NaN()
-	}
-	idx := p / 100 * float64(len(sorted)-1)
-	lo := int(math.Floor(idx))
-	hi := int(math.Ceil(idx))
-	if lo == hi {
-		return float64(sorted[lo])
-	}
-	frac := idx - float64(lo)
-	return float64(sorted[lo])*(1-frac) + float64(sorted[hi])*frac
-}
-
-// Percentile returns the p-th percentile (0-100) of a float slice (sorted or
-// not; the input is not modified).
-func Percentile(values []float64, p float64) float64 {
-	if len(values) == 0 {
-		return math.NaN()
-	}
-	s := append([]float64(nil), values...)
-	sort.Float64s(s)
-	idx := p / 100 * float64(len(s)-1)
-	lo := int(math.Floor(idx))
-	hi := int(math.Ceil(idx))
-	if lo == hi {
-		return s[lo]
-	}
-	frac := idx - float64(lo)
-	return s[lo]*(1-frac) + s[hi]*frac
+	return PercentileInts(q.samples, p)
 }

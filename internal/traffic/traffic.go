@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sort"
 
 	"cisp/internal/cities"
 )
@@ -185,6 +186,72 @@ func ScaleToAggregate(m Matrix, aggregate float64) Matrix {
 	for i := range out {
 		for j := range out[i] {
 			out[i][j] *= f
+		}
+	}
+	return out
+}
+
+// PairFlows is one site pair's share of a concurrent-flow population.
+type PairFlows struct {
+	I, J  int
+	Count int
+}
+
+// FlowCounts apportions total concurrent flows across the positive entries
+// of m in proportion to demand, using largest-remainder rounding so the
+// counts sum exactly to total (when at least one entry is positive). Pairs
+// are emitted in (i, j) row-major order with i < j; zero-count pairs are
+// dropped. This is how a §6.4 traffic mix becomes the flow population of a
+// packet- or fluid-mode replay: each pair's flow count stands in for its
+// user population. Deterministic in m and total.
+func FlowCounts(m Matrix, total int) []PairFlows {
+	tot := m.Total()
+	if tot <= 0 || total <= 0 {
+		return nil
+	}
+	type entry struct {
+		pf   PairFlows
+		frac float64
+		ord  int
+	}
+	var entries []entry
+	assigned := 0
+	for i := 0; i < len(m); i++ {
+		for j := i + 1; j < len(m); j++ {
+			if m[i][j] <= 0 {
+				continue
+			}
+			quota := float64(total) * m[i][j] / tot
+			whole := int(math.Floor(quota))
+			assigned += whole
+			entries = append(entries, entry{
+				pf:   PairFlows{I: i, J: j, Count: whole},
+				frac: quota - float64(whole),
+				ord:  len(entries),
+			})
+		}
+	}
+	// Hand the remainder to the largest fractional parts (pair order on
+	// ties) so Σ counts == total.
+	rem := total - assigned
+	order := make([]int, len(entries))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		ea, eb := &entries[order[a]], &entries[order[b]]
+		if ea.frac != eb.frac {
+			return ea.frac > eb.frac
+		}
+		return ea.ord < eb.ord
+	})
+	for k := 0; k < rem && k < len(order); k++ {
+		entries[order[k]].pf.Count++
+	}
+	var out []PairFlows
+	for _, e := range entries {
+		if e.pf.Count > 0 {
+			out = append(out, e.pf)
 		}
 	}
 	return out

@@ -168,3 +168,83 @@ func TestMixPanicsOnMismatch(t *testing.T) {
 	}()
 	Mix([]float64{1}, New(2), New(2))
 }
+
+func TestFlowCountsExactTotal(t *testing.T) {
+	m := New(4)
+	m.Set(0, 1, 4)
+	m.Set(0, 2, 3)
+	m.Set(1, 3, 3)
+	for _, total := range []int{1, 10, 97, 100_000} {
+		pairs := FlowCounts(m, total)
+		sum := 0
+		for _, p := range pairs {
+			if p.I >= p.J {
+				t.Fatalf("pair not ordered: %+v", p)
+			}
+			sum += p.Count
+		}
+		if sum != total {
+			t.Fatalf("total=%d apportioned %d", total, sum)
+		}
+	}
+}
+
+func TestFlowCountsProportional(t *testing.T) {
+	m := New(3)
+	m.Set(0, 1, 7)
+	m.Set(1, 2, 3)
+	pairs := FlowCounts(m, 1000)
+	if len(pairs) != 2 {
+		t.Fatalf("pairs = %v", pairs)
+	}
+	if pairs[0].Count != 700 || pairs[1].Count != 300 {
+		t.Fatalf("want 700/300 split, got %v", pairs)
+	}
+}
+
+func TestFlowCountsEdgeCases(t *testing.T) {
+	if FlowCounts(New(3), 100) != nil {
+		t.Fatal("zero matrix should yield no pairs")
+	}
+	m := New(3)
+	m.Set(0, 1, 1)
+	if FlowCounts(m, 0) != nil {
+		t.Fatal("zero total should yield no pairs")
+	}
+	// Fewer flows than pairs: zero-count pairs are dropped.
+	big := New(10)
+	for i := 0; i < 10; i++ {
+		for j := i + 1; j < 10; j++ {
+			big.Set(i, j, 1)
+		}
+	}
+	pairs := FlowCounts(big, 3)
+	sum := 0
+	for _, p := range pairs {
+		if p.Count <= 0 {
+			t.Fatalf("zero-count pair emitted: %+v", p)
+		}
+		sum += p.Count
+	}
+	if sum != 3 {
+		t.Fatalf("apportioned %d, want 3", sum)
+	}
+}
+
+func TestFlowCountsDeterministic(t *testing.T) {
+	m := New(5)
+	m.Set(0, 1, 0.31)
+	m.Set(0, 2, 0.27)
+	m.Set(1, 3, 0.22)
+	m.Set(2, 4, 0.2)
+	a := FlowCounts(m, 12345)
+	b := FlowCounts(m, 12345)
+	if len(a) != len(b) {
+		t.Fatal("length differs")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("entry %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
