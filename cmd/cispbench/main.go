@@ -19,7 +19,8 @@
 // -mode and -flows drive the "6s" traffic-mix replay: -mode=packet runs
 // the discrete-event engine (clamped to ~1.5k flows), -mode=fluid the
 // flow-level max-min engine, which replays the same scenario with 10⁵-10⁶
-// concurrent flows.
+// concurrent flows. -flows also sizes the "te" traffic-engineering
+// comparison, which always reports both engine modes.
 package main
 
 import (
@@ -38,14 +39,76 @@ import (
 func main() {
 	scale := flag.String("scale", "small", "scenario scale: small, medium, full")
 	seed := flag.Int64("seed", 1, "scenario seed")
-	figs := flag.String("fig", "all", "comma-separated figure list (2,3,4a,4b,4c,5,6,6s,7,8,9,10,11,12,13,econ) or 'all'")
 	par := flag.Int("parallel", 0, "concurrent figure runs (0 = GOMAXPROCS, 1 = sequential)")
 	workers := flag.Int("workers", 0, "inner worker-pool width for the design/link-build hot paths (0 = GOMAXPROCS)")
 	modeStr := flag.String("mode", "fluid", "simulation engine for the 6s traffic-mix replay: packet or fluid")
-	flows := flag.Int("flows", 100_000, "concurrent flows for the 6s traffic-mix replay (packet mode clamps to ~1.5k)")
+	flows := flag.Int("flows", 100_000, "concurrent flows for the 6s traffic-mix replay and the te comparison (packet engines clamp to ~1.5k)")
+
+	// The spec closures run only after flag.Parse, so they may dereference
+	// the flag pointers and derive scale-dependent sweeps from the Options
+	// they receive.
+	var mode netsim.Mode
+	budgetsFor := func(o experiments.Options) []float64 {
+		if o.Scale == cisp.ScaleSmall {
+			return []float64{0, 100, 250, 500, 1000}
+		}
+		return []float64{0, 200, 500, 1000, 2000, 4000}
+	}
+	aggregatesFor := func(o experiments.Options) []float64 {
+		if o.Scale == cisp.ScaleSmall {
+			return []float64{10, 25, 50, 100, 200}
+		}
+		return []float64{20, 50, 100, 200, 500, 1000}
+	}
+	loads := []float64{10, 30, 50, 70, 90, 110, 140, 170}
+
+	all := []experiments.Spec{
+		{Name: "2", Run: func(o experiments.Options) {
+			sizes := []int{4, 6, 8, 10, 12}
+			if o.Scale != cisp.ScaleSmall {
+				sizes = []int{5, 10, 15, 20, 30, 40, 60}
+			}
+			experiments.Fig2Scaling(o, sizes, 12, 5)
+		}},
+		{Name: "3", Run: func(o experiments.Options) { experiments.Fig3USNetwork(o) }},
+		{Name: "4a", Run: func(o experiments.Options) { experiments.Fig4aStretchVsBudget(o, budgetsFor(o)) }},
+		{Name: "4b", Run: func(o experiments.Options) { experiments.Fig4bDisjointPaths(o, 20) }},
+		{Name: "4c", Run: func(o experiments.Options) { experiments.Fig4cCostPerGB(o, aggregatesFor(o)) }},
+		{Name: "5", Run: func(o experiments.Options) {
+			experiments.Fig5Perturbation(o, []float64{0, 0.1, 0.3, 0.5}, loads)
+		}},
+		{Name: "6", Run: func(o experiments.Options) { experiments.Fig6SpeedMismatch(o, 10, 3) }},
+		{Name: "6s", Run: func(o experiments.Options) { experiments.Fig6Scale(o, mode, *flows) }},
+		{Name: "7", Run: func(o experiments.Options) { experiments.Fig7Weather(o, 365) }},
+		{Name: "8", Run: func(o experiments.Options) { experiments.Fig8Europe(o) }},
+		{Name: "9", Run: func(o experiments.Options) { experiments.Fig9TrafficModels(o, aggregatesFor(o)) }},
+		{Name: "10", Run: func(o experiments.Options) {
+			experiments.Fig10TowerConstraints(o, [][2]float64{
+				{100, 0.85}, {80, 1.0}, {100, 0.65}, {70, 1.0}, {100, 0.45},
+				{70, 0.45}, {60, 1.0}, {60, 0.65}, {60, 0.45},
+			})
+		}},
+		{Name: "11", Run: func(o experiments.Options) { experiments.Fig11MixDeviation(o, loads) }},
+		{Name: "12", Run: func(o experiments.Options) {
+			experiments.Fig12Gaming(o, []float64{0, 25, 50, 75, 100, 150, 200, 250, 300})
+		}},
+		{Name: "13", Run: func(o experiments.Options) { experiments.Fig13WebBrowsing(o, 80) }},
+		{Name: "econ", Run: func(o experiments.Options) { experiments.CostBenefit(o, 0.81) }},
+		{Name: "ext", Run: func(o experiments.Options) { experiments.Extensions(o) }},
+		{Name: "te", Run: func(o experiments.Options) { experiments.FigTE(o, *flows) }},
+	}
+	// The -fig help string is derived from the spec table itself, so a new
+	// figure can never drift out of the documented list.
+	names := make([]string, len(all))
+	for i, s := range all {
+		names[i] = s.Name
+	}
+	figs := flag.String("fig", "all",
+		fmt.Sprintf("comma-separated figure list (%s) or 'all'", strings.Join(names, ",")))
 	flag.Parse()
 
-	mode, err := netsim.ParseMode(*modeStr)
+	var err error
+	mode, err = netsim.ParseMode(*modeStr)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
@@ -67,48 +130,6 @@ func main() {
 		parallel.SetWorkers(*workers)
 	}
 
-	budgets := []float64{0, 200, 500, 1000, 2000, 4000}
-	aggregates := []float64{20, 50, 100, 200, 500, 1000}
-	loads := []float64{10, 30, 50, 70, 90, 110, 140, 170}
-	if opt.Scale == cisp.ScaleSmall {
-		budgets = []float64{0, 100, 250, 500, 1000}
-		aggregates = []float64{10, 25, 50, 100, 200}
-	}
-
-	all := []experiments.Spec{
-		{Name: "2", Run: func(o experiments.Options) {
-			sizes := []int{4, 6, 8, 10, 12}
-			if o.Scale != cisp.ScaleSmall {
-				sizes = []int{5, 10, 15, 20, 30, 40, 60}
-			}
-			experiments.Fig2Scaling(o, sizes, 12, 5)
-		}},
-		{Name: "3", Run: func(o experiments.Options) { experiments.Fig3USNetwork(o) }},
-		{Name: "4a", Run: func(o experiments.Options) { experiments.Fig4aStretchVsBudget(o, budgets) }},
-		{Name: "4b", Run: func(o experiments.Options) { experiments.Fig4bDisjointPaths(o, 20) }},
-		{Name: "4c", Run: func(o experiments.Options) { experiments.Fig4cCostPerGB(o, aggregates) }},
-		{Name: "5", Run: func(o experiments.Options) {
-			experiments.Fig5Perturbation(o, []float64{0, 0.1, 0.3, 0.5}, loads)
-		}},
-		{Name: "6", Run: func(o experiments.Options) { experiments.Fig6SpeedMismatch(o, 10, 3) }},
-		{Name: "6s", Run: func(o experiments.Options) { experiments.Fig6Scale(o, mode, *flows) }},
-		{Name: "7", Run: func(o experiments.Options) { experiments.Fig7Weather(o, 365) }},
-		{Name: "8", Run: func(o experiments.Options) { experiments.Fig8Europe(o) }},
-		{Name: "9", Run: func(o experiments.Options) { experiments.Fig9TrafficModels(o, aggregates) }},
-		{Name: "10", Run: func(o experiments.Options) {
-			experiments.Fig10TowerConstraints(o, [][2]float64{
-				{100, 0.85}, {80, 1.0}, {100, 0.65}, {70, 1.0}, {100, 0.45},
-				{70, 0.45}, {60, 1.0}, {60, 0.65}, {60, 0.45},
-			})
-		}},
-		{Name: "11", Run: func(o experiments.Options) { experiments.Fig11MixDeviation(o, loads) }},
-		{Name: "12", Run: func(o experiments.Options) {
-			experiments.Fig12Gaming(o, []float64{0, 25, 50, 75, 100, 150, 200, 250, 300})
-		}},
-		{Name: "13", Run: func(o experiments.Options) { experiments.Fig13WebBrowsing(o, 80) }},
-		{Name: "econ", Run: func(o experiments.Options) { experiments.CostBenefit(o, 0.81) }},
-		{Name: "ext", Run: func(o experiments.Options) { experiments.Extensions(o) }},
-	}
 	// "all" derives from the spec table itself, so new figures can't be
 	// silently skipped by a stale name list.
 	want := map[string]bool{}

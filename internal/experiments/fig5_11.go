@@ -43,6 +43,23 @@ type simConfig struct {
 // clear sky.
 func hybridSimLinks(s *cisp.Scenario, top *cisp.Topology, plan *capacity.Plan,
 	designGbps, rateScale float64, queueCap int, failed []bool) (mw, fiberLs []netsim.TopoLink) {
+	mw, fiberLs, _ = hybridLinks(s, top, plan, designGbps, rateScale, queueCap, failed, false)
+	return mw, fiberLs
+}
+
+// hybridSimLinksParallel is the TE control plane's variant: fiber conduits
+// parallel to a live microwave link are kept — carried through a midpoint
+// transit node (half the delay per half), since netsim paths are node
+// sequences and parallel capacity must be expressed as distinct nodes.
+// Returns the total node count including midpoints.
+func hybridSimLinksParallel(s *cisp.Scenario, top *cisp.Topology, plan *capacity.Plan,
+	designGbps, rateScale float64, queueCap int) (mw, fiberLs []netsim.TopoLink, nodes int) {
+	return hybridLinks(s, top, plan, designGbps, rateScale, queueCap, nil, true)
+}
+
+// hybridLinks is the shared body behind both variants.
+func hybridLinks(s *cisp.Scenario, top *cisp.Topology, plan *capacity.Plan,
+	designGbps, rateScale float64, queueCap int, failed []bool, keepParallel bool) (mw, fiberLs []netsim.TopoLink, nodes int) {
 	mwPairs := make(map[[2]int]bool)
 	for li, l := range top.Built {
 		key := [2]int{l.I, l.J}
@@ -66,19 +83,31 @@ func hybridSimLinks(s *cisp.Scenario, top *cisp.Topology, plan *capacity.Plan,
 	}
 	fiberG := s.FiberNet.Graph()
 	fiberCap := designGbps * 2 * 1e9 * rateScale
+	nodes = fiberG.N()
 	for u := 0; u < fiberG.N(); u++ {
 		for _, e := range fiberG.Neighbors(u) {
-			if e.To > u && !mwPairs[[2]int{u, e.To}] {
+			if e.To <= u {
+				continue
+			}
+			delay := e.Weight * geo.FiberLatencyFactor / geo.C
+			switch {
+			case !mwPairs[[2]int{u, e.To}]:
 				fiberLs = append(fiberLs, netsim.TopoLink{
 					A: u, B: e.To,
 					RateBps:   fiberCap,
-					PropDelay: e.Weight * geo.FiberLatencyFactor / geo.C,
+					PropDelay: delay,
 					QueueCap:  queueCap,
 				})
+			case keepParallel:
+				mid := nodes
+				nodes++
+				fiberLs = append(fiberLs,
+					netsim.TopoLink{A: u, B: mid, RateBps: fiberCap, PropDelay: delay / 2, QueueCap: queueCap},
+					netsim.TopoLink{A: mid, B: e.To, RateBps: fiberCap, PropDelay: delay / 2, QueueCap: queueCap})
 			}
 		}
 	}
-	return mw, fiberLs
+	return mw, fiberLs, nodes
 }
 
 // runPacketSim builds the site-level packet network for the design (built

@@ -41,17 +41,16 @@ func HybridScenarioLinks(s *cisp.Scenario, top *cisp.Topology, tm traffic.Matrix
 	return append(mw, fiberLs...), len(s.Cities), nil
 }
 
-// DesignedMixTopology builds the §6.4 design point shared by Fig6Scale and
-// the engine benchmarks: the option's cities plus the Google DC sites,
-// a 4:3:3 City-City : City-DC : DC-DC mix, a greedy design at the default
-// budget, and the provisioned hybrid simulation links. Returns the link
-// list, node count and the (relative-weight) design mix.
-func DesignedMixTopology(opt Options) (links []netsim.TopoLink, nodes int, designTM traffic.Matrix, err error) {
+// designMixPoint builds the §6.4 design point shared by Fig6Scale, the
+// engine benchmarks and the TE experiment: the option's cities plus the
+// Google DC sites, a 4:3:3 City-City : City-DC : DC-DC mix, and a greedy
+// design at the default budget.
+func designMixPoint(opt Options) (s *cisp.Scenario, top *cisp.Topology, designTM traffic.Matrix, err error) {
 	base := cisp.NewScenario(cisp.ScenarioConfig{Region: cisp.US, Scale: opt.Scale, Seed: opt.Seed, MaxCities: opt.MaxCities})
 	sites := append([]cisp.City(nil), base.Cities...)
 	dcStart := len(sites)
 	sites = append(sites, cisp.GoogleDCSites()...)
-	s := cisp.NewScenario(cisp.ScenarioConfig{Region: cisp.US, Scale: opt.Scale, Seed: opt.Seed, Sites: sites})
+	s = cisp.NewScenario(cisp.ScenarioConfig{Region: cisp.US, Scale: opt.Scale, Seed: opt.Seed, Sites: sites})
 
 	cityIdx := make([]int, dcStart)
 	for i := range cityIdx {
@@ -66,7 +65,18 @@ func DesignedMixTopology(opt Options) (links []netsim.TopoLink, nodes int, desig
 		traffic.CityToDC(sites, cityIdx, dcIdx),
 		traffic.UniformPairs(len(sites), dcIdx))
 
-	top, err := s.DesignGreedy(designTM, s.DefaultBudget())
+	top, err = s.DesignGreedy(designTM, s.DefaultBudget())
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return s, top, designTM, nil
+}
+
+// DesignedMixTopology builds the §6.4 design point plus the provisioned
+// hybrid simulation links. Returns the link list, node count and the
+// (relative-weight) design mix.
+func DesignedMixTopology(opt Options) (links []netsim.TopoLink, nodes int, designTM traffic.Matrix, err error) {
+	s, top, designTM, err := designMixPoint(opt)
 	if err != nil {
 		return nil, 0, nil, err
 	}

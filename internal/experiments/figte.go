@@ -1,0 +1,310 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"cisp"
+	"cisp/internal/geo"
+	"cisp/internal/netsim"
+	"cisp/internal/te"
+	"cisp/internal/traffic"
+	"cisp/internal/weather"
+)
+
+// TETopology is the designed hybrid substrate the TE experiment routes
+// over: the provisioned microwave backbone plus the full fiber conduit
+// graph, with conduits that parallel a microwave link carried through a
+// midpoint transit node — netsim paths are node sequences, so parallel
+// capacity must be distinct nodes, and keeping those conduits is exactly
+// what gives the control plane a latency-diverse alternative on every
+// built link.
+type TETopology struct {
+	Sites    []cisp.City
+	Nodes    int               // sites plus fiber midpoints
+	Mw       []netsim.TopoLink // built microwave links (rate-scaled)
+	Fiber    []netsim.TopoLink // fiber conduits, incl. midpoint halves
+	DesignTM traffic.Matrix    // the 4:3:3 design mix (relative weights)
+}
+
+// Links returns the combined simulation link list, microwave first (the
+// ordering weather grading and te.Controller updates rely on).
+func (t *TETopology) Links() []netsim.TopoLink {
+	return append(append([]netsim.TopoLink(nil), t.Mw...), t.Fiber...)
+}
+
+// DesignedTETopology builds the §6.4 design point like DesignedMixTopology
+// but keeps every fiber conduit — including ones parallel to built
+// microwave links, via midpoint transit nodes — so the TE control plane
+// can split onto fiber where the microwave layer saturates or rains out.
+func DesignedTETopology(opt Options) (*TETopology, error) {
+	s, top, designTM, err := designMixPoint(opt)
+	if err != nil {
+		return nil, err
+	}
+	plan := s.Provision(top, scaleTo(designTM, opt.simAggregateGbps()))
+	mw, fiber, nodes := hybridSimLinksParallel(s, top, plan, opt.simAggregateGbps(), simRateScale, 100)
+	return &TETopology{Sites: s.Cities, Nodes: nodes, Mw: mw, Fiber: fiber, DesignTM: designTM}, nil
+}
+
+// DemandCommodities converts a demand matrix (any consistent units — only
+// the proportions matter) into the commodity list of a Scenario replay:
+// totalFlows concurrent flows apportioned across the positive pairs in
+// proportion to demand (traffic.FlowCounts), each of flowBytes payload
+// arriving inside a window of `window` seconds. Commodity.Demand is set to
+// the load the replay then actually offers — Count · flowBytes · 8 /
+// window — so the TE planner (and min-max-utilization routing) optimises
+// against the very traffic the simulation injects, and the planner's
+// predicted MLU is commensurable with the measured one. Flow IDs are
+// assigned by row-major pair order over ALL positive pairs — independent
+// of totalFlows — so commodity IDs are stable between a clamped packet
+// replay and a full-scale fluid replay and one TE solution serves both.
+func DemandCommodities(demand traffic.Matrix, totalFlows, flowBytes int, window float64) []netsim.Commodity {
+	counts := map[[2]int]int{}
+	for _, p := range traffic.FlowCounts(demand, totalFlows) {
+		counts[[2]int{p.I, p.J}] = p.Count
+	}
+	var comms []netsim.Commodity
+	flow := 0
+	for i := 0; i < demand.N(); i++ {
+		for j := i + 1; j < demand.N(); j++ {
+			if demand[i][j] <= 0 {
+				continue
+			}
+			flow++
+			n := counts[[2]int{i, j}]
+			if n == 0 {
+				continue
+			}
+			comms = append(comms, netsim.Commodity{
+				Flow: flow, Src: i, Dst: j,
+				Demand: float64(n) * float64(flowBytes) * 8 / window,
+				Count:  n,
+			})
+		}
+	}
+	return comms
+}
+
+// StormConditions grades every microwave link of the topology under a
+// single convective storm parked over the backbone's highest-capacity link
+// — the deterministic worst case for a rain study. Links are graded
+// city-to-city (one hop; per-tower adaptive modulation is the
+// internal/weather year engine's job, not this experiment's).
+func StormConditions(tt *TETopology) []weather.LinkCondition {
+	best := 0
+	for li, l := range tt.Mw {
+		if l.RateBps > tt.Mw[best].RateBps ||
+			(l.RateBps == tt.Mw[best].RateBps && li < best) {
+			best = li
+		}
+	}
+	a := tt.Sites[tt.Mw[best].A].Loc
+	b := tt.Sites[tt.Mw[best].B].Loc
+	field := &weather.Field{Cells: []weather.StormCell{{
+		Center: geo.Point{Lat: (a.Lat + b.Lat) / 2, Lon: (a.Lon + b.Lon) / 2},
+		Radius: 150e3,
+		PeakMM: 50,
+	}}}
+	conds := make([]weather.LinkCondition, len(tt.Mw))
+	for li, l := range tt.Mw {
+		atten := field.PathAttenuation(tt.Sites[l.A].Loc, tt.Sites[l.B].Loc, geo.DefaultFrequencyGHz, 2000)
+		conds[li] = weather.LinkCondition{
+			WorstHopDB: atten,
+			CapFrac:    weather.CapacityFraction(atten, weather.DefaultFadeMargin),
+			Failed:     atten > weather.DefaultFadeMargin,
+		}
+	}
+	return conds
+}
+
+// TERow is one (workload, scheme, mode) measurement of the TE comparison.
+type TERow struct {
+	Workload  string // "hotspot" or "rain"
+	Scheme    string // "shortest-path", "min-max-utilization" or "te-splits"
+	Mode      string // engine mode
+	Flows     int
+	Completed int
+	MLU       float64 // measured max directed-link utilization
+	PredMLU   float64 // TE rows: the control plane's predicted MLU
+	MeanFCTMs float64
+	P99FCTMs  float64
+}
+
+// FigTEResult is the full comparison table.
+type FigTEResult struct {
+	Rows []TERow
+}
+
+// Row returns the first row matching the keys, or nil.
+func (r *FigTEResult) Row(workload, scheme, mode string) *TERow {
+	for i := range r.Rows {
+		row := &r.Rows[i]
+		if row.Workload == workload && row.Scheme == scheme && row.Mode == mode {
+			return row
+		}
+	}
+	return nil
+}
+
+// teSchemeName labels the TE rows.
+const teSchemeName = "te-splits"
+
+// maxTEPacketFlows bounds the packet engine in the TE study, as
+// maxPacketScaleFlows does for Fig6Scale.
+const maxTEPacketFlows = 1500
+
+// TE replay shape: flows of teFlowBytes arrive inside teStartSpread
+// seconds and the run is measured to teHorizon. DemandCommodities derives
+// commodity demands from the same constants, which is what keeps the
+// planner's predicted MLU and the measured one on the same scale (measured
+// stays lower — the offered window is a fraction of the horizon and flows
+// drain).
+const (
+	teFlowBytes   = 250 << 10
+	teStartSpread = 30.0
+	teHorizon     = 60.0
+)
+
+// FigTE is the traffic-engineering experiment: on the designed hybrid
+// backbone (fiber conduits kept parallel to microwave links), it offers a
+// hotspot workload (seeded per-pair demand spikes the design never saw)
+// and a rain workload (a storm parked on the busiest link, capacities
+// graded by adaptive modulation), and compares single-path shortest-path
+// and min-max-utilization routing against the control plane's fractional
+// splits — in both engine modes, reporting measured MLU and mean/p99 FCT.
+func FigTE(opt Options, totalFlows int) *FigTEResult {
+	w := opt.out()
+	if totalFlows <= 0 {
+		totalFlows = 20_000
+	}
+	tt, err := DesignedTETopology(opt)
+	if err != nil {
+		fprintf(w, "figte: %v\n", err)
+		return nil
+	}
+	clearLinks := tt.Links()
+
+	// Workload 1 — hotspot: spike 5 pairs of the design mix ×8 — localized
+	// surges the backbone was not provisioned for.
+	demandHot := traffic.Hotspot(tt.DesignTM, 5, 8, opt.Seed)
+	// Workload 2 — rain: the design-mix demand under a graded storm.
+	demandRain := tt.DesignTM
+	conds := StormConditions(tt)
+	rainMw := weather.GradedRates(tt.Mw, conds)
+	rainLinks := liveLinks(append(append([]netsim.TopoLink(nil), rainMw...), tt.Fiber...))
+
+	type workload struct {
+		name   string
+		demand traffic.Matrix
+		links  []netsim.TopoLink // for single-path schemes and simulation
+		solve  func(comms []netsim.Commodity) (*te.Solution, error)
+	}
+	workloads := []workload{
+		{
+			name:   "hotspot",
+			demand: demandHot,
+			links:  clearLinks,
+			solve: func(comms []netsim.Commodity) (*te.Solution, error) {
+				return te.Solve(tt.Nodes, clearLinks, comms, te.Config{})
+			},
+		},
+		{
+			name:   "rain",
+			demand: demandRain,
+			links:  rainLinks,
+			solve: func(comms []netsim.Commodity) (*te.Solution, error) {
+				// Clear-sky controller, storm-interval warm reoptimization:
+				// the production loop a weather feed would drive.
+				ctrl, err := te.NewController(tt.Nodes, clearLinks, comms, te.Config{})
+				if err != nil {
+					return nil, err
+				}
+				if _, err := weather.ReoptimizeTE(ctrl, tt.Mw, conds, tt.Fiber); err != nil {
+					return nil, err
+				}
+				return ctrl.Solution(), nil
+			},
+		},
+	}
+
+	res := &FigTEResult{}
+	fprintf(w, "TE control plane — latency-bounded splits vs single-path routing on the designed backbone\n")
+	fprintf(w, "%-8s %-22s %-7s %8s %10s %8s %8s %12s %12s\n",
+		"workload", "scheme", "mode", "flows", "completed", "MLU", "predMLU", "FCT mean(ms)", "FCT p99(ms)")
+	for _, wl := range workloads {
+		fluidComms := DemandCommodities(wl.demand, totalFlows, teFlowBytes, teStartSpread)
+		sol, err := wl.solve(fluidComms)
+		if err != nil {
+			fprintf(w, "figte: %s: %v\n", wl.name, err)
+			return nil
+		}
+		for _, mode := range []netsim.Mode{netsim.PacketMode, netsim.FluidMode} {
+			comms := fluidComms
+			if mode == netsim.PacketMode && totalFlows > maxTEPacketFlows {
+				comms = DemandCommodities(wl.demand, maxTEPacketFlows, teFlowBytes, teStartSpread)
+			}
+			for _, scheme := range []netsim.Scheme{netsim.ShortestPath, netsim.MinMaxUtilization} {
+				row := runTEScenario(tt.Nodes, wl.links, comms, scheme, nil, mode, opt.Seed)
+				row.Workload, row.Scheme = wl.name, scheme.String()
+				res.Rows = append(res.Rows, row)
+				printTERow(w, &res.Rows[len(res.Rows)-1])
+			}
+			row := runTEScenario(tt.Nodes, wl.links, comms, netsim.ShortestPath, sol.Splits, mode, opt.Seed)
+			row.Workload, row.Scheme, row.PredMLU = wl.name, teSchemeName, sol.MLU
+			res.Rows = append(res.Rows, row)
+			printTERow(w, &res.Rows[len(res.Rows)-1])
+		}
+	}
+	return res
+}
+
+// liveLinks drops zero-rate (failed) links: simulation engines have no use
+// for a 0 bps link, and shortest-path routing must not ride one.
+func liveLinks(links []netsim.TopoLink) []netsim.TopoLink {
+	var out []netsim.TopoLink
+	for _, l := range links {
+		if l.RateBps > 0 {
+			out = append(out, l)
+		}
+	}
+	return out
+}
+
+func runTEScenario(nodes int, links []netsim.TopoLink, comms []netsim.Commodity,
+	scheme netsim.Scheme, splits map[int][]netsim.SplitPath, mode netsim.Mode, seed int64) TERow {
+	sc := &netsim.Scenario{
+		Nodes: nodes, Links: links, Comms: comms,
+		Scheme:      scheme,
+		Splits:      splits,
+		FlowBytes:   teFlowBytes,
+		Horizon:     teHorizon,
+		StartSpread: teStartSpread,
+		Seed:        seed,
+	}
+	r := sc.Run(mode)
+	row := TERow{
+		Mode:      mode.String(),
+		Flows:     len(r.Flows),
+		Completed: r.Completed,
+		MLU:       r.MLU,
+	}
+	if fcts := r.FCTs(); len(fcts) > 0 {
+		sum := 0.0
+		for _, f := range fcts {
+			sum += f
+		}
+		row.MeanFCTMs = sum / float64(len(fcts)) * 1000
+		row.P99FCTMs = netsim.Percentile(fcts, 99) * 1000
+	}
+	return row
+}
+
+func printTERow(w io.Writer, r *TERow) {
+	pred := "-"
+	if r.PredMLU > 0 {
+		pred = fmt.Sprintf("%.3f", r.PredMLU)
+	}
+	fprintf(w, "%-8s %-22s %-7s %8d %10d %8.3f %8s %12.1f %12.1f\n",
+		r.Workload, r.Scheme, r.Mode, r.Flows, r.Completed, r.MLU, pred, r.MeanFCTMs, r.P99FCTMs)
+}

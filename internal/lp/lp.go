@@ -47,6 +47,22 @@ type Problem struct {
 	NumVars   int
 	Objective []float64 // length NumVars; minimised
 	Cons      []Constraint
+
+	// maximize records that Objective holds the negated coefficients of a
+	// Maximize call, so Solve can report the objective value in the
+	// maximisation sense.
+	maximize bool
+}
+
+// Maximize sets the objective to maximise c·x. The coefficients are stored
+// negated (simplex minimises), and Solve reports Solution.Objective in the
+// maximisation sense.
+func (p *Problem) Maximize(c []float64) {
+	p.Objective = make([]float64, len(c))
+	for i, v := range c {
+		p.Objective[i] = -v
+	}
+	p.maximize = true
 }
 
 // AddConstraint appends a constraint built from parallel slices.
@@ -268,6 +284,9 @@ func Solve(p *Problem) (*Solution, error) {
 	objVal := 0.0
 	for j := 0; j < n && j < len(p.Objective); j++ {
 		objVal += p.Objective[j] * x[j]
+	}
+	if p.maximize {
+		objVal = -objVal
 	}
 	return &Solution{Status: Optimal, X: x, Objective: objVal}, nil
 }

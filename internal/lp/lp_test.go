@@ -230,3 +230,90 @@ func BenchmarkSolve50x100(b *testing.B) {
 		}
 	}
 }
+
+func TestMaximizeSimple(t *testing.T) {
+	// max x+y s.t. x+2y<=4, 3x+y<=6 — same polytope as TestSimple2D, but
+	// stated in the maximisation sense; the objective comes back positive.
+	p := &Problem{NumVars: 2}
+	p.Maximize([]float64{1, 1})
+	p.AddConstraint([]int{0, 1}, []float64{1, 2}, LE, 4)
+	p.AddConstraint([]int{0, 1}, []float64{3, 1}, LE, 6)
+	s, err := Solve(p)
+	if err != nil || s.Status != Optimal {
+		t.Fatalf("status=%v err=%v", s.Status, err)
+	}
+	if !approx(s.Objective, 2.8, 1e-7) {
+		t.Fatalf("objective = %v, want 2.8", s.Objective)
+	}
+	if !approx(s.X[0], 1.6, 1e-7) || !approx(s.X[1], 1.2, 1e-7) {
+		t.Fatalf("x = %v, want [1.6 1.2]", s.X)
+	}
+}
+
+func TestMaximizeUnbounded(t *testing.T) {
+	// max x with no upper bound on x: must report Unbounded, not garbage.
+	p := &Problem{NumVars: 2}
+	p.Maximize([]float64{1, 0})
+	p.AddConstraint([]int{1}, []float64{1}, LE, 1)
+	s, err := Solve(p)
+	if err != nil {
+		t.Fatalf("err=%v", err)
+	}
+	if s.Status != Unbounded {
+		t.Fatalf("status = %v, want unbounded", s.Status)
+	}
+	if s.X != nil {
+		t.Fatalf("unbounded solution leaked X = %v", s.X)
+	}
+}
+
+func TestMaximizeInfeasible(t *testing.T) {
+	// x>=3 and x<=1 cannot hold: must report Infeasible with no X — the TE
+	// layer relies on this to fail loudly instead of installing garbage
+	// splits.
+	p := &Problem{NumVars: 1}
+	p.Maximize([]float64{1})
+	p.AddConstraint([]int{0}, []float64{1}, GE, 3)
+	p.AddConstraint([]int{0}, []float64{1}, LE, 1)
+	s, err := Solve(p)
+	if err != nil {
+		t.Fatalf("err=%v", err)
+	}
+	if s.Status != Infeasible {
+		t.Fatalf("status = %v, want infeasible", s.Status)
+	}
+	if s.X != nil {
+		t.Fatalf("infeasible solution leaked X = %v", s.X)
+	}
+}
+
+func TestMaximizeDegenerate(t *testing.T) {
+	// Redundant constraints through the optimum in the maximisation sense.
+	p := &Problem{NumVars: 2}
+	p.Maximize([]float64{1, 1})
+	p.AddConstraint([]int{0, 1}, []float64{1, 1}, LE, 2)
+	p.AddConstraint([]int{0, 1}, []float64{2, 2}, LE, 4) // redundant
+	p.AddConstraint([]int{0, 1}, []float64{3, 3}, EQ, 6) // forces the same face
+	s, err := Solve(p)
+	if err != nil || s.Status != Optimal {
+		t.Fatalf("status=%v err=%v", s.Status, err)
+	}
+	if !approx(s.Objective, 2, 1e-7) {
+		t.Fatalf("objective = %v, want 2", s.Objective)
+	}
+}
+
+func TestInfeasibleEqualitySystem(t *testing.T) {
+	// Contradictory equalities (x+y=1, x+y=2): phase 1 cannot zero the
+	// artificials.
+	p := &Problem{NumVars: 2, Objective: []float64{1, 1}}
+	p.AddConstraint([]int{0, 1}, []float64{1, 1}, EQ, 1)
+	p.AddConstraint([]int{0, 1}, []float64{1, 1}, EQ, 2)
+	s, err := Solve(p)
+	if err != nil {
+		t.Fatalf("err=%v", err)
+	}
+	if s.Status != Infeasible {
+		t.Fatalf("status = %v, want infeasible", s.Status)
+	}
+}

@@ -263,6 +263,37 @@ func (f *FluidSim) ServedBytes(flow int) float64 {
 // RouteRate returns the current per-flow max-min rate (bps) on a route.
 func (f *FluidSim) RouteRate(route int) float64 { return f.groups[route].rate }
 
+// LinkUtilizations returns every directed link's time-average utilization
+// over [0, Now()]: bytes served across the link (completed and in-progress
+// flows both counted) divided by capacity × elapsed time. Links appear in
+// construction order (A→B then B→A per TopoLink). Cost is
+// O(flows × path length), intended for end-of-run reporting.
+func (f *FluidSim) LinkUtilizations() []LinkLoad {
+	served := make([]float64, len(f.links))
+	for id := range f.flowRoute {
+		sb := f.ServedBytes(id)
+		if sb <= 0 {
+			continue
+		}
+		for _, li := range f.groups[f.flowRoute[id]].links {
+			served[li] += sb
+		}
+	}
+	out := make([]LinkLoad, len(f.links))
+	for li := range f.links {
+		l := &f.links[li]
+		u := 0.0
+		if f.now > 0 && l.capBps > 0 {
+			u = served[li] * 8 / (l.capBps * f.now)
+			if u > 1 {
+				u = 1
+			}
+		}
+		out[li] = LinkLoad{From: l.from, To: l.to, Utilization: u}
+	}
+	return out
+}
+
 // advance accrues a group's service up to the current time.
 func (f *FluidSim) advance(g *fluidGroup) {
 	if f.now > g.lastT {

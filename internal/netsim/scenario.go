@@ -2,7 +2,9 @@ package netsim
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
+	"sort"
 
 	"cisp/internal/parallel"
 )
@@ -53,6 +55,17 @@ type Scenario struct {
 	Comms  []Commodity
 	Scheme Scheme
 
+	// Splits, when non-nil, installs fractional multipath routing for the
+	// listed commodities (keyed by Commodity.Flow), as computed by a
+	// traffic-engineering control plane (internal/te): each commodity's
+	// Count flows are apportioned across its weighted paths by
+	// largest-remainder rounding on the fractions and then shuffled with a
+	// Seed-deterministic draw, identically in both engine modes — so the
+	// per-path flow populations, and therefore the offered load, are the
+	// same in packet and fluid runs. Commodities without an entry fall back
+	// to Scheme routing.
+	Splits map[int][]SplitPath
+
 	FlowBytes   int     // payload per flow (default 100 KB)
 	Horizon     float64 // simulated seconds (default 30)
 	StartSpread float64 // flow starts drawn uniformly from [0, StartSpread] (0 = all at t=0)
@@ -60,6 +73,19 @@ type Scenario struct {
 	Pacing      bool    // packet mode: TCP pacing
 	QueueCap    int     // packet mode: per-link queue override (0 = keep TopoLink values)
 	RateTol     float64 // fluid mode: reschedule-suppression tolerance
+}
+
+// SplitPath is one weighted path of a commodity's fractional multipath
+// split.
+type SplitPath struct {
+	Path []int   // node path from the commodity's Src to its Dst
+	Frac float64 // fraction of the commodity's flows riding this path
+}
+
+// LinkLoad is one directed link's time-average utilization over a run.
+type LinkLoad struct {
+	From, To    int
+	Utilization float64
 }
 
 // FlowResult is one flow's outcome.
@@ -77,6 +103,13 @@ type ScenarioResult struct {
 	Flows     []FlowResult
 	Completed int
 	End       float64 // simulation end time
+
+	// LinkLoads is every directed link's time-average utilization over
+	// [0, End], sorted by (From, To); MLU is their maximum. In packet mode
+	// utilization is transmission busy time (ACK traffic included); in
+	// fluid mode it is served bytes over capacity × elapsed.
+	LinkLoads []LinkLoad
+	MLU       float64
 }
 
 // FCTs returns the completion times of all completed flows, in flow order.
@@ -131,6 +164,121 @@ func (sc *Scenario) starts(total int) []float64 {
 	return out
 }
 
+// commodityRouting is one commodity's resolved forwarding choice: its
+// candidate paths and, for fractional splits, each clone flow's path index
+// (nil assign = every flow on paths[0]). nil paths marks an unroutable
+// commodity.
+type commodityRouting struct {
+	paths  [][]int
+	assign []int
+}
+
+// routeCommodities resolves per-commodity forwarding for a run: commodities
+// with a Splits entry get their weighted paths and a deterministic per-flow
+// path assignment drawn from Seed; the rest are routed by Scheme via
+// ComputeRoutes. Both engines call this with identical inputs, so per-path
+// flow populations are identical across modes.
+func (sc *Scenario) routeCommodities(links []TopoLink) []commodityRouting {
+	var routed []Commodity
+	for _, c := range sc.Comms {
+		if len(sc.Splits[c.Flow]) == 0 {
+			routed = append(routed, c)
+		}
+	}
+	var single map[int][]int
+	if len(routed) > 0 {
+		single = ComputeRoutes(sc.Nodes, links, routed, sc.Scheme)
+	}
+	rng := rand.New(rand.NewSource(sc.Seed + 2))
+	out := make([]commodityRouting, len(sc.Comms))
+	for i, c := range sc.Comms {
+		sp := sc.Splits[c.Flow]
+		if len(sp) == 0 {
+			if p := single[c.Flow]; p != nil {
+				out[i].paths = [][]int{p}
+			}
+			continue
+		}
+		var paths [][]int
+		var fracs []float64
+		for _, s := range sp {
+			if s.Frac <= 0 {
+				continue
+			}
+			if len(s.Path) < 2 || s.Path[0] != c.Src || s.Path[len(s.Path)-1] != c.Dst {
+				panic(fmt.Sprintf("netsim: split path %v does not connect commodity %d (%d->%d)",
+					s.Path, c.Flow, c.Src, c.Dst))
+			}
+			paths = append(paths, s.Path)
+			fracs = append(fracs, s.Frac)
+		}
+		if len(paths) == 0 {
+			continue
+		}
+		out[i].paths = paths
+		if len(paths) > 1 {
+			out[i].assign = splitAssignments(max(c.Count, 1), fracs, rng)
+		}
+	}
+	return out
+}
+
+// splitAssignments apportions n flows across paths in proportion to fracs
+// (largest-remainder rounding, so per-path counts are exact) and shuffles
+// the assignment vector so clone order carries no path bias. Deterministic
+// in the rng state.
+func splitAssignments(n int, fracs []float64, rng *rand.Rand) []int {
+	tot := 0.0
+	for _, f := range fracs {
+		tot += f
+	}
+	counts := make([]int, len(fracs))
+	order := make([]int, len(fracs))
+	rem := make([]float64, len(fracs))
+	assigned := 0
+	for i, f := range fracs {
+		quota := float64(n) * f / tot
+		counts[i] = int(math.Floor(quota))
+		rem[i] = quota - float64(counts[i])
+		order[i] = i
+		assigned += counts[i]
+	}
+	sort.Slice(order, func(a, b int) bool {
+		if rem[order[a]] != rem[order[b]] {
+			return rem[order[a]] > rem[order[b]]
+		}
+		return order[a] < order[b]
+	})
+	for k := 0; k < n-assigned; k++ {
+		counts[order[k]]++
+	}
+	out := make([]int, 0, n)
+	for pi, c := range counts {
+		for k := 0; k < c; k++ {
+			out = append(out, pi)
+		}
+	}
+	rng.Shuffle(len(out), func(i, j int) { out[i], out[j] = out[j], out[i] })
+	return out
+}
+
+// finishLinkLoads sorts the per-link loads by (From, To) and records the
+// maximum as the run's MLU.
+func (r *ScenarioResult) finishLinkLoads(loads []LinkLoad) {
+	sort.Slice(loads, func(i, j int) bool {
+		if loads[i].From != loads[j].From {
+			return loads[i].From < loads[j].From
+		}
+		return loads[i].To < loads[j].To
+	})
+	r.LinkLoads = loads
+	for _, l := range loads {
+		if l.Utilization > r.MLU {
+			r.MLU = l.Utilization
+		}
+	}
+}
+
 // Run executes the scenario on the selected engine.
 func (sc *Scenario) Run(mode Mode) *ScenarioResult {
 	if mode == FluidMode {
@@ -160,7 +308,7 @@ func (sc *Scenario) runPacket() *ScenarioResult {
 	var sim Simulator
 	nw := NewNetwork(&sim, sc.Nodes)
 	BuildTopology(nw, links)
-	paths := ComputeRoutes(sc.Nodes, links, sc.Comms, sc.Scheme)
+	routings := sc.routeCommodities(links)
 
 	// Flow IDs: each commodity keeps its own ID for its first flow; clones
 	// get fresh IDs past the maximum so delivery demux stays per-flow.
@@ -171,8 +319,8 @@ func (sc *Scenario) runPacket() *ScenarioResult {
 		}
 	}
 	total := 0
-	for _, c := range sc.Comms {
-		if paths[c.Flow] != nil {
+	for ci, c := range sc.Comms {
+		if routings[ci].paths != nil {
 			total += max(c.Count, 1)
 		}
 	}
@@ -185,14 +333,18 @@ func (sc *Scenario) runPacket() *ScenarioResult {
 	}
 	var conns []live
 	fi := 0
-	for _, c := range sc.Comms {
-		path := paths[c.Flow]
-		if path == nil {
+	for ci, c := range sc.Comms {
+		r := &routings[ci]
+		if r.paths == nil {
 			continue
 		}
-		rev := make([]int, len(path))
-		for i, v := range path {
-			rev[len(path)-1-i] = v
+		revs := make([][]int, len(r.paths))
+		for pi, path := range r.paths {
+			rev := make([]int, len(path))
+			for i, v := range path {
+				rev[len(path)-1-i] = v
+			}
+			revs[pi] = rev
 		}
 		for k := 0; k < max(c.Count, 1); k++ {
 			id := c.Flow
@@ -200,8 +352,12 @@ func (sc *Scenario) runPacket() *ScenarioResult {
 				id = nextID
 				nextID++
 			}
-			nw.SetFlowPath(id, path)
-			nw.SetFlowPath(id, rev)
+			pi := 0
+			if r.assign != nil {
+				pi = r.assign[k]
+			}
+			nw.SetFlowPath(id, r.paths[pi])
+			nw.SetFlowPath(id, revs[pi])
 			idx := len(res.Flows)
 			res.Flows = append(res.Flows, FlowResult{Flow: c.Flow, Start: startAt[fi]})
 			conn := &TCPConn{
@@ -230,6 +386,11 @@ func (sc *Scenario) runPacket() *ScenarioResult {
 			fr.MeanRateBps = float64(l.conn.Acked()) * 8 / el
 		}
 	}
+	loads := make([]LinkLoad, 0, len(nw.Links()))
+	for _, l := range nw.Links() {
+		loads = append(loads, LinkLoad{From: l.From, To: l.To, Utilization: l.Utilization(res.End)})
+	}
+	res.finishLinkLoads(loads)
 	return res
 }
 
@@ -237,11 +398,11 @@ func (sc *Scenario) runFluid() *ScenarioResult {
 	flowBytes, horizon := sc.defaults()
 	f := NewFluid(sc.Nodes, sc.Links)
 	f.RateTol = sc.RateTol
-	paths := ComputeRoutes(sc.Nodes, sc.Links, sc.Comms, sc.Scheme)
+	routings := sc.routeCommodities(sc.Links)
 
 	total := 0
-	for _, c := range sc.Comms {
-		if paths[c.Flow] != nil {
+	for ci, c := range sc.Comms {
+		if routings[ci].paths != nil {
 			total += max(c.Count, 1)
 		}
 	}
@@ -254,16 +415,23 @@ func (sc *Scenario) runFluid() *ScenarioResult {
 	}
 	var flows []live
 	fi := 0
-	for _, c := range sc.Comms {
-		path := paths[c.Flow]
-		if path == nil {
+	for ci, c := range sc.Comms {
+		r := &routings[ci]
+		if r.paths == nil {
 			continue
 		}
-		r := f.AddRoute(path)
+		routes := make([]int, len(r.paths))
+		for pi, path := range r.paths {
+			routes[pi] = f.AddRoute(path)
+		}
 		for k := 0; k < max(c.Count, 1); k++ {
+			pi := 0
+			if r.assign != nil {
+				pi = r.assign[k]
+			}
 			idx := len(res.Flows)
 			res.Flows = append(res.Flows, FlowResult{Flow: c.Flow, Start: startAt[fi]})
-			fid := f.StartAt(r, float64(flowBytes), startAt[fi])
+			fid := f.StartAt(routes[pi], float64(flowBytes), startAt[fi])
 			flows = append(flows, live{fid: fid, idx: idx})
 			fi++
 		}
@@ -281,5 +449,6 @@ func (sc *Scenario) runFluid() *ScenarioResult {
 			fr.MeanRateBps = f.ServedBytes(l.fid) * 8 / el
 		}
 	}
+	res.finishLinkLoads(f.LinkUtilizations())
 	return res
 }

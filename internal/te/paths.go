@@ -1,0 +1,250 @@
+package te
+
+import (
+	"fmt"
+	"math"
+
+	"cisp/internal/netsim"
+	"cisp/internal/parallel"
+)
+
+// edge is one directed link of the TE graph.
+type edge struct {
+	from, to int
+	capBps   float64 // 0 = link down (excluded from path search)
+	delay    float64 // propagation delay, seconds
+}
+
+// graph is the directed TE topology: two edges per duplex TopoLink.
+type graph struct {
+	n     int
+	edges []edge
+	adj   [][]int32 // per node, outgoing edge IDs in insertion order
+}
+
+// buildGraph converts the duplex simulation topology into the directed TE
+// graph. Parallel directed edges are rejected: candidate paths are node
+// sequences (that is what netsim installs), so a multigraph would be
+// ambiguous — parallel capacity must be expressed through distinct nodes
+// (see experiments.DesignedTETopology's fiber midpoints).
+func buildGraph(n int, links []netsim.TopoLink) (*graph, error) {
+	g := &graph{n: n, adj: make([][]int32, n)}
+	seen := make(map[[2]int]bool, 2*len(links))
+	add := func(a, b int, capBps, delay float64) error {
+		if a < 0 || a >= n || b < 0 || b >= n {
+			return fmt.Errorf("te: link %d->%d outside node range [0,%d)", a, b, n)
+		}
+		if seen[[2]int{a, b}] {
+			return fmt.Errorf("te: parallel directed link %d->%d (use a transit node for parallel capacity)", a, b)
+		}
+		seen[[2]int{a, b}] = true
+		g.adj[a] = append(g.adj[a], int32(len(g.edges)))
+		g.edges = append(g.edges, edge{from: a, to: b, capBps: capBps, delay: delay})
+		return nil
+	}
+	for _, l := range links {
+		if err := add(l.A, l.B, l.RateBps, l.PropDelay); err != nil {
+			return nil, err
+		}
+		if err := add(l.B, l.A, l.RateBps, l.PropDelay); err != nil {
+			return nil, err
+		}
+	}
+	return g, nil
+}
+
+// Path is one candidate forwarding path of a commodity.
+type Path struct {
+	Nodes []int
+	Delay float64 // end-to-end propagation delay, seconds
+	edges []int32
+}
+
+func (g *graph) pathFromEdges(src int, eids []int32) Path {
+	p := Path{Nodes: make([]int, 0, len(eids)+1), edges: eids}
+	p.Nodes = append(p.Nodes, src)
+	for _, e := range eids {
+		p.Delay += g.edges[e].delay
+		p.Nodes = append(p.Nodes, g.edges[e].to)
+	}
+	return p
+}
+
+// dijkstraMasked finds the minimum-delay path src→dst as an edge-ID
+// sequence, skipping banned edges and nodes and edges with zero capacity.
+// Scratch slices are caller-owned so Yen's inner loop does not reallocate.
+type dijkstraScratch struct {
+	dist    []float64
+	prevE   []int32
+	done    []bool
+	edgeBan []bool
+	nodeBan []bool
+}
+
+func newScratch(g *graph) *dijkstraScratch {
+	return &dijkstraScratch{
+		dist:    make([]float64, g.n),
+		prevE:   make([]int32, g.n),
+		done:    make([]bool, g.n),
+		edgeBan: make([]bool, len(g.edges)),
+		nodeBan: make([]bool, g.n),
+	}
+}
+
+func (s *dijkstraScratch) run(g *graph, src, dst int) ([]int32, float64) {
+	for i := range s.dist {
+		s.dist[i] = math.Inf(1)
+		s.prevE[i] = -1
+		s.done[i] = false
+	}
+	s.dist[src] = 0
+	for {
+		u, best := -1, math.Inf(1)
+		for v := 0; v < g.n; v++ {
+			if !s.done[v] && !s.nodeBan[v] && s.dist[v] < best {
+				u, best = v, s.dist[v]
+			}
+		}
+		if u < 0 || u == dst {
+			break
+		}
+		s.done[u] = true
+		for _, ei := range g.adj[u] {
+			e := &g.edges[ei]
+			if s.edgeBan[ei] || s.nodeBan[e.to] || e.capBps <= 0 {
+				continue
+			}
+			if nd := s.dist[u] + e.delay; nd < s.dist[e.to] {
+				s.dist[e.to] = nd
+				s.prevE[e.to] = ei
+			}
+		}
+	}
+	if math.IsInf(s.dist[dst], 1) {
+		return nil, 0
+	}
+	var rev []int32
+	for v := dst; v != src; {
+		ei := s.prevE[v]
+		rev = append(rev, ei)
+		v = g.edges[ei].from
+	}
+	out := make([]int32, len(rev))
+	for i, e := range rev {
+		out[len(rev)-1-i] = e
+	}
+	return out, s.dist[dst]
+}
+
+func sameEdges(a, b []int32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// yen enumerates up to k loopless minimum-delay paths src→dst (Yen's
+// algorithm) and drops any whose delay exceeds stretch × the shortest
+// path's delay — the latency-diversity cap that keeps every TE split inside
+// the paper's stretch budget.
+func yen(g *graph, scratch *dijkstraScratch, src, dst, k int, stretch float64) []Path {
+	bestE, bestD := scratch.run(g, src, dst)
+	if bestE == nil {
+		return nil
+	}
+	maxDelay := bestD * stretch
+	A := []Path{g.pathFromEdges(src, bestE)}
+	var B []Path
+	for len(A) < k {
+		prev := A[len(A)-1]
+		for i := 0; i < len(prev.edges); i++ {
+			spur := prev.Nodes[i]
+			// Ban the i-th edge of every accepted path sharing the root
+			// prefix, and every root node before the spur, then search for
+			// a deviation.
+			for _, p := range A {
+				if len(p.edges) > i && sameEdges(p.edges[:i], prev.edges[:i]) {
+					scratch.edgeBan[p.edges[i]] = true
+				}
+			}
+			for _, v := range prev.Nodes[:i] {
+				scratch.nodeBan[v] = true
+			}
+			spurE, spurD := scratch.run(g, spur, dst)
+			for _, p := range A {
+				if len(p.edges) > i && sameEdges(p.edges[:i], prev.edges[:i]) {
+					scratch.edgeBan[p.edges[i]] = false
+				}
+			}
+			for _, v := range prev.Nodes[:i] {
+				scratch.nodeBan[v] = false
+			}
+			if spurE == nil {
+				continue
+			}
+			rootD := 0.0
+			for _, ei := range prev.edges[:i] {
+				rootD += g.edges[ei].delay
+			}
+			if rootD+spurD > maxDelay {
+				continue
+			}
+			full := make([]int32, 0, i+len(spurE))
+			full = append(full, prev.edges[:i]...)
+			full = append(full, spurE...)
+			dup := false
+			for _, p := range append(A, B...) {
+				if sameEdges(p.edges, full) {
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				B = append(B, g.pathFromEdges(src, full))
+			}
+		}
+		if len(B) == 0 {
+			break
+		}
+		// Pop the minimum-delay candidate (ties: fewer hops, then
+		// lexicographic node order — fully deterministic).
+		bi := 0
+		for j := 1; j < len(B); j++ {
+			if pathLess(&B[j], &B[bi]) {
+				bi = j
+			}
+		}
+		A = append(A, B[bi])
+		B = append(B[:bi], B[bi+1:]...)
+	}
+	return A
+}
+
+func pathLess(a, b *Path) bool {
+	if a.Delay != b.Delay {
+		return a.Delay < b.Delay
+	}
+	if len(a.Nodes) != len(b.Nodes) {
+		return len(a.Nodes) < len(b.Nodes)
+	}
+	for i := range a.Nodes {
+		if a.Nodes[i] != b.Nodes[i] {
+			return a.Nodes[i] < b.Nodes[i]
+		}
+	}
+	return false
+}
+
+// enumerate finds each commodity's candidate paths, fanned out over the
+// shared worker pool (one Yen run per commodity; results are positionally
+// stable, so the fan-out is deterministic).
+func enumerate(g *graph, comms []netsim.Commodity, cfg Config) [][]Path {
+	return parallel.Map(len(comms), 1, func(i int) []Path {
+		return yen(g, newScratch(g), comms[i].Src, comms[i].Dst, cfg.K, cfg.Stretch)
+	})
+}

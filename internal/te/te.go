@@ -1,0 +1,526 @@
+// Package te is the traffic-engineering control plane over the hybrid
+// cISP backbone: where the design pipeline (Steps 1–3) decides which links
+// to build and how much capacity to provision, and internal/netsim forwards
+// each commodity on a single path, te decides how offered traffic is
+// *split* across the built capacity.
+//
+// For every commodity it enumerates k latency-diverse candidate paths
+// (Yen's algorithm, capped at a configurable stretch of the commodity's
+// shortest path, so no split ever leaves the paper's latency envelope),
+// then solves a path-based multi-commodity flow program on internal/lp that
+// minimises the maximum link utilization subject to demand satisfaction —
+// the classic min-MLU TE objective of centralized SDN controllers. Large
+// instances are sharded into commodity blocks refined Jacobi-style over
+// internal/parallel, and instances past the dense simplex entirely fall
+// back to a deterministic greedy water-filling. The result installs into
+// both netsim engines as netsim.Scenario.Splits, and a Controller supports
+// warm-started reoptimization when weather degrades link capacities
+// (internal/weather feeds graded CapFrac rates in; only commodities whose
+// candidate paths cross a changed link are re-solved). See DESIGN.md §7.
+package te
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"cisp/internal/netsim"
+	"cisp/internal/parallel"
+)
+
+// Config tunes the control plane. The zero value selects sensible defaults.
+type Config struct {
+	K       int     // candidate paths per commodity (default 4)
+	Stretch float64 // candidate delay cap, × the commodity's shortest-path delay (default 1.5)
+
+	// UtilFloor is the utilization hinge below which a link counts as
+	// uncongested: the LP objective only charges for the worst utilization
+	// *above* this level, so light traffic stays on its lowest-latency
+	// candidate instead of spreading for marginal MLU gains. Default 0.5;
+	// set to 1 to spread only under genuine overload, or to a negative
+	// value for the classic always-minimise-MLU objective.
+	UtilFloor float64
+
+	// LPVarLimit is the largest variable count handed to one dense simplex
+	// solve (default 1500). Instances above it are sharded into commodity
+	// blocks of BlockSize refined for BlockRounds Jacobi rounds; instances
+	// whose blocks would still exceed the limit fall back to greedy
+	// water-filling with WaterQuanta demand quanta per commodity.
+	LPVarLimit  int // default 1500
+	BlockSize   int // commodities per block (default 48)
+	BlockRounds int // Jacobi refinement rounds (default 3)
+	WaterQuanta int // greedy fallback quanta (default 8)
+}
+
+func (c Config) withDefaults() Config {
+	if c.K <= 0 {
+		c.K = 4
+	}
+	if c.Stretch <= 0 {
+		c.Stretch = 1.5
+	}
+	switch {
+	case c.UtilFloor == 0:
+		c.UtilFloor = 0.5
+	case c.UtilFloor < 0:
+		c.UtilFloor = 0
+	}
+	if c.LPVarLimit <= 0 {
+		c.LPVarLimit = 1500
+	}
+	if c.BlockSize <= 0 {
+		c.BlockSize = 48
+	}
+	if c.BlockRounds <= 0 {
+		c.BlockRounds = 3
+	}
+	if c.WaterQuanta <= 0 {
+		c.WaterQuanta = 8
+	}
+	return c
+}
+
+// teComm is the control plane's view of one commodity.
+type teComm struct {
+	flow     int
+	src, dst int
+	demand   float64
+	cands    []Path
+	fracs    []float64 // current split, aligned with cands
+}
+
+// Solution is an installed-able TE routing decision.
+type Solution struct {
+	// Splits maps commodity flow IDs to weighted paths, ready for
+	// netsim.Scenario.Splits. Commodities with no path on the current
+	// topology are absent.
+	Splits map[int][]netsim.SplitPath
+	// MLU is the predicted maximum directed-link utilization under the
+	// splits (offered demand over capacity, queuing ignored).
+	MLU float64
+	// Method records how the splits were computed: "lp" (one global
+	// simplex), "block-lp" (sharded Jacobi refinement) or "greedy"
+	// (water-filling fallback).
+	Method string
+}
+
+// Solve computes latency-bounded fractional splits for the commodities over
+// the duplex topology: the one-shot entry point when no weather
+// reoptimization is needed.
+func Solve(n int, links []netsim.TopoLink, comms []netsim.Commodity, cfg Config) (*Solution, error) {
+	ctrl, err := NewController(n, links, comms, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return ctrl.Solution(), nil
+}
+
+// Controller holds the control-plane state between reoptimizations: the TE
+// graph, each commodity's candidate paths (enumerated once, on the
+// clear-sky topology) and the current splits.
+type Controller struct {
+	cfg    Config
+	g      *graph
+	comms  []teComm
+	sol    *Solution
+	method string
+}
+
+// NewController builds the TE graph, enumerates candidate paths for every
+// commodity in parallel, and solves the initial splits.
+func NewController(n int, links []netsim.TopoLink, comms []netsim.Commodity, cfg Config) (*Controller, error) {
+	cfg = cfg.withDefaults()
+	g, err := buildGraph(n, links)
+	if err != nil {
+		return nil, err
+	}
+	c := &Controller{cfg: cfg, g: g}
+	cands := enumerate(g, comms, cfg)
+	c.comms = make([]teComm, len(comms))
+	for i, cm := range comms {
+		c.comms[i] = teComm{flow: cm.Flow, src: cm.Src, dst: cm.Dst, demand: cm.Demand, cands: cands[i]}
+	}
+	if err := c.reroute(allIndices(len(c.comms))); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// Solution returns the current routing decision. The returned value is
+// shared; treat it as read-only.
+func (c *Controller) Solution() *Solution { return c.sol }
+
+// UpdateCapacities installs new per-link capacities (the link list must
+// match the constructor's positionally — same endpoints, new RateBps; a
+// rate of 0 marks a failed link) and re-solves only the affected
+// commodities: those with a candidate path crossing a changed link. The
+// others keep their splits, entering the re-solve as pinned load — a warm
+// start that keeps storm-interval reoptimization cheap. Returns the sorted
+// affected commodity flow IDs.
+func (c *Controller) UpdateCapacities(links []netsim.TopoLink) ([]int, error) {
+	if 2*len(links) != len(c.g.edges) {
+		return nil, fmt.Errorf("te: capacity update has %d links, controller topology has %d", len(links), len(c.g.edges)/2)
+	}
+	// Validate the whole list before touching any capacity: a partial
+	// mutation on a rejected update would desync the controller's graph
+	// from its installed splits.
+	for i, l := range links {
+		for dir := 0; dir < 2; dir++ {
+			e := &c.g.edges[2*i+dir]
+			from, to := l.A, l.B
+			if dir == 1 {
+				from, to = l.B, l.A
+			}
+			if e.from != from || e.to != to {
+				return nil, fmt.Errorf("te: capacity update link %d is %d-%d, controller has %d-%d", i, l.A, l.B, e.from, e.to)
+			}
+		}
+	}
+	changed := make([]bool, len(c.g.edges))
+	anyChanged := false
+	for i, l := range links {
+		for dir := 0; dir < 2; dir++ {
+			e := &c.g.edges[2*i+dir]
+			if e.capBps != l.RateBps {
+				changed[2*i+dir] = true
+				anyChanged = true
+				e.capBps = l.RateBps
+			}
+		}
+	}
+	if !anyChanged {
+		return nil, nil
+	}
+	var affected []int
+	for i := range c.comms {
+		cm := &c.comms[i]
+		hit := false
+		for _, p := range cm.cands {
+			for _, ei := range p.edges {
+				if changed[ei] {
+					hit = true
+					break
+				}
+			}
+			if hit {
+				break
+			}
+		}
+		if hit {
+			affected = append(affected, i)
+		}
+	}
+	if err := c.reroute(affected); err != nil {
+		return nil, err
+	}
+	ids := make([]int, len(affected))
+	for k, i := range affected {
+		ids[k] = c.comms[i].flow
+	}
+	sort.Ints(ids)
+	return ids, nil
+}
+
+// reroute recomputes splits for the commodity indices in idxs, keeping
+// every other commodity's current split pinned as base load. Candidates
+// crossing a downed (zero-capacity) link are masked; a commodity left with
+// no usable candidate is re-enumerated on the degraded topology.
+func (c *Controller) reroute(idxs []int) error {
+	inSet := make([]bool, len(c.comms))
+	for _, i := range idxs {
+		inSet[i] = true
+	}
+	base := make([]float64, len(c.g.edges))
+	for i := range c.comms {
+		if !inSet[i] {
+			c.comms[i].addLoad(base)
+		}
+	}
+
+	// The full candidate set is kept for the controller's lifetime (so a
+	// restored link's paths come back after a storm); each reroute works on
+	// the usable subset — candidates whose every edge is up. A commodity
+	// with no usable candidate is re-enumerated on the degraded topology
+	// and keeps any new paths for later.
+	var scratch *dijkstraScratch
+	usableOf := func(cm *teComm) []int {
+		var usable []int
+		for pi, p := range cm.cands {
+			up := true
+			for _, ei := range p.edges {
+				if c.g.edges[ei].capBps <= 0 {
+					up = false
+					break
+				}
+			}
+			if up {
+				usable = append(usable, pi)
+			}
+		}
+		return usable
+	}
+
+	// Partition the re-solved set: zero-demand or single-candidate
+	// commodities are fixed on their best usable path (their load joins the
+	// base); the rest go to the optimizer via shadow commodities holding
+	// just the usable candidates.
+	var (
+		shadows []*teComm
+		owners  []*teComm
+		usables [][]int
+	)
+	for _, i := range idxs {
+		cm := &c.comms[i]
+		cm.fracs = nil
+		usable := usableOf(cm)
+		if len(usable) == 0 {
+			if scratch == nil {
+				scratch = newScratch(c.g)
+			}
+			for _, p := range yen(c.g, scratch, cm.src, cm.dst, c.cfg.K, c.cfg.Stretch) {
+				dup := false
+				for _, q := range cm.cands {
+					if sameEdges(p.edges, q.edges) {
+						dup = true
+						break
+					}
+				}
+				if !dup {
+					cm.cands = append(cm.cands, p)
+				}
+			}
+			usable = usableOf(cm)
+		}
+		if len(usable) == 0 {
+			continue // unroutable on the current topology
+		}
+		if len(usable) == 1 || cm.demand <= 0 {
+			cm.fracs = make([]float64, len(cm.cands))
+			cm.fracs[usable[0]] = 1
+			cm.addLoad(base)
+			continue
+		}
+		sub := make([]Path, len(usable))
+		for k, pi := range usable {
+			sub[k] = cm.cands[pi]
+		}
+		shadows = append(shadows, &teComm{flow: cm.flow, src: cm.src, dst: cm.dst, demand: cm.demand, cands: sub})
+		owners = append(owners, cm)
+		usables = append(usables, usable)
+	}
+
+	if len(shadows) > 0 {
+		nx := 1
+		for _, cm := range shadows {
+			nx += len(cm.cands)
+		}
+		var (
+			fracs  [][]float64
+			method string
+			err    error
+		)
+		switch {
+		case nx <= c.cfg.LPVarLimit:
+			method = "lp"
+			floor := maxUtil(c.g, base)
+			fracs, _, err = solveLP(c.g, shadows, base, floor, c.cfg.UtilFloor)
+		case c.cfg.BlockSize*c.cfg.K+1 <= c.cfg.LPVarLimit:
+			method = "block-lp"
+			fracs, err = c.solveBlocks(shadows, base)
+		default:
+			method = "greedy"
+			fracs = waterfill(c.g, shadows, base, c.cfg.WaterQuanta)
+		}
+		if err != nil {
+			return err
+		}
+		for k, cm := range owners {
+			cm.fracs = make([]float64, len(cm.cands))
+			for j, pi := range usables[k] {
+				cm.fracs[pi] = fracs[k][j]
+			}
+		}
+		c.method = method
+	} else if c.method == "" {
+		c.method = "lp"
+	}
+
+	c.rebuildSolution()
+	return nil
+}
+
+// solveBlocks shards the commodities into demand-balanced blocks and
+// refines them Jacobi-style: each round, every block re-solves its own LP
+// against a snapshot of the other blocks' load from the previous round,
+// fanned out over the shared worker pool. The snapshot discipline makes the
+// result independent of the worker count.
+func (c *Controller) solveBlocks(lpComms []*teComm, fixed []float64) ([][]float64, error) {
+	order := sortByDemand(lpComms)
+	nb := (len(lpComms) + c.cfg.BlockSize - 1) / c.cfg.BlockSize
+	blocks := make([][]int, nb) // indices into lpComms
+	for k, ci := range order {
+		blocks[k%nb] = append(blocks[k%nb], ci)
+	}
+
+	// Initial iterate: everything on its shortest candidate.
+	fracs := make([][]float64, len(lpComms))
+	for i, cm := range lpComms {
+		f := make([]float64, len(cm.cands))
+		f[0] = 1
+		fracs[i] = f
+	}
+
+	loadOf := func(fr [][]float64) []float64 {
+		load := make([]float64, len(c.g.edges))
+		copy(load, fixed)
+		for i, cm := range lpComms {
+			cm.addLoadFracs(load, fr[i])
+		}
+		return load
+	}
+
+	for round := 0; round < c.cfg.BlockRounds; round++ {
+		load := loadOf(fracs)
+		type blockResult struct {
+			fracs [][]float64
+			err   error
+		}
+		results := parallel.Map(nb, 1, func(b int) blockResult {
+			base := make([]float64, len(load))
+			copy(base, load)
+			cs := make([]*teComm, len(blocks[b]))
+			for k, ci := range blocks[b] {
+				cs[k] = lpComms[ci]
+				cs[k].subLoadFracs(base, fracs[ci])
+			}
+			floor := maxUtil(c.g, base)
+			f, _, err := solveLP(c.g, cs, base, floor, c.cfg.UtilFloor)
+			return blockResult{fracs: f, err: err}
+		})
+		next := make([][]float64, len(lpComms))
+		for b, r := range results {
+			if r.err != nil {
+				return nil, fmt.Errorf("te: block %d round %d: %w", b, round, r.err)
+			}
+			for k, ci := range blocks[b] {
+				next[ci] = r.fracs[k]
+			}
+		}
+		if round > 0 {
+			// Damp later rounds: simultaneous block moves onto the same
+			// alternate capacity would otherwise oscillate.
+			for i := range next {
+				for pi := range next[i] {
+					next[i][pi] = 0.5*next[i][pi] + 0.5*fracs[i][pi]
+				}
+			}
+		}
+		fracs = next
+	}
+	return fracs, nil
+}
+
+// rebuildSolution reassembles Splits and the predicted MLU from the
+// commodity table.
+func (c *Controller) rebuildSolution() {
+	load := make([]float64, len(c.g.edges))
+	splits := make(map[int][]netsim.SplitPath, len(c.comms))
+	for i := range c.comms {
+		cm := &c.comms[i]
+		if cm.fracs == nil {
+			continue
+		}
+		cm.addLoad(load)
+		var sp []netsim.SplitPath
+		for pi, f := range cm.fracs {
+			if f < 1e-6 {
+				continue
+			}
+			sp = append(sp, netsim.SplitPath{Path: cm.cands[pi].Nodes, Frac: f})
+		}
+		if len(sp) > 0 {
+			splits[cm.flow] = sp
+		}
+	}
+	c.sol = &Solution{Splits: splits, MLU: maxUtil(c.g, load), Method: c.method}
+}
+
+// addLoad accrues the commodity's current split load onto the edge vector.
+func (cm *teComm) addLoad(load []float64) { cm.addLoadFracs(load, cm.fracs) }
+
+func (cm *teComm) addLoadFracs(load []float64, fracs []float64) {
+	for pi, f := range fracs {
+		if f <= 0 {
+			continue
+		}
+		for _, ei := range cm.cands[pi].edges {
+			load[ei] += cm.demand * f
+		}
+	}
+}
+
+func (cm *teComm) subLoadFracs(load []float64, fracs []float64) {
+	for pi, f := range fracs {
+		if f <= 0 {
+			continue
+		}
+		for _, ei := range cm.cands[pi].edges {
+			load[ei] -= cm.demand * f
+			if load[ei] < 0 {
+				load[ei] = 0
+			}
+		}
+	}
+}
+
+func maxUtil(g *graph, load []float64) float64 {
+	mlu := 0.0
+	for ei := range g.edges {
+		if c := g.edges[ei].capBps; c > 0 {
+			if u := load[ei] / c; u > mlu {
+				mlu = u
+			}
+		}
+	}
+	return mlu
+}
+
+func allIndices(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+// MLUOf evaluates the predicted maximum link utilization of an arbitrary
+// split set over the topology — the planning-side counterpart of
+// netsim.ScenarioResult.MLU, useful for comparing a TE solution against
+// single-path routing before simulating either.
+func MLUOf(n int, links []netsim.TopoLink, comms []netsim.Commodity, splits map[int][]netsim.SplitPath) (float64, error) {
+	g, err := buildGraph(n, links)
+	if err != nil {
+		return 0, err
+	}
+	idx := make(map[[2]int]int32, len(g.edges))
+	for ei, e := range g.edges {
+		idx[[2]int{e.from, e.to}] = int32(ei)
+	}
+	load := make([]float64, len(g.edges))
+	for _, cm := range comms {
+		for _, sp := range splits[cm.Flow] {
+			for i := 0; i+1 < len(sp.Path); i++ {
+				ei, ok := idx[[2]int{sp.Path[i], sp.Path[i+1]}]
+				if !ok {
+					return 0, fmt.Errorf("te: split path hop %d->%d not in topology", sp.Path[i], sp.Path[i+1])
+				}
+				load[ei] += cm.Demand * sp.Frac
+			}
+		}
+	}
+	mlu := maxUtil(g, load)
+	if math.IsNaN(mlu) {
+		return 0, fmt.Errorf("te: NaN utilization")
+	}
+	return mlu, nil
+}

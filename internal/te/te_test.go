@@ -1,0 +1,452 @@
+package te
+
+import (
+	"math"
+	"testing"
+
+	"cisp/internal/netsim"
+)
+
+// diamond is the canonical split fixture: two disjoint equal-capacity paths
+// 0-1-3 (fast) and 0-2-3 (slower but inside the stretch cap).
+func diamond() []netsim.TopoLink {
+	return []netsim.TopoLink{
+		{A: 0, B: 1, RateBps: 10e6, PropDelay: 0.002},
+		{A: 1, B: 3, RateBps: 10e6, PropDelay: 0.002},
+		{A: 0, B: 2, RateBps: 10e6, PropDelay: 0.0025},
+		{A: 2, B: 3, RateBps: 10e6, PropDelay: 0.0025},
+	}
+}
+
+func TestYenEnumeratesDiversePaths(t *testing.T) {
+	g, err := buildGraph(4, diamond())
+	if err != nil {
+		t.Fatal(err)
+	}
+	paths := yen(g, newScratch(g), 0, 3, 4, 2.0)
+	if len(paths) != 2 {
+		t.Fatalf("got %d paths, want 2 (the disjoint diamond arms)", len(paths))
+	}
+	if paths[0].Delay >= paths[1].Delay {
+		t.Fatalf("paths not delay-sorted: %v then %v", paths[0].Delay, paths[1].Delay)
+	}
+	want := [][]int{{0, 1, 3}, {0, 2, 3}}
+	for i, p := range paths {
+		if len(p.Nodes) != 3 {
+			t.Fatalf("path %d = %v, want 3 nodes", i, p.Nodes)
+		}
+		for j, v := range want[i] {
+			if p.Nodes[j] != v {
+				t.Fatalf("path %d = %v, want %v", i, p.Nodes, want[i])
+			}
+		}
+	}
+}
+
+func TestYenStretchCap(t *testing.T) {
+	// The 0-2-3 arm is 25% longer than 0-1-3; a stretch cap of 1.2 must
+	// exclude it.
+	g, _ := buildGraph(4, diamond())
+	paths := yen(g, newScratch(g), 0, 3, 4, 1.2)
+	if len(paths) != 1 {
+		t.Fatalf("got %d paths under stretch 1.2, want 1", len(paths))
+	}
+}
+
+func TestYenLongerGraph(t *testing.T) {
+	// A 5-node graph with three routes 0→4 of distinct delays, including
+	// ones sharing edges — Yen must produce loopless, distinct paths in
+	// delay order.
+	links := []netsim.TopoLink{
+		{A: 0, B: 1, RateBps: 1, PropDelay: 1},
+		{A: 1, B: 4, RateBps: 1, PropDelay: 1},
+		{A: 0, B: 2, RateBps: 1, PropDelay: 1},
+		{A: 2, B: 4, RateBps: 1, PropDelay: 1.5},
+		{A: 1, B: 2, RateBps: 1, PropDelay: 0.1},
+		{A: 0, B: 3, RateBps: 1, PropDelay: 3},
+		{A: 3, B: 4, RateBps: 1, PropDelay: 3},
+	}
+	g, _ := buildGraph(5, links)
+	paths := yen(g, newScratch(g), 0, 4, 10, 10)
+	if len(paths) < 3 {
+		t.Fatalf("got %d paths, want >= 3", len(paths))
+	}
+	for i := 1; i < len(paths); i++ {
+		if paths[i].Delay < paths[i-1].Delay {
+			t.Fatalf("paths out of delay order at %d: %v", i, paths)
+		}
+	}
+	seen := map[string]bool{}
+	for _, p := range paths {
+		inPath := map[int]bool{}
+		key := ""
+		for _, v := range p.Nodes {
+			if inPath[v] {
+				t.Fatalf("loop in path %v", p.Nodes)
+			}
+			inPath[v] = true
+			key += string(rune('a' + v))
+		}
+		if seen[key] {
+			t.Fatalf("duplicate path %v", p.Nodes)
+		}
+		seen[key] = true
+	}
+}
+
+func TestBuildGraphRejectsParallelEdges(t *testing.T) {
+	links := append(diamond(), netsim.TopoLink{A: 0, B: 1, RateBps: 1e6, PropDelay: 0.01})
+	if _, err := buildGraph(4, links); err == nil {
+		t.Fatal("no error for parallel directed links")
+	}
+}
+
+// TestSolveBalancesDiamond: one commodity at 150% of a single arm's
+// capacity must split across both arms, halving the MLU relative to
+// shortest-path routing.
+func TestSolveBalancesDiamond(t *testing.T) {
+	links := diamond()
+	comms := []netsim.Commodity{{Flow: 1, Src: 0, Dst: 3, Demand: 15e6}}
+	sol, err := Solve(4, links, comms, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Method != "lp" {
+		t.Fatalf("method = %q, want lp", sol.Method)
+	}
+	sp := sol.Splits[1]
+	if len(sp) != 2 {
+		t.Fatalf("splits = %+v, want both arms", sp)
+	}
+	if math.Abs(sol.MLU-0.75) > 1e-6 {
+		t.Fatalf("MLU = %v, want 0.75 (15 Mbps over 2×10 Mbps arms)", sol.MLU)
+	}
+	total := 0.0
+	for _, s := range sp {
+		total += s.Frac
+	}
+	if math.Abs(total-1) > 1e-9 {
+		t.Fatalf("fractions sum to %v, want 1", total)
+	}
+	// Single-path routing pins 15 Mbps on a 10 Mbps arm: MLU 1.5.
+	spMLU, err := MLUOf(4, links, comms, map[int][]netsim.SplitPath{
+		1: {{Path: []int{0, 1, 3}, Frac: 1}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spMLU <= sol.MLU {
+		t.Fatalf("shortest-path MLU %v not worse than TE MLU %v", spMLU, sol.MLU)
+	}
+}
+
+// TestSolvePrefersShortPathWhenUncongested: with demand far below one arm's
+// capacity the delay tie-break must keep everything on the fast arm.
+func TestSolvePrefersShortPathWhenUncongested(t *testing.T) {
+	comms := []netsim.Commodity{{Flow: 1, Src: 0, Dst: 3, Demand: 1e6}}
+	sol, err := Solve(4, diamond(), comms, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp := sol.Splits[1]
+	if len(sp) != 1 || sp[0].Frac < 0.999 {
+		t.Fatalf("splits = %+v, want all on the fast arm", sp)
+	}
+	if sp[0].Path[1] != 1 {
+		t.Fatalf("path = %v, want via node 1 (lower delay)", sp[0].Path)
+	}
+}
+
+// TestStretchCapBindsInSolve: with a tight stretch cap the slower arm is
+// not a candidate, so the solver cannot split even under overload.
+func TestStretchCapBindsInSolve(t *testing.T) {
+	comms := []netsim.Commodity{{Flow: 1, Src: 0, Dst: 3, Demand: 15e6}}
+	sol, err := Solve(4, diamond(), comms, Config{Stretch: 1.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sol.Splits[1]) != 1 {
+		t.Fatalf("splits = %+v, want single path under stretch 1.1", sol.Splits[1])
+	}
+	if math.Abs(sol.MLU-1.5) > 1e-6 {
+		t.Fatalf("MLU = %v, want 1.5", sol.MLU)
+	}
+}
+
+// grid builds an x×y grid topology with uniform link capacity — enough
+// path diversity to exercise the block and greedy solvers.
+func grid(x, y int, capBps float64) (int, []netsim.TopoLink) {
+	id := func(i, j int) int { return i*y + j }
+	var links []netsim.TopoLink
+	for i := 0; i < x; i++ {
+		for j := 0; j < y; j++ {
+			if i+1 < x {
+				links = append(links, netsim.TopoLink{A: id(i, j), B: id(i+1, j), RateBps: capBps, PropDelay: 0.001})
+			}
+			if j+1 < y {
+				links = append(links, netsim.TopoLink{A: id(i, j), B: id(i, j+1), RateBps: capBps, PropDelay: 0.001})
+			}
+		}
+	}
+	return x * y, links
+}
+
+func gridComms(n, count int) []netsim.Commodity {
+	comms := make([]netsim.Commodity, count)
+	for k := 0; k < count; k++ {
+		src := (k * 7) % n
+		dst := (src + 1 + (k*13)%(n-1)) % n
+		comms[k] = netsim.Commodity{Flow: k + 1, Src: src, Dst: dst, Demand: 1e6 + float64(k%5)*4e5}
+	}
+	return comms
+}
+
+// TestMethodSelectionAndOrdering: the same congested grid instance solved
+// globally, in blocks, and greedily. Every method must satisfy
+// conservation, route every commodity, and improve on all-shortest-path
+// routing. Stretch 3 keeps grid detours (3 hops vs 1) inside the candidate
+// sets so there is real path diversity.
+func TestMethodSelectionAndOrdering(t *testing.T) {
+	n, links := grid(4, 4, 5e6)
+	comms := gridComms(n, 40)
+
+	solLP, err := Solve(n, links, comms, Config{Stretch: 3, LPVarLimit: 10_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if solLP.Method != "lp" {
+		t.Fatalf("method = %q, want lp", solLP.Method)
+	}
+	solBlock, err := Solve(n, links, comms, Config{Stretch: 3, LPVarLimit: 60, BlockSize: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if solBlock.Method != "block-lp" {
+		t.Fatalf("method = %q, want block-lp", solBlock.Method)
+	}
+	solGreedy, err := Solve(n, links, comms, Config{Stretch: 3, LPVarLimit: 20, BlockSize: 8, WaterQuanta: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if solGreedy.Method != "greedy" {
+		t.Fatalf("method = %q, want greedy", solGreedy.Method)
+	}
+
+	// All-shortest-path baseline.
+	base := map[int][]netsim.SplitPath{}
+	g, _ := buildGraph(n, links)
+	scratch := newScratch(g)
+	for _, cm := range comms {
+		eids, _ := scratch.run(g, cm.Src, cm.Dst)
+		p := g.pathFromEdges(cm.Src, eids)
+		base[cm.Flow] = []netsim.SplitPath{{Path: p.Nodes, Frac: 1}}
+	}
+	baseMLU, err := MLUOf(n, links, comms, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, tc := range []struct {
+		name string
+		sol  *Solution
+	}{{"lp", solLP}, {"block-lp", solBlock}, {"greedy", solGreedy}} {
+		for flow, sp := range tc.sol.Splits {
+			sum := 0.0
+			for _, s := range sp {
+				sum += s.Frac
+			}
+			if math.Abs(sum-1) > 1e-6 {
+				t.Errorf("%s: commodity %d fractions sum to %v", tc.name, flow, sum)
+			}
+		}
+		if len(tc.sol.Splits) != len(comms) {
+			t.Errorf("%s: %d commodities routed, want %d", tc.name, len(tc.sol.Splits), len(comms))
+		}
+		if tc.sol.MLU >= baseMLU {
+			t.Errorf("%s: MLU %v not better than shortest-path %v", tc.name, tc.sol.MLU, baseMLU)
+		}
+	}
+}
+
+// TestSolveDeterministicAcrossWorkers: path enumeration and the block
+// solver fan out over internal/parallel; results must not depend on pool
+// width.
+func TestSolveDeterministicAcrossWorkers(t *testing.T) {
+	n, links := grid(4, 4, 8e6)
+	comms := gridComms(n, 40)
+	run := func() *Solution {
+		sol, err := Solve(n, links, comms, Config{Stretch: 3, LPVarLimit: 60, BlockSize: 8})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sol
+	}
+	a := run()
+	b := run()
+	if a.MLU != b.MLU {
+		t.Fatalf("MLU differs across runs: %v vs %v", a.MLU, b.MLU)
+	}
+	for flow, sa := range a.Splits {
+		sb := b.Splits[flow]
+		if len(sa) != len(sb) {
+			t.Fatalf("commodity %d split sizes differ", flow)
+		}
+		for i := range sa {
+			if sa[i].Frac != sb[i].Frac {
+				t.Fatalf("commodity %d frac %d differs: %v vs %v", flow, i, sa[i].Frac, sb[i].Frac)
+			}
+		}
+	}
+}
+
+// TestControllerWarmReoptimization: degrade one diamond arm — only the
+// commodity using it is affected and traffic shifts away; restore it — the
+// original split comes back. A second, disjoint commodity must keep its
+// split bit-identical throughout.
+func TestControllerWarmReoptimization(t *testing.T) {
+	links := append(diamond(),
+		netsim.TopoLink{A: 4, B: 5, RateBps: 10e6, PropDelay: 0.001})
+	comms := []netsim.Commodity{
+		{Flow: 1, Src: 0, Dst: 3, Demand: 15e6},
+		{Flow: 2, Src: 4, Dst: 5, Demand: 2e6},
+	}
+	ctrl, err := NewController(6, links, comms, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	clear := ctrl.Solution()
+	if len(clear.Splits[1]) != 2 {
+		t.Fatalf("clear-sky splits = %+v, want both arms", clear.Splits[1])
+	}
+	otherBefore := clear.Splits[2]
+
+	// Rain kills the fast arm's first hop.
+	degraded := append([]netsim.TopoLink(nil), links...)
+	degraded[0].RateBps = 0
+	affected, err := ctrl.UpdateCapacities(degraded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(affected) != 1 || affected[0] != 1 {
+		t.Fatalf("affected = %v, want [1]", affected)
+	}
+	stormy := ctrl.Solution()
+	sp := stormy.Splits[1]
+	if len(sp) != 1 || sp[0].Path[1] != 2 {
+		t.Fatalf("stormy splits = %+v, want everything on the 0-2-3 arm", sp)
+	}
+	if math.Abs(stormy.MLU-1.5) > 1e-6 {
+		t.Fatalf("stormy MLU = %v, want 1.5", stormy.MLU)
+	}
+	if len(stormy.Splits[2]) != len(otherBefore) || stormy.Splits[2][0].Frac != otherBefore[0].Frac {
+		t.Fatalf("unaffected commodity's split changed: %+v vs %+v", stormy.Splits[2], otherBefore)
+	}
+
+	// Storm passes: capacity restored, the split must rebalance.
+	affected, err = ctrl.UpdateCapacities(links)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(affected) != 1 || affected[0] != 1 {
+		t.Fatalf("restore affected = %v, want [1]", affected)
+	}
+	restored := ctrl.Solution()
+	if len(restored.Splits[1]) != 2 {
+		t.Fatalf("restored splits = %+v, want both arms again", restored.Splits[1])
+	}
+	if math.Abs(restored.MLU-0.75) > 1e-6 {
+		t.Fatalf("restored MLU = %v, want 0.75", restored.MLU)
+	}
+
+	// No-op update: nothing affected.
+	affected, err = ctrl.UpdateCapacities(links)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if affected != nil {
+		t.Fatalf("no-op update affected %v", affected)
+	}
+}
+
+// TestControllerReenumeratesWhenAllCandidatesDie: if every clear-sky
+// candidate crosses downed links, the controller re-runs Yen on the
+// degraded topology instead of dropping the commodity.
+func TestControllerReenumeratesWhenAllCandidatesDie(t *testing.T) {
+	// 0→3 via 1 (fast, the only candidate under a tight stretch cap) plus a
+	// long detour via 2 that the cap excludes at clear sky.
+	links := []netsim.TopoLink{
+		{A: 0, B: 1, RateBps: 10e6, PropDelay: 0.001},
+		{A: 1, B: 3, RateBps: 10e6, PropDelay: 0.001},
+		{A: 0, B: 2, RateBps: 10e6, PropDelay: 0.01},
+		{A: 2, B: 3, RateBps: 10e6, PropDelay: 0.01},
+	}
+	comms := []netsim.Commodity{{Flow: 1, Src: 0, Dst: 3, Demand: 1e6}}
+	ctrl, err := NewController(4, links, comms, Config{Stretch: 1.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := len(ctrl.Solution().Splits[1]); n != 1 {
+		t.Fatalf("clear-sky candidates = %d, want 1 (stretch cap)", n)
+	}
+	degraded := append([]netsim.TopoLink(nil), links...)
+	degraded[0].RateBps = 0
+	if _, err := ctrl.UpdateCapacities(degraded); err != nil {
+		t.Fatal(err)
+	}
+	sp := ctrl.Solution().Splits[1]
+	if len(sp) != 1 || sp[0].Path[1] != 2 {
+		t.Fatalf("degraded splits = %+v, want the re-enumerated detour via 2", sp)
+	}
+}
+
+func TestUpdateCapacitiesRejectsTopologyChange(t *testing.T) {
+	links := diamond()
+	ctrl, err := NewController(4, links, []netsim.Commodity{{Flow: 1, Src: 0, Dst: 3, Demand: 1e6}}, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ctrl.UpdateCapacities(links[:2]); err == nil {
+		t.Fatal("no error for a shorter link list")
+	}
+	swapped := append([]netsim.TopoLink(nil), links...)
+	swapped[0].A, swapped[0].B = 2, 3
+	if _, err := ctrl.UpdateCapacities(swapped); err == nil {
+		t.Fatal("no error for changed endpoints")
+	}
+
+	// A rejected update must not leak partial capacity changes: this list
+	// changes link 0's rate but is invalid at link 1, so after the
+	// rejection a clean update with the original capacities must see
+	// nothing to do.
+	bad := append([]netsim.TopoLink(nil), links...)
+	bad[0].RateBps = 1e6
+	bad[1].A, bad[1].B = 3, 2
+	if _, err := ctrl.UpdateCapacities(bad); err == nil {
+		t.Fatal("no error for mixed rate-change + endpoint-change list")
+	}
+	affected, err := ctrl.UpdateCapacities(links)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if affected != nil {
+		t.Fatalf("rejected update mutated capacities: clean update affected %v", affected)
+	}
+}
+
+func TestUnroutableCommodityOmitted(t *testing.T) {
+	// Node 4 is isolated.
+	comms := []netsim.Commodity{
+		{Flow: 1, Src: 0, Dst: 3, Demand: 1e6},
+		{Flow: 2, Src: 0, Dst: 4, Demand: 1e6},
+	}
+	sol, err := Solve(5, diamond(), comms, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := sol.Splits[2]; ok {
+		t.Fatal("unroutable commodity got a split")
+	}
+	if _, ok := sol.Splits[1]; !ok {
+		t.Fatal("routable commodity missing")
+	}
+}

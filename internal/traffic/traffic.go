@@ -257,6 +257,69 @@ func FlowCounts(m Matrix, total int) []PairFlows {
 	return out
 }
 
+// Hotspot returns a copy of m with nPairs of its positive entries scaled by
+// factor: a per-pair spike profile modelling localized surges (a flash
+// crowd, a failure shifting load) the backbone was not designed for. Spiked
+// pairs are drawn uniformly without replacement from the positive entries,
+// deterministic in seed; if fewer than nPairs entries are positive, all of
+// them spike.
+func Hotspot(m Matrix, nPairs int, factor float64, seed int64) Matrix {
+	out := m.Clone()
+	if nPairs <= 0 || factor == 1 {
+		return out
+	}
+	var pairs [][2]int
+	for i := 0; i < len(m); i++ {
+		for j := i + 1; j < len(m); j++ {
+			if m[i][j] > 0 {
+				pairs = append(pairs, [2]int{i, j})
+			}
+		}
+	}
+	rng := rand.New(rand.NewSource(seed))
+	rng.Shuffle(len(pairs), func(a, b int) { pairs[a], pairs[b] = pairs[b], pairs[a] })
+	if nPairs > len(pairs) {
+		nPairs = len(pairs)
+	}
+	for _, p := range pairs[:nPairs] {
+		out.Set(p[0], p[1], m[p[0]][p[1]]*factor)
+	}
+	return out
+}
+
+// Diurnal scales m by a sinusoidal day profile: each site carries a phase
+// φ_i ∈ [0, 1) (drawn uniformly, deterministic in seed — a stand-in for its
+// timezone), and the pair (i, j) is scaled by
+//
+//	1 + amplitude · (sin 2π(hour/24 − φ_i) + sin 2π(hour/24 − φ_j)) / 2
+//
+// clamped at zero, so demand between two sites peaks when both are near
+// their local busy hour. The 24-hour mean of every entry is the base value,
+// which keeps diurnal sweeps comparable to their static matrix.
+func Diurnal(m Matrix, hour, amplitude float64, seed int64) Matrix {
+	out := m.Clone()
+	if amplitude == 0 {
+		return out
+	}
+	rng := rand.New(rand.NewSource(seed))
+	phase := make([]float64, len(m))
+	for i := range phase {
+		phase[i] = rng.Float64()
+	}
+	for i := 0; i < len(m); i++ {
+		for j := i + 1; j < len(m); j++ {
+			si := math.Sin(2 * math.Pi * (hour/24 - phase[i]))
+			sj := math.Sin(2 * math.Pi * (hour/24 - phase[j]))
+			f := 1 + amplitude*(si+sj)/2
+			if f < 0 {
+				f = 0
+			}
+			out.Set(i, j, m[i][j]*f)
+		}
+	}
+	return out
+}
+
 // PerturbPopulations applies §5's population perturbation: each city's
 // population is re-weighted by an independent factor drawn uniformly from
 // [1-γ, 1+γ]. Deterministic in seed.

@@ -45,20 +45,14 @@ func MeasureFCT(nNodes int, mwLinks []netsim.TopoLink, conds []LinkCondition,
 	schemes []netsim.Scheme, cfg FCTConfig) []FCTResult {
 	cfg.setDefaults()
 
-	// Grade the microwave layer once; the per-scheme runs share it.
+	// Grade the microwave layer once; the per-scheme runs share it. Links
+	// graded to zero rate (failed or deep-faded) are omitted entirely —
+	// packet simulation has no use for a 0 bps link.
 	var graded []netsim.TopoLink
-	for li, l := range mwLinks {
-		frac := 1.0
-		if li < len(conds) {
-			if conds[li].Failed {
-				continue
-			}
-			frac = conds[li].CapFrac
-		}
-		if frac <= 0 {
+	for _, l := range GradedRates(mwLinks, conds) {
+		if l.RateBps <= 0 {
 			continue
 		}
-		l.RateBps *= frac
 		l.QueueCap = cfg.QueueCap
 		graded = append(graded, l)
 	}

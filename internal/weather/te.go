@@ -1,0 +1,41 @@
+package weather
+
+import (
+	"cisp/internal/netsim"
+	"cisp/internal/te"
+)
+
+// GradedRates returns a copy of mwLinks with each link's rate scaled by its
+// graded adaptive-modulation capacity fraction (0 for links whose worst hop
+// exceeded the fade margin). Unlike the MeasureFCT grading, failed links
+// are kept in place at zero rate: positions are preserved link-for-link, so
+// a te.Controller can diff capacities against the clear-sky list. conds[i]
+// grades mwLinks[i]; a nil conds returns clear-sky rates.
+func GradedRates(mwLinks []netsim.TopoLink, conds []LinkCondition) []netsim.TopoLink {
+	out := append([]netsim.TopoLink(nil), mwLinks...)
+	for li := range out {
+		if li >= len(conds) {
+			break
+		}
+		switch {
+		case conds[li].Failed:
+			out[li].RateBps = 0
+		default:
+			out[li].RateBps *= conds[li].CapFrac
+		}
+	}
+	return out
+}
+
+// ReoptimizeTE feeds a precipitation interval's graded link conditions into
+// a TE controller: microwave capacities are scaled by their CapFrac (failed
+// links drop to zero), fiber links ride through unchanged, and the
+// controller re-solves splits only for the commodities whose candidate
+// paths cross a changed link — the warm start that makes per-interval
+// reoptimization cheap across a year of weather. The controller must have
+// been built over the concatenated mwLinks+fiberLinks list at clear sky.
+// Returns the affected commodity flow IDs, sorted.
+func ReoptimizeTE(ctrl *te.Controller, mwLinks []netsim.TopoLink, conds []LinkCondition, fiberLinks []netsim.TopoLink) ([]int, error) {
+	graded := GradedRates(mwLinks, conds)
+	return ctrl.UpdateCapacities(append(graded, fiberLinks...))
+}
