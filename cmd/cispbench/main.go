@@ -20,7 +20,10 @@
 // the discrete-event engine (clamped to ~1.5k flows), -mode=fluid the
 // flow-level max-min engine, which replays the same scenario with 10⁵-10⁶
 // concurrent flows. -flows also sizes the "te" traffic-engineering
-// comparison, which always reports both engine modes.
+// comparison and the "avail" failure-resilience study (both always report
+// both engine modes); "avail" additionally runs a year-scale analytic
+// availability comparison of no-protection vs fast-reroute vs full
+// reoptimization (internal/resilience).
 package main
 
 import (
@@ -96,6 +99,7 @@ func main() {
 		{Name: "econ", Run: func(o experiments.Options) { experiments.CostBenefit(o, 0.81) }},
 		{Name: "ext", Run: func(o experiments.Options) { experiments.Extensions(o) }},
 		{Name: "te", Run: func(o experiments.Options) { experiments.FigTE(o, *flows) }},
+		{Name: "avail", Run: func(o experiments.Options) { experiments.FigAvail(o, *flows) }},
 	}
 	// The -fig help string is derived from the spec table itself, so a new
 	// figure can never drift out of the documented list.

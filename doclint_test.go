@@ -1,0 +1,69 @@
+package cisp
+
+import (
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestPackageDocLint enforces the repo's documentation floor: every Go
+// package — the root library, every internal package, every command and
+// every example — must carry a package-level doc comment ("// Package x
+// ..." or the command/example narrative form) on at least one of its
+// non-test files. A package without one is invisible to godoc and to the
+// next person grepping for what a subsystem does, and the README's
+// architecture map rots fastest where the packages themselves say nothing.
+func TestPackageDocLint(t *testing.T) {
+	dirs := []string{"."}
+	for _, root := range []string{"internal", "cmd", "examples"} {
+		entries, err := os.ReadDir(root)
+		if err != nil {
+			t.Fatalf("reading %s: %v", root, err)
+		}
+		for _, e := range entries {
+			if e.IsDir() {
+				dirs = append(dirs, filepath.Join(root, e.Name()))
+			}
+		}
+	}
+	for _, dir := range dirs {
+		entries, err := os.ReadDir(dir)
+		if err != nil {
+			t.Fatalf("reading %s: %v", dir, err)
+		}
+		var goFiles []string
+		for _, e := range entries {
+			name := e.Name()
+			if strings.HasSuffix(name, ".go") && !strings.HasSuffix(name, "_test.go") {
+				goFiles = append(goFiles, filepath.Join(dir, name))
+			}
+		}
+		if len(goFiles) == 0 {
+			continue
+		}
+		fset := token.NewFileSet()
+		documented := false
+		var pkgName string
+		for _, f := range goFiles {
+			// PackageClauseOnly+ParseComments keeps the lint fast and
+			// resilient: a syntactically broken body elsewhere cannot hide a
+			// missing doc comment.
+			af, err := parser.ParseFile(fset, f, nil, parser.PackageClauseOnly|parser.ParseComments)
+			if err != nil {
+				t.Errorf("%s: %v", f, err)
+				continue
+			}
+			pkgName = af.Name.Name
+			if af.Doc != nil && strings.TrimSpace(af.Doc.Text()) != "" {
+				documented = true
+				break
+			}
+		}
+		if !documented {
+			t.Errorf("package %q (%s) has no package-level doc comment on any file", pkgName, dir)
+		}
+	}
+}

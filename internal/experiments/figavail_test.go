@@ -1,0 +1,116 @@
+package experiments
+
+import "testing"
+
+// TestFigAvailAcceptance is the PR's headline criterion: on the hotspot
+// workload with the 3-link failure schedule, fast reroute is at least as
+// available as no protection (strictly better here — the drill hits links
+// that carry protected traffic), the FRR event path performs zero LP
+// solves, and full reoptimization's measured MLU is no worse than FRR's in
+// both engine modes — the background LP spreads the rerouted load that
+// FRR's single backups concentrate.
+func TestFigAvailAcceptance(t *testing.T) {
+	res := FigAvail(teTestOpt(), 6000)
+	if res == nil {
+		t.Fatal("FigAvail returned nil")
+	}
+	if len(res.FailedLinks) != 3 {
+		t.Fatalf("drill failed %d links, want 3", len(res.FailedLinks))
+	}
+	seen := map[int]bool{}
+	for _, li := range res.FailedLinks {
+		if seen[li] {
+			t.Fatalf("drill repeats link %d", li)
+		}
+		seen[li] = true
+	}
+
+	// Year-scale analytic study: the protection ladder must be monotone.
+	for _, study := range []string{"year", "sim"} {
+		mode := "-"
+		if study == "sim" {
+			mode = "fluid"
+		}
+		none := res.Row(study, "none", mode)
+		frr := res.Row(study, "frr", mode)
+		reopt := res.Row(study, "reopt", mode)
+		if none == nil || frr == nil || reopt == nil {
+			t.Fatalf("%s study rows missing", study)
+		}
+		if frr.Availability < none.Availability {
+			t.Errorf("%s: FRR availability %.5f below no-protection %.5f",
+				study, frr.Availability, none.Availability)
+		}
+		if frr.Availability <= none.Availability {
+			t.Errorf("%s: FRR availability %.5f not strictly above no-protection %.5f (drill missed protected links?)",
+				study, frr.Availability, none.Availability)
+		}
+		if reopt.Availability < frr.Availability {
+			t.Errorf("%s: full-reopt availability %.5f below FRR %.5f",
+				study, reopt.Availability, frr.Availability)
+		}
+	}
+
+	for _, engine := range []string{"packet", "fluid"} {
+		none := res.Row("sim", "none", engine)
+		frr := res.Row("sim", "frr", engine)
+		reopt := res.Row("sim", "reopt", engine)
+		if none == nil || frr == nil || reopt == nil {
+			t.Fatalf("%s: sim rows missing", engine)
+		}
+		// Zero LP solves on the FRR event path (and none for no-protection).
+		if frr.LPSolves != 0 {
+			t.Errorf("%s: FRR plan performed %d LP solves on the event path", engine, frr.LPSolves)
+		}
+		if none.LPSolves != 0 {
+			t.Errorf("%s: no-protection plan performed %d LP solves", engine, none.LPSolves)
+		}
+		if reopt.LPSolves == 0 {
+			t.Errorf("%s: full reoptimization reports zero background LP solves", engine)
+		}
+		// Full reoptimization spreads the load FRR concentrates: measured
+		// MLU ordering with both engines seeing identical offered traffic.
+		if reopt.MLU > frr.MLU {
+			t.Errorf("%s: full-reopt measured MLU %.4f above FRR %.4f", engine, reopt.MLU, frr.MLU)
+		}
+		// Protection must not lose flows relative to no protection, and the
+		// full loop completes everything offered in this drill.
+		if frr.Completed < none.Completed {
+			t.Errorf("%s: FRR completed %d flows, fewer than no-protection's %d",
+				engine, frr.Completed, none.Completed)
+		}
+		if reopt.Completed < frr.Completed {
+			t.Errorf("%s: reopt completed %d flows, fewer than FRR's %d",
+				engine, reopt.Completed, frr.Completed)
+		}
+		if frr.PredMLU <= 0 || reopt.PredMLU <= 0 {
+			t.Errorf("%s: planning-side MLU missing (frr %.3f, reopt %.3f)",
+				engine, frr.PredMLU, reopt.PredMLU)
+		}
+	}
+}
+
+// TestSimFailureScheduleShape: the drill's schedule must have a window
+// where all three links are down together (the compound-failure instant
+// the planning-side MLU is evaluated at).
+func TestSimFailureScheduleShape(t *testing.T) {
+	s := simFailureSchedule([]int{3, 7, 9}, 12)
+	down := s.DownAt(allDownTime)
+	for _, li := range []int{3, 7, 9} {
+		if !down[li] {
+			t.Fatalf("link %d not down at t=%v", li, allDownTime)
+		}
+	}
+	if down[0] || down[11] {
+		t.Fatal("unscheduled links reported down")
+	}
+	evs := s.Events()
+	if len(evs) != 6 {
+		t.Fatalf("%d events, want 3 down + 3 up", len(evs))
+	}
+	for _, ev := range evs {
+		if ev.Time <= 0 || ev.Time >= teHorizon {
+			t.Fatalf("event %+v outside the replay horizon", ev)
+		}
+	}
+}

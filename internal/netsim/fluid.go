@@ -46,6 +46,14 @@ type FluidSim struct {
 	flowStart []float64
 	flowFCT   []float64 // -1 until completed
 
+	// Reroute bookkeeping for utilization attribution: bytes a flow served
+	// on routes it has since left are credited to those links at the moment
+	// of the move (linkServed), and flowCredited records how much of each
+	// flow's service has been credited so far — the uncredited remainder
+	// belongs to the flow's current route.
+	flowCredited []float64
+	linkServed   []float64
+
 	active    int // currently running flows
 	activeG   int // groups with at least one running flow
 	completed int
@@ -64,8 +72,9 @@ type FluidSim struct {
 
 type fluidLink struct {
 	from, to int
-	capBps   float64
-	groups   []int32 // routes crossing this link (static)
+	capBps   float64 // current capacity; 0 = link down
+	origCap  float64 // construction-time (clear-sky) capacity, for utilization reporting
+	groups   []int32 // routes crossing this link (grows with AddRoute)
 }
 
 type fluidGroup struct {
@@ -129,10 +138,8 @@ func (h *depHeap) Pop() interface{} {
 }
 
 type arrivalItem struct {
-	t     float64
-	flow  int32
-	route int32
-	bytes float64
+	t    float64
+	flow int32
 }
 
 type arrivalHeap []arrivalItem
@@ -165,7 +172,7 @@ func NewFluid(nNodes int, links []TopoLink) *FluidSim {
 			panic(fmt.Sprintf("netsim: duplicate fluid link %d->%d", a, b))
 		}
 		f.linkIdx[key] = int32(len(f.links))
-		f.links = append(f.links, fluidLink{from: a, to: b, capBps: capBps})
+		f.links = append(f.links, fluidLink{from: a, to: b, capBps: capBps, origCap: capBps})
 	}
 	for _, l := range links {
 		add(l.A, l.B, l.RateBps)
@@ -174,6 +181,7 @@ func NewFluid(nNodes int, links []TopoLink) *FluidSim {
 	f.linkW = make([]float64, len(f.links))
 	f.scratchW = make([]float64, len(f.links))
 	f.scratchR = make([]float64, len(f.links))
+	f.linkServed = make([]float64, len(f.links))
 	return f
 }
 
@@ -215,7 +223,8 @@ func (f *FluidSim) StartAt(route int, bytes float64, at float64) int {
 	f.flowThr = append(f.flowThr, 0)
 	f.flowStart = append(f.flowStart, at)
 	f.flowFCT = append(f.flowFCT, -1)
-	heap.Push(&f.arrivals, arrivalItem{t: at, flow: id, route: int32(route), bytes: bytes})
+	f.flowCredited = append(f.flowCredited, 0)
+	heap.Push(&f.arrivals, arrivalItem{t: at, flow: id})
 	return int(id)
 }
 
@@ -265,13 +274,16 @@ func (f *FluidSim) RouteRate(route int) float64 { return f.groups[route].rate }
 
 // LinkUtilizations returns every directed link's time-average utilization
 // over [0, Now()]: bytes served across the link (completed and in-progress
-// flows both counted) divided by capacity × elapsed time. Links appear in
+// flows both counted) divided by capacity × elapsed time. A rerouted
+// flow's service is split between routes: bytes served before each move
+// were credited to the old route's links at Reroute time, and only the
+// uncredited remainder counts against the current route. Links appear in
 // construction order (A→B then B→A per TopoLink). Cost is
-// O(flows × path length), intended for end-of-run reporting.
+// O(links + flows × path length), intended for end-of-run reporting.
 func (f *FluidSim) LinkUtilizations() []LinkLoad {
-	served := make([]float64, len(f.links))
+	served := append([]float64(nil), f.linkServed...)
 	for id := range f.flowRoute {
-		sb := f.ServedBytes(id)
+		sb := f.ServedBytes(id) - f.flowCredited[id]
 		if sb <= 0 {
 			continue
 		}
@@ -283,8 +295,11 @@ func (f *FluidSim) LinkUtilizations() []LinkLoad {
 	for li := range f.links {
 		l := &f.links[li]
 		u := 0.0
-		if f.now > 0 && l.capBps > 0 {
-			u = served[li] * 8 / (l.capBps * f.now)
+		// Utilization is measured against the construction-time capacity, so
+		// a link that spent part of the run failed (capBps 0) still reports
+		// the load it actually carried.
+		if f.now > 0 && l.origCap > 0 {
+			u = served[li] * 8 / (l.origCap * f.now)
 			if u > 1 {
 				u = 1
 			}
@@ -292,6 +307,97 @@ func (f *FluidSim) LinkUtilizations() []LinkLoad {
 		out[li] = LinkLoad{From: l.from, To: l.to, Utilization: u}
 	}
 	return out
+}
+
+// SetLinkRate updates a directed link's capacity mid-run: 0 takes the link
+// down (flows crossing it re-rate to zero and stall), a positive rate
+// restores or resizes it. Edits do not take effect until the next
+// Recompute — batch a set of SetLinkRate/Reroute calls and recompute once.
+func (f *FluidSim) SetLinkRate(from, to int, capBps float64) {
+	li, ok := f.linkIdx[[2]int{from, to}]
+	if !ok {
+		panic(fmt.Sprintf("netsim: no fluid link %d->%d", from, to))
+	}
+	f.links[li].capBps = capBps
+}
+
+// Recompute re-runs the max-min allocation and reschedules departure
+// events. Call once after a batch of SetLinkRate / Reroute edits; arrivals
+// and departures processed by Run recompute on their own.
+func (f *FluidSim) Recompute() { f.recompute() }
+
+// Reroute moves a flow onto another registered route, carrying its
+// remaining bytes: the flow departs when the new group has served them.
+// Pending (not yet admitted) flows simply start on the new route; completed
+// flows and no-op moves are ignored. A flow whose remaining payload is
+// already zero (its departure event just hasn't fired) completes in place.
+// Like SetLinkRate, the rate effect lands at the next Recompute.
+func (f *FluidSim) Reroute(flow, route int) {
+	if route < 0 || route >= len(f.groups) {
+		panic(fmt.Sprintf("netsim: reroute of flow %d onto unregistered route %d", flow, route))
+	}
+	if f.flowFCT[flow] >= 0 || int(f.flowRoute[flow]) == route {
+		return
+	}
+	if f.flowThr[flow] == 0 { // pending: admit reads flowRoute at arrival time
+		f.flowRoute[flow] = int32(route)
+		return
+	}
+	g := &f.groups[f.flowRoute[flow]]
+	f.advance(g)
+	remaining := f.flowThr[flow] - g.svc
+
+	// Credit the bytes served on the route being left, so utilization
+	// reporting attributes them to the links that actually carried them.
+	served := f.flowBytes[flow] - math.Max(remaining, 0)
+	if delta := served - f.flowCredited[flow]; delta > 0 {
+		for _, li := range g.links {
+			f.linkServed[li] += delta
+		}
+		f.flowCredited[flow] = served
+	}
+
+	// Detach from the old group.
+	for i := range g.thr {
+		if g.thr[i].flow == int32(flow) {
+			heap.Remove(&g.thr, i)
+			break
+		}
+	}
+	g.n--
+	for _, li := range g.links {
+		f.linkW[li]--
+	}
+	if g.n == 0 {
+		f.activeG--
+		g.rate = 0
+	}
+	g.gen++
+	g.hasEvent = false
+
+	if remaining <= 0 {
+		// Fully served; its departure event was pending. Complete in place.
+		f.flowFCT[flow] = f.now - f.flowStart[flow]
+		f.completed++
+		f.active--
+		return
+	}
+
+	// Attach to the new group with the remaining payload.
+	ng := &f.groups[route]
+	f.advance(ng)
+	if ng.n == 0 {
+		f.activeG++
+	}
+	ng.n++
+	ng.gen++
+	ng.hasEvent = false
+	f.flowRoute[flow] = int32(route)
+	f.flowThr[flow] = ng.svc + remaining
+	heap.Push(&ng.thr, thrItem{thr: ng.svc + remaining, flow: int32(flow)})
+	for _, li := range ng.links {
+		f.linkW[li]++
+	}
 }
 
 // advance accrues a group's service up to the current time.
@@ -361,9 +467,11 @@ func (f *FluidSim) Run(until float64) {
 	}
 }
 
-// admit activates an arrived flow.
+// admit activates an arrived flow on its current route (flowRoute is read
+// at admission, not at StartAt, so a Reroute of a still-pending flow takes
+// effect when the flow starts).
 func (f *FluidSim) admit(it arrivalItem) {
-	g := &f.groups[it.route]
+	g := &f.groups[f.flowRoute[it.flow]]
 	f.advance(g)
 	if g.n == 0 {
 		f.activeG++
@@ -371,8 +479,9 @@ func (f *FluidSim) admit(it arrivalItem) {
 	g.n++
 	g.gen++ // the pending-departure minimum may have changed
 	g.hasEvent = false
-	f.flowThr[it.flow] = g.svc + it.bytes
-	heap.Push(&g.thr, thrItem{thr: g.svc + it.bytes, flow: it.flow})
+	bytes := f.flowBytes[it.flow]
+	f.flowThr[it.flow] = g.svc + bytes
+	heap.Push(&g.thr, thrItem{thr: g.svc + bytes, flow: it.flow})
 	for _, li := range g.links {
 		f.linkW[li]++
 	}

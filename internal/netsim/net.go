@@ -70,6 +70,12 @@ type Link struct {
 	txStart      float64 // start time of the in-flight transmission
 	txDur        float64 // its duration
 
+	// Failure state. downEpoch increments on every transition, voiding
+	// packets that were in flight (transmitting or propagating) when the
+	// link died — they are counted as Drops, never delivered.
+	down      bool
+	downEpoch int64
+
 	// Counters.
 	TxPackets   int64
 	TxBytes     int64
@@ -90,6 +96,31 @@ func (l *Link) QueueLen() int {
 
 // MaxQueueLen returns the high-water queue length observed.
 func (l *Link) MaxQueueLen() int { return l.maxQueueLen }
+
+// Down reports whether the link is currently failed.
+func (l *Link) Down() bool { return l.down }
+
+// SetDown transitions the link's failure state at the current simulation
+// time. Taking a link down drops every queued packet and loses any packet
+// already on the wire (mid-transmission or propagating) — transports see
+// the outage as loss and recover via retransmission once a working path is
+// installed. Bringing it back up restores normal forwarding; packets lost
+// during the outage stay lost.
+func (l *Link) SetDown(down bool) {
+	if l.down == down {
+		return
+	}
+	l.down = down
+	l.downEpoch++
+	if down {
+		for i, p := range l.queue {
+			l.Drops++
+			l.net.release(p)
+			l.queue[i] = nil
+		}
+		l.queue = l.queue[:0]
+	}
+}
 
 // Utilization returns the fraction of [0, now] the link spent transmitting.
 // Completed transmissions are credited in full; an in-flight one is
@@ -272,9 +303,14 @@ func (nw *Network) step(pkt *Packet) {
 	l.enqueue(pkt)
 }
 
-// enqueue places pkt on the link, dropping if the queue is full or the
-// link's Drop hook claims it.
+// enqueue places pkt on the link, dropping if the link is down, the queue
+// is full or the link's Drop hook claims it.
 func (l *Link) enqueue(pkt *Packet) {
+	if l.down {
+		l.Drops++
+		l.net.release(pkt)
+		return
+	}
 	if l.Drop != nil && l.Drop(pkt) {
 		l.Drops++
 		l.net.release(pkt)
@@ -309,11 +345,27 @@ func (l *Link) startNext() {
 	l.TxPackets++
 	l.TxBytes += int64(pkt.Size)
 	sim := l.net.Sim
+	epoch := l.downEpoch
 	sim.Schedule(tx, func() {
+		if l.downEpoch != epoch {
+			// The link failed (or flapped) mid-transmission: the packet is
+			// lost and the busy time is not credited. startNext still runs so
+			// the transmitter frees up for traffic after a restore.
+			l.Drops++
+			l.net.release(pkt)
+			l.startNext()
+			return
+		}
 		// Transmission finished: credit the busy time, propagate, then free
 		// the transmitter.
 		l.busyTime += tx
 		sim.Schedule(l.PropDelay, func() {
+			if l.downEpoch != epoch {
+				// Lost in propagation when the link died.
+				l.Drops++
+				l.net.release(pkt)
+				return
+			}
 			l.net.step(pkt)
 		})
 		l.startNext()

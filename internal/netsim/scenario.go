@@ -66,6 +66,25 @@ type Scenario struct {
 	// to Scheme routing.
 	Splits map[int][]SplitPath
 
+	// Failures is a timed link outage schedule applied during the run, in
+	// both engine modes: at each event's Time, the duplex link
+	// Links[Event.Link] goes down (queued and in-flight packets are lost,
+	// fluid flows crossing it re-rate to zero) or comes back up. Events at
+	// the same instant apply before any Updates at that instant.
+	Failures []FailureEvent
+
+	// Updates re-route commodities mid-run, identically in both engine
+	// modes: at each update's Time, the commodity's clone flows are
+	// re-apportioned across the update's weighted paths with the same
+	// largest-remainder + seeded-shuffle draw used at setup (the draw
+	// depends only on Seed and the update's index, so packet and fluid runs
+	// stay flow-for-flow comparable). In packet mode in-flight packets
+	// finish (or die) on the old path and retransmissions take the new one;
+	// in fluid mode remaining bytes carry over. This is the installation
+	// hook for fast-reroute and reoptimization plans
+	// (internal/resilience).
+	Updates []PathUpdate
+
 	FlowBytes   int     // payload per flow (default 100 KB)
 	Horizon     float64 // simulated seconds (default 30)
 	StartSpread float64 // flow starts drawn uniformly from [0, StartSpread] (0 = all at t=0)
@@ -73,6 +92,25 @@ type Scenario struct {
 	Pacing      bool    // packet mode: TCP pacing
 	QueueCap    int     // packet mode: per-link queue override (0 = keep TopoLink values)
 	RateTol     float64 // fluid mode: reschedule-suppression tolerance
+}
+
+// FailureEvent is one timed topology transition of a Scenario run: the
+// duplex link at index Link in Scenario.Links fails (Up false) or is
+// restored (Up true) at Time seconds.
+type FailureEvent struct {
+	Time float64
+	Link int
+	Up   bool
+}
+
+// PathUpdate is one timed re-routing command: at Time, the commodity with
+// flow ID Flow has its clone flows re-apportioned across Paths. An empty
+// Paths is invalid; to model an unprotected commodity simply omit updates
+// for it and let its flows stall on the dead path.
+type PathUpdate struct {
+	Time  float64
+	Flow  int
+	Paths []SplitPath
 }
 
 // SplitPath is one weighted path of a commodity's fractional multipath
@@ -199,19 +237,7 @@ func (sc *Scenario) routeCommodities(links []TopoLink) []commodityRouting {
 			}
 			continue
 		}
-		var paths [][]int
-		var fracs []float64
-		for _, s := range sp {
-			if s.Frac <= 0 {
-				continue
-			}
-			if len(s.Path) < 2 || s.Path[0] != c.Src || s.Path[len(s.Path)-1] != c.Dst {
-				panic(fmt.Sprintf("netsim: split path %v does not connect commodity %d (%d->%d)",
-					s.Path, c.Flow, c.Src, c.Dst))
-			}
-			paths = append(paths, s.Path)
-			fracs = append(fracs, s.Frac)
-		}
+		paths, fracs := splitPaths(c, sp)
 		if len(paths) == 0 {
 			continue
 		}
@@ -221,6 +247,44 @@ func (sc *Scenario) routeCommodities(links []TopoLink) []commodityRouting {
 		}
 	}
 	return out
+}
+
+// splitPaths validates a commodity's weighted paths and extracts the
+// positive-fraction ones. Panics on a path that does not connect the
+// commodity's endpoints — a planning-layer bug, not a runtime condition.
+func splitPaths(c Commodity, sp []SplitPath) (paths [][]int, fracs []float64) {
+	for _, s := range sp {
+		if s.Frac <= 0 {
+			continue
+		}
+		if len(s.Path) < 2 || s.Path[0] != c.Src || s.Path[len(s.Path)-1] != c.Dst {
+			panic(fmt.Sprintf("netsim: split path %v does not connect commodity %d (%d->%d)",
+				s.Path, c.Flow, c.Src, c.Dst))
+		}
+		paths = append(paths, s.Path)
+		fracs = append(fracs, s.Frac)
+	}
+	return paths, fracs
+}
+
+// updateAssign draws the per-clone path assignment for the ui-th update.
+// The source depends only on (Seed, ui), never on engine state, so packet
+// and fluid runs re-apportion clone-for-clone identically.
+func (sc *Scenario) updateAssign(ui, nClones int, fracs []float64) []int {
+	if len(fracs) <= 1 {
+		return nil
+	}
+	rng := rand.New(rand.NewSource(sc.Seed + 1_000_003*int64(ui+1)))
+	return splitAssignments(nClones, fracs, rng)
+}
+
+// checkFailures bounds-checks the failure schedule against the link list.
+func (sc *Scenario) checkFailures(links []TopoLink) {
+	for _, ev := range sc.Failures {
+		if ev.Link < 0 || ev.Link >= len(links) {
+			panic(fmt.Sprintf("netsim: failure event link %d outside [0,%d)", ev.Link, len(links)))
+		}
+	}
 }
 
 // splitAssignments apportions n flows across paths in proportion to fracs
@@ -332,19 +396,18 @@ func (sc *Scenario) runPacket() *ScenarioResult {
 		idx  int // index into res.Flows
 	}
 	var conns []live
+	cloneIDs := make(map[int][]int) // commodity flow ID -> clone netsim flow IDs
+	commOf := make(map[int]Commodity, len(sc.Comms))
 	fi := 0
 	for ci, c := range sc.Comms {
 		r := &routings[ci]
 		if r.paths == nil {
 			continue
 		}
+		commOf[c.Flow] = c
 		revs := make([][]int, len(r.paths))
 		for pi, path := range r.paths {
-			rev := make([]int, len(path))
-			for i, v := range path {
-				rev[len(path)-1-i] = v
-			}
-			revs[pi] = rev
+			revs[pi] = reversePath(path)
 		}
 		for k := 0; k < max(c.Count, 1); k++ {
 			id := c.Flow
@@ -358,6 +421,7 @@ func (sc *Scenario) runPacket() *ScenarioResult {
 			}
 			nw.SetFlowPath(id, r.paths[pi])
 			nw.SetFlowPath(id, revs[pi])
+			cloneIDs[c.Flow] = append(cloneIDs[c.Flow], id)
 			idx := len(res.Flows)
 			res.Flows = append(res.Flows, FlowResult{Flow: c.Flow, Start: startAt[fi]})
 			conn := &TCPConn{
@@ -374,6 +438,48 @@ func (sc *Scenario) runPacket() *ScenarioResult {
 			sim.Schedule(startAt[fi], conn.Start)
 			fi++
 		}
+	}
+
+	// Failure schedule: flip both directions of the duplex link. Scheduled
+	// before updates, so same-instant failures apply first (matching the
+	// fluid engine's action ordering).
+	sc.checkFailures(links)
+	for _, ev := range sc.Failures {
+		down := !ev.Up
+		ab := nw.Link(links[ev.Link].A, links[ev.Link].B)
+		ba := nw.Link(links[ev.Link].B, links[ev.Link].A)
+		sim.Schedule(ev.Time, func() {
+			ab.SetDown(down)
+			ba.SetDown(down)
+		})
+	}
+	// Path updates: re-install forwarding (and the reverse ACK path) for
+	// every clone of the commodity. In-flight packets keep their resolved
+	// hops; retransmissions pick up the new route.
+	for ui, u := range sc.Updates {
+		ids := cloneIDs[u.Flow]
+		if len(ids) == 0 {
+			continue // commodity unroutable at setup: no clones to move
+		}
+		paths, fracs := splitPaths(commOf[u.Flow], u.Paths)
+		if len(paths) == 0 {
+			panic(fmt.Sprintf("netsim: path update for commodity %d has no usable path", u.Flow))
+		}
+		revs := make([][]int, len(paths))
+		for pi, path := range paths {
+			revs[pi] = reversePath(path)
+		}
+		assign := sc.updateAssign(ui, len(ids), fracs)
+		sim.Schedule(u.Time, func() {
+			for k, fid := range ids {
+				pi := 0
+				if assign != nil {
+					pi = assign[k]
+				}
+				nw.SetFlowPath(fid, paths[pi])
+				nw.SetFlowPath(fid, revs[pi])
+			}
+		})
 	}
 	sim.Run(horizon)
 	res.End = sim.Now()
@@ -392,6 +498,26 @@ func (sc *Scenario) runPacket() *ScenarioResult {
 	}
 	res.finishLinkLoads(loads)
 	return res
+}
+
+// reversePath returns the node path reversed (the ACK direction).
+func reversePath(path []int) []int {
+	rev := make([]int, len(path))
+	for i, v := range path {
+		rev[len(path)-1-i] = v
+	}
+	return rev
+}
+
+// PathKey canonicalizes a node path as a comparable string — the shared
+// key for route deduplication here and split change-detection in the
+// resilience layer.
+func PathKey(path []int) string {
+	var b []byte
+	for _, v := range path {
+		b = fmt.Appendf(b, "%d,", v)
+	}
+	return string(b)
 }
 
 func (sc *Scenario) runFluid() *ScenarioResult {
@@ -414,15 +540,21 @@ func (sc *Scenario) runFluid() *ScenarioResult {
 		idx int
 	}
 	var flows []live
+	cloneFids := make(map[int][]int)         // commodity flow ID -> clone fluid flow IDs
+	routesOf := make(map[int]map[string]int) // commodity flow ID -> path key -> route ID
+	commOf := make(map[int]Commodity, len(sc.Comms))
 	fi := 0
 	for ci, c := range sc.Comms {
 		r := &routings[ci]
 		if r.paths == nil {
 			continue
 		}
+		commOf[c.Flow] = c
+		routesOf[c.Flow] = make(map[string]int, len(r.paths))
 		routes := make([]int, len(r.paths))
 		for pi, path := range r.paths {
 			routes[pi] = f.AddRoute(path)
+			routesOf[c.Flow][PathKey(path)] = routes[pi]
 		}
 		for k := 0; k < max(c.Count, 1); k++ {
 			pi := 0
@@ -432,9 +564,78 @@ func (sc *Scenario) runFluid() *ScenarioResult {
 			idx := len(res.Flows)
 			res.Flows = append(res.Flows, FlowResult{Flow: c.Flow, Start: startAt[fi]})
 			fid := f.StartAt(routes[pi], float64(flowBytes), startAt[fi])
+			cloneFids[c.Flow] = append(cloneFids[c.Flow], fid)
 			flows = append(flows, live{fid: fid, idx: idx})
 			fi++
 		}
+	}
+
+	// Interleave failure events and path updates with the fluid run: advance
+	// to each action time, apply the batch, recompute once. Failures sort
+	// before updates at the same instant, matching the packet engine's
+	// scheduling order.
+	sc.checkFailures(sc.Links)
+	type action struct {
+		t    float64
+		fail int // index into sc.Failures, or -1
+		upd  int // index into sc.Updates, or -1
+	}
+	var acts []action
+	for i, ev := range sc.Failures {
+		acts = append(acts, action{t: ev.Time, fail: i, upd: -1})
+	}
+	for i, u := range sc.Updates {
+		acts = append(acts, action{t: u.Time, fail: -1, upd: i})
+	}
+	sort.SliceStable(acts, func(i, j int) bool { return acts[i].t < acts[j].t })
+	for ai := 0; ai < len(acts); {
+		t := acts[ai].t
+		if t > horizon {
+			break
+		}
+		f.Run(t)
+		for ; ai < len(acts) && acts[ai].t == t; ai++ {
+			a := acts[ai]
+			if a.fail >= 0 {
+				ev := sc.Failures[a.fail]
+				l := sc.Links[ev.Link]
+				rate := 0.0
+				if ev.Up {
+					rate = l.RateBps
+				}
+				f.SetLinkRate(l.A, l.B, rate)
+				f.SetLinkRate(l.B, l.A, rate)
+				continue
+			}
+			u := sc.Updates[a.upd]
+			fids := cloneFids[u.Flow]
+			if len(fids) == 0 {
+				continue // commodity unroutable at setup: no clones to move
+			}
+			paths, fracs := splitPaths(commOf[u.Flow], u.Paths)
+			if len(paths) == 0 {
+				panic(fmt.Sprintf("netsim: path update for commodity %d has no usable path", u.Flow))
+			}
+			routes := make([]int, len(paths))
+			for pi, path := range paths {
+				key := PathKey(path)
+				rid, ok := routesOf[u.Flow][key]
+				if !ok {
+					rid = f.AddRoute(path)
+					routesOf[u.Flow][key] = rid
+				}
+				routes[pi] = rid
+			}
+			assign := sc.updateAssign(a.upd, len(fids), fracs)
+			for k, fid := range fids {
+				pi := 0
+				if assign != nil {
+					pi = assign[k]
+				}
+				f.Reroute(fid, routes[pi])
+			}
+		}
+		f.Recompute()
 	}
 	f.Run(horizon)
 	res.End = f.Now()

@@ -1,0 +1,316 @@
+package resilience
+
+import (
+	"math"
+	"sort"
+
+	"cisp/internal/netsim"
+)
+
+// Stats is the analytic outcome of running a protection mode against a
+// failure schedule — computed by walking the schedule's piecewise-constant
+// topology states, so year-scale horizons cost milliseconds.
+type Stats struct {
+	Mode Mode
+
+	// Availability is the demand-weighted fraction of (time × traffic)
+	// with a live forwarding path, over all protected commodities and the
+	// whole horizon. Detection and reoptimization delays are charged as
+	// downtime.
+	Availability float64
+
+	// Nines is -log10(1 - Availability), capped at 9 (a schedule with no
+	// downtime would otherwise be infinite).
+	Nines float64
+
+	// MeanStretch and MaxStretch describe the latency cost of surviving:
+	// the demand-weighted mean (and worst) ratio of the in-force path's
+	// delay to the commodity's clear-sky shortest delay, over live traffic
+	// during periods when any link is down. 1.0 = failures never pushed
+	// live traffic off shortest paths; 0 = the schedule has no failures.
+	MeanStretch float64
+	MaxStretch  float64
+
+	// Reroutes counts the per-commodity routing changes the mode issued.
+	Reroutes int
+}
+
+// split is a weighted path with its delay resolved once.
+type split struct {
+	path  []int
+	frac  float64
+	delay float64
+}
+
+func (p *Protection) toSplits(sps []netsim.SplitPath) []split {
+	out := make([]split, len(sps))
+	for i, sp := range sps {
+		out[i] = split{path: sp.Path, frac: sp.Frac, delay: p.pathDelay(sp.Path)}
+	}
+	return out
+}
+
+// deadFrac sums the fractions of a split set whose path crosses a down link.
+func (p *Protection) deadFrac(sps []split, down []bool) float64 {
+	dead := 0.0
+	for _, sp := range sps {
+		if !p.pathUp(sp.path, down) {
+			dead += sp.frac
+		}
+	}
+	return dead
+}
+
+// Availability analytically evaluates a protection mode against a failure
+// schedule. NoProtection leaves traffic where the primaries put it; FRR
+// moves failed fractions to the precomputed backup DetectDelay after each
+// event; FRRReopt additionally rescues fractions whose primary and backup
+// are both dead, provided the residual topology still connects the
+// commodity, ReoptDelay after the event — the connectivity-level effect of
+// the background full reoptimization (load shaping, the LP's actual
+// output, is the simulation study's concern, not availability's). A
+// rescue, once installed, keeps carrying the commodity's dead fractions
+// until its own links die or the primaries recover.
+func (p *Protection) Availability(sched *Schedule, mode Mode) Stats {
+	st := Stats{Mode: mode}
+
+	// Decisions: every event batch triggers its own FRR patch DetectDelay
+	// later and (FRRReopt) its own rescue evaluation ReoptDelay later —
+	// the exact timing Plan compiles, so the analytic walk and the
+	// simulated replay describe the same response.
+	events := sched.Events()
+	type decision struct {
+		t      float64
+		rescue bool
+	}
+	var decisions []decision
+	for ei := 0; ei < len(events); {
+		bt := events[ei].Time
+		for ; ei < len(events) && events[ei].Time == bt; ei++ {
+		}
+		if mode != NoProtection {
+			decisions = append(decisions, decision{t: bt + p.cfg.DetectDelay})
+		}
+		if mode == FRRReopt {
+			decisions = append(decisions, decision{t: bt + p.cfg.ReoptDelay, rescue: true})
+		}
+	}
+	sort.SliceStable(decisions, func(a, b int) bool { return decisions[a].t < decisions[b].t })
+
+	// Boundaries: every topology change and every decision. Between
+	// consecutive boundaries both the down-set and the in-force routing
+	// are constant.
+	bset := map[float64]bool{0: true, sched.Horizon: true}
+	for _, ev := range events {
+		bset[ev.Time] = true
+	}
+	for _, d := range decisions {
+		if d.t <= sched.Horizon {
+			bset[d.t] = true
+		}
+	}
+	var bounds []float64
+	for t := range bset {
+		if t <= sched.Horizon {
+			bounds = append(bounds, t)
+		}
+	}
+	sort.Float64s(bounds)
+
+	type rescue struct {
+		path  []int
+		delay float64
+	}
+	installed := make(map[int]string, len(p.primaries))
+	inForce := make(map[int][]split, len(p.primaries))
+	for flow, sp := range p.primaries {
+		installed[flow] = splitsKey(sp)
+		inForce[flow] = p.toSplits(sp)
+	}
+	rescues := map[int]rescue{}
+
+	flows := make([]int, 0, len(p.primaries))
+	for flow := range p.primaries {
+		if p.commBy[flow] != nil {
+			flows = append(flows, flow)
+		}
+	}
+	sort.Ints(flows)
+
+	demandTime, liveTime := 0.0, 0.0
+	stretchW, stretchSum := 0.0, 0.0
+	sweep := newDownSweep(sched)
+	decIdx := 0
+	for bi := 0; bi+1 < len(bounds); bi++ {
+		t, next := bounds[bi], bounds[bi+1]
+		down := sweep.advance(t)
+		anyDown := false
+		for _, d := range down {
+			if d {
+				anyDown = true
+				break
+			}
+		}
+
+		// Apply the decisions landing at this boundary (their times are
+		// boundaries by construction).
+		patch, rescueEval := false, false
+		for ; decIdx < len(decisions) && decisions[decIdx].t <= t; decIdx++ {
+			if decisions[decIdx].rescue {
+				rescueEval = true
+			} else {
+				patch = true
+			}
+		}
+		if patch {
+			for _, flow := range flows {
+				desired := p.patchOne(flow, p.primaries[flow], down)
+				if key := splitsKey(desired); key != installed[flow] {
+					installed[flow] = key
+					inForce[flow] = p.toSplits(desired)
+					st.Reroutes++
+				}
+			}
+		}
+		// Rescues die with the links they ride or when the patched split
+		// recovers on its own.
+		for flow, r := range rescues {
+			if !p.pathUp(r.path, down) || p.deadFrac(inForce[flow], down) == 0 {
+				delete(rescues, flow)
+			}
+		}
+		if rescueEval {
+			for _, flow := range flows {
+				if _, have := rescues[flow]; have {
+					continue
+				}
+				if p.deadFrac(inForce[flow], down) == 0 {
+					continue
+				}
+				c := p.commBy[flow]
+				if path, delay := p.residualShortest(c.Src, c.Dst, down); path != nil {
+					rescues[flow] = rescue{path: path, delay: delay}
+					st.Reroutes++
+				}
+			}
+		}
+
+		dt := next - t
+		if dt <= 0 {
+			continue
+		}
+		for _, flow := range flows {
+			demand := p.commBy[flow].Demand
+			if demand <= 0 {
+				demand = 1 // count zero-demand commodities uniformly
+			}
+			demandTime += demand * dt
+			for _, sp := range inForce[flow] {
+				delay := sp.delay
+				live := p.pathUp(sp.path, down)
+				if !live {
+					if r, ok := rescues[flow]; ok {
+						live, delay = true, r.delay
+					}
+				}
+				if !live {
+					continue
+				}
+				liveTime += demand * sp.frac * dt
+				if anyDown {
+					if s0, ok := p.shortest[flow]; ok && s0 > 0 {
+						str := delay / s0
+						w := demand * sp.frac * dt
+						stretchW += w
+						stretchSum += w * str
+						if str > st.MaxStretch {
+							st.MaxStretch = str
+						}
+					}
+				}
+			}
+		}
+	}
+	if demandTime > 0 {
+		st.Availability = liveTime / demandTime
+	}
+	if st.Availability >= 1 {
+		st.Availability, st.Nines = 1, 9
+	} else {
+		st.Nines = math.Min(9, -math.Log10(1-st.Availability))
+	}
+	if stretchW > 0 {
+		st.MeanStretch = stretchSum / stretchW
+	}
+	return st
+}
+
+func (p *Protection) pathDelay(path []int) float64 {
+	d := 0.0
+	for i := 0; i+1 < len(path); i++ {
+		if li, ok := p.linkIdx[pairKey(path[i], path[i+1])]; ok {
+			d += p.links[li].PropDelay
+		}
+	}
+	return d
+}
+
+// residualShortest finds the minimum-delay src→dst path over the up links,
+// or nil if the residual topology disconnects the pair.
+func (p *Protection) residualShortest(src, dst int, down []bool) ([]int, float64) {
+	type half struct {
+		to    int
+		delay float64
+	}
+	adj := make([][]half, p.nodes)
+	for li, l := range p.links {
+		if down[li] {
+			continue
+		}
+		adj[l.A] = append(adj[l.A], half{to: l.B, delay: l.PropDelay})
+		adj[l.B] = append(adj[l.B], half{to: l.A, delay: l.PropDelay})
+	}
+	dist := make([]float64, p.nodes)
+	prev := make([]int, p.nodes)
+	done := make([]bool, p.nodes)
+	for i := range dist {
+		dist[i] = math.Inf(1)
+		prev[i] = -1
+	}
+	dist[src] = 0
+	for {
+		u, best := -1, math.Inf(1)
+		for v := 0; v < p.nodes; v++ {
+			if !done[v] && dist[v] < best {
+				u, best = v, dist[v]
+			}
+		}
+		if u < 0 || u == dst {
+			break
+		}
+		done[u] = true
+		for _, h := range adj[u] {
+			if nd := dist[u] + h.delay; nd < dist[h.to] {
+				dist[h.to] = nd
+				prev[h.to] = u
+			}
+		}
+	}
+	if math.IsInf(dist[dst], 1) {
+		return nil, 0
+	}
+	var rev []int
+	for v := dst; v != -1; v = prev[v] {
+		rev = append(rev, v)
+		if v == src {
+			break
+		}
+	}
+	if rev[len(rev)-1] != src {
+		return nil, 0
+	}
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return rev, dist[dst]
+}

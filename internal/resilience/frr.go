@@ -1,0 +1,453 @@
+package resilience
+
+import (
+	"fmt"
+	"sort"
+
+	"cisp/internal/netsim"
+	"cisp/internal/te"
+)
+
+// Config tunes the protection layer. The zero value selects defaults.
+type Config struct {
+	// K and Stretch bound the backup search: backups are chosen from the
+	// same Yen candidate pool the TE control plane enumerates, at most K
+	// paths per commodity within Stretch × its shortest-path delay —
+	// fast reroute never leaves the latency envelope the design promised.
+	// Defaults 8 and 1.5 (the te.Config default stretch).
+	K       int
+	Stretch float64
+
+	// DetectDelay is the failure-detection plus local-repair activation
+	// latency: backup paths install this long after a failure event
+	// (default 50 ms). Traffic on a failed primary is down for this window.
+	DetectDelay float64
+
+	// ReoptDelay is how long the background full reoptimization takes
+	// before its solution swaps in (default 1 s). Only FRRReopt plans use
+	// it.
+	ReoptDelay float64
+}
+
+func (c Config) withDefaults() Config {
+	if c.K <= 0 {
+		c.K = 8
+	}
+	if c.Stretch <= 0 {
+		c.Stretch = 1.5
+	}
+	if c.DetectDelay == 0 {
+		c.DetectDelay = 0.05
+	}
+	if c.DetectDelay < 0 {
+		c.DetectDelay = 0
+	}
+	if c.ReoptDelay == 0 {
+		c.ReoptDelay = 1.0
+	}
+	if c.ReoptDelay < 0 {
+		c.ReoptDelay = 0
+	}
+	return c
+}
+
+// Mode selects a protection strategy.
+type Mode int
+
+// Protection modes, in increasing sophistication.
+const (
+	// NoProtection installs nothing: traffic on a failed path stalls until
+	// the link is repaired.
+	NoProtection Mode = iota
+	// FRR activates precomputed link-disjoint backup paths DetectDelay
+	// after each failure event — pure table lookups, zero LP solves on the
+	// event path — and reverts when links are repaired.
+	FRR
+	// FRRReopt is FRR plus the production control loop: a te.Controller
+	// warm-reoptimizes the full split set in the background and its
+	// solution swaps in ReoptDelay after each event.
+	FRRReopt
+)
+
+func (m Mode) String() string {
+	switch m {
+	case NoProtection:
+		return "none"
+	case FRR:
+		return "frr"
+	case FRRReopt:
+		return "reopt"
+	}
+	return "unknown"
+}
+
+// Backup is one commodity's precomputed fast-reroute path.
+type Backup struct {
+	Path   []int
+	Delay  float64 // end-to-end propagation delay, seconds
+	Shared int     // undirected links shared with the commodity's primary paths
+}
+
+// Protection precomputes everything fast reroute needs before any failure
+// happens: per-commodity backup paths maximally link-disjoint from the
+// installed primaries, the link index for down-set mapping, and each
+// commodity's clear-sky shortest delay for stretch accounting.
+type Protection struct {
+	// Backups holds each protected commodity's backup path, keyed by flow
+	// ID. Commodities whose only candidates are their primaries have no
+	// entry (nothing disjoint to fall back on).
+	Backups map[int]Backup
+
+	cfg       Config
+	nodes     int
+	links     []netsim.TopoLink
+	comms     []netsim.Commodity
+	commBy    map[int]*netsim.Commodity // by flow ID
+	primaries map[int][]netsim.SplitPath
+	shortest  map[int]float64 // clear-sky shortest-path delay per flow
+	linkIdx   map[[2]int]int  // undirected node pair -> index into links
+}
+
+// NewProtection builds the fast-reroute state for the commodities over the
+// clear-sky topology. primaries is the installed routing decision — a TE
+// solution's Splits, or single paths wrapped as one-element splits; flows
+// without an entry are unprotected. For every commodity it enumerates the
+// TE candidate pool (same K/Stretch semantics as the control plane) and
+// picks the candidate sharing the fewest undirected links with the
+// commodity's primaries, ties broken toward lower delay — maximal link
+// disjointness subject to the latency cap.
+func NewProtection(nodes int, links []netsim.TopoLink, comms []netsim.Commodity,
+	primaries map[int][]netsim.SplitPath, cfg Config) (*Protection, error) {
+	cfg = cfg.withDefaults()
+	p := &Protection{
+		Backups:   make(map[int]Backup),
+		cfg:       cfg,
+		nodes:     nodes,
+		links:     links,
+		comms:     comms,
+		commBy:    make(map[int]*netsim.Commodity, len(comms)),
+		primaries: primaries,
+		shortest:  make(map[int]float64, len(comms)),
+		linkIdx:   make(map[[2]int]int, len(links)),
+	}
+	for li, l := range links {
+		p.linkIdx[pairKey(l.A, l.B)] = li
+	}
+	for i := range comms {
+		p.commBy[comms[i].Flow] = &comms[i]
+	}
+	cands, err := te.Candidates(nodes, links, comms, te.Config{K: cfg.K, Stretch: cfg.Stretch})
+	if err != nil {
+		return nil, err
+	}
+	for i, c := range comms {
+		pool := cands[i]
+		if len(pool) == 0 {
+			continue
+		}
+		p.shortest[c.Flow] = pool[0].Delay
+		prim := primaries[c.Flow]
+		if len(prim) == 0 {
+			continue
+		}
+		primLinks := map[int]bool{}
+		primKeys := map[string]bool{}
+		for _, sp := range prim {
+			if sp.Frac <= 0 {
+				continue
+			}
+			lis, err := p.pathLinks(sp.Path)
+			if err != nil {
+				return nil, fmt.Errorf("resilience: commodity %d primary: %w", c.Flow, err)
+			}
+			for _, li := range lis {
+				primLinks[li] = true
+			}
+			primKeys[netsim.PathKey(sp.Path)] = true
+		}
+		best, bestShared := -1, 0
+		for pi, cand := range pool {
+			if primKeys[netsim.PathKey(cand.Nodes)] {
+				continue // a primary is no backup for itself
+			}
+			shared := 0
+			lis, err := p.pathLinks(cand.Nodes)
+			if err != nil {
+				return nil, fmt.Errorf("resilience: commodity %d candidate: %w", c.Flow, err)
+			}
+			for _, li := range lis {
+				if primLinks[li] {
+					shared++
+				}
+			}
+			// The pool is delay-sorted, so strict improvement keeps the
+			// lowest-delay path among equally disjoint candidates.
+			if best < 0 || shared < bestShared {
+				best, bestShared = pi, shared
+			}
+		}
+		if best < 0 {
+			continue
+		}
+		p.Backups[c.Flow] = Backup{
+			Path:   pool[best].Nodes,
+			Delay:  pool[best].Delay,
+			Shared: bestShared,
+		}
+	}
+	return p, nil
+}
+
+// Primaries returns the installed clear-sky routing decision the
+// protection was built over.
+func (p *Protection) Primaries() map[int][]netsim.SplitPath { return p.primaries }
+
+// ShortestDelay returns a commodity's clear-sky shortest-path delay (the
+// stretch baseline) and whether the commodity is routable.
+func (p *Protection) ShortestDelay(flow int) (float64, bool) {
+	d, ok := p.shortest[flow]
+	return d, ok
+}
+
+func pairKey(a, b int) [2]int {
+	if a > b {
+		a, b = b, a
+	}
+	return [2]int{a, b}
+}
+
+// SplitLoad returns each topology link's offered load under the splits —
+// demand × fraction summed over every split path crossing the link, both
+// directions folded onto the undirected link. The shared accounting for
+// "which links carry the plan's traffic" (drill selection in
+// experiments.FigAvail, the failuredrill example); path hops that are not
+// topology links are ignored.
+func SplitLoad(links []netsim.TopoLink, comms []netsim.Commodity, splits map[int][]netsim.SplitPath) []float64 {
+	idx := make(map[[2]int]int, len(links))
+	for li, l := range links {
+		idx[pairKey(l.A, l.B)] = li
+	}
+	load := make([]float64, len(links))
+	for _, c := range comms {
+		for _, sp := range splits[c.Flow] {
+			for i := 0; i+1 < len(sp.Path); i++ {
+				if li, ok := idx[pairKey(sp.Path[i], sp.Path[i+1])]; ok {
+					load[li] += c.Demand * sp.Frac
+				}
+			}
+		}
+	}
+	return load
+}
+
+// pathLinks maps a node path to topology link indices.
+func (p *Protection) pathLinks(path []int) ([]int, error) {
+	out := make([]int, 0, len(path)-1)
+	for i := 0; i+1 < len(path); i++ {
+		li, ok := p.linkIdx[pairKey(path[i], path[i+1])]
+		if !ok {
+			return nil, fmt.Errorf("hop %d-%d not in topology", path[i], path[i+1])
+		}
+		out = append(out, li)
+	}
+	return out, nil
+}
+
+// pathUp reports whether every link of the path is up.
+func (p *Protection) pathUp(path []int, down []bool) bool {
+	for i := 0; i+1 < len(path); i++ {
+		if li, ok := p.linkIdx[pairKey(path[i], path[i+1])]; ok && down[li] {
+			return false
+		}
+	}
+	return true
+}
+
+// patchOne applies fast reroute to one commodity's split under a down-set:
+// fractions on failed paths move to the backup when it exists and is up,
+// merging with a surviving path if the backup coincides with one. Fractions
+// with nowhere to go stay on their dead path (they stall; availability
+// accounting charges them). Returns base itself when nothing crosses a
+// down link.
+func (p *Protection) patchOne(flow int, base []netsim.SplitPath, down []bool) []netsim.SplitPath {
+	deadFrac := 0.0
+	for _, sp := range base {
+		if !p.pathUp(sp.Path, down) {
+			deadFrac += sp.Frac
+		}
+	}
+	if deadFrac == 0 {
+		return base
+	}
+	bk, ok := p.Backups[flow]
+	if !ok || !p.pathUp(bk.Path, down) {
+		return base // nothing to rescue with
+	}
+	out := make([]netsim.SplitPath, 0, len(base)+1)
+	bkKey := netsim.PathKey(bk.Path)
+	merged := false
+	for _, sp := range base {
+		if !p.pathUp(sp.Path, down) {
+			continue
+		}
+		if netsim.PathKey(sp.Path) == bkKey {
+			sp.Frac += deadFrac
+			merged = true
+		}
+		out = append(out, sp)
+	}
+	if !merged {
+		out = append(out, netsim.SplitPath{Path: bk.Path, Frac: deadFrac})
+	}
+	return out
+}
+
+// Patched returns the split set fast reroute holds in force under a
+// down-set, starting from the installed primaries — the planning-side view
+// for MLU evaluation (te.MLUOf) without compiling a full Plan.
+func (p *Protection) Patched(down []bool) map[int][]netsim.SplitPath {
+	out := make(map[int][]netsim.SplitPath, len(p.primaries))
+	for flow, base := range p.primaries {
+		out[flow] = p.patchOne(flow, base, down)
+	}
+	return out
+}
+
+// Plan is a compiled failure response, ready to install on a
+// netsim.Scenario: the schedule's link events plus the timed path updates
+// the protection mode issues in response.
+type Plan struct {
+	Mode     Mode
+	Failures []netsim.FailureEvent
+	Updates  []netsim.PathUpdate
+
+	// Reroutes counts per-commodity routing changes the plan issues.
+	Reroutes int
+
+	// LPSolves is the number of simplex solves performed while compiling
+	// the event responses, sampled from te.LPSolves. FRR plans pin this at
+	// zero — backup activation is a table lookup; FRRReopt plans spend
+	// their solves in the background controller, never on the DetectDelay
+	// activation path. The counter is process-wide, so the number is only
+	// attributable when no concurrent TE solving is running.
+	LPSolves int64
+}
+
+// Plan compiles the protection mode's response to a failure schedule. For
+// FRRReopt, ctrl must be a controller built over the same (nodes, links,
+// comms) at clear sky; the compilation drives it through the schedule's
+// capacity states (warm reoptimization) and leaves it at the schedule's
+// final state. ctrl is ignored for the other modes.
+func (p *Protection) Plan(sched *Schedule, mode Mode, ctrl *te.Controller) (*Plan, error) {
+	if sched.NumLinks != len(p.links) {
+		return nil, fmt.Errorf("resilience: schedule covers %d links, topology has %d", sched.NumLinks, len(p.links))
+	}
+	plan := &Plan{Mode: mode, Failures: sched.Events()}
+	if mode == NoProtection {
+		return plan, nil
+	}
+	if mode == FRRReopt && ctrl == nil {
+		return nil, fmt.Errorf("resilience: FRRReopt plan needs a te.Controller")
+	}
+	solvesBefore := te.LPSolves()
+
+	// Batch the schedule's events by time, then build the decision list:
+	// a fast-reroute patch DetectDelay after every batch and, for FRRReopt,
+	// the background solution swap ReoptDelay after it.
+	type decision struct {
+		t    float64
+		swap map[int][]netsim.SplitPath // non-nil: reopt solution to swap in
+	}
+	var decisions []decision
+	batchSweep := newDownSweep(sched)
+	for bi := 0; bi < len(plan.Failures); {
+		t := plan.Failures[bi].Time
+		for ; bi < len(plan.Failures) && plan.Failures[bi].Time == t; bi++ {
+		}
+		decisions = append(decisions, decision{t: t + p.cfg.DetectDelay})
+		if mode == FRRReopt {
+			graded := gradedLinks(p.links, batchSweep.advance(t))
+			if _, err := ctrl.UpdateCapacities(graded); err != nil {
+				return nil, fmt.Errorf("resilience: reoptimizing at t=%.3f: %w", t, err)
+			}
+			decisions = append(decisions, decision{t: t + p.cfg.ReoptDelay, swap: copySplits(ctrl.Solution().Splits)})
+		}
+	}
+	sort.SliceStable(decisions, func(a, b int) bool { return decisions[a].t < decisions[b].t })
+
+	// Walk the decisions chronologically, emitting an update whenever a
+	// commodity's in-force split changes. base is the latest swapped-in
+	// solution (initially the primaries); installed tracks what the network
+	// is actually forwarding on.
+	base := p.primaries
+	installed := make(map[int]string, len(p.primaries))
+	for flow, sp := range p.primaries {
+		installed[flow] = splitsKey(sp)
+	}
+	flows := make([]int, 0, len(p.primaries))
+	for flow := range p.primaries {
+		flows = append(flows, flow)
+	}
+	sort.Ints(flows)
+	decSweep := newDownSweep(sched)
+	for di := 0; di < len(decisions); {
+		t := decisions[di].t
+		for ; di < len(decisions) && decisions[di].t == t; di++ {
+			if decisions[di].swap != nil {
+				base = decisions[di].swap
+			}
+		}
+		down := decSweep.advance(t)
+		for _, flow := range flows {
+			bs := base[flow]
+			if len(bs) == 0 {
+				bs = p.primaries[flow] // reopt dropped it as unroutable; keep the last physical paths
+			}
+			desired := p.patchOne(flow, bs, down)
+			key := splitsKey(desired)
+			if key == installed[flow] {
+				continue
+			}
+			installed[flow] = key
+			plan.Updates = append(plan.Updates, netsim.PathUpdate{Time: t, Flow: flow, Paths: desired})
+			plan.Reroutes++
+		}
+	}
+	plan.LPSolves = te.LPSolves() - solvesBefore
+	return plan, nil
+}
+
+// gradedLinks zeroes the rate of down links, positionally.
+func gradedLinks(links []netsim.TopoLink, down []bool) []netsim.TopoLink {
+	out := append([]netsim.TopoLink(nil), links...)
+	for li := range out {
+		if down[li] {
+			out[li].RateBps = 0
+		}
+	}
+	return out
+}
+
+func copySplits(m map[int][]netsim.SplitPath) map[int][]netsim.SplitPath {
+	out := make(map[int][]netsim.SplitPath, len(m))
+	for k, v := range m {
+		out[k] = append([]netsim.SplitPath(nil), v...)
+	}
+	return out
+}
+
+// splitsKey canonicalizes a split set for change detection: path order is
+// normalized and fractions rounded well below any meaningful difference.
+func splitsKey(sps []netsim.SplitPath) string {
+	keys := make([]string, 0, len(sps))
+	for _, sp := range sps {
+		keys = append(keys, fmt.Sprintf("%s=%.9f", netsim.PathKey(sp.Path), sp.Frac))
+	}
+	sort.Strings(keys)
+	var b []byte
+	for _, k := range keys {
+		b = append(b, k...)
+		b = append(b, ';')
+	}
+	return string(b)
+}

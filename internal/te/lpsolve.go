@@ -2,9 +2,20 @@ package te
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"cisp/internal/lp"
 )
+
+// lpSolves counts simplex invocations process-wide. Fast-reroute promises
+// zero LP work on its event path; the counter is what lets tests and the
+// availability experiment pin that promise instead of trusting it.
+var lpSolves atomic.Int64
+
+// LPSolves returns the cumulative number of simplex solves the package has
+// performed in this process. Sample it before and after an operation to
+// count the solves the operation triggered.
+func LPSolves() int64 { return lpSolves.Load() }
 
 // tieEps weights the delay tie-break in the LP objective. The delay term is
 // normalised to at most 1 in total, so the reported MLU sits within tieEps
@@ -33,6 +44,7 @@ const tieEps = 1e-3
 // Infeasibility or unboundedness indicate a formulation bug and fail
 // loudly; they never return garbage splits.
 func solveLP(g *graph, cs []*teComm, base []float64, floor, u0 float64) ([][]float64, float64, error) {
+	lpSolves.Add(1)
 	nx := 0
 	varAt := make([]int, len(cs)+1)
 	totD, maxDelay := 0.0, 0.0
@@ -91,10 +103,21 @@ func solveLP(g *graph, cs []*teComm, base []float64, floor, u0 float64) ([][]flo
 		}
 	}
 	for _, ei := range used {
+		// Normalize each row to utilization units (divide by the edge
+		// capacity): demands and capacities arrive in bps at 1e6–1e9
+		// magnitudes, and the dense simplex's absolute pivot tolerances
+		// degrade badly at that scale — warm reoptimization over a
+		// part-failed topology was reported infeasible before this. Every
+		// used edge has positive capacity (candidates crossing a downed
+		// link are masked before the LP is built).
 		r := rows[ei]
+		cap := g.edges[ei].capBps
+		for k := range r.coeffs {
+			r.coeffs[k] /= cap
+		}
 		r.vars = append(r.vars, phi)
-		r.coeffs = append(r.coeffs, -g.edges[ei].capBps)
-		p.AddConstraint(r.vars, r.coeffs, lp.LE, g.edges[ei].capBps*u0-base[ei])
+		r.coeffs = append(r.coeffs, -1)
+		p.AddConstraint(r.vars, r.coeffs, lp.LE, u0-base[ei]/cap)
 	}
 	if floor > u0 {
 		p.AddConstraint([]int{phi}, []float64{1}, lp.GE, floor-u0)

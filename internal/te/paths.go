@@ -248,3 +248,19 @@ func enumerate(g *graph, comms []netsim.Commodity, cfg Config) [][]Path {
 		return yen(g, newScratch(g), comms[i].Src, comms[i].Dst, cfg.K, cfg.Stretch)
 	})
 }
+
+// Candidates enumerates every commodity's latency-bounded candidate paths
+// over the duplex topology — the controller's internal enumeration (Yen's
+// algorithm, at most cfg.K paths within cfg.Stretch × the shortest delay),
+// exported so layers above the control plane (internal/resilience's
+// disjoint-backup search) work from the exact same path pool a Controller
+// with the same Config would split over. Results are positionally aligned
+// with comms; a commodity with no path on the topology gets an empty slice.
+func Candidates(n int, links []netsim.TopoLink, comms []netsim.Commodity, cfg Config) ([][]Path, error) {
+	cfg = cfg.withDefaults()
+	g, err := buildGraph(n, links)
+	if err != nil {
+		return nil, err
+	}
+	return enumerate(g, comms, cfg), nil
+}

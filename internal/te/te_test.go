@@ -450,3 +450,55 @@ func TestUnroutableCommodityOmitted(t *testing.T) {
 		t.Fatal("routable commodity missing")
 	}
 }
+
+// TestCandidatesMatchesControllerPool: the exported enumeration must return
+// the same path pool a Controller with the same Config splits over, aligned
+// positionally with the commodity list (empty for unroutable pairs).
+func TestCandidatesMatchesControllerPool(t *testing.T) {
+	comms := []netsim.Commodity{
+		{Flow: 1, Src: 0, Dst: 3, Demand: 1e6},
+		{Flow: 2, Src: 0, Dst: 4, Demand: 1e6}, // node 4 isolated: unroutable
+	}
+	cfg := Config{K: 3, Stretch: 2}
+	cands, err := Candidates(5, diamond(), comms, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cands) != 2 {
+		t.Fatalf("got %d candidate sets, want 2", len(cands))
+	}
+	if len(cands[1]) != 0 {
+		t.Fatalf("unroutable commodity got %d candidates", len(cands[1]))
+	}
+	ctrl, err := NewController(5, diamond(), comms, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := ctrl.comms[0].cands
+	if len(cands[0]) != len(want) {
+		t.Fatalf("pool size %d, controller has %d", len(cands[0]), len(want))
+	}
+	for i := range want {
+		if !sameEdges(cands[0][i].edges, want[i].edges) {
+			t.Fatalf("candidate %d differs: %v vs %v", i, cands[0][i].Nodes, want[i].Nodes)
+		}
+	}
+}
+
+// TestLPSolvesCounter: the process-wide simplex counter must advance on a
+// Solve that reaches the LP — the observable fast-reroute tests use to pin
+// "zero LP solves on the event path".
+func TestLPSolvesCounter(t *testing.T) {
+	before := LPSolves()
+	// Two commodities with real demand: the multi-candidate LP path runs.
+	comms := []netsim.Commodity{
+		{Flow: 1, Src: 0, Dst: 3, Demand: 15e6},
+		{Flow: 2, Src: 1, Dst: 2, Demand: 5e6},
+	}
+	if _, err := Solve(4, diamond(), comms, Config{}); err != nil {
+		t.Fatal(err)
+	}
+	if LPSolves() == before {
+		t.Fatal("LPSolves did not advance across an LP-backed Solve")
+	}
+}
