@@ -46,6 +46,7 @@ func main() {
 	workers := flag.Int("workers", 0, "inner worker-pool width for the design/link-build hot paths (0 = GOMAXPROCS)")
 	modeStr := flag.String("mode", "fluid", "simulation engine for the 6s traffic-mix replay: packet or fluid")
 	flows := flag.Int("flows", 100_000, "concurrent flows for the 6s traffic-mix replay and the te comparison (packet engines clamp to ~1.5k)")
+	benchJSON := flag.String("benchjson", "", "run the engine benchmark (both modes) and write a machine-readable JSON record to this file, skipping figures")
 
 	// The spec closures run only after flag.Parse, so they may dereference
 	// the flag pointers and derive scale-dependent sweeps from the Options
@@ -132,6 +133,14 @@ func main() {
 	}
 	if *workers > 0 {
 		parallel.SetWorkers(*workers)
+	}
+
+	if *benchJSON != "" {
+		if err := experiments.BenchNetsim(opt, *flows, *flows, *benchJSON); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
 	}
 
 	// "all" derives from the spec table itself, so new figures can't be

@@ -1,0 +1,335 @@
+// Command cisplint runs the cisp static-analysis suite (internal/analysis):
+// determinism, maporder, hotpathalloc and paraclosure — the invariants
+// DESIGN.md §9 documents.
+//
+// It runs in two modes:
+//
+//   - Standalone: `cisplint [packages]` loads the named module packages
+//     (or ./... patterns) from source and reports findings. This is
+//     hermetic — no go list, no export data — and is what the repo-wide
+//     meta-test (internal/analysis/suite) mirrors.
+//
+//   - Vet tool: `go vet -vettool=$(which cisplint) ./...` drives cisplint
+//     through cmd/go's unit-checker protocol: cmd/go invokes the tool once
+//     per package with a JSON config file argument, and the tool
+//     type-checks that unit against the export data cmd/go already built.
+//
+// Exit status is 1 when any unsuppressed finding is reported, 0 otherwise.
+package main
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"cisp/internal/analysis"
+	"cisp/internal/analysis/loader"
+	"cisp/internal/analysis/suite"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("cisplint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	printVersion := fs.String("V", "", "print version and exit (cmd/go protocol; use -V=full)")
+	printFlags := fs.Bool("flags", false, "print analyzer flags in JSON (cmd/go protocol)")
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "usage: cisplint [package ...]   (standalone; defaults to ./...)\n")
+		fmt.Fprintf(stderr, "       go vet -vettool=$(which cisplint) ./...\n\nAnalyzers:\n")
+		for _, a := range suite.All() {
+			doc := a.Doc
+			if i := strings.IndexByte(doc, '\n'); i >= 0 {
+				doc = doc[:i]
+			}
+			fmt.Fprintf(stderr, "  %-14s %s\n", a.Name, doc)
+		}
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	// cmd/go probes its vet tool with `-V=full` (for the build cache key)
+	// and `-flags` (for flag validation) before any unit runs. Both must
+	// answer in the exact format cmd/go parses.
+	if *printVersion != "" {
+		if *printVersion != "full" {
+			fmt.Fprintf(stderr, "cisplint: unsupported -V=%s\n", *printVersion)
+			return 2
+		}
+		return versionAndBuildID(stdout, stderr)
+	}
+	if *printFlags {
+		// No analyzer exposes flags; cmd/go accepts an empty JSON array.
+		fmt.Fprintln(stdout, "[]")
+		return 0
+	}
+
+	rest := fs.Args()
+	if len(rest) == 1 && strings.HasSuffix(rest[0], ".cfg") {
+		return vetUnit(rest[0], stderr)
+	}
+	return standalone(rest, stdout, stderr)
+}
+
+// versionAndBuildID implements the `-V=full` handshake: cmd/go caches vet
+// results keyed by the tool's content hash, so the line must change
+// whenever the binary does.
+func versionAndBuildID(stdout, stderr io.Writer) int {
+	exe, err := os.Executable()
+	if err != nil {
+		fmt.Fprintf(stderr, "cisplint: %v\n", err)
+		return 1
+	}
+	f, err := os.Open(exe)
+	if err != nil {
+		fmt.Fprintf(stderr, "cisplint: %v\n", err)
+		return 1
+	}
+	defer f.Close()
+	h := sha256.New()
+	if _, err := io.Copy(h, f); err != nil {
+		fmt.Fprintf(stderr, "cisplint: %v\n", err)
+		return 1
+	}
+	fmt.Fprintf(stdout, "cisplint version devel comments-go-here buildID=%02x\n", h.Sum(nil))
+	return 0
+}
+
+// vetConfig is the JSON cmd/go writes into the unit's .cfg file. Field
+// names and shapes follow x/tools' unitchecker protocol.
+type vetConfig struct {
+	ID                        string            // package ID as known to cmd/go
+	Compiler                  string            // "gc"
+	Dir                       string            // package directory
+	ImportPath                string            //
+	GoVersion                 string            // minimum Go version, e.g. "go1.24"
+	GoFiles                   []string          // absolute paths of the unit's Go files
+	NonGoFiles                []string          //
+	IgnoredFiles              []string          //
+	ModulePath                string            //
+	ImportMap                 map[string]string // import path → canonical package path
+	PackageFile               map[string]string // package path → export data file
+	Standard                  map[string]bool   // packages in the standard library
+	PackageVetx               map[string]string // package path → vet facts (unused here)
+	VetxOnly                  bool              // only facts are needed, not diagnostics
+	VetxOutput                string            // where to write this unit's facts
+	SucceedOnTypecheckFailure bool              // exit 0 on type errors (go vet std behavior)
+}
+
+// vetUnit analyzes one compilation unit under the go vet protocol.
+func vetUnit(cfgPath string, stderr io.Writer) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintf(stderr, "cisplint: %v\n", err)
+		return 1
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(stderr, "cisplint: parsing %s: %v\n", cfgPath, err)
+		return 1
+	}
+
+	// cmd/go requires the facts file to exist even when empty; writing it
+	// first also covers every early-return path below.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+			fmt.Fprintf(stderr, "cisplint: %v\n", err)
+			return 1
+		}
+	}
+	if cfg.VetxOnly {
+		return 0 // we export no facts, so dependency-only runs are no-ops
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			fmt.Fprintf(stderr, "cisplint: %v\n", err)
+			return 1
+		}
+		files = append(files, f)
+	}
+
+	// Imports resolve through the export data cmd/go already compiled,
+	// looked up via ImportMap (import path as written → canonical path)
+	// then PackageFile (canonical path → .a/.x file).
+	lookup := func(path string) (io.ReadCloser, error) {
+		if p, ok := cfg.ImportMap[path]; ok {
+			path = p
+		}
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+	compiler := cfg.Compiler
+	if compiler == "" {
+		compiler = "gc"
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+		Instances:  make(map[*ast.Ident]types.Instance),
+	}
+	tconf := &types.Config{
+		Importer:  importer.ForCompiler(fset, compiler, lookup),
+		GoVersion: cfg.GoVersion,
+	}
+	pkg, err := tconf.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintf(stderr, "cisplint: %v\n", err)
+		return 1
+	}
+
+	findings, err := analysis.RunUnit(fset, files, pkg, info, suite.All())
+	if err != nil {
+		fmt.Fprintf(stderr, "cisplint: %v\n", err)
+		return 1
+	}
+	for _, f := range findings {
+		fmt.Fprintf(stderr, "%s\n", f)
+	}
+	if len(findings) > 0 {
+		return 1
+	}
+	return 0
+}
+
+// standalone loads packages with the module-source loader and analyzes
+// them, test files included.
+func standalone(patterns []string, stdout, stderr io.Writer) int {
+	l, err := loader.New(".")
+	if err != nil {
+		fmt.Fprintf(stderr, "cisplint: %v\n", err)
+		return 1
+	}
+	paths, err := expandPatterns(l, patterns)
+	if err != nil {
+		fmt.Fprintf(stderr, "cisplint: %v\n", err)
+		return 1
+	}
+	analyzers := suite.All()
+	total := 0
+	broken := false
+	for _, ip := range paths {
+		units := make([]*loader.Package, 0, 2)
+		p, err := l.Load(ip, true)
+		if err != nil {
+			fmt.Fprintf(stderr, "cisplint: %v\n", err)
+			broken = true
+			continue
+		}
+		units = append(units, p)
+		x, err := l.LoadXTest(ip)
+		if err != nil {
+			fmt.Fprintf(stderr, "cisplint: %v\n", err)
+			broken = true
+		} else if x != nil {
+			units = append(units, x)
+		}
+		for _, u := range units {
+			findings, err := analysis.RunUnit(u.Fset, u.Files, u.Types, u.Info, analyzers)
+			if err != nil {
+				fmt.Fprintf(stderr, "cisplint: %v\n", err)
+				broken = true
+				continue
+			}
+			for _, f := range findings {
+				total++
+				fmt.Fprintf(stdout, "%s\n", f)
+			}
+		}
+	}
+	if broken || total > 0 {
+		return 1
+	}
+	return 0
+}
+
+// expandPatterns resolves command-line package patterns to module import
+// paths. Supported: "./...", "pattern/...", import paths, and relative
+// directories; no arguments means the whole module.
+func expandPatterns(l *loader.Loader, patterns []string) ([]string, error) {
+	all, err := l.ModulePackages()
+	if err != nil {
+		return nil, err
+	}
+	if len(patterns) == 0 {
+		return all, nil
+	}
+	seen := make(map[string]bool)
+	var out []string
+	add := func(ip string) {
+		if !seen[ip] {
+			seen[ip] = true
+			out = append(out, ip)
+		}
+	}
+	for _, pat := range patterns {
+		ip, recursive, err := normalizePattern(l, pat)
+		if err != nil {
+			return nil, err
+		}
+		matched := false
+		for _, cand := range all {
+			if cand == ip || (recursive && (ip == l.ModulePath || strings.HasPrefix(cand, ip+"/"))) {
+				add(cand)
+				matched = true
+			}
+		}
+		if !matched {
+			return nil, fmt.Errorf("no packages match %q", pat)
+		}
+	}
+	return out, nil
+}
+
+// normalizePattern maps one CLI pattern to (import path prefix, recursive).
+func normalizePattern(l *loader.Loader, pat string) (string, bool, error) {
+	recursive := false
+	if strings.HasSuffix(pat, "/...") {
+		recursive = true
+		pat = strings.TrimSuffix(pat, "/...")
+		if pat == "." || pat == "" {
+			return l.ModulePath, true, nil
+		}
+	}
+	if pat == "." || strings.HasPrefix(pat, "./") || strings.HasPrefix(pat, "../") || filepath.IsAbs(pat) {
+		abs, err := filepath.Abs(pat)
+		if err != nil {
+			return "", false, err
+		}
+		rel, err := filepath.Rel(l.ModuleRoot, abs)
+		if err != nil || strings.HasPrefix(rel, "..") {
+			return "", false, fmt.Errorf("%s is outside module %s", pat, l.ModulePath)
+		}
+		if rel == "." {
+			return l.ModulePath, recursive, nil
+		}
+		return l.ModulePath + "/" + filepath.ToSlash(rel), recursive, nil
+	}
+	return pat, recursive, nil
+}

@@ -1,0 +1,218 @@
+// Package analysis is the repository's static-analysis framework: a small,
+// dependency-free mirror of the golang.org/x/tools/go/analysis API shape
+// (Analyzer, Pass, Diagnostic) plus the //lint:allow suppression protocol
+// shared by every cisplint analyzer. The x/tools module is deliberately not
+// vendored — the framework runs entirely on go/ast and go/types, so the
+// lint suite builds offline and adds nothing to go.mod.
+//
+// The four analyzers (internal/analysis/determinism, maporder,
+// hotpathalloc, paraclosure) enforce the determinism contract documented
+// in DESIGN.md §9: bit-identical results at any worker count, all
+// randomness threaded through an explicit Seed, and allocation-free
+// per-event hot paths. cmd/cisplint wires them into `go vet -vettool`.
+//
+// Suppression: a finding is silenced by a directive on the same line or
+// the line directly above:
+//
+//	//lint:allow <analyzer>[,<analyzer>...] -- <justification>
+//
+// The justification is mandatory; a directive without one is itself
+// reported and cannot be suppressed.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// An Analyzer describes one static check.
+type Analyzer struct {
+	// Name identifies the analyzer in findings and //lint:allow directives.
+	Name string
+	// Doc is a one-paragraph description of what the analyzer reports.
+	Doc string
+	// Run applies the analyzer to one unit, reporting through the pass.
+	Run func(*Pass) error
+}
+
+// A Pass is one analyzer's view of one compilation unit.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Pkg      *types.Package
+	Info     *types.Info
+
+	diags []Diagnostic
+}
+
+// A Diagnostic is one finding at a position.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// Reportf records a finding.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
+	p.diags = append(p.diags, Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// IsTestFile reports whether the file containing pos is a _test.go file.
+func (p *Pass) IsTestFile(pos token.Pos) bool {
+	f := p.Fset.File(pos)
+	return f != nil && strings.HasSuffix(f.Name(), "_test.go")
+}
+
+// A Finding is a post-suppression diagnostic, resolved to a position.
+type Finding struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: %s: %s", f.Pos, f.Analyzer, f.Message)
+}
+
+// RunUnit applies every analyzer to one type-checked unit and returns the
+// findings that survive //lint:allow suppression, sorted by position.
+// Malformed suppression directives (no "-- justification") are reported as
+// findings of the pseudo-analyzer "lintallow" and cannot be suppressed.
+func RunUnit(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, analyzers []*Analyzer) ([]Finding, error) {
+	allows, malformed := collectAllows(fset, files)
+
+	var out []Finding
+	for _, m := range malformed {
+		out = append(out, Finding{Analyzer: "lintallow", Pos: m.pos, Message: m.msg})
+	}
+	for _, a := range analyzers {
+		pass := &Pass{Analyzer: a, Fset: fset, Files: files, Pkg: pkg, Info: info}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s: %w", a.Name, err)
+		}
+		for _, d := range pass.diags {
+			posn := fset.Position(d.Pos)
+			if allows.covers(a.Name, posn) {
+				continue
+			}
+			out = append(out, Finding{Analyzer: a.Name, Pos: posn, Message: d.Message})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i].Pos, out[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Column != b.Column {
+			return a.Column < b.Column
+		}
+		return out[i].Analyzer < out[j].Analyzer
+	})
+	return out, nil
+}
+
+// allowKey addresses one source line of one file.
+type allowKey struct {
+	file string
+	line int
+}
+
+// allowSet maps a line to the analyzer names allowed there.
+type allowSet map[allowKey]map[string]bool
+
+// covers reports whether a finding by the named analyzer at posn is
+// suppressed by a directive on its line or the line above.
+func (s allowSet) covers(name string, posn token.Position) bool {
+	for _, line := range []int{posn.Line, posn.Line - 1} {
+		if names, ok := s[allowKey{posn.Filename, line}]; ok && names[name] {
+			return true
+		}
+	}
+	return false
+}
+
+type malformedAllow struct {
+	pos token.Position
+	msg string
+}
+
+const allowPrefix = "lint:allow"
+
+// collectAllows scans every comment for //lint:allow directives, returning
+// the well-formed ones as a line-indexed set and the malformed ones as
+// reportable findings.
+func collectAllows(fset *token.FileSet, files []*ast.File) (allowSet, []malformedAllow) {
+	allows := make(allowSet)
+	var bad []malformedAllow
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "//"+allowPrefix)
+				if !ok {
+					continue
+				}
+				posn := fset.Position(c.Pos())
+				names, justification, found := strings.Cut(text, "--")
+				if !found || strings.TrimSpace(justification) == "" {
+					bad = append(bad, malformedAllow{pos: posn,
+						msg: "suppression is missing its justification: want //lint:allow <analyzer> -- <why this is safe>"})
+					continue
+				}
+				nameList := strings.FieldsFunc(names, func(r rune) bool { return r == ',' || r == ' ' || r == '\t' })
+				if len(nameList) == 0 {
+					bad = append(bad, malformedAllow{pos: posn,
+						msg: "suppression names no analyzer: want //lint:allow <analyzer> -- <why this is safe>"})
+					continue
+				}
+				key := allowKey{posn.Filename, posn.Line}
+				if allows[key] == nil {
+					allows[key] = make(map[string]bool)
+				}
+				for _, n := range nameList {
+					allows[key][n] = true
+				}
+			}
+		}
+	}
+	return allows, bad
+}
+
+// HotpathMarked reports whether a function declaration's doc comment
+// carries the //cisp:hotpath annotation that opts it into the
+// hotpathalloc analyzer.
+func HotpathMarked(fn *ast.FuncDecl) bool {
+	if fn.Doc == nil {
+		return false
+	}
+	for _, c := range fn.Doc.List {
+		if strings.HasPrefix(c.Text, "//cisp:hotpath") {
+			return true
+		}
+	}
+	return false
+}
+
+// WithStack walks the AST rooted at root, calling fn for every node with
+// the path of ancestors (outermost first, not including the node itself).
+// If fn returns false the node's children are skipped.
+func WithStack(root ast.Node, fn func(n ast.Node, stack []ast.Node) bool) {
+	var stack []ast.Node
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		if !fn(n, stack) {
+			return false // children skipped; Inspect sends no pop for n
+		}
+		stack = append(stack, n)
+		return true
+	})
+}

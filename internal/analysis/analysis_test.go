@@ -1,0 +1,134 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"strings"
+	"testing"
+)
+
+// checkSource type-checks a single inline source file (no imports) and
+// runs the given analyzers over it.
+func checkSource(t *testing.T, src string, analyzers []*Analyzer) []Finding {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", src, parser.ParseComments|parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	info := &types.Info{
+		Types: make(map[ast.Expr]types.TypeAndValue),
+		Defs:  make(map[*ast.Ident]types.Object),
+		Uses:  make(map[*ast.Ident]types.Object),
+	}
+	pkg, err := (&types.Config{}).Check("p", fset, []*ast.File{f}, info)
+	if err != nil {
+		t.Fatalf("typecheck: %v", err)
+	}
+	findings, err := RunUnit(fset, []*ast.File{f}, pkg, info, analyzers)
+	if err != nil {
+		t.Fatalf("RunUnit: %v", err)
+	}
+	return findings
+}
+
+// reportReturns is a toy analyzer reporting every return statement.
+var reportReturns = &Analyzer{
+	Name: "toyreturns",
+	Doc:  "reports every return statement (framework test fixture)",
+	Run: func(p *Pass) error {
+		for _, f := range p.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				if r, ok := n.(*ast.ReturnStmt); ok {
+					p.Reportf(r.Pos(), "return statement")
+				}
+				return true
+			})
+		}
+		return nil
+	},
+}
+
+func TestSuppressionSameLine(t *testing.T) {
+	src := "package p\n\nfunc f() int {\n\treturn 1 //lint:allow toyreturns -- framework test: sanctioned return\n}\n"
+	if got := checkSource(t, src, []*Analyzer{reportReturns}); len(got) != 0 {
+		t.Fatalf("want suppressed, got %v", got)
+	}
+}
+
+func TestSuppressionLineAbove(t *testing.T) {
+	src := "package p\n\nfunc f() int {\n\t//lint:allow toyreturns -- framework test: sanctioned return\n\treturn 1\n}\n"
+	if got := checkSource(t, src, []*Analyzer{reportReturns}); len(got) != 0 {
+		t.Fatalf("want suppressed, got %v", got)
+	}
+}
+
+func TestSuppressionWrongAnalyzerDoesNotCover(t *testing.T) {
+	src := "package p\n\nfunc f() int {\n\treturn 1 //lint:allow otherthing -- framework test: names the wrong analyzer\n}\n"
+	got := checkSource(t, src, []*Analyzer{reportReturns})
+	if len(got) != 1 || got[0].Analyzer != "toyreturns" {
+		t.Fatalf("want 1 unsuppressed toyreturns finding, got %v", got)
+	}
+}
+
+func TestMalformedSuppressionReported(t *testing.T) {
+	src := "package p\n\nfunc f() int {\n\treturn 1 //lint:allow toyreturns\n}\n"
+	got := checkSource(t, src, []*Analyzer{reportReturns})
+	if len(got) != 2 {
+		t.Fatalf("want 2 findings (lintallow + unsuppressed), got %v", got)
+	}
+	if got[0].Analyzer != "lintallow" && got[1].Analyzer != "lintallow" {
+		t.Fatalf("missing lintallow finding in %v", got)
+	}
+	foundOriginal := false
+	for _, f := range got {
+		if f.Analyzer == "toyreturns" {
+			foundOriginal = true
+		}
+		if f.Analyzer == "lintallow" && !strings.Contains(f.Message, "justification") {
+			t.Fatalf("lintallow message should demand a justification: %q", f.Message)
+		}
+	}
+	if !foundOriginal {
+		t.Fatalf("a malformed directive must not suppress the finding: %v", got)
+	}
+}
+
+func TestFindingsSortedByPosition(t *testing.T) {
+	src := "package p\n\nfunc f() int {\n\tif true {\n\t\treturn 2\n\t}\n\treturn 1\n}\n"
+	got := checkSource(t, src, []*Analyzer{reportReturns})
+	if len(got) != 2 {
+		t.Fatalf("want 2 findings, got %v", got)
+	}
+	if got[0].Pos.Line > got[1].Pos.Line {
+		t.Fatalf("findings not sorted: %v", got)
+	}
+}
+
+func TestHotpathMarked(t *testing.T) {
+	src := "package p\n\n// doc text\n//cisp:hotpath\nfunc hot() {}\n\n// plain doc\nfunc cold() {}\n"
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", src, parser.ParseComments|parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hot, cold *ast.FuncDecl
+	for _, d := range f.Decls {
+		if fn, ok := d.(*ast.FuncDecl); ok {
+			switch fn.Name.Name {
+			case "hot":
+				hot = fn
+			case "cold":
+				cold = fn
+			}
+		}
+	}
+	if !HotpathMarked(hot) {
+		t.Error("hot() should be marked")
+	}
+	if HotpathMarked(cold) {
+		t.Error("cold() should not be marked")
+	}
+}

@@ -1,0 +1,152 @@
+// Package analysistest is the golden-test harness for cisplint analyzers,
+// mirroring the x/tools package of the same name on the repo's own
+// stdlib-only framework. A test package lives under
+// <analyzer>/testdata/src/<pkg>/ and marks expected findings with
+// trailing comments:
+//
+//	x = append(x, k) // want `append to x during range over map`
+//
+// Each back-quoted (or double-quoted) string is a regular expression that
+// must match, in order, the messages reported on that line; lines without
+// a want comment must report nothing. //lint:allow directives in testdata
+// are honored exactly as in production, so golden tests cover the escape
+// hatch too.
+package analysistest
+
+import (
+	"fmt"
+	"go/token"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"cisp/internal/analysis"
+	"cisp/internal/analysis/loader"
+)
+
+// Run loads each named package from testdata/src/<pkg>, applies the
+// analyzer, and compares findings against // want expectations.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgs ...string) {
+	t.Helper()
+	l, err := loader.New(".")
+	if err != nil {
+		t.Fatalf("analysistest: creating loader: %v", err)
+	}
+	for _, pkg := range pkgs {
+		dir := filepath.Join(testdata, "src", pkg)
+		p, err := l.LoadDir(dir, pkg)
+		if err != nil {
+			t.Errorf("analysistest: loading %s: %v", dir, err)
+			continue
+		}
+		findings, err := analysis.RunUnit(p.Fset, p.Files, p.Types, p.Info, []*analysis.Analyzer{a})
+		if err != nil {
+			t.Errorf("analysistest: running %s on %s: %v", a.Name, pkg, err)
+			continue
+		}
+		checkExpectations(t, p, findings)
+	}
+}
+
+// expectation is one want-regex on one line.
+type expectation struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	raw  string
+	hit  bool
+}
+
+func checkExpectations(t *testing.T, p *loader.Package, findings []analysis.Finding) {
+	t.Helper()
+	wants := collectWants(t, p)
+
+	for _, f := range findings {
+		if !matchWant(wants, f) {
+			t.Errorf("%s: unexpected finding [%s]: %s", f.Pos, f.Analyzer, f.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.hit {
+			t.Errorf("%s:%d: expected finding matching %q, got none", w.file, w.line, w.raw)
+		}
+	}
+}
+
+func matchWant(wants []*expectation, f analysis.Finding) bool {
+	for _, w := range wants {
+		if !w.hit && w.file == filepath.Base(f.Pos.Filename) && w.line == f.Pos.Line && w.re.MatchString(f.Message) {
+			w.hit = true
+			return true
+		}
+	}
+	return false
+}
+
+var wantRE = regexp.MustCompile("(`[^`]*`|\"(?:[^\"\\\\]|\\\\.)*\")")
+
+func collectWants(t *testing.T, p *loader.Package) []*expectation {
+	t.Helper()
+	var wants []*expectation
+	for _, f := range p.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "// want ")
+				if !ok {
+					continue
+				}
+				posn := p.Fset.Position(c.Pos())
+				for _, quoted := range wantRE.FindAllString(text, -1) {
+					pattern, err := unquote(quoted)
+					if err != nil {
+						t.Fatalf("%s: bad want pattern %s: %v", posn, quoted, err)
+					}
+					re, err := regexp.Compile(pattern)
+					if err != nil {
+						t.Fatalf("%s: bad want regexp %q: %v", posn, pattern, err)
+					}
+					wants = append(wants, &expectation{
+						file: filepath.Base(posn.Filename),
+						line: posn.Line,
+						re:   re,
+						raw:  pattern,
+					})
+				}
+			}
+		}
+	}
+	return wants
+}
+
+func unquote(s string) (string, error) {
+	if strings.HasPrefix(s, "`") {
+		return strings.Trim(s, "`"), nil
+	}
+	return strconv.Unquote(s)
+}
+
+// Findings runs the analyzer over a single testdata package and returns
+// the surviving findings; for tests that assert on the result set
+// directly rather than through want comments.
+func Findings(t *testing.T, testdata string, a *analysis.Analyzer, pkg string) []analysis.Finding {
+	t.Helper()
+	l, err := loader.New(".")
+	if err != nil {
+		t.Fatalf("analysistest: creating loader: %v", err)
+	}
+	dir := filepath.Join(testdata, "src", pkg)
+	p, err := l.LoadDir(dir, pkg)
+	if err != nil {
+		t.Fatalf("analysistest: loading %s: %v", dir, err)
+	}
+	findings, err := analysis.RunUnit(p.Fset, p.Files, p.Types, p.Info, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatalf("analysistest: running %s on %s: %v", a.Name, pkg, err)
+	}
+	return findings
+}
+
+// Pos formats a finding position compactly for test failure messages.
+func Pos(p token.Position) string { return fmt.Sprintf("%s:%d", filepath.Base(p.Filename), p.Line) }

@@ -1,0 +1,121 @@
+// Package determinism implements the cisplint analyzer that keeps every
+// source of nondeterminism out of the library packages: top-level
+// math/rand calls draw from the process-global generator, and time.Now /
+// time.Since read wall-clock state — either one silently breaks the
+// repo's bit-identical-results contract (DESIGN.md §9). All randomness
+// must thread through an explicit *rand.Rand built from a Seed field
+// (the netsim.Scenario convention), and wall-clock reads are allowed only
+// in package main, in tests, or under a justified //lint:allow.
+package determinism
+
+import (
+	"go/ast"
+	"go/types"
+
+	"cisp/internal/analysis"
+)
+
+// Analyzer flags global-generator math/rand calls, wall-clock reads and
+// wall-clock-derived seeds outside tests and package main.
+var Analyzer = &analysis.Analyzer{
+	Name: "determinism",
+	Doc: "flags top-level math/rand calls, time.Now/time.Since and wall-clock-derived " +
+		"seeds outside tests and package main; all randomness must flow from an explicit Seed",
+	Run: run,
+}
+
+// randConstructors are the top-level math/rand functions that do not touch
+// the global generator: they build explicitly-seeded state instead.
+var randConstructors = map[string]bool{
+	"New":       true,
+	"NewSource": true,
+	"NewZipf":   true, // draws from the *rand.Rand it is given
+	// math/rand/v2 constructors.
+	"NewPCG":     true,
+	"NewChaCha8": true,
+}
+
+func run(pass *analysis.Pass) error {
+	if pass.Pkg.Name() == "main" {
+		// Binaries (cmd/, examples/) may time their own runs and pick
+		// default seeds; the contract binds the library packages.
+		return nil
+	}
+	for _, f := range pass.Files {
+		if pass.IsTestFile(f.Pos()) {
+			continue
+		}
+		analysis.WithStack(f, func(n ast.Node, stack []ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := callee(pass, call)
+			if fn == nil || fn.Pkg() == nil {
+				return true
+			}
+			sig, _ := fn.Type().(*types.Signature)
+			if sig == nil || sig.Recv() != nil {
+				return true // methods (e.g. (*rand.Rand).Intn) are fine
+			}
+			switch fn.Pkg().Path() {
+			case "math/rand", "math/rand/v2":
+				if !randConstructors[fn.Name()] {
+					pass.Reportf(call.Pos(),
+						"top-level %s.%s draws from the process-global generator; thread an explicit *rand.Rand seeded from a Seed field instead",
+						fn.Pkg().Name(), fn.Name())
+				}
+			case "time":
+				switch fn.Name() {
+				case "Now":
+					if underRandConstructor(pass, stack) {
+						pass.Reportf(call.Pos(),
+							"seed derived from wall clock: results become run-dependent; take the seed from an explicit Seed field")
+					} else {
+						pass.Reportf(call.Pos(),
+							"time.Now reads wall-clock state; simulated results must not depend on it")
+					}
+				case "Since":
+					pass.Reportf(call.Pos(),
+						"time.Since measures wall-clock elapsed time; simulated results must not depend on it")
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// callee resolves the called function, if it statically resolves to one.
+func callee(pass *analysis.Pass, call *ast.CallExpr) *types.Func {
+	var obj types.Object
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.SelectorExpr:
+		obj = pass.Info.Uses[fun.Sel]
+	case *ast.Ident:
+		obj = pass.Info.Uses[fun]
+	}
+	fn, _ := obj.(*types.Func)
+	return fn
+}
+
+// underRandConstructor reports whether one of the enclosing expressions is
+// a call to a math/rand constructor — i.e. the node under inspection is
+// being used to build a seed.
+func underRandConstructor(pass *analysis.Pass, stack []ast.Node) bool {
+	for _, n := range stack {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			continue
+		}
+		if fn := callee(pass, call); fn != nil && fn.Pkg() != nil {
+			switch fn.Pkg().Path() {
+			case "math/rand", "math/rand/v2":
+				if randConstructors[fn.Name()] {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,13 @@
+package determinism_test
+
+import (
+	"testing"
+
+	"cisp/internal/analysis/analysistest"
+	"cisp/internal/analysis/determinism"
+)
+
+func TestDeterminism(t *testing.T) {
+	analysistest.Run(t, "testdata", determinism.Analyzer,
+		"determinismtest", "mainexempt", "testexempt")
+}

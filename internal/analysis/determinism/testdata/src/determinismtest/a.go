@@ -1,0 +1,37 @@
+// Package determinismtest is golden testdata for the determinism
+// analyzer: positive cases (global generator, wall clock, wall-clock
+// seeds), negative cases (explicitly seeded *rand.Rand) and the
+// //lint:allow escape hatch.
+package determinismtest
+
+import (
+	"math/rand"
+	"time"
+)
+
+func globalGenerator() {
+	_ = rand.Intn(10)                  // want `top-level rand\.Intn draws from the process-global generator`
+	_ = rand.Float64()                 // want `top-level rand\.Float64 draws from the process-global generator`
+	rand.Shuffle(3, func(i, j int) {}) // want `top-level rand\.Shuffle draws from the process-global generator`
+}
+
+func wallClock() time.Time {
+	t0 := time.Now()   // want `time\.Now reads wall-clock state`
+	_ = time.Since(t0) // want `time\.Since measures wall-clock elapsed time`
+	return t0
+}
+
+func wallClockSeed() *rand.Rand {
+	return rand.New(rand.NewSource(time.Now().UnixNano())) // want `seed derived from wall clock`
+}
+
+func seeded(seed int64) float64 {
+	rng := rand.New(rand.NewSource(seed)) // explicit Seed threading: no finding
+	z := rand.NewZipf(rng, 1.5, 1, 100)   // constructor on an explicit rng: no finding
+	_ = z
+	return rng.Float64() // method on *rand.Rand: no finding
+}
+
+func allowedTiming() time.Time {
+	return time.Now() //lint:allow determinism -- testdata: operator-facing timing only, never feeds results
+}

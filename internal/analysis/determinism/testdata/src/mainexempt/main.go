@@ -1,0 +1,14 @@
+// Command mainexempt is golden testdata: package main (cmd/, examples/)
+// may read the wall clock and pick default seeds, so nothing here is
+// reported.
+package main
+
+import (
+	"math/rand"
+	"time"
+)
+
+func main() {
+	_ = rand.Intn(10) // package main is exempt: no finding
+	_ = time.Now()    // package main is exempt: no finding
+}

@@ -1,0 +1,14 @@
+// Package testexempt is golden testdata: _test.go files are exempt from
+// the determinism analyzer, so nothing here is reported.
+package testexempt
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+func TestUsesWallClock(t *testing.T) {
+	_ = rand.Intn(10) // test files are exempt: no finding
+	_ = time.Now()    // test files are exempt: no finding
+}

@@ -1,0 +1,12 @@
+package hotpathalloc_test
+
+import (
+	"testing"
+
+	"cisp/internal/analysis/analysistest"
+	"cisp/internal/analysis/hotpathalloc"
+)
+
+func TestHotpathAlloc(t *testing.T) {
+	analysistest.Run(t, "testdata", hotpathalloc.Analyzer, "hotpathalloctest")
+}

@@ -1,0 +1,87 @@
+package loader
+
+import (
+	"strings"
+	"testing"
+)
+
+func newTestLoader(t *testing.T) *Loader {
+	t.Helper()
+	l, err := New(".")
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if l.ModulePath != "cisp" {
+		t.Fatalf("module path = %q, want cisp", l.ModulePath)
+	}
+	return l
+}
+
+func TestLoadTypedPackage(t *testing.T) {
+	l := newTestLoader(t)
+	pkg, err := l.Load("cisp/internal/graph", false)
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if pkg.Types.Name() != "graph" {
+		t.Fatalf("package name = %q", pkg.Types.Name())
+	}
+	if len(pkg.Info.Uses) == 0 {
+		t.Fatal("no Uses recorded; type info missing")
+	}
+}
+
+func TestLoadWithTestsIncludesTestFiles(t *testing.T) {
+	l := newTestLoader(t)
+	pkg, err := l.Load("cisp/internal/parallel", true)
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	hasTest := false
+	for _, f := range pkg.Files {
+		if strings.HasSuffix(pkg.Fset.File(f.Pos()).Name(), "_test.go") {
+			hasTest = true
+		}
+	}
+	if !hasTest {
+		t.Fatal("in-package test files were not loaded")
+	}
+}
+
+func TestModulePackagesSkipsTestdata(t *testing.T) {
+	l := newTestLoader(t)
+	pkgs, err := l.ModulePackages()
+	if err != nil {
+		t.Fatalf("ModulePackages: %v", err)
+	}
+	seenRoot, seenNetsim := false, false
+	for _, p := range pkgs {
+		if strings.Contains(p, "testdata") {
+			t.Fatalf("testdata package listed: %s", p)
+		}
+		switch p {
+		case "cisp":
+			seenRoot = true
+		case "cisp/internal/netsim":
+			seenNetsim = true
+		}
+	}
+	if !seenRoot || !seenNetsim {
+		t.Fatalf("expected cisp and cisp/internal/netsim in %v", pkgs)
+	}
+}
+
+func TestLoadXTest(t *testing.T) {
+	l := newTestLoader(t)
+	// The root package has an external bench test (package cisp_test).
+	pkg, err := l.LoadXTest("cisp")
+	if err != nil {
+		t.Fatalf("LoadXTest: %v", err)
+	}
+	if pkg == nil {
+		t.Skip("no external test package at module root")
+	}
+	if pkg.Types.Name() != "cisp_test" {
+		t.Fatalf("xtest package name = %q", pkg.Types.Name())
+	}
+}

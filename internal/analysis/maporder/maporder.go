@@ -1,0 +1,310 @@
+// Package maporder implements the cisplint analyzer that catches
+// map-iteration-order dependence — the class of bug that breaks
+// bit-identical fan-out merges (DESIGN.md §9). Go randomizes map iteration
+// order on purpose, so a `range` over a map whose body appends to a
+// slice, accumulates floating point, or writes output produces different
+// bytes on different runs. The fix is the sorted-key idiom: collect the
+// keys, sort them, iterate the sorted slice. The analyzer recognizes that
+// idiom (an appended slice that is sorted after the loop) and stays
+// silent for order-insensitive bodies (counters, map writes, min/max).
+package maporder
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"cisp/internal/analysis"
+)
+
+// Analyzer flags order-dependent effects inside range-over-map bodies.
+var Analyzer = &analysis.Analyzer{
+	Name: "maporder",
+	Doc: "flags range-over-map bodies that append to slices, accumulate floats or write " +
+		"output: map order is randomized, so these produce run-dependent results; iterate sorted keys",
+	Run: run,
+}
+
+// writeMethods are method names treated as emitting output: hitting one
+// of these inside a map range writes bytes in randomized order.
+var writeMethods = map[string]bool{
+	"Write": true, "WriteString": true, "WriteByte": true, "WriteRune": true,
+	"Print": true, "Printf": true, "Println": true, "Encode": true,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		analysis.WithStack(f, func(n ast.Node, stack []ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			t := pass.Info.TypeOf(rs.X)
+			if t == nil {
+				return true
+			}
+			if _, isMap := t.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			checkBody(pass, rs, enclosingFuncBody(stack))
+			return true
+		})
+	}
+	return nil
+}
+
+// enclosingFuncBody returns the innermost function body on the stack (the
+// scope in which a sort-after-the-loop can redeem an append).
+func enclosingFuncBody(stack []ast.Node) *ast.BlockStmt {
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch fn := stack[i].(type) {
+		case *ast.FuncDecl:
+			return fn.Body
+		case *ast.FuncLit:
+			return fn.Body
+		}
+	}
+	return nil
+}
+
+func checkBody(pass *analysis.Pass, rs *ast.RangeStmt, funcBody *ast.BlockStmt) {
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			checkAssign(pass, rs, funcBody, n)
+		case *ast.CallExpr:
+			checkOutputCall(pass, rs, n)
+		}
+		return true
+	})
+}
+
+func checkAssign(pass *analysis.Pass, rs *ast.RangeStmt, funcBody *ast.BlockStmt, as *ast.AssignStmt) {
+	// Appends: x = append(x, ...) building a slice in map order.
+	if as.Tok == token.ASSIGN || as.Tok == token.DEFINE {
+		for i, rhs := range as.Rhs {
+			call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+			if !ok || !isBuiltinAppend(pass, call) || i >= len(as.Lhs) {
+				continue
+			}
+			obj := baseObject(pass, as.Lhs[i])
+			if obj == nil || declaredWithin(obj, rs) {
+				continue
+			}
+			if indexedByRangeVar(pass, rs, as.Lhs[i]) {
+				continue // per-key map slot: each iteration owns its entry
+			}
+			if sortedAfter(pass, funcBody, obj, rs.End()) {
+				continue // the sorted-key idiom: append then sort
+			}
+			pass.Reportf(as.Pos(),
+				"append to %s during range over map builds a slice in randomized order; iterate sorted keys or sort %s afterwards",
+				obj.Name(), obj.Name())
+		}
+	}
+
+	// Floating-point accumulation: += is not associative in float
+	// arithmetic, so the sum depends on iteration order bit-for-bit.
+	switch as.Tok {
+	case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+		reportFloatAccum(pass, rs, as, as.Lhs[0])
+	case token.ASSIGN:
+		// x = x + y spelled out.
+		if len(as.Lhs) == 1 && len(as.Rhs) == 1 {
+			if bin, ok := ast.Unparen(as.Rhs[0]).(*ast.BinaryExpr); ok &&
+				(bin.Op == token.ADD || bin.Op == token.SUB || bin.Op == token.MUL || bin.Op == token.QUO) {
+				lhsObj := baseObject(pass, as.Lhs[0])
+				xObj := baseObject(pass, bin.X)
+				if lhsObj != nil && lhsObj == xObj {
+					reportFloatAccum(pass, rs, as, as.Lhs[0])
+				}
+			}
+		}
+	}
+}
+
+func reportFloatAccum(pass *analysis.Pass, rs *ast.RangeStmt, as *ast.AssignStmt, lhs ast.Expr) {
+	obj := baseObject(pass, lhs)
+	if obj == nil || declaredWithin(obj, rs) {
+		return
+	}
+	if indexedByRangeVar(pass, rs, lhs) {
+		return // per-key map slot: each iteration owns its entry
+	}
+	t := pass.Info.TypeOf(lhs)
+	if t == nil {
+		return
+	}
+	if b, ok := t.Underlying().(*types.Basic); ok && b.Info()&types.IsFloat != 0 {
+		pass.Reportf(as.Pos(),
+			"floating-point accumulation into %s during range over map is order-dependent (float addition is not associative); iterate sorted keys",
+			obj.Name())
+	}
+}
+
+func checkOutputCall(pass *analysis.Pass, rs *ast.RangeStmt, call *ast.CallExpr) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	obj := pass.Info.Uses[sel.Sel]
+	fn, ok := obj.(*types.Func)
+	if !ok {
+		return
+	}
+	sig, _ := fn.Type().(*types.Signature)
+	if sig == nil {
+		return
+	}
+	if sig.Recv() == nil {
+		// Package-level writer: fmt.Print*/Fprint* emit in map order.
+		if fn.Pkg() != nil && fn.Pkg().Path() == "fmt" &&
+			(strings.HasPrefix(fn.Name(), "Print") || strings.HasPrefix(fn.Name(), "Fprint")) {
+			pass.Reportf(call.Pos(),
+				"fmt.%s during range over map writes output in randomized order; iterate sorted keys", fn.Name())
+		}
+		return
+	}
+	if writeMethods[fn.Name()] {
+		pass.Reportf(call.Pos(),
+			"%s.%s during range over map writes output in randomized order; iterate sorted keys",
+			exprString(sel.X), fn.Name())
+	}
+}
+
+// exprString renders a short receiver label for diagnostics.
+func exprString(e ast.Expr) string {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return exprString(e.X) + "." + e.Sel.Name
+	case *ast.CallExpr:
+		return exprString(e.Fun) + "()"
+	case *ast.IndexExpr:
+		return exprString(e.X) + "[...]"
+	}
+	return "receiver"
+}
+
+func isBuiltinAppend(pass *analysis.Pass, call *ast.CallExpr) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := pass.Info.Uses[id].(*types.Builtin)
+	return ok && b.Name() == "append"
+}
+
+// baseObject resolves the variable at the root of an lvalue chain
+// (x, x.f, x[i], *x → x).
+func baseObject(pass *analysis.Pass, e ast.Expr) *types.Var {
+	for {
+		switch v := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			obj, _ := pass.Info.Uses[v].(*types.Var)
+			if obj == nil {
+				obj, _ = pass.Info.Defs[v].(*types.Var)
+			}
+			return obj
+		case *ast.SelectorExpr:
+			e = v.X
+		case *ast.IndexExpr:
+			e = v.X
+		case *ast.StarExpr:
+			e = v.X
+		default:
+			return nil
+		}
+	}
+}
+
+// indexedByRangeVar reports whether lhs writes an index expression over a
+// map whose index mentions the range statement's key or value variable:
+// each iteration then touches its own entry (range keys are unique), so
+// iteration order cannot matter.
+func indexedByRangeVar(pass *analysis.Pass, rs *ast.RangeStmt, lhs ast.Expr) bool {
+	ix, ok := ast.Unparen(lhs).(*ast.IndexExpr)
+	if !ok {
+		return false
+	}
+	t := pass.Info.TypeOf(ix.X)
+	if t == nil {
+		return false
+	}
+	if _, isMap := t.Underlying().(*types.Map); !isMap {
+		return false
+	}
+	rangeVars := make(map[types.Object]bool, 2)
+	for _, e := range []ast.Expr{rs.Key, rs.Value} {
+		if id, ok := e.(*ast.Ident); ok {
+			if obj := pass.Info.Defs[id]; obj != nil {
+				rangeVars[obj] = true
+			} else if obj := pass.Info.Uses[id]; obj != nil {
+				rangeVars[obj] = true
+			}
+		}
+	}
+	found := false
+	ast.Inspect(ix.Index, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			if obj := pass.Info.Uses[id]; obj != nil && rangeVars[obj] {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// declaredWithin reports whether the object is declared inside the range
+// statement (loop-local state resets every iteration and cannot carry
+// order dependence out of the loop).
+func declaredWithin(obj types.Object, rs *ast.RangeStmt) bool {
+	return obj.Pos() >= rs.Pos() && obj.Pos() <= rs.End()
+}
+
+// sortNames is the set of sorting calls that redeem an in-loop append:
+// sort.X(keys) / slices.X(keys) after the loop makes the order canonical.
+var sortNames = map[string]bool{
+	"Sort": true, "Stable": true, "Slice": true, "SliceStable": true,
+	"Strings": true, "Ints": true, "Float64s": true,
+	"SortFunc": true, "SortStableFunc": true,
+}
+
+// sortedAfter reports whether obj is passed to a sort.*/slices.* call
+// located after pos within the enclosing function body.
+func sortedAfter(pass *analysis.Pass, funcBody *ast.BlockStmt, obj *types.Var, pos token.Pos) bool {
+	if funcBody == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(funcBody, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < pos {
+			return true
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		fn, ok := pass.Info.Uses[sel.Sel].(*types.Func)
+		if !ok || fn.Pkg() == nil {
+			return true
+		}
+		if (fn.Pkg().Path() == "sort" || fn.Pkg().Path() == "slices") && sortNames[fn.Name()] {
+			for _, arg := range call.Args {
+				if baseObject(pass, arg) == obj {
+					found = true
+					break
+				}
+			}
+		}
+		return true
+	})
+	return found
+}

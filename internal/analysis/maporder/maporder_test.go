@@ -1,0 +1,12 @@
+package maporder_test
+
+import (
+	"testing"
+
+	"cisp/internal/analysis/analysistest"
+	"cisp/internal/analysis/maporder"
+)
+
+func TestMapOrder(t *testing.T) {
+	analysistest.Run(t, "testdata", maporder.Analyzer, "mapordertest")
+}

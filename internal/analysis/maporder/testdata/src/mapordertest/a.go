@@ -1,0 +1,126 @@
+// Package mapordertest is golden testdata for the maporder analyzer:
+// order-dependent bodies (slice builds, float accumulation, output
+// writes), the sorted-key redemption idiom, order-insensitive negatives
+// and the //lint:allow escape hatch.
+package mapordertest
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+func badAppend(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k) // want `append to out during range over map`
+	}
+	return out
+}
+
+func sortedKeyIdiom(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k) // sorted below: no finding
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func sortSliceIdiom(m map[string]int) []int {
+	vals := make([]int, 0, len(m))
+	for _, v := range m {
+		vals = append(vals, v) // sorted below via sort.Slice: no finding
+	}
+	sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+	return vals
+}
+
+func badFloatSum(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m {
+		sum += v // want `floating-point accumulation into sum`
+	}
+	return sum
+}
+
+func badFloatSpelledOut(m map[string]float64) float64 {
+	total := 0.0
+	for _, v := range m {
+		total = total + v // want `floating-point accumulation into total`
+	}
+	return total
+}
+
+func intCountersAreExact(m map[string]int) int {
+	n := 0
+	for _, v := range m {
+		n += v // integer addition is commutative and exact: no finding
+	}
+	return n
+}
+
+func badFprint(m map[string]int, w io.Writer) {
+	for k, v := range m {
+		fmt.Fprintf(w, "%s=%d\n", k, v) // want `fmt\.Fprintf during range over map`
+	}
+}
+
+func badBuilderWrite(m map[string]int, sb *strings.Builder) {
+	for k := range m {
+		sb.WriteString(k) // want `sb\.WriteString during range over map`
+	}
+}
+
+func mapToMapIsOrderFree(src, dst map[string]int) {
+	for k, v := range src {
+		dst[k] = v // key-addressed writes are order-insensitive: no finding
+	}
+}
+
+func maxIsOrderFree(m map[string]float64) float64 {
+	best := 0.0
+	for _, v := range m {
+		if v > best {
+			best = v // plain assignment under max comparison: no finding
+		}
+	}
+	return best
+}
+
+func allowedAppend(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k) //lint:allow maporder -- testdata: caller canonicalizes the order
+	}
+	return out
+}
+
+func perKeySlotAppendIsOrderFree(src map[string][]int) map[string][]int {
+	out := make(map[string][]int, len(src))
+	for k, v := range src {
+		out[k] = append([]int(nil), v...) // each key owns its entry: no finding
+	}
+	return out
+}
+
+func perKeyFloatOpIsOrderFree(m map[string]float64, div float64) {
+	for k := range m {
+		m[k] /= div // key-addressed compound op touches a distinct entry: no finding
+	}
+}
+
+func sharedSlotFloatAccumIsFlagged(m map[string]float64, acc map[string]float64) {
+	for _, v := range m {
+		acc["total"] += v // want `floating-point accumulation into acc`
+	}
+}
+
+func rangeOverSliceIsFine(xs []float64) float64 {
+	var sum float64
+	for _, v := range xs {
+		sum += v // slices iterate in index order: no finding
+	}
+	return sum
+}

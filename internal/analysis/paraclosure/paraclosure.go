@@ -1,0 +1,262 @@
+// Package paraclosure implements the cisplint analyzer that guards the
+// internal/parallel fan-out contract: a callback handed to parallel.For,
+// Map, Reduce or Run must not write shared captured state — that is a
+// data race and, even when "benign", breaks the bit-identical-results
+// guarantee the worker pool exists to provide. The one sanctioned shape
+// is the index-disjoint slot idiom: writing out[i] where i is the
+// callback's own index argument (or a per-iteration loop variable), so
+// every invocation touches a distinct element. Shared counters, captured
+// maps, struct fields and writes through captured pointers are flagged;
+// use atomics, a mutex with a justified //lint:allow, or parallel.Map's
+// return-value plumbing instead.
+package paraclosure
+
+import (
+	"go/ast"
+	"go/types"
+
+	"cisp/internal/analysis"
+)
+
+// parallelPkg is the import path of the worker-pool package whose
+// callbacks are checked.
+const parallelPkg = "cisp/internal/parallel"
+
+// Analyzer flags shared-state writes in closures passed to internal/parallel.
+var Analyzer = &analysis.Analyzer{
+	Name: "paraclosure",
+	Doc: "flags closures passed to internal/parallel that write captured variables " +
+		"other than through the index-disjoint slot idiom (out[i] with i the callback's index)",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		analysis.WithStack(f, func(n ast.Node, stack []ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if !isParallelCall(pass, call) {
+				return true
+			}
+			loopVars := loopVarsOf(pass, enclosingFunc(stack))
+			for _, arg := range call.Args {
+				ast.Inspect(arg, func(m ast.Node) bool {
+					if lit, ok := m.(*ast.FuncLit); ok {
+						checkClosure(pass, lit, loopVars)
+						return false // nested lits are checked via their own walk
+					}
+					return true
+				})
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func isParallelCall(pass *analysis.Pass, call *ast.CallExpr) bool {
+	var obj types.Object
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.SelectorExpr:
+		obj = pass.Info.Uses[fun.Sel]
+	case *ast.Ident:
+		obj = pass.Info.Uses[fun]
+	}
+	fn, ok := obj.(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return false
+	}
+	// Only the exported pool API fans callbacks out to workers; unexported
+	// in-package helpers (including test fixtures) run on one goroutine.
+	return fn.Pkg().Path() == parallelPkg && fn.Exported()
+}
+
+func enclosingFunc(stack []ast.Node) ast.Node {
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch stack[i].(type) {
+		case *ast.FuncDecl, *ast.FuncLit:
+			return stack[i]
+		}
+	}
+	return nil
+}
+
+// loopVarsOf collects the loop variables of every for/range statement in
+// the enclosing function. Since Go 1.22 these are per-iteration, so a
+// closure built inside the loop owns its copy: indexing a captured slice
+// by one is the disjoint-slot idiom in its parallel.Run form
+// (tasks[k] = func() { out[k] = ... }).
+func loopVarsOf(pass *analysis.Pass, fn ast.Node) map[*types.Var]bool {
+	vars := make(map[*types.Var]bool)
+	if fn == nil {
+		return vars
+	}
+	addDef := func(e ast.Expr) {
+		if id, ok := e.(*ast.Ident); ok {
+			if v, ok := pass.Info.Defs[id].(*types.Var); ok {
+				vars[v] = true
+			}
+			if v, ok := pass.Info.Uses[id].(*types.Var); ok {
+				vars[v] = true
+			}
+		}
+	}
+	ast.Inspect(fn, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.RangeStmt:
+			addDef(n.Key)
+			addDef(n.Value)
+		case *ast.ForStmt:
+			if as, ok := n.Init.(*ast.AssignStmt); ok {
+				for _, lhs := range as.Lhs {
+					addDef(lhs)
+				}
+			}
+		case *ast.AssignStmt:
+			// The k := k shadowing idiom keeps the copy a loop variable.
+			if len(n.Lhs) == 1 && len(n.Rhs) == 1 {
+				lhsID, lok := n.Lhs[0].(*ast.Ident)
+				rhsID, rok := n.Rhs[0].(*ast.Ident)
+				if lok && rok && lhsID.Name == rhsID.Name {
+					if src, ok := pass.Info.Uses[rhsID].(*types.Var); ok && vars[src] {
+						addDef(n.Lhs[0])
+					}
+				}
+			}
+		}
+		return true
+	})
+	return vars
+}
+
+func checkClosure(pass *analysis.Pass, lit *ast.FuncLit, loopVars map[*types.Var]bool) {
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				checkWrite(pass, lit, loopVars, lhs)
+			}
+		case *ast.IncDecStmt:
+			checkWrite(pass, lit, loopVars, n.X)
+		}
+		return true
+	})
+}
+
+// checkWrite flags a write whose target is shared between workers.
+func checkWrite(pass *analysis.Pass, lit *ast.FuncLit, loopVars map[*types.Var]bool, lhs ast.Expr) {
+	e := ast.Unparen(lhs)
+	for {
+		switch v := e.(type) {
+		case *ast.Ident:
+			obj, ok := varOf(pass, v)
+			if !ok || !captured(obj, lit) {
+				return
+			}
+			pass.Reportf(lhs.Pos(),
+				"parallel callback writes captured variable %s: shared state races across workers; use the index-disjoint slot idiom (out[i]) or parallel.Map/Reduce",
+				obj.Name())
+			return
+		case *ast.IndexExpr:
+			base := pass.Info.TypeOf(v.X)
+			if base != nil {
+				if _, isMap := base.Underlying().(*types.Map); isMap {
+					if obj := rootVar(pass, v.X); obj != nil && captured(obj, lit) {
+						pass.Reportf(lhs.Pos(),
+							"parallel callback writes captured map %s: concurrent map writes race; collect per-chunk results and merge after the fan-out",
+							obj.Name())
+					}
+					return
+				}
+			}
+			// Slice/array slot: disjoint if the index is derived from the
+			// callback's own locals/params or a per-iteration loop var.
+			if indexIsDisjoint(pass, v.Index, lit, loopVars) {
+				return
+			}
+			e = ast.Unparen(v.X)
+		case *ast.SelectorExpr:
+			e = ast.Unparen(v.X)
+		case *ast.StarExpr:
+			if obj := rootVar(pass, v.X); obj != nil && captured(obj, lit) {
+				pass.Reportf(lhs.Pos(),
+					"parallel callback writes through captured pointer %s: shared state races across workers",
+					obj.Name())
+			}
+			return
+		default:
+			return
+		}
+		// Reaching here means we stripped a selector or a non-disjoint
+		// index; if the chain bottoms out in a captured variable the
+		// write is shared.
+		if id, ok := e.(*ast.Ident); ok {
+			obj, okVar := varOf(pass, id)
+			if okVar && captured(obj, lit) {
+				pass.Reportf(lhs.Pos(),
+					"parallel callback writes captured %s through a non-disjoint access; index by the callback's own i (or guard with a mutex and a justified //lint:allow)",
+					obj.Name())
+			}
+			return
+		}
+	}
+}
+
+// indexIsDisjoint reports whether the index expression references at
+// least one closure-local variable or per-iteration loop variable.
+func indexIsDisjoint(pass *analysis.Pass, idx ast.Expr, lit *ast.FuncLit, loopVars map[*types.Var]bool) bool {
+	ok := false
+	ast.Inspect(idx, func(n ast.Node) bool {
+		id, isID := n.(*ast.Ident)
+		if !isID || ok {
+			return !ok
+		}
+		if v, isVar := varOf(pass, id); isVar {
+			if !captured(v, lit) || loopVars[v] {
+				ok = true
+			}
+		}
+		return true
+	})
+	return ok
+}
+
+func varOf(pass *analysis.Pass, id *ast.Ident) (*types.Var, bool) {
+	if v, ok := pass.Info.Uses[id].(*types.Var); ok {
+		return v, !v.IsField()
+	}
+	if v, ok := pass.Info.Defs[id].(*types.Var); ok {
+		return v, !v.IsField()
+	}
+	return nil, false
+}
+
+// rootVar resolves the leftmost variable of an expression chain.
+func rootVar(pass *analysis.Pass, e ast.Expr) *types.Var {
+	for {
+		switch v := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			obj, ok := varOf(pass, v)
+			if !ok {
+				return nil
+			}
+			return obj
+		case *ast.SelectorExpr:
+			e = v.X
+		case *ast.IndexExpr:
+			e = v.X
+		case *ast.StarExpr:
+			e = v.X
+		default:
+			return nil
+		}
+	}
+}
+
+// captured reports whether the variable is declared outside the closure
+// (including package-level shared state).
+func captured(v *types.Var, lit *ast.FuncLit) bool {
+	return v.Pos() < lit.Pos() || v.Pos() >= lit.End()
+}

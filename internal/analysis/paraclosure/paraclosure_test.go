@@ -1,0 +1,12 @@
+package paraclosure_test
+
+import (
+	"testing"
+
+	"cisp/internal/analysis/analysistest"
+	"cisp/internal/analysis/paraclosure"
+)
+
+func TestParaclosure(t *testing.T) {
+	analysistest.Run(t, "testdata", paraclosure.Analyzer, "paraclosuretest")
+}

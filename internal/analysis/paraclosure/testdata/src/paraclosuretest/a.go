@@ -1,0 +1,85 @@
+// Package paraclosuretest is golden testdata for the paraclosure
+// analyzer: shared captured writes (scalars, maps, fields, pointers,
+// non-disjoint indices), the sanctioned index-disjoint slot idiom, and
+// the //lint:allow escape hatch.
+package paraclosuretest
+
+import "cisp/internal/parallel"
+
+func badSharedScalar(n int) int {
+	total := 0
+	parallel.For(n, 1, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			total += i // want `writes captured variable total`
+		}
+	})
+	return total
+}
+
+func goodDisjointSlots(n int) []int {
+	out := make([]int, n)
+	parallel.For(n, 1, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			out[i] = i * i // disjoint slot indexed by the callback's own i: no finding
+		}
+	})
+	return out
+}
+
+func badCapturedMap(n int, m map[int]int) {
+	parallel.For(n, 1, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			m[i] = i // want `writes captured map m`
+		}
+	})
+}
+
+func badSharedIndex(n int, out []int, j int) {
+	parallel.For(n, 1, func(lo, hi int) {
+		out[j] = lo // want `non-disjoint access`
+	})
+}
+
+type acc struct{ sum int }
+
+func badFieldWrite(n int, a *acc) {
+	parallel.For(n, 1, func(lo, hi int) {
+		a.sum += lo // want `non-disjoint access`
+	})
+}
+
+func badPointerWrite(n int, p *int) {
+	parallel.For(n, 1, func(lo, hi int) {
+		*p = lo // want `through captured pointer p`
+	})
+}
+
+func goodMapPlumbing(n int) []int {
+	return parallel.Map(n, 1, func(i int) int { return i * i })
+}
+
+func goodReducePlumbing(n int) int {
+	return parallel.Reduce(n, 1,
+		func(lo, hi int) int {
+			s := 0
+			for i := lo; i < hi; i++ {
+				s += i // closure-local accumulator: no finding
+			}
+			return s
+		},
+		func(a, b int) int { return a + b })
+}
+
+func goodLoopVarSlot(outs []int) {
+	for k := 0; k < 2; k++ {
+		parallel.Run(1, []func(){func() { outs[k] = k }}) // per-iteration loop var indexes a disjoint slot: no finding
+	}
+}
+
+func allowedGuardedWrite(n int) int {
+	total := 0
+	parallel.For(n, 1, func(lo, hi int) {
+		total += lo //lint:allow paraclosure -- testdata: stands in for a mutex-guarded aggregation
+	})
+	return total
+}

@@ -1,0 +1,23 @@
+// Package suite aggregates the cisplint analyzers. cmd/cisplint, the
+// repo-wide meta-test and any future driver all take the list from here,
+// so the vettool, CI and the tests can never disagree about what "the
+// suite" is.
+package suite
+
+import (
+	"cisp/internal/analysis"
+	"cisp/internal/analysis/determinism"
+	"cisp/internal/analysis/hotpathalloc"
+	"cisp/internal/analysis/maporder"
+	"cisp/internal/analysis/paraclosure"
+)
+
+// All returns every cisplint analyzer, in reporting order.
+func All() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		determinism.Analyzer,
+		maporder.Analyzer,
+		hotpathalloc.Analyzer,
+		paraclosure.Analyzer,
+	}
+}

@@ -1,0 +1,84 @@
+package suite_test
+
+import (
+	"testing"
+
+	"cisp/internal/analysis"
+	"cisp/internal/analysis/loader"
+	"cisp/internal/analysis/suite"
+)
+
+// TestRepoIsLintClean is the enforcement meta-test: the whole module —
+// every package, in-package tests included, external test packages too —
+// must produce zero unsuppressed cisplint findings. This is the same
+// suite `go vet -vettool=cisplint ./...` runs in CI; the test form keeps
+// the guarantee local and hermetic (no go list, no export data).
+func TestRepoIsLintClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module; skipped in -short mode")
+	}
+	l, err := loader.New(".")
+	if err != nil {
+		t.Fatalf("loader: %v", err)
+	}
+	pkgs, err := l.ModulePackages()
+	if err != nil {
+		t.Fatalf("enumerating module packages: %v", err)
+	}
+	if len(pkgs) < 10 {
+		t.Fatalf("suspiciously few packages (%d): %v", len(pkgs), pkgs)
+	}
+	analyzers := suite.All()
+	total := 0
+	for _, ip := range pkgs {
+		units := make([]*loader.Package, 0, 2)
+		p, err := l.Load(ip, true)
+		if err != nil {
+			t.Errorf("%s: %v", ip, err)
+			continue
+		}
+		units = append(units, p)
+		if x, err := l.LoadXTest(ip); err != nil {
+			t.Errorf("%s (external tests): %v", ip, err)
+		} else if x != nil {
+			units = append(units, x)
+		}
+		for _, u := range units {
+			findings, err := analysis.RunUnit(u.Fset, u.Files, u.Types, u.Info, analyzers)
+			if err != nil {
+				t.Errorf("%s: %v", u.ImportPath, err)
+				continue
+			}
+			for _, f := range findings {
+				total++
+				t.Errorf("%s", f)
+			}
+		}
+	}
+	if total > 0 {
+		t.Logf("%d unsuppressed findings; fix them or add //lint:allow <analyzer> -- <justification>", total)
+	}
+}
+
+// TestSuiteIsComplete pins the analyzer roster: adding an analyzer means
+// deliberately growing this list.
+func TestSuiteIsComplete(t *testing.T) {
+	want := map[string]bool{
+		"determinism": true, "maporder": true, "hotpathalloc": true, "paraclosure": true,
+	}
+	all := suite.All()
+	if len(all) != len(want) {
+		t.Fatalf("suite has %d analyzers, want %d", len(all), len(want))
+	}
+	for _, a := range all {
+		if !want[a.Name] {
+			t.Errorf("unexpected analyzer %q", a.Name)
+		}
+		if a.Doc == "" {
+			t.Errorf("analyzer %q has no Doc", a.Name)
+		}
+		if a.Run == nil {
+			t.Errorf("analyzer %q has no Run", a.Name)
+		}
+	}
+}

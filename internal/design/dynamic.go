@@ -75,11 +75,24 @@ func (dy *Dynamic) NewScratch() *DynScratch {
 // redundant Dijkstra, never a stale distance.
 const removalEps = 1e-9
 
+// containsInt reports whether xs contains v. Removal sets are tiny (1-3
+// links), so a linear scan beats any set structure.
+func containsInt(xs []int, v int) bool {
+	for _, x := range xs {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
 // DistWithout returns the all-pairs latency-distance matrix of the hybrid
 // graph with the given built-link indices (positions in t.Built) removed.
 // Rows untouched by the removals alias the topology's own matrix, so the
 // result must be treated as read-only and is only valid until the next
 // DistWithout call on the same scratch.
+//
+//cisp:hotpath
 func (dy *Dynamic) DistWithout(removed []int, sc *DynScratch) [][]float64 {
 	t := dy.t
 	if len(removed) == 0 {
@@ -95,16 +108,8 @@ func (dy *Dynamic) DistWithout(removed []int, sc *DynScratch) [][]float64 {
 		f := t.fiberD[l.I][l.J]
 		sc.weight[l.I][l.J], sc.weight[l.J][l.I] = f, f
 	}
-	inRemoved := func(li int) bool {
-		for _, r := range removed {
-			if r == li {
-				return true
-			}
-		}
-		return false
-	}
 	for li, l := range t.Built {
-		if inRemoved(li) {
+		if containsInt(removed, li) {
 			continue
 		}
 		for _, r := range removed {

@@ -1,0 +1,56 @@
+package experiments
+
+import (
+	"encoding/json"
+	"os"
+
+	"cisp"
+	"cisp/internal/netsim"
+)
+
+// scaleName renders a cisp.Scale for the benchmark record.
+func scaleName(s cisp.Scale) string {
+	switch s {
+	case cisp.ScaleSmall:
+		return "small"
+	case cisp.ScaleMedium:
+		return "medium"
+	case cisp.ScaleFull:
+		return "full"
+	}
+	return "unknown"
+}
+
+// BenchRecord is the machine-readable benchmark document CI emits
+// (BENCH_netsim.json): one §6.4 traffic-mix replay per engine with
+// throughput figures (flows/sec, ns/event) for trend tracking across
+// commits.
+type BenchRecord struct {
+	Schema  string // "cisp-bench-netsim/1"
+	Scale   string
+	Seed    int64
+	Engines []Fig6ScaleResult
+}
+
+// BenchNetsim replays the designed-backbone traffic mix on both engines
+// and writes the throughput record to path as JSON. Flow counts are per
+// engine (the packet engine clamps itself at its practical limit). Any
+// engine that fails to run is simply absent from the record.
+func BenchNetsim(opt Options, packetFlows, fluidFlows int, path string) error {
+	rec := BenchRecord{
+		Schema: "cisp-bench-netsim/1",
+		Scale:  scaleName(opt.Scale),
+		Seed:   opt.Seed,
+	}
+	if r := Fig6Scale(opt, netsim.PacketMode, packetFlows); r != nil {
+		rec.Engines = append(rec.Engines, *r)
+	}
+	if r := Fig6Scale(opt, netsim.FluidMode, fluidFlows); r != nil {
+		rec.Engines = append(rec.Engines, *r)
+	}
+	data, err := json.MarshalIndent(rec, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

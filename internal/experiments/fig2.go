@@ -53,25 +53,27 @@ func Fig2Scaling(opt Options, sizes []int, ilpMax, flowMax int) *Fig2Result {
 		prob.Budget = 50 * float64(n)
 		row := Fig2Row{Cities: n}
 
-		start := time.Now()
+		// Solver wall-clock runtime is the quantity Fig. 2 reports (design
+		// time vs. problem size); it never seeds or steers a simulation.
+		start := time.Now() //lint:allow determinism -- measured quantity of the figure, not simulation input
 		cispTop := design.GreedyILP(prob, 50_000)
-		row.CISPSeconds = time.Since(start).Seconds()
+		row.CISPSeconds = time.Since(start).Seconds() //lint:allow determinism -- measured quantity of the figure, not simulation input
 		row.CISPStretch = cispTop.MeanStretch()
 
 		if n <= ilpMax {
-			start = time.Now()
+			start = time.Now() //lint:allow determinism -- measured quantity of the figure, not simulation input
 			exact := design.Exact(prob, design.ExactOptions{MaxNodes: 1_000_000})
-			row.ILPSeconds = time.Since(start).Seconds()
+			row.ILPSeconds = time.Since(start).Seconds() //lint:allow determinism -- measured quantity of the figure, not simulation input
 			row.ILPStretch = exact.MeanStretch()
 			row.ILPRan = true
 		}
 		if n <= flowMax {
-			start = time.Now()
+			start = time.Now() //lint:allow determinism -- measured quantity of the figure, not simulation input
 			if _, _, err := design.FlowILP(prob, design.FlowILPOptions{
 				Prune: true,
 				ILP:   ilp.Options{MaxNodes: 20_000, Timeout: 2 * time.Minute},
 			}); err == nil {
-				row.FlowSeconds = time.Since(start).Seconds()
+				row.FlowSeconds = time.Since(start).Seconds() //lint:allow determinism -- measured quantity of the figure, not simulation input
 				row.FlowRan = true
 			}
 		}

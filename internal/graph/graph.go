@@ -8,9 +8,10 @@
 package graph
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
+
+	"cisp/internal/xheap"
 )
 
 // Edge is a directed half-edge in an adjacency list.
@@ -72,19 +73,10 @@ type item struct {
 	dist float64
 }
 
-type pq []item
-
-func (q pq) Len() int            { return len(q) }
-func (q pq) Less(i, j int) bool  { return q[i].dist < q[j].dist }
-func (q pq) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
-func (q *pq) Push(x interface{}) { *q = append(*q, x.(item)) }
-func (q *pq) Pop() interface{} {
-	old := *q
-	n := len(old)
-	it := old[n-1]
-	*q = old[:n-1]
-	return it
-}
+// itemLess orders the Dijkstra frontier by tentative distance. Equal
+// distances pop in heap order, which is deterministic for a given input;
+// dist/prev results do not depend on how such ties break.
+func itemLess(a, b item) bool { return a.dist < b.dist }
 
 // Dijkstra computes single-source shortest distances from src. Unreachable
 // nodes get +Inf distance and prev -1. prev[src] is -1.
@@ -101,19 +93,23 @@ func (g *Graph) DijkstraBlocked(src int, blocked []bool) (dist []float64, prev [
 
 // dijkstra runs until exhaustion or until target is settled (target=-1 to
 // settle all nodes).
+//
+//cisp:hotpath
 func (g *Graph) dijkstra(src, target int, blocked []bool) ([]float64, []int) {
 	n := len(g.adj)
-	dist := make([]float64, n)
-	prev := make([]int, n)
-	done := make([]bool, n)
+	// Once-per-call result and frontier setup, amortized over O(E log V)
+	// relaxations; the relaxation loop below is allocation-free.
+	dist := make([]float64, n) //lint:allow hotpathalloc -- once-per-call setup, also the return value
+	prev := make([]int, n)     //lint:allow hotpathalloc -- once-per-call setup, also the return value
+	done := make([]bool, n)    //lint:allow hotpathalloc -- once-per-call setup
 	for i := range dist {
 		dist[i] = math.Inf(1)
 		prev[i] = -1
 	}
 	dist[src] = 0
-	q := pq{{node: src, dist: 0}}
+	q := []item{{node: src, dist: 0}} //lint:allow hotpathalloc -- once-per-call frontier seed
 	for len(q) > 0 {
-		it := heap.Pop(&q).(item)
+		it := xheap.Pop(&q, itemLess)
 		u := it.node
 		if done[u] {
 			continue
@@ -130,7 +126,7 @@ func (g *Graph) dijkstra(src, target int, blocked []bool) ([]float64, []int) {
 			if nd := dist[u] + e.Weight; nd < dist[v] {
 				dist[v] = nd
 				prev[v] = u
-				heap.Push(&q, item{node: v, dist: nd})
+				xheap.Push(&q, item{node: v, dist: nd}, itemLess)
 			}
 		}
 	}

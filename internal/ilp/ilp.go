@@ -58,7 +58,10 @@ func Solve(p *Problem, opt Options) (*Solution, error) {
 	}
 	deadline := time.Time{}
 	if opt.Timeout > 0 {
-		deadline = time.Now().Add(opt.Timeout)
+		// A wall-clock budget makes the incumbent returned at timeout
+		// machine-dependent; callers wanting bit-identical results must
+		// bound by MaxNodes instead (the default) and leave Timeout zero.
+		deadline = time.Now().Add(opt.Timeout) //lint:allow determinism -- opt-in solver budget; deterministic runs use MaxNodes
 	}
 
 	// Base problem with 0 ≤ x_b ≤ 1 bounds for binaries.
@@ -82,7 +85,7 @@ func Solve(p *Problem, opt Options) (*Solution, error) {
 	sawFeasibleLP := false
 
 	for len(stack) > 0 {
-		if nodes >= maxNodes || (!deadline.IsZero() && time.Now().After(deadline)) {
+		if nodes >= maxNodes || (!deadline.IsZero() && time.Now().After(deadline)) { //lint:allow determinism -- opt-in solver budget; deterministic runs use MaxNodes
 			if best != nil {
 				best.Status = Feasible
 				best.Nodes = nodes

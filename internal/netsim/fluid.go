@@ -1,9 +1,10 @@
 package netsim
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
+
+	"cisp/internal/xheap"
 )
 
 // FluidSim is the flow-level counterpart of the packet simulator: instead of
@@ -33,11 +34,12 @@ type FluidSim struct {
 	// staleness for fewer heap operations on huge runs.
 	RateTol float64
 
-	nNodes  int
-	links   []fluidLink
-	linkIdx map[[2]int]int32
-	groups  []fluidGroup
-	now     float64
+	nNodes    int
+	processed int64 // events executed (live departures + arrivals)
+	links     []fluidLink
+	linkIdx   map[[2]int]int32
+	groups    []fluidGroup
+	now       float64
 
 	// Per-flow state, indexed by flow ID (assigned densely by StartAt).
 	flowRoute []int32
@@ -58,8 +60,8 @@ type FluidSim struct {
 	activeG   int // groups with at least one running flow
 	completed int
 
-	arrivals arrivalHeap
-	deps     depHeap
+	arrivals []arrivalItem
+	deps     []depItem
 
 	// Allocator state. linkW is maintained incrementally (active flows per
 	// link); scratch arrays are reused across recomputations.
@@ -79,13 +81,13 @@ type fluidLink struct {
 
 type fluidGroup struct {
 	links    []int32
-	n        int     // active flows
-	rate     float64 // per-flow rate, bps
-	svc      float64 // cumulative per-flow service, bytes
-	lastT    float64 // time svc was last advanced to
-	thr      thrHeap // pending departure thresholds, min first
-	gen      int64   // invalidates stale departure events
-	hasEvent bool    // a departure event with the current gen is queued
+	n        int       // active flows
+	rate     float64   // per-flow rate, bps
+	svc      float64   // cumulative per-flow service, bytes
+	lastT    float64   // time svc was last advanced to
+	thr      []thrItem // pending departure thresholds, min first
+	gen      int64     // invalidates stale departure events
+	hasEvent bool      // a departure event with the current gen is queued
 }
 
 type thrItem struct {
@@ -93,23 +95,13 @@ type thrItem struct {
 	flow int32
 }
 
-type thrHeap []thrItem
-
-func (h thrHeap) Len() int { return len(h) }
-func (h thrHeap) Less(i, j int) bool {
-	if h[i].thr != h[j].thr {
-		return h[i].thr < h[j].thr
+// thrLess orders departure thresholds min-first, flow ID as tie-break.
+// Top-level so xheap call sites stay allocation-free (DESIGN.md §9).
+func thrLess(a, b thrItem) bool {
+	if a.thr != b.thr {
+		return a.thr < b.thr
 	}
-	return h[i].flow < h[j].flow
-}
-func (h thrHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *thrHeap) Push(x interface{}) { *h = append(*h, x.(thrItem)) }
-func (h *thrHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	it := old[n-1]
-	*h = old[:n-1]
-	return it
+	return a.flow < b.flow
 }
 
 type depItem struct {
@@ -118,23 +110,12 @@ type depItem struct {
 	gen int64
 }
 
-type depHeap []depItem
-
-func (h depHeap) Len() int { return len(h) }
-func (h depHeap) Less(i, j int) bool {
-	if h[i].t != h[j].t {
-		return h[i].t < h[j].t
+// depLess orders departure events by time, group index as tie-break.
+func depLess(a, b depItem) bool {
+	if a.t != b.t {
+		return a.t < b.t
 	}
-	return h[i].g < h[j].g
-}
-func (h depHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *depHeap) Push(x interface{}) { *h = append(*h, x.(depItem)) }
-func (h *depHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	it := old[n-1]
-	*h = old[:n-1]
-	return it
+	return a.g < b.g
 }
 
 type arrivalItem struct {
@@ -142,23 +123,12 @@ type arrivalItem struct {
 	flow int32
 }
 
-type arrivalHeap []arrivalItem
-
-func (h arrivalHeap) Len() int { return len(h) }
-func (h arrivalHeap) Less(i, j int) bool {
-	if h[i].t != h[j].t {
-		return h[i].t < h[j].t
+// arrivalLess orders arrivals by time, flow ID as tie-break.
+func arrivalLess(a, b arrivalItem) bool {
+	if a.t != b.t {
+		return a.t < b.t
 	}
-	return h[i].flow < h[j].flow
-}
-func (h arrivalHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *arrivalHeap) Push(x interface{}) { *h = append(*h, x.(arrivalItem)) }
-func (h *arrivalHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	it := old[n-1]
-	*h = old[:n-1]
-	return it
+	return a.flow < b.flow
 }
 
 // NewFluid builds a fluid simulator over the duplex topology (two directed
@@ -224,7 +194,7 @@ func (f *FluidSim) StartAt(route int, bytes float64, at float64) int {
 	f.flowStart = append(f.flowStart, at)
 	f.flowFCT = append(f.flowFCT, -1)
 	f.flowCredited = append(f.flowCredited, 0)
-	heap.Push(&f.arrivals, arrivalItem{t: at, flow: id})
+	xheap.Push(&f.arrivals, arrivalItem{t: at, flow: id}, arrivalLess)
 	return int(id)
 }
 
@@ -235,6 +205,11 @@ func (f *FluidSim) Start(route int, bytes float64) int {
 
 // Now returns the current simulation time in seconds.
 func (f *FluidSim) Now() float64 { return f.now }
+
+// Processed returns the number of events executed (live departure and
+// arrival events; stale, superseded departures are not counted). The
+// benchmark harness divides wall time by it to report ns/event.
+func (f *FluidSim) Processed() int64 { return f.processed }
 
 // Active returns the number of currently running flows.
 func (f *FluidSim) Active() int { return f.active }
@@ -360,7 +335,7 @@ func (f *FluidSim) Reroute(flow, route int) {
 	// Detach from the old group.
 	for i := range g.thr {
 		if g.thr[i].flow == int32(flow) {
-			heap.Remove(&g.thr, i)
+			xheap.Remove(&g.thr, i, thrLess)
 			break
 		}
 	}
@@ -394,13 +369,15 @@ func (f *FluidSim) Reroute(flow, route int) {
 	ng.hasEvent = false
 	f.flowRoute[flow] = int32(route)
 	f.flowThr[flow] = ng.svc + remaining
-	heap.Push(&ng.thr, thrItem{thr: ng.svc + remaining, flow: int32(flow)})
+	xheap.Push(&ng.thr, thrItem{thr: ng.svc + remaining, flow: int32(flow)}, thrLess)
 	for _, li := range ng.links {
 		f.linkW[li]++
 	}
 }
 
 // advance accrues a group's service up to the current time.
+//
+//cisp:hotpath
 func (f *FluidSim) advance(g *fluidGroup) {
 	if f.now > g.lastT {
 		g.svc += g.rate / 8 * (f.now - g.lastT)
@@ -411,6 +388,8 @@ func (f *FluidSim) advance(g *fluidGroup) {
 // Run processes arrivals and departures until the event queues drain or
 // simulated time reaches until (inclusive). Rates are recomputed after each
 // batch of same-time events.
+//
+//cisp:hotpath
 func (f *FluidSim) Run(until float64) {
 	for {
 		tA, tD := math.Inf(1), math.Inf(1)
@@ -421,7 +400,7 @@ func (f *FluidSim) Run(until float64) {
 		for len(f.deps) > 0 {
 			top := f.deps[0]
 			if g := &f.groups[top.g]; g.gen != top.gen {
-				heap.Pop(&f.deps)
+				xheap.Pop(&f.deps, depLess)
 				continue
 			}
 			tD = top.t
@@ -438,17 +417,19 @@ func (f *FluidSim) Run(until float64) {
 		// Departures first: their service accrual is closed at t before any
 		// same-instant arrival perturbs the group.
 		for len(f.deps) > 0 && f.deps[0].t <= f.now {
-			it := heap.Pop(&f.deps).(depItem)
+			it := xheap.Pop(&f.deps, depLess)
 			g := &f.groups[it.g]
 			if g.gen != it.gen {
 				continue
 			}
 			f.departGroup(it.g)
+			f.processed++
 			changed = true
 		}
 		for len(f.arrivals) > 0 && f.arrivals[0].t <= f.now {
-			it := heap.Pop(&f.arrivals).(arrivalItem)
+			it := xheap.Pop(&f.arrivals, arrivalLess)
 			f.admit(it)
+			f.processed++
 			changed = true
 		}
 		if changed {
@@ -470,6 +451,8 @@ func (f *FluidSim) Run(until float64) {
 // admit activates an arrived flow on its current route (flowRoute is read
 // at admission, not at StartAt, so a Reroute of a still-pending flow takes
 // effect when the flow starts).
+//
+//cisp:hotpath
 func (f *FluidSim) admit(it arrivalItem) {
 	g := &f.groups[f.flowRoute[it.flow]]
 	f.advance(g)
@@ -481,7 +464,7 @@ func (f *FluidSim) admit(it arrivalItem) {
 	g.hasEvent = false
 	bytes := f.flowBytes[it.flow]
 	f.flowThr[it.flow] = g.svc + bytes
-	heap.Push(&g.thr, thrItem{thr: g.svc + bytes, flow: it.flow})
+	xheap.Push(&g.thr, thrItem{thr: g.svc + bytes, flow: it.flow}, thrLess)
 	for _, li := range g.links {
 		f.linkW[li]++
 	}
@@ -490,6 +473,8 @@ func (f *FluidSim) admit(it arrivalItem) {
 
 // departGroup completes every flow of the group whose threshold has been
 // reached at the current time.
+//
+//cisp:hotpath
 func (f *FluidSim) departGroup(gi int32) {
 	g := &f.groups[gi]
 	f.advance(g)
@@ -500,7 +485,7 @@ func (f *FluidSim) departGroup(gi int32) {
 		g.svc = g.thr[0].thr
 	}
 	for len(g.thr) > 0 && g.thr[0].thr <= g.svc {
-		it := heap.Pop(&g.thr).(thrItem)
+		it := xheap.Pop(&g.thr, thrLess)
 		f.flowFCT[it.flow] = f.now - f.flowStart[it.flow]
 		f.completed++
 		f.active--
@@ -523,6 +508,8 @@ func (f *FluidSim) departGroup(gi int32) {
 // frozen routes from their other links. Groups whose rate changed (beyond
 // RateTol) or whose pending event was invalidated get a fresh departure
 // event.
+//
+//cisp:hotpath
 func (f *FluidSim) recompute() {
 	f.epoch++
 	for li := range f.links {
@@ -574,6 +561,8 @@ func (f *FluidSim) recompute() {
 // only suppresses the event reschedule for sub-tolerance changes (the
 // outstanding event then fires up to tolerance-early or -late, which
 // departGroup absorbs).
+//
+//cisp:hotpath
 func (f *FluidSim) setRate(gi int32, r float64) {
 	g := &f.groups[gi]
 	reschedule := r != g.rate
@@ -592,7 +581,7 @@ func (f *FluidSim) setRate(gi int32, r float64) {
 			if dt < 0 {
 				dt = 0
 			}
-			heap.Push(&f.deps, depItem{t: g.lastT + dt, g: gi, gen: g.gen})
+			xheap.Push(&f.deps, depItem{t: g.lastT + dt, g: gi, gen: g.gen}, depLess)
 			g.hasEvent = true
 		}
 	}

@@ -245,23 +245,27 @@ func (nw *Network) OnDeliver(flow int, fn func(*Packet)) { nw.flow(flow).deliver
 
 // newPacket returns a zeroed packet from the pool (or a fresh one), marked
 // for recycling on delivery or drop.
+//
+//cisp:hotpath
 func (nw *Network) newPacket() *Packet {
 	if n := len(nw.pool); n > 0 {
 		p := nw.pool[n-1]
 		nw.pool = nw.pool[:n-1]
 		return p
 	}
-	return &Packet{pooled: true}
+	return &Packet{pooled: true} //lint:allow hotpathalloc -- pool miss only; the packet is recycled thereafter
 }
 
 // release recycles a pool-allocated packet. Externally built packets (plain
 // &Packet{} handed to Inject) are left alone.
+//
+//cisp:hotpath
 func (nw *Network) release(p *Packet) {
 	if !p.pooled {
 		return
 	}
 	*p = Packet{pooled: true}
-	nw.pool = append(nw.pool, p)
+	nw.pool = append(nw.pool, p) //lint:allow hotpathalloc -- amortized growth of the recycling pool
 }
 
 // Inject sends pkt from its Src node, stamping SentAt. Packets whose flow
@@ -290,6 +294,8 @@ func (nw *Network) Inject(pkt *Packet) {
 }
 
 // step moves pkt one hop (or delivers it).
+//
+//cisp:hotpath
 func (nw *Network) step(pkt *Packet) {
 	if pkt.hop >= len(pkt.hops) {
 		if h := nw.flows[pkt.Flow].deliver; h != nil {
@@ -305,6 +311,8 @@ func (nw *Network) step(pkt *Packet) {
 
 // enqueue places pkt on the link, dropping if the link is down, the queue
 // is full or the link's Drop hook claims it.
+//
+//cisp:hotpath
 func (l *Link) enqueue(pkt *Packet) {
 	if l.down {
 		l.Drops++
@@ -321,7 +329,7 @@ func (l *Link) enqueue(pkt *Packet) {
 		l.net.release(pkt)
 		return
 	}
-	l.queue = append(l.queue, pkt)
+	l.queue = append(l.queue, pkt) //lint:allow hotpathalloc -- amortized growth of the FIFO backing array
 	if q := l.QueueLen(); q > l.maxQueueLen {
 		l.maxQueueLen = q
 	}

@@ -148,6 +148,12 @@ type ScenarioResult struct {
 	// fluid mode it is served bytes over capacity × elapsed.
 	LinkLoads []LinkLoad
 	MLU       float64
+
+	// EventsProcessed counts simulator events executed during the run: all
+	// discrete events in packet mode, live arrival/departure events in
+	// fluid mode. Benchmarks report wall time / EventsProcessed as
+	// ns/event.
+	EventsProcessed int64
 }
 
 // FCTs returns the completion times of all completed flows, in flow order.
@@ -483,6 +489,7 @@ func (sc *Scenario) runPacket() *ScenarioResult {
 	}
 	sim.Run(horizon)
 	res.End = sim.Now()
+	res.EventsProcessed = sim.Processed()
 	for _, l := range conns {
 		fr := &res.Flows[l.idx]
 		if fr.Completed {
@@ -494,6 +501,7 @@ func (sc *Scenario) runPacket() *ScenarioResult {
 	}
 	loads := make([]LinkLoad, 0, len(nw.Links()))
 	for _, l := range nw.Links() {
+		//lint:allow maporder -- finishLinkLoads sorts loads by (From, To) before recording
 		loads = append(loads, LinkLoad{From: l.From, To: l.To, Utilization: l.Utilization(res.End)})
 	}
 	res.finishLinkLoads(loads)
@@ -639,6 +647,7 @@ func (sc *Scenario) runFluid() *ScenarioResult {
 	}
 	f.Run(horizon)
 	res.End = f.Now()
+	res.EventsProcessed = f.Processed()
 	for _, l := range flows {
 		fr := &res.Flows[l.idx]
 		if fct, done := f.FCT(l.fid); done {

@@ -20,13 +20,14 @@
 // routing. Bulk runs fan out over internal/parallel via RunMany.
 package netsim
 
-import "container/heap"
+import "cisp/internal/xheap"
 
 // Simulator is a discrete-event scheduler. The zero value is ready to use.
 type Simulator struct {
-	now    float64 // seconds
-	seq    int64
-	events eventHeap
+	now       float64 // seconds
+	seq       int64
+	processed int64
+	events    []event
 }
 
 type event struct {
@@ -35,23 +36,13 @@ type event struct {
 	fn  func()
 }
 
-type eventHeap []event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+// eventLess orders events by time, FIFO within a timestamp. Top-level so
+// the xheap call sites pass a static (non-capturing, non-allocating) func.
+func eventLess(a, b event) bool {
+	if a.at != b.at {
+		return a.at < b.at
 	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	*h = old[:n-1]
-	return e
+	return a.seq < b.seq
 }
 
 // Now returns the current simulation time in seconds.
@@ -59,26 +50,31 @@ func (s *Simulator) Now() float64 { return s.now }
 
 // Schedule runs fn after delay seconds of simulated time. Negative delays
 // are clamped to zero (run "now", after pending same-time events).
+//
+//cisp:hotpath
 func (s *Simulator) Schedule(delay float64, fn func()) {
 	if delay < 0 {
 		delay = 0
 	}
 	s.seq++
-	heap.Push(&s.events, event{at: s.now + delay, seq: s.seq, fn: fn})
+	xheap.Push(&s.events, event{at: s.now + delay, seq: s.seq, fn: fn}, eventLess)
 }
 
 // Run processes events until the queue drains or simulated time reaches
 // until (inclusive of events scheduled exactly at until).
+//
+//cisp:hotpath
 func (s *Simulator) Run(until float64) {
 	for len(s.events) > 0 {
 		e := s.events[0]
 		if e.at > until {
 			break
 		}
-		heap.Pop(&s.events)
+		xheap.Pop(&s.events, eventLess)
 		if e.at > s.now {
 			s.now = e.at
 		}
+		s.processed++
 		e.fn()
 	}
 	if s.now < until {
@@ -88,3 +84,7 @@ func (s *Simulator) Run(until float64) {
 
 // Pending returns the number of queued events (useful in tests).
 func (s *Simulator) Pending() int { return len(s.events) }
+
+// Processed returns the number of events executed so far; the benchmark
+// harness divides wall time by it to report ns/event.
+func (s *Simulator) Processed() int64 { return s.processed }

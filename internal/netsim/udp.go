@@ -1,6 +1,9 @@
 package netsim
 
-import "math/rand"
+import (
+	"math/rand"
+	"sort"
+)
 
 // FlowStats accumulates FlowMonitor-style per-flow metrics.
 type FlowStats struct {
@@ -43,10 +46,18 @@ func (m *FlowMonitor) Flow(id int) *FlowStats {
 	return f
 }
 
-// Aggregate sums all per-flow stats.
+// Aggregate sums all per-flow stats. Flows are folded in ID order so the
+// float DelaySum is bit-identical run to run (map order is randomized and
+// float addition is not associative).
 func (m *FlowMonitor) Aggregate() FlowStats {
 	var a FlowStats
-	for _, f := range m.flows {
+	ids := make([]int, 0, len(m.flows))
+	for id := range m.flows {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		f := m.flows[id]
 		a.TxPackets += f.TxPackets
 		a.RxPackets += f.RxPackets
 		a.DelaySum += f.DelaySum

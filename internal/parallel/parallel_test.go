@@ -48,7 +48,9 @@ func TestForFewerItemsThanWorkers(t *testing.T) {
 
 func TestForEmptyRange(t *testing.T) {
 	called := false
+	//lint:allow paraclosure -- asserts the callback never runs on an empty range; a write implies test failure
 	For(0, 1, func(lo, hi int) { called = true })
+	//lint:allow paraclosure -- asserts the callback never runs on an empty range; a write implies test failure
 	For(-5, 1, func(lo, hi int) { called = true })
 	if called {
 		t.Fatal("fn called on empty range")
@@ -59,6 +61,7 @@ func TestForGrainRunsInline(t *testing.T) {
 	// n <= grain must run inline in chunk order even with a wide pool.
 	withWorkers(t, 8, func() {
 		var order []int
+		//lint:allow paraclosure -- deliberately unsynchronized: the test proves n <= grain runs inline on one goroutine
 		For(10, 10, func(lo, hi int) { order = append(order, lo) }) // no races iff inline
 		for i := 1; i < len(order); i++ {
 			if order[i] <= order[i-1] {
@@ -199,9 +202,9 @@ func TestRunSequentialPanicStopsImmediately(t *testing.T) {
 		}
 	}()
 	Run(1, []func(){
-		func() { ran++ },
+		func() { ran++ }, //lint:allow paraclosure -- Run(1, ...) is sequential by construction; counts tasks before the panic
 		func() { panic("task1") },
-		func() { ran++ },
+		func() { ran++ }, //lint:allow paraclosure -- Run(1, ...) is sequential by construction; counts tasks before the panic
 	})
 }
 

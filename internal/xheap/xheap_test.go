@@ -1,0 +1,141 @@
+package xheap_test
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"cisp/internal/xheap"
+)
+
+func intLess(a, b int) bool { return a < b }
+
+func TestPushPopSortsRandomInput(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 50; trial++ {
+		n := rng.Intn(200)
+		want := make([]int, n)
+		var h []int
+		for i := range want {
+			v := rng.Intn(1000)
+			want[i] = v
+			xheap.Push(&h, v, intLess)
+		}
+		sort.Ints(want)
+		got := make([]int, 0, n)
+		for len(h) > 0 {
+			got = append(got, xheap.Pop(&h, intLess))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d: pop order %v, want %v", trial, got, want)
+			}
+		}
+	}
+}
+
+func TestInitThenPop(t *testing.T) {
+	h := []int{9, 4, 7, 1, 0, 8, 3}
+	xheap.Init(h, intLess)
+	prev := -1
+	for len(h) > 0 {
+		v := xheap.Pop(&h, intLess)
+		if v < prev {
+			t.Fatalf("pop produced %d after %d", v, prev)
+		}
+		prev = v
+	}
+}
+
+func TestRemoveArbitraryIndex(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 50; trial++ {
+		var h []int
+		present := map[int]int{} // value → multiplicity
+		for i := 0; i < 100; i++ {
+			v := rng.Intn(50)
+			xheap.Push(&h, v, intLess)
+			present[v]++
+		}
+		// Remove 30 arbitrary positions, then drain and compare multisets.
+		for i := 0; i < 30; i++ {
+			idx := rng.Intn(len(h))
+			v := xheap.Remove(&h, idx, intLess)
+			if present[v] == 0 {
+				t.Fatalf("removed %d not in multiset", v)
+			}
+			present[v]--
+		}
+		prev := -1
+		for len(h) > 0 {
+			v := xheap.Pop(&h, intLess)
+			if v < prev {
+				t.Fatalf("pop order violated: %d after %d", v, prev)
+			}
+			prev = v
+			if present[v] == 0 {
+				t.Fatalf("drained %d not in multiset", v)
+			}
+			present[v]--
+		}
+		for v, c := range present {
+			if c != 0 {
+				t.Fatalf("value %d lost from heap (%d copies unaccounted)", v, c)
+			}
+		}
+	}
+}
+
+func TestFixAfterKeyChange(t *testing.T) {
+	type task struct {
+		pri int
+		id  int
+	}
+	less := func(a, b task) bool {
+		if a.pri != b.pri {
+			return a.pri < b.pri
+		}
+		return a.id < b.id
+	}
+	var h []task
+	for i, p := range []int{5, 3, 8, 1, 9} {
+		xheap.Push(&h, task{pri: p, id: i}, less)
+	}
+	// Promote whatever sits at the last index to the front.
+	h[len(h)-1].pri = 0
+	xheap.Fix(h, len(h)-1, less)
+	if got := xheap.Pop(&h, less); got.pri != 0 {
+		t.Fatalf("after Fix, popped pri %d, want 0", got.pri)
+	}
+	// Demote the root and make sure it sinks.
+	h[0].pri = 100
+	xheap.Fix(h, 0, less)
+	if got := xheap.Pop(&h, less); got.pri == 100 {
+		t.Fatalf("demoted root popped first")
+	}
+}
+
+func TestPushIsAllocationFreeAtCapacity(t *testing.T) {
+	h := make([]int, 0, 1024)
+	allocs := testing.AllocsPerRun(100, func() {
+		for i := 0; i < 512; i++ {
+			xheap.Push(&h, 512-i, intLess)
+		}
+		for len(h) > 0 {
+			xheap.Pop(&h, intLess)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("push/pop cycle allocated %.1f objects per run, want 0", allocs)
+	}
+}
+
+func TestPopEmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Pop on empty heap did not panic")
+		}
+	}()
+	var h []int
+	xheap.Pop(&h, intLess)
+}
