@@ -23,7 +23,16 @@
 // comparison and the "avail" failure-resilience study (both always report
 // both engine modes); "avail" additionally runs a year-scale analytic
 // availability comparison of no-protection vs fast-reroute vs full
-// reoptimization (internal/resilience).
+// reoptimization (internal/resilience). "users" runs the million-user
+// scenario suite (internal/workload): population-driven per-application
+// workloads — evening peak, flash crowd, disaster surge, CDN placement —
+// replayed end to end on the hybrid backbone against a fiber-only
+// baseline in both engines.
+//
+// -benchjson writes the engines' machine-readable throughput record
+// (flows/sec, ns/event) instead of figures; -benchcompare gates a new
+// record against a baseline, exiting 1 when either metric of either
+// engine regresses past -benchtolerance (default 10%).
 package main
 
 import (
@@ -47,6 +56,8 @@ func main() {
 	modeStr := flag.String("mode", "fluid", "simulation engine for the 6s traffic-mix replay: packet or fluid")
 	flows := flag.Int("flows", 100_000, "concurrent flows for the 6s traffic-mix replay and the te comparison (packet engines clamp to ~1.5k)")
 	benchJSON := flag.String("benchjson", "", "run the engine benchmark (both modes) and write a machine-readable JSON record to this file, skipping figures")
+	benchCompare := flag.String("benchcompare", "", "baseline benchmark JSON; compares the record named by the positional argument against it and exits 1 on regression, skipping figures")
+	benchTol := flag.Float64("benchtolerance", 0.10, "relative tolerance for -benchcompare (0.10 = 10%; CI uses a looser bound across runner generations)")
 
 	// The spec closures run only after flag.Parse, so they may dereference
 	// the flag pointers and derive scale-dependent sweeps from the Options
@@ -101,6 +112,7 @@ func main() {
 		{Name: "ext", Run: func(o experiments.Options) { experiments.Extensions(o) }},
 		{Name: "te", Run: func(o experiments.Options) { experiments.FigTE(o, *flows) }},
 		{Name: "avail", Run: func(o experiments.Options) { experiments.FigAvail(o, *flows) }},
+		{Name: "users", Run: func(o experiments.Options) { experiments.FigUsers(o, *flows) }},
 	}
 	// The -fig help string is derived from the spec table itself, so a new
 	// figure can never drift out of the documented list.
@@ -133,6 +145,37 @@ func main() {
 	}
 	if *workers > 0 {
 		parallel.SetWorkers(*workers)
+	}
+
+	if *benchCompare != "" {
+		if flag.NArg() != 1 {
+			fmt.Fprintln(os.Stderr, "usage: cispbench -benchcompare baseline.json [-benchtolerance F] new.json")
+			os.Exit(2)
+		}
+		old, err := experiments.LoadBenchRecord(*benchCompare)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		cur, err := experiments.LoadBenchRecord(flag.Arg(0))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		regs, err := experiments.CompareBenchRecords(old, cur, *benchTol)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		if len(regs) > 0 {
+			for _, r := range regs {
+				fmt.Fprintln(os.Stderr, "benchcompare:", r)
+			}
+			os.Exit(1)
+		}
+		fmt.Printf("benchcompare: %d engine(s) within %.0f%% of the baseline\n",
+			len(old.Engines), *benchTol*100)
+		return
 	}
 
 	if *benchJSON != "" {

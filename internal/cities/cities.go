@@ -124,6 +124,25 @@ func ByName(cs []City, name string) (City, bool) {
 	return City{}, false
 }
 
+// DataCenterIdx returns the indices of the data-center sites in a combined
+// site list — the zero-population entries. These are the default serving
+// sinks of the workload layer's client-server application classes.
+func DataCenterIdx(cs []City) []int {
+	var out []int
+	for i, c := range cs {
+		if c.Population == 0 {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// TZOffsetHours approximates a site's timezone as solar time: UTC offset =
+// longitude / 15°. Within a degree or two of civil time everywhere the
+// paper designs for, which is all the diurnal demand model needs —
+// timezone-staggered busy hours, not wall clocks.
+func TZOffsetHours(c City) float64 { return c.Loc.Lon / 15 }
+
 // GoogleDCs returns the six publicly known contiguous-US Google data-center
 // sites the paper uses for the inter-DC and DC-edge traffic models (§6.3).
 func GoogleDCs() []City {

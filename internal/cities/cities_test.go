@@ -162,3 +162,26 @@ func TestUSCentersWithinContiguousUS(t *testing.T) {
 		}
 	}
 }
+
+func TestDataCenterIdxAndTZ(t *testing.T) {
+	sites := append(USCenters()[:5], GoogleDCs()...)
+	idx := DataCenterIdx(sites)
+	if len(idx) != len(GoogleDCs()) {
+		t.Fatalf("expected %d DC sites, got %v", len(GoogleDCs()), idx)
+	}
+	for k, i := range idx {
+		if i != 5+k {
+			t.Fatalf("DC indices should be the appended suffix, got %v", idx)
+		}
+	}
+	// Solar-time offsets: the US east coast is ~UTC-5, the west ~UTC-8,
+	// and the ordering follows longitude.
+	ny, _ := ByName(sites, "New York")
+	la, _ := ByName(sites, "Los Angeles")
+	if ny.Name == "" || la.Name == "" {
+		t.Skip("expected NY/LA in the top-5 US centers")
+	}
+	if e, w := TZOffsetHours(ny), TZOffsetHours(la); e <= w || e > -4 || e < -6 || w > -7 || w < -9 {
+		t.Fatalf("implausible solar offsets: NY %.2f, LA %.2f", e, w)
+	}
+}

@@ -47,6 +47,9 @@ func naiveGreedy(p *Problem) *Topology {
 // deviate from exhaustive greedy between refreshes. Quality must stay
 // within 0.05 stretch, and GreedyILP's candidate refinement must close the gap.
 func TestLazyGreedyNearNaive(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-tier: naive-greedy equivalence sweep")
+	}
 	for seed := int64(0); seed < 10; seed++ {
 		p := randomProblem(seed+900, 10, 40)
 		lazy := Greedy(p, GreedyOptions{}).MeanStretch()

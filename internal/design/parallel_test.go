@@ -34,6 +34,9 @@ func sameDesign(t *testing.T, label string, seq, par *Topology) {
 // refreshAll, snapshot APSP update, Dijkstra fiber closure and chunked
 // stretch reduction are all exercised for real.
 func TestGreedyParallelDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-tier: repeated designs across worker counts")
+	}
 	for seed := int64(0); seed < 3; seed++ {
 		p := randomProblem(seed+700, 70, 80)
 

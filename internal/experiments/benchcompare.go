@@ -1,0 +1,83 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// LoadBenchRecord reads a BenchRecord from the JSON file BenchNetsim
+// writes, rejecting documents of any other schema.
+func LoadBenchRecord(path string) (*BenchRecord, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rec BenchRecord
+	if err := json.Unmarshal(data, &rec); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if rec.Schema != benchSchema {
+		return nil, fmt.Errorf("%s: schema %q, want %q", path, rec.Schema, benchSchema)
+	}
+	return &rec, nil
+}
+
+// BenchRegression is one engine metric that got worse than the compare
+// tolerance allows: throughput (flows/sec) dropping or per-event cost
+// (ns/event) rising.
+type BenchRegression struct {
+	Mode   string  // engine ("packet", "fluid")
+	Metric string  // "flows/sec" or "ns/event"
+	Old    float64 // baseline value
+	New    float64
+	Change float64 // relative change, >0 means worse
+}
+
+func (r BenchRegression) String() string {
+	return fmt.Sprintf("%s %s regressed %.1f%%: %.1f -> %.1f", r.Mode, r.Metric, r.Change*100, r.Old, r.New)
+}
+
+// CompareBenchRecords checks a new benchmark record against a baseline:
+// for every engine the baseline measured, throughput must not drop and
+// per-event cost must not rise by more than the tolerance fraction
+// (0.10 = 10%). An engine missing from the new record is an error — a
+// silently vanished engine must not read as "no regression". Engines
+// only the new record has are ignored (new engines have no baseline).
+// Improvements are never regressions. The regressions come back in
+// baseline engine order, throughput before per-event cost.
+func CompareBenchRecords(old, new *BenchRecord, tolerance float64) ([]BenchRegression, error) {
+	if tolerance < 0 {
+		return nil, fmt.Errorf("negative tolerance %v", tolerance)
+	}
+	if len(old.Engines) == 0 {
+		return nil, fmt.Errorf("baseline record has no engine measurements")
+	}
+	byMode := map[string]*Fig6ScaleResult{}
+	for i := range new.Engines {
+		byMode[new.Engines[i].Mode] = &new.Engines[i]
+	}
+	var regs []BenchRegression
+	for i := range old.Engines {
+		o := &old.Engines[i]
+		n, ok := byMode[o.Mode]
+		if !ok {
+			return nil, fmt.Errorf("engine %q measured in the baseline is missing from the new record", o.Mode)
+		}
+		if o.FlowsPerSec > 0 {
+			if drop := 1 - n.FlowsPerSec/o.FlowsPerSec; drop > tolerance {
+				regs = append(regs, BenchRegression{
+					Mode: o.Mode, Metric: "flows/sec", Old: o.FlowsPerSec, New: n.FlowsPerSec, Change: drop,
+				})
+			}
+		}
+		if o.NsPerEvent > 0 {
+			if rise := n.NsPerEvent/o.NsPerEvent - 1; rise > tolerance {
+				regs = append(regs, BenchRegression{
+					Mode: o.Mode, Metric: "ns/event", Old: o.NsPerEvent, New: n.NsPerEvent, Change: rise,
+				})
+			}
+		}
+	}
+	return regs, nil
+}

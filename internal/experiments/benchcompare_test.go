@@ -1,0 +1,128 @@
+package experiments
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func benchFixture(packetFPS, packetNsEv, fluidFPS, fluidNsEv float64) *BenchRecord {
+	return &BenchRecord{
+		Schema: benchSchema,
+		Scale:  "small",
+		Seed:   1,
+		Engines: []Fig6ScaleResult{
+			{Mode: "packet", Flows: 1500, FlowsPerSec: packetFPS, NsPerEvent: packetNsEv},
+			{Mode: "fluid", Flows: 20000, FlowsPerSec: fluidFPS, NsPerEvent: fluidNsEv},
+		},
+	}
+}
+
+// TestCompareBenchRecordsGate is the perf-regression gate's acceptance
+// check: a synthetic >10% throughput regression must fail the compare,
+// noise inside the tolerance and improvements must pass.
+func TestCompareBenchRecordsGate(t *testing.T) {
+	base := benchFixture(1000, 500, 100_000, 50)
+
+	// 15% throughput drop on the packet engine: caught.
+	regs, err := CompareBenchRecords(base, benchFixture(850, 500, 100_000, 50), 0.10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regs) != 1 || regs[0].Mode != "packet" || regs[0].Metric != "flows/sec" {
+		t.Fatalf("regressions = %v, want one packet flows/sec entry", regs)
+	}
+	if regs[0].Change < 0.149 || regs[0].Change > 0.151 {
+		t.Fatalf("change = %v, want ~0.15", regs[0].Change)
+	}
+	if !strings.Contains(regs[0].String(), "packet flows/sec regressed") {
+		t.Fatalf("unreadable regression: %q", regs[0].String())
+	}
+
+	// 20% per-event cost rise on the fluid engine: caught.
+	regs, err = CompareBenchRecords(base, benchFixture(1000, 500, 100_000, 60), 0.10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regs) != 1 || regs[0].Mode != "fluid" || regs[0].Metric != "ns/event" {
+		t.Fatalf("regressions = %v, want one fluid ns/event entry", regs)
+	}
+
+	// 5% wobble both ways: inside the tolerance, clean.
+	regs, err = CompareBenchRecords(base, benchFixture(950, 525, 105_000, 48), 0.10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regs) != 0 {
+		t.Fatalf("noise flagged as regression: %v", regs)
+	}
+
+	// Strict improvement everywhere: clean.
+	regs, err = CompareBenchRecords(base, benchFixture(2000, 250, 200_000, 25), 0.10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regs) != 0 {
+		t.Fatalf("improvement flagged as regression: %v", regs)
+	}
+
+	// Both metrics of both engines off a cliff: all four reported.
+	regs, err = CompareBenchRecords(base, benchFixture(100, 5000, 10_000, 500), 0.10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regs) != 4 {
+		t.Fatalf("%d regressions, want 4: %v", len(regs), regs)
+	}
+}
+
+// TestCompareBenchRecordsMissingEngine: an engine that vanished from the
+// new record must be an error, never a silent pass.
+func TestCompareBenchRecordsMissingEngine(t *testing.T) {
+	base := benchFixture(1000, 500, 100_000, 50)
+	partial := &BenchRecord{Schema: benchSchema, Engines: base.Engines[:1]}
+	if _, err := CompareBenchRecords(base, partial, 0.10); err == nil {
+		t.Fatal("missing fluid engine did not error")
+	}
+	if _, err := CompareBenchRecords(&BenchRecord{Schema: benchSchema}, base, 0.10); err == nil {
+		t.Fatal("empty baseline did not error")
+	}
+	if _, err := CompareBenchRecords(base, base, -1); err == nil {
+		t.Fatal("negative tolerance did not error")
+	}
+}
+
+// TestLoadBenchRecordRoundTrip: the loader reads what BenchNetsim-style
+// marshalling writes and rejects other schemas.
+func TestLoadBenchRecordRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "bench.json")
+	base := benchFixture(1000, 500, 100_000, 50)
+	data, err := json.MarshalIndent(base, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadBenchRecord(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Engines) != 2 || got.Engines[0].FlowsPerSec != 1000 {
+		t.Fatalf("round trip lost data: %+v", got)
+	}
+
+	bad := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(bad, []byte(`{"Schema":"something-else/9"}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadBenchRecord(bad); err == nil {
+		t.Fatal("foreign schema loaded without error")
+	}
+	if _, err := LoadBenchRecord(filepath.Join(dir, "absent.json")); err == nil {
+		t.Fatal("missing file loaded without error")
+	}
+}

@@ -21,6 +21,10 @@ func scaleName(s cisp.Scale) string {
 	return "unknown"
 }
 
+// benchSchema names the BENCH_netsim.json document format; the compare
+// gate refuses records of any other schema.
+const benchSchema = "cisp-bench-netsim/1"
+
 // BenchRecord is the machine-readable benchmark document CI emits
 // (BENCH_netsim.json): one §6.4 traffic-mix replay per engine with
 // throughput figures (flows/sec, ns/event) for trend tracking across
@@ -38,7 +42,7 @@ type BenchRecord struct {
 // engine that fails to run is simply absent from the record.
 func BenchNetsim(opt Options, packetFlows, fluidFlows int, path string) error {
 	rec := BenchRecord{
-		Schema: "cisp-bench-netsim/1",
+		Schema: benchSchema,
 		Scale:  scaleName(opt.Scale),
 		Seed:   opt.Seed,
 	}

@@ -193,6 +193,9 @@ func TestFig8Europe(t *testing.T) {
 }
 
 func TestFig9CityCityMostExpensive(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-tier: three full design sweeps")
+	}
 	rows := Fig9TrafficModels(testOpts(10), []float64{10, 40})
 	if len(rows) != 3 {
 		t.Fatalf("got %d traffic models", len(rows))
@@ -214,6 +217,9 @@ func TestFig9CityCityMostExpensive(t *testing.T) {
 }
 
 func TestFig10ConstraintsHurt(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-tier: tower-constraint design sweep")
+	}
 	rows := Fig10TowerConstraints(testOpts(11), [][2]float64{{80, 1.0}, {60, 0.45}})
 	if len(rows) != 2 {
 		t.Fatalf("got %d rows", len(rows))

@@ -7,6 +7,9 @@ import (
 )
 
 func TestExtensions(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-tier: every extension study end to end")
+	}
 	res := Extensions(testOpts(30))
 	if res.MMWCrossoverGbps <= 1 {
 		t.Errorf("MMW crossover at %.1f Gbps — microwave should win the low-bandwidth regime", res.MMWCrossoverGbps)
@@ -18,6 +21,9 @@ func TestExtensions(t *testing.T) {
 }
 
 func TestFig6ScaleBothModes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-tier: designed-backbone replay in both engines")
+	}
 	// The same small scenario on both engines: the fluid replay must carry
 	// far more flows than the packet clamp allows, and both must complete
 	// a healthy share of what they offer.

@@ -10,6 +10,9 @@ import "testing"
 // both engine modes — the background LP spreads the rerouted load that
 // FRR's single backups concentrate.
 func TestFigAvailAcceptance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-tier: failure-resilience study across schemes and engines")
+	}
 	res := FigAvail(teTestOpt(), 6000)
 	if res == nil {
 		t.Fatal("FigAvail returned nil")

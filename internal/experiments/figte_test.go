@@ -92,6 +92,9 @@ func TestDemandCommoditiesStableIDs(t *testing.T) {
 // than shortest-path routing and no worse p99 FCT — in both engine modes.
 // The rain workload must show the same MLU ordering.
 func TestFigTEAcceptance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-tier: TE comparison across schemes and engines")
+	}
 	// 6000 flows push the hotspot links past the TE utilization hinge; at
 	// lighter loads TE deliberately collapses onto shortest paths (that
 	// behavior is pinned by te.TestSolvePrefersShortPathWhenUncongested).

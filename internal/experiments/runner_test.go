@@ -10,6 +10,9 @@ import (
 // figure output as back-to-back runs, flushed in spec order, at any pool
 // width.
 func TestRunAllMatchesSequential(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-tier: runs the same figures at three pool widths")
+	}
 	specs := []Spec{
 		{Name: "4c", Run: func(o Options) { Fig4cCostPerGB(o, []float64{5, 20}) }},
 		{Name: "12", Run: func(o Options) { Fig12Gaming(o, []float64{0, 150}) }},

@@ -116,3 +116,29 @@ func TestTinyLink(t *testing.T) {
 		t.Fatalf("sub-hop link plan %+v", p)
 	}
 }
+
+// TestProvisionZeroLength: a colocated link (the CDN backhaul case where a
+// replica lands on the origin's site) still provisions a single hop — the
+// radio pair exists even when the distance rounds to zero.
+func TestProvisionZeroLength(t *testing.T) {
+	for _, m := range []Medium{Microwave(), MillimeterWave(), FreeSpaceOptics()} {
+		p := ProvisionLink(m, 0, 10, 150_000)
+		if p.Hops != 1 {
+			t.Fatalf("%s: zero-length link provisioned %d hops, want 1", m.Name, p.Hops)
+		}
+		if p.Capex <= 0 {
+			t.Fatalf("%s: zero-length link has no capex", m.Name)
+		}
+	}
+}
+
+// TestCrossoverNeverBelowCap: when the second medium stays more expensive
+// across the whole searched range, the crossover is +Inf — callers treat
+// that as "stay on the first medium".
+func TestCrossoverNeverBelowCap(t *testing.T) {
+	// FSO against itself can never become strictly cheaper.
+	fso := FreeSpaceOptics()
+	if g := CrossoverGbps(fso, fso, 100e3, 150_000, 1024); !math.IsInf(g, 1) {
+		t.Fatalf("self-crossover at %v Gbps, want +Inf", g)
+	}
+}

@@ -22,6 +22,11 @@ type Commodity struct {
 	// Count is how many concurrent flows the Scenario driver runs on this
 	// commodity's path (0 and 1 both mean one). Routing ignores it.
 	Count int
+
+	// FlowBytes overrides Scenario.FlowBytes for this commodity's flows
+	// when > 0 — how a workload mixes thin gaming flows with bulk media
+	// transfers in one replay. Both engines honor it identically.
+	FlowBytes int
 }
 
 // Scheme selects a routing algorithm, mirroring §5: ns-3's default shortest

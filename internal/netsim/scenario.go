@@ -411,6 +411,10 @@ func (sc *Scenario) runPacket() *ScenarioResult {
 			continue
 		}
 		commOf[c.Flow] = c
+		fb := flowBytes
+		if c.FlowBytes > 0 {
+			fb = c.FlowBytes
+		}
 		revs := make([][]int, len(r.paths))
 		for pi, path := range r.paths {
 			revs[pi] = reversePath(path)
@@ -432,12 +436,12 @@ func (sc *Scenario) runPacket() *ScenarioResult {
 			res.Flows = append(res.Flows, FlowResult{Flow: c.Flow, Start: startAt[fi]})
 			conn := &TCPConn{
 				Net: nw, Flow: id, Src: c.Src, Dst: c.Dst,
-				FlowSize: flowBytes, Pacing: sc.Pacing,
+				FlowSize: fb, Pacing: sc.Pacing,
 			}
 			conn.Done = func(fct float64) {
 				res.Flows[idx].FCT = fct
 				res.Flows[idx].Completed = true
-				res.Flows[idx].MeanRateBps = float64(flowBytes) * 8 / fct
+				res.Flows[idx].MeanRateBps = float64(fb) * 8 / fct
 				res.Completed++
 			}
 			conns = append(conns, live{conn: conn, idx: idx})
@@ -544,8 +548,9 @@ func (sc *Scenario) runFluid() *ScenarioResult {
 
 	res := &ScenarioResult{Mode: FluidMode}
 	type live struct {
-		fid int // fluid flow ID
-		idx int
+		fid   int // fluid flow ID
+		idx   int
+		bytes int // payload, after any per-commodity override
 	}
 	var flows []live
 	cloneFids := make(map[int][]int)         // commodity flow ID -> clone fluid flow IDs
@@ -558,6 +563,10 @@ func (sc *Scenario) runFluid() *ScenarioResult {
 			continue
 		}
 		commOf[c.Flow] = c
+		fb := flowBytes
+		if c.FlowBytes > 0 {
+			fb = c.FlowBytes
+		}
 		routesOf[c.Flow] = make(map[string]int, len(r.paths))
 		routes := make([]int, len(r.paths))
 		for pi, path := range r.paths {
@@ -571,9 +580,9 @@ func (sc *Scenario) runFluid() *ScenarioResult {
 			}
 			idx := len(res.Flows)
 			res.Flows = append(res.Flows, FlowResult{Flow: c.Flow, Start: startAt[fi]})
-			fid := f.StartAt(routes[pi], float64(flowBytes), startAt[fi])
+			fid := f.StartAt(routes[pi], float64(fb), startAt[fi])
 			cloneFids[c.Flow] = append(cloneFids[c.Flow], fid)
-			flows = append(flows, live{fid: fid, idx: idx})
+			flows = append(flows, live{fid: fid, idx: idx, bytes: fb})
 			fi++
 		}
 	}
@@ -653,7 +662,7 @@ func (sc *Scenario) runFluid() *ScenarioResult {
 		if fct, done := f.FCT(l.fid); done {
 			fr.FCT = fct
 			fr.Completed = true
-			fr.MeanRateBps = float64(flowBytes) * 8 / fct
+			fr.MeanRateBps = float64(l.bytes) * 8 / fct
 			res.Completed++
 		} else if el := res.End - fr.Start; el > 0 {
 			fr.MeanRateBps = f.ServedBytes(l.fid) * 8 / el

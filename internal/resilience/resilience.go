@@ -194,6 +194,23 @@ func Merge(a, b *Schedule) (*Schedule, error) {
 	return scheduleFromPerLink(perLink, a.NumLinks, math.Max(a.Horizon, b.Horizon)), nil
 }
 
+// Remap projects the schedule onto a different link list: outage link
+// indices are rewritten through mapLink, and outages mapped to a negative
+// index are dropped. This is how a schedule drawn over a hybrid topology
+// (microwave prefix + fiber suffix) restricts to a fiber-only baseline
+// whose link list is the suffix alone — microwave outages vanish, conduit
+// cuts keep biting.
+func (s *Schedule) Remap(nLinks int, mapLink func(int) int) *Schedule {
+	perLink := make([][]Outage, nLinks)
+	for _, o := range s.Outages {
+		li := mapLink(o.Link)
+		if li >= 0 && li < nLinks {
+			perLink[li] = append(perLink[li], Outage{Link: li, Start: o.Start, End: o.End})
+		}
+	}
+	return scheduleFromPerLink(perLink, nLinks, s.Horizon)
+}
+
 // WeatherSchedule bridges the weather interval schedule into the failure
 // engine: conds[k][li] grades link li during the k-th interval of
 // intervalSec seconds (the shape internal/weather's year analysis and

@@ -418,3 +418,29 @@ func TestPlanAgreesAcrossEngines(t *testing.T) {
 		}
 	}
 }
+
+func TestScheduleRemap(t *testing.T) {
+	s := &Schedule{Horizon: 100, NumLinks: 5, Outages: []Outage{
+		{Link: 0, Start: 10, End: 20}, // microwave: dropped by the remap
+		{Link: 3, Start: 30, End: 40}, // fiber: index 3-2 = 1
+		{Link: 4, Start: 35, End: 50}, // fiber: index 2
+	}}
+	// Project onto a fiber-only baseline whose links are the suffix [2..5).
+	fib := s.Remap(3, func(li int) int { return li - 2 })
+	if fib.Horizon != 100 || fib.NumLinks != 3 {
+		t.Fatalf("remap shape: %+v", fib)
+	}
+	if len(fib.Outages) != 2 {
+		t.Fatalf("expected 2 surviving outages, got %+v", fib.Outages)
+	}
+	if fib.Outages[0].Link != 1 || fib.Outages[0].Start != 30 {
+		t.Fatalf("first remapped outage wrong: %+v", fib.Outages[0])
+	}
+	if fib.Outages[1].Link != 2 || fib.Outages[1].End != 50 {
+		t.Fatalf("second remapped outage wrong: %+v", fib.Outages[1])
+	}
+	down := fib.DownAt(36)
+	if down[0] || !down[1] || !down[2] {
+		t.Fatalf("down-set after remap wrong: %v", down)
+	}
+}

@@ -115,6 +115,16 @@ func Solve(n int, links []netsim.TopoLink, comms []netsim.Commodity, cfg Config)
 	return ctrl.Solution(), nil
 }
 
+// SolveShortest routes every commodity on its single lowest-delay path,
+// wrapped as one-element splits — the degenerate TE solution (K=1). It is
+// the baseline the workload pipeline installs on the fiber-only substrate:
+// today's Internet routes on one path, and wrapping it as a Solution keeps
+// the protection layer (resilience.NewProtection wants primaries) and MLU
+// accounting uniform across substrates.
+func SolveShortest(n int, links []netsim.TopoLink, comms []netsim.Commodity) (*Solution, error) {
+	return Solve(n, links, comms, Config{K: 1})
+}
+
 // Controller holds the control-plane state between reoptimizations: the TE
 // graph, each commodity's candidate paths (enumerated once, on the
 // clear-sky topology) and the current splits.

@@ -502,3 +502,26 @@ func TestLPSolvesCounter(t *testing.T) {
 		t.Fatal("LPSolves did not advance across an LP-backed Solve")
 	}
 }
+
+func TestSolveShortestSinglePath(t *testing.T) {
+	// On the diamond, even an overloaded commodity stays on the single
+	// fastest arm: SolveShortest never splits.
+	comms := []netsim.Commodity{{Flow: 1, Src: 0, Dst: 3, Demand: 15e6}}
+	sol, err := SolveShortest(4, diamond(), comms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp := sol.Splits[1]
+	if len(sp) != 1 || sp[0].Frac != 1 {
+		t.Fatalf("expected one full-fraction path, got %+v", sp)
+	}
+	want := []int{0, 1, 3}
+	for i, v := range want {
+		if sp[0].Path[i] != v {
+			t.Fatalf("expected the fast arm %v, got %v", want, sp[0].Path)
+		}
+	}
+	if sol.MLU < 1.4 {
+		t.Fatalf("15 Mbps over a 10 Mbps single path should predict MLU 1.5, got %v", sol.MLU)
+	}
+}

@@ -105,6 +105,63 @@ func PopulationProduct(cs []cities.City) Matrix {
 	return m
 }
 
+// Gravity generalizes PopulationProduct to arbitrary per-site weights
+// (active users, offered bps, revenue): h_ij = w_i · w_j, normalised so the
+// largest entry is 1. Sites with zero weight contribute no demand.
+func Gravity(weights []float64) Matrix {
+	n := len(weights)
+	m := New(n)
+	maxV := 0.0
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			v := weights[i] * weights[j]
+			m.Set(i, j, v)
+			if v > maxV {
+				maxV = v
+			}
+		}
+	}
+	if maxV > 0 {
+		for i := range m {
+			for j := range m[i] {
+				m[i][j] /= maxV
+			}
+		}
+	}
+	return m
+}
+
+// WeightedNearest generalizes CityToDC to arbitrary weights and sink sets:
+// every site i with weights[i] > 0 sends its full weight to the
+// geodesically nearest sink (ties to the lower sink index). Unlike
+// CityToDC the weights are NOT normalised — callers pass absolute units
+// (bps, users) and get them back — and a site that is itself a sink sends
+// nothing (its demand is served locally). This is the CDN/anycast demand
+// shape: each user population pulls from its closest replica.
+func WeightedNearest(cs []cities.City, weights []float64, sinks []int) Matrix {
+	m := New(len(cs))
+	isSink := make(map[int]bool, len(sinks))
+	for _, s := range sinks {
+		isSink[s] = true
+	}
+	for i := range cs {
+		if weights[i] <= 0 || isSink[i] {
+			continue
+		}
+		best, bestD := -1, math.Inf(1)
+		for _, s := range sinks {
+			d := cs[i].Loc.DistanceTo(cs[s].Loc)
+			if d < bestD || (d == bestD && s < best) {
+				best, bestD = s, d
+			}
+		}
+		if best >= 0 {
+			m.Set(i, best, m[i][best]+weights[i])
+		}
+	}
+	return m
+}
+
 // UniformPairs returns equal demand between every pair of the given site
 // indices (the paper's inter-DC model: "we provision equal capacity between
 // each DC-pair"), zero elsewhere, over n total sites.

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"cisp/internal/cities"
+	"cisp/internal/geo"
 )
 
 func TestPopulationProduct(t *testing.T) {
@@ -341,5 +342,70 @@ func TestDiurnal(t *testing.T) {
 	}
 	if !moved {
 		t.Fatal("diurnal profile flat across the day")
+	}
+}
+
+func TestGravityMatchesPopulationProduct(t *testing.T) {
+	cs := []cities.City{
+		{Name: "a", Population: 100, Loc: geo.Point{Lat: 40, Lon: -100}},
+		{Name: "b", Population: 50, Loc: geo.Point{Lat: 41, Lon: -90}},
+		{Name: "c", Population: 10, Loc: geo.Point{Lat: 42, Lon: -80}},
+	}
+	w := make([]float64, len(cs))
+	for i, c := range cs {
+		w[i] = float64(c.Population)
+	}
+	g := Gravity(w)
+	p := PopulationProduct(cs)
+	for i := range g {
+		for j := range g[i] {
+			if math.Abs(g[i][j]-p[i][j]) > 1e-12 {
+				t.Fatalf("Gravity(pops) != PopulationProduct at (%d,%d): %v vs %v", i, j, g[i][j], p[i][j])
+			}
+		}
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if Gravity([]float64{0, 0}).Total() != 0 {
+		t.Fatal("zero weights should yield zero demand")
+	}
+}
+
+func TestWeightedNearest(t *testing.T) {
+	cs := []cities.City{
+		{Name: "west", Loc: geo.Point{Lat: 40, Lon: -120}},
+		{Name: "mid", Loc: geo.Point{Lat: 40, Lon: -100}},
+		{Name: "east", Loc: geo.Point{Lat: 40, Lon: -80}},
+		{Name: "sink-w", Loc: geo.Point{Lat: 40, Lon: -118}},
+		{Name: "sink-e", Loc: geo.Point{Lat: 40, Lon: -82}},
+	}
+	w := []float64{3e9, 2e9, 1e9, 5e9, 0}
+	m := WeightedNearest(cs, w, []int{3, 4})
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if m[0][3] != 3e9 {
+		t.Fatalf("west should send its full 3 Gbps to sink-w, got %v", m[0][3])
+	}
+	if m[2][4] != 1e9 {
+		t.Fatalf("east should send to sink-e, got %v", m[2][4])
+	}
+	if m[1][3] == 0 && m[1][4] == 0 {
+		t.Fatal("mid sends nowhere")
+	}
+	// A site that is itself a sink generates no backbone demand, whatever
+	// its weight.
+	for j := range cs {
+		if m[3][j] != 0 && j != 0 && j != 1 && j != 2 {
+			t.Fatalf("sink-w should not originate demand, sends to %d", j)
+		}
+	}
+	row := 0.0
+	for _, v := range m[3] {
+		row += v
+	}
+	if row != m[0][3]+m[1][3] && m[1][3] == 0 {
+		t.Fatalf("sink-w row should only carry inbound demand")
 	}
 }

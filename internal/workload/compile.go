@@ -1,0 +1,379 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+
+	"cisp/internal/cities"
+	"cisp/internal/geo"
+	"cisp/internal/netsim"
+	"cisp/internal/resilience"
+	"cisp/internal/traffic"
+	"cisp/internal/weather"
+)
+
+// Kind selects a scenario archetype.
+type Kind int
+
+// The scenario archetypes.
+const (
+	// Diurnal is a plain population snapshot: the timezone-staggered
+	// activity curve at the spec's UTC hour, demand flowing to the
+	// default sinks.
+	Diurnal Kind = iota
+
+	// FlashCrowd models a live event at EventSite: every site's media
+	// demand redirects to the event origin and scales by SurgeFactor —
+	// the whole country tuning into one stream with no CDN absorbing it.
+	FlashCrowd
+
+	// Disaster models a regional emergency at EventSite: activity of
+	// every site within RadiusM surges by SurgeFactor (everyone checking
+	// in at once) while a convective storm parks over the epicenter and a
+	// nearby fiber conduit is cut — the compound failure schedule PR 5's
+	// resilience layer exists for.
+	Disaster
+
+	// CDNPlacement places SinkCount replicas by greedy weighted k-median
+	// over the active-user distribution and serves the client-server
+	// classes from them instead of the default data-center sinks.
+	CDNPlacement
+)
+
+func (k Kind) String() string {
+	switch k {
+	case Diurnal:
+		return "diurnal"
+	case FlashCrowd:
+		return "flashcrowd"
+	case Disaster:
+		return "disaster"
+	case CDNPlacement:
+		return "cdn"
+	}
+	return "unknown"
+}
+
+// Disaster drill timing: the compiled schedule spans an hour of real time
+// — storm intervals of drillIntervalSec bracketed by clear sky, with the
+// conduit cut overlapping the storm — and the Pipeline compresses it into
+// the replay horizon while the availability walk uses the real durations.
+const (
+	drillIntervalSec = 900.0
+	drillIntervals   = 4
+	drillHorizonSec  = drillIntervalSec * drillIntervals
+	cutStartSec      = 1200.0
+	cutEndSec        = 3000.0
+)
+
+// Spec describes one scenario. The zero value of every field is a usable
+// default: midnight UTC (evening across the US), a 0.6 penetration, the
+// most populous site as the event focus (site 0 — Coalesce sorts by
+// descending population), and kind-appropriate surge factors.
+type Spec struct {
+	Name string
+	Kind Kind
+
+	// Mix is the application mix; an invalid (e.g. zero) mix means
+	// DefaultMix.
+	Mix AppMix
+
+	// Penetration is the subscriber fraction of each city's population.
+	// Default 0.6.
+	Penetration float64
+
+	// UTCHour is the demand snapshot instant. The zero default (00:00
+	// UTC) is 19:00 on the US east coast — the evening peak sweeping
+	// westward.
+	UTCHour float64
+
+	// Seed drives the scenario's deterministic draws.
+	Seed int64
+
+	// EventSite focuses FlashCrowd and Disaster scenarios. Default 0,
+	// the most populous site.
+	EventSite int
+
+	// SurgeFactor scales the focused demand. Defaults: 8 for FlashCrowd,
+	// 3 for Disaster.
+	SurgeFactor float64
+
+	// RadiusM is the disaster's affected radius (also the storm cell
+	// radius). Default 300 km.
+	RadiusM float64
+
+	// SinkCount is how many replicas CDNPlacement places. Default 4.
+	SinkCount int
+}
+
+func (s Spec) withDefaults() Spec {
+	if !s.Mix.Valid() {
+		s.Mix = DefaultMix()
+	}
+	if s.Penetration <= 0 {
+		s.Penetration = 0.6
+	}
+	if s.SurgeFactor <= 0 {
+		if s.Kind == Disaster {
+			s.SurgeFactor = 3
+		} else {
+			s.SurgeFactor = 8
+		}
+	}
+	if s.RadiusM <= 0 {
+		s.RadiusM = 300e3
+	}
+	if s.SinkCount <= 0 {
+		s.SinkCount = 4
+	}
+	if s.Name == "" {
+		s.Name = s.Kind.String()
+	}
+	return s
+}
+
+// Compiled is a scenario lowered onto a Backbone: the active-user vector,
+// the per-application absolute demand matrices, the serving sinks, and —
+// for Disaster — the compound failure schedule over the hybrid link list.
+type Compiled struct {
+	Spec     Spec
+	Backbone *Backbone
+
+	Users      []float64 // concurrently active users per site
+	TotalUsers float64
+	Sinks      []int // serving sites of the client-server classes
+
+	PerApp      [NumApps]traffic.Matrix // absolute bps
+	OfferedGbps float64                 // Σ over apps and pairs
+
+	// Schedule is the failure timetable over the hybrid link list
+	// (microwave prefix, fiber suffix), in drill time; nil when the
+	// scenario has no failures. StormFadedLinks and CutLink summarise it.
+	Schedule        *resilience.Schedule
+	StormFadedLinks int
+	CutLink         int // hybrid link index of the cut conduit, -1 if none
+}
+
+// Compile lowers a scenario spec onto a backbone substrate. It is pure
+// and deterministic: same spec and backbone, same compiled scenario.
+func Compile(spec Spec, b *Backbone) (*Compiled, error) {
+	spec = spec.withDefaults()
+	n := len(b.Sites)
+	if n == 0 {
+		return nil, fmt.Errorf("workload: backbone has no sites")
+	}
+	if spec.EventSite < 0 || spec.EventSite >= n {
+		return nil, fmt.Errorf("workload: event site %d outside %d sites", spec.EventSite, n)
+	}
+	c := &Compiled{Spec: spec, Backbone: b, CutLink: -1}
+
+	c.Users = ActiveUsers(b.Sites, spec.Penetration, spec.UTCHour)
+	if spec.Kind == Disaster {
+		epi := b.Sites[spec.EventSite].Loc
+		for i, s := range b.Sites {
+			if s.Loc.DistanceTo(epi) <= spec.RadiusM {
+				c.Users[i] *= spec.SurgeFactor
+			}
+		}
+	}
+	for _, u := range c.Users {
+		c.TotalUsers += u
+	}
+	if c.TotalUsers <= 0 {
+		return nil, fmt.Errorf("workload: no active users (all sites zero-population?)")
+	}
+
+	// Serving sinks: the substrate's data centers, unless the scenario
+	// places its own replicas (or the substrate has no DC sites).
+	c.Sinks = cities.DataCenterIdx(b.Sites)
+	if spec.Kind == CDNPlacement || len(c.Sinks) == 0 {
+		c.Sinks = PlaceSinks(b.Sites, c.Users, spec.SinkCount)
+	}
+
+	// Per-application demand. Gaming and media are client-server: each
+	// site's aggregate user rate flows to its nearest sink. Web is mostly
+	// client-server with a gravity-model tail (peer links, federated
+	// services): 70% to the nearest sink, 30% population-gravity.
+	weightsOf := func(a App) []float64 {
+		w := make([]float64, n)
+		p := spec.Mix[a]
+		for i, u := range c.Users {
+			w[i] = u * p.Share * p.RateBps
+		}
+		return w
+	}
+	gw := weightsOf(Gaming)
+	c.PerApp[Gaming] = traffic.WeightedNearest(b.Sites, gw, c.Sinks)
+
+	mw := weightsOf(Media)
+	if spec.Kind == FlashCrowd {
+		// The live event: every site pulls the stream straight from the
+		// origin, at SurgeFactor times the usual media load.
+		for i := range mw {
+			mw[i] *= spec.SurgeFactor
+		}
+		c.PerApp[Media] = traffic.WeightedNearest(b.Sites, mw, []int{spec.EventSite})
+	} else {
+		c.PerApp[Media] = traffic.WeightedNearest(b.Sites, mw, c.Sinks)
+	}
+
+	ww := weightsOf(Web)
+	var webTotal float64
+	for _, w := range ww {
+		webTotal += w
+	}
+	c.PerApp[Web] = traffic.Mix([]float64{0.7 * webTotal, 0.3 * webTotal},
+		traffic.WeightedNearest(b.Sites, ww, c.Sinks), traffic.Gravity(ww))
+
+	for _, m := range c.PerApp {
+		c.OfferedGbps += m.Total() / 1e9
+	}
+
+	if spec.Kind == Disaster {
+		if err := c.compileDisasterSchedule(spec, b); err != nil {
+			return nil, err
+		}
+	}
+	return c, nil
+}
+
+// compileDisasterSchedule builds the compound failure timetable: a storm
+// cell over the epicenter fading microwave links for the middle two drill
+// intervals, merged with a cut of the fiber conduit nearest the epicenter.
+func (c *Compiled) compileDisasterSchedule(spec Spec, b *Backbone) error {
+	epi := b.Sites[spec.EventSite].Loc
+	field := &weather.Field{Cells: []weather.StormCell{{
+		Center: epi,
+		Radius: spec.RadiusM,
+		PeakMM: 40,
+	}}}
+	conds := make([]weather.LinkCondition, len(b.Mw))
+	for li, l := range b.Mw {
+		atten := field.PathAttenuation(b.Sites[l.A].Loc, b.Sites[l.B].Loc, geo.DefaultFrequencyGHz, 2000)
+		conds[li] = weather.LinkCondition{
+			WorstHopDB: atten,
+			CapFrac:    weather.CapacityFraction(atten, weather.DefaultFadeMargin),
+			Failed:     atten > weather.DefaultFadeMargin,
+		}
+		if conds[li].Failed {
+			c.StormFadedLinks++
+		}
+	}
+	nHybrid := len(b.Mw) + len(b.Fiber)
+	intervals := make([][]weather.LinkCondition, drillIntervals)
+	intervals[1], intervals[2] = conds, conds
+	storm := resilience.WeatherSchedule(intervals, drillIntervalSec, nHybrid)
+
+	// The conduit cut: the fiber link between real sites (not midpoint
+	// transit halves) whose midpoint lies closest to the epicenter.
+	nSites := len(b.Sites)
+	bestFi, bestD := -1, math.Inf(1)
+	for fi, l := range b.Fiber {
+		if l.A >= nSites || l.B >= nSites {
+			continue
+		}
+		a, bb := b.Sites[l.A].Loc, b.Sites[l.B].Loc
+		mid := geo.Point{Lat: (a.Lat + bb.Lat) / 2, Lon: (a.Lon + bb.Lon) / 2}
+		if d := mid.DistanceTo(epi); d < bestD {
+			bestFi, bestD = fi, d
+		}
+	}
+	sched := storm
+	if bestFi >= 0 {
+		c.CutLink = len(b.Mw) + bestFi
+		cut := &resilience.Schedule{
+			Horizon:  drillHorizonSec,
+			NumLinks: nHybrid,
+			Outages:  []resilience.Outage{{Link: c.CutLink, Start: cutStartSec, End: cutEndSec}},
+		}
+		var err error
+		if sched, err = resilience.Merge(storm, cut); err != nil {
+			return err
+		}
+	}
+	c.Schedule = sched
+	return nil
+}
+
+// Commodities converts the compiled demand into the commodity list of a
+// Scenario replay, with totalFlows concurrent flows apportioned first
+// across applications in proportion to demand-bytes over payload (so a
+// class of thin flows gets many flows per offered bit) and then across
+// each application's positive pairs by traffic.FlowCounts. Each commodity
+// carries its application's FlowBytes payload and a Demand equal to the
+// load the replay actually offers (count · payload · 8 / window), so the
+// TE planner optimises against the injected traffic.
+//
+// Flow IDs are assigned by application order then row-major pair order
+// over ALL positive pairs — independent of totalFlows — so IDs are stable
+// between a clamped packet replay and a full-scale fluid replay (the same
+// contract as experiments.DemandCommodities) and the returned appOf map is
+// valid for both. Deterministic in the compiled scenario and arguments.
+func (c *Compiled) Commodities(totalFlows int, window float64) (comms []netsim.Commodity, appOf map[int]App) {
+	appOf = make(map[int]App)
+	if totalFlows <= 0 || window <= 0 {
+		return nil, appOf
+	}
+	// Apportion flows across applications: quota_a ∝ demand_a / payload_a,
+	// largest-remainder so the counts sum exactly to totalFlows.
+	var loads [NumApps]float64
+	var totalLoad float64
+	for a := App(0); a < NumApps; a++ {
+		loads[a] = c.PerApp[a].Total() / float64(c.Spec.Mix[a].FlowBytes)
+		totalLoad += loads[a]
+	}
+	var flowsFor [NumApps]int
+	if totalLoad > 0 {
+		assigned := 0
+		var fracs [NumApps]float64
+		for a := App(0); a < NumApps; a++ {
+			quota := float64(totalFlows) * loads[a] / totalLoad
+			flowsFor[a] = int(math.Floor(quota))
+			fracs[a] = quota - float64(flowsFor[a])
+			assigned += flowsFor[a]
+		}
+		for rem := totalFlows - assigned; rem > 0; rem-- {
+			best := App(0)
+			for a := App(1); a < NumApps; a++ {
+				if fracs[a] > fracs[best] {
+					best = a
+				}
+			}
+			flowsFor[best]++
+			fracs[best] = -1
+		}
+	}
+
+	base := 0
+	for a := App(0); a < NumApps; a++ {
+		m := c.PerApp[a]
+		counts := map[[2]int]int{}
+		for _, p := range traffic.FlowCounts(m, flowsFor[a]) {
+			counts[[2]int{p.I, p.J}] = p.Count
+		}
+		payload := c.Spec.Mix[a].FlowBytes
+		ord := 0
+		for i := 0; i < m.N(); i++ {
+			for j := i + 1; j < m.N(); j++ {
+				if m[i][j] <= 0 {
+					continue
+				}
+				ord++
+				flow := base + ord
+				appOf[flow] = a
+				n := counts[[2]int{i, j}]
+				if n == 0 {
+					continue
+				}
+				comms = append(comms, netsim.Commodity{
+					Flow: flow, Src: i, Dst: j,
+					Demand:    float64(n) * float64(payload) * 8 / window,
+					Count:     n,
+					FlowBytes: payload,
+				})
+			}
+		}
+		base += ord
+	}
+	return comms, appOf
+}

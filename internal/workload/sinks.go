@@ -1,0 +1,64 @@
+package workload
+
+import (
+	"math"
+	"sort"
+
+	"cisp/internal/cities"
+)
+
+// PlaceSinks places k serving sinks (CDN replicas, anycast front-ends)
+// among the sites by greedy weighted k-median: each round adds the site
+// that most reduces Σ_i weights[i] · d(i, nearest sink), the aggregate
+// user-to-replica geodesic distance. Greedy is the classic (1-1/e)-style
+// approximation for this submodular objective — the same reason the design
+// layer's lazy-greedy works — and is deterministic: ties break toward the
+// lower site index. Sites with zero weight can still host a sink (a DC
+// site is a fine replica location). The result is sorted ascending.
+func PlaceSinks(sites []cities.City, weights []float64, k int) []int {
+	n := len(sites)
+	if k > n {
+		k = n
+	}
+	if k <= 0 {
+		return nil
+	}
+	// bestD[i] is site i's distance to its nearest placed sink so far.
+	bestD := make([]float64, n)
+	for i := range bestD {
+		bestD[i] = math.Inf(1)
+	}
+	chosen := make([]bool, n)
+	var sinks []int
+	for len(sinks) < k {
+		bestSite, bestCost := -1, math.Inf(1)
+		for c := 0; c < n; c++ {
+			if chosen[c] {
+				continue
+			}
+			cost := 0.0
+			for i := 0; i < n; i++ {
+				if weights[i] <= 0 {
+					continue
+				}
+				d := sites[i].Loc.DistanceTo(sites[c].Loc)
+				cost += weights[i] * math.Min(d, bestD[i])
+			}
+			if cost < bestCost {
+				bestSite, bestCost = c, cost
+			}
+		}
+		if bestSite < 0 {
+			break
+		}
+		chosen[bestSite] = true
+		sinks = append(sinks, bestSite)
+		for i := 0; i < n; i++ {
+			if d := sites[i].Loc.DistanceTo(sites[bestSite].Loc); d < bestD[i] {
+				bestD[i] = d
+			}
+		}
+	}
+	sort.Ints(sinks)
+	return sinks
+}
