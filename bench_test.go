@@ -16,6 +16,7 @@ import (
 	"cisp/internal/netsim"
 	"cisp/internal/parallel"
 	"cisp/internal/traffic"
+	"cisp/internal/units"
 	"cisp/internal/weather"
 )
 
@@ -365,7 +366,7 @@ func BenchmarkAblationFlowPruning(b *testing.B) {
 func BenchmarkAblationK2(b *testing.B) {
 	ablationSetup(b)
 	top := design.Greedy(ablation.p, design.GreedyOptions{})
-	demand := traffic.ScaleToAggregate(ablation.tm, 50)
+	demand := traffic.ScaleToAggregate(ablation.tm, units.Gbps(50))
 	b.Run("k2", func(b *testing.B) {
 		var last *capacity.Plan
 		for i := 0; i < b.N; i++ {

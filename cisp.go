@@ -36,6 +36,7 @@ import (
 	"cisp/internal/terrain"
 	"cisp/internal/towers"
 	"cisp/internal/traffic"
+	"cisp/internal/units"
 )
 
 // Re-exported core types, so downstream users interact with one package.
@@ -204,10 +205,10 @@ func (s *Scenario) Problem(tm TrafficMatrix, budgetTowers float64) (*Problem, er
 			if i == j {
 				continue
 			}
-			p.Geodesic[i][j] = s.Cities[i].Loc.DistanceTo(s.Cities[j].Loc)
-			p.MW[i][j] = s.Links.MWDist(i, j)
+			p.Geodesic[i][j] = float64(s.Cities[i].Loc.DistanceTo(s.Cities[j].Loc))
+			p.MW[i][j] = float64(s.Links.MWDist(i, j))
 			p.MWCost[i][j] = float64(s.Links.TowerCount(i, j))
-			p.FiberLat[i][j] = s.FiberNet.LatencyDist(i, j)
+			p.FiberLat[i][j] = float64(s.FiberNet.LatencyDist(i, j))
 		}
 	}
 	if err := p.Validate(); err != nil {
@@ -269,10 +270,10 @@ func (s *Scenario) CostPerGB(plan *Plan, aggregateGbps float64) float64 {
 // used by the §6.3 traffic models.
 func GoogleDCSites() []City { return cities.GoogleDCs() }
 
-// ScaleTraffic scales a traffic matrix so its total demand equals aggregate
-// (e.g. Gbps), returning a copy.
-func ScaleTraffic(tm TrafficMatrix, aggregate float64) TrafficMatrix {
-	return traffic.ScaleToAggregate(tm, aggregate)
+// ScaleTraffic scales a traffic matrix so its total demand equals
+// aggregateGbps, returning a copy.
+func ScaleTraffic(tm TrafficMatrix, aggregateGbps float64) TrafficMatrix {
+	return traffic.ScaleToAggregate(tm, units.Gbps(aggregateGbps))
 }
 
 // DefaultBudget returns the paper-proportional tower budget for the

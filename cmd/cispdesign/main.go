@@ -102,7 +102,7 @@ func main() {
 		geod := s.Cities[l.I].Loc.DistanceTo(s.Cities[l.J].Loc)
 		rows = append(rows, row{
 			name: fmt.Sprintf("%s <-> %s", s.Cities[l.I].Name, s.Cities[l.J].Name),
-			st:   l.Dist / geod,
+			st:   l.Dist / float64(geod),
 		})
 	}
 	sort.Slice(rows, func(i, j int) bool { return rows[i].name < rows[j].name })

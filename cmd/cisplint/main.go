@@ -1,18 +1,25 @@
 // Command cisplint runs the cisp static-analysis suite (internal/analysis):
-// determinism, maporder, hotpathalloc and paraclosure — the invariants
-// DESIGN.md §9 documents.
+// determinism, maporder, hotpathalloc, paraclosure and unitcheck — the
+// invariants DESIGN.md §9 and §11 document.
 //
 // It runs in two modes:
 //
 //   - Standalone: `cisplint [packages]` loads the named module packages
 //     (or ./... patterns) from source and reports findings. This is
 //     hermetic — no go list, no export data — and is what the repo-wide
-//     meta-test (internal/analysis/suite) mirrors.
+//     meta-test (internal/analysis/suite) mirrors. Packages are analyzed
+//     in parallel through the Session driver with cross-package fact
+//     propagation; output is byte-identical at every worker count.
+//     With -json, findings are emitted as a machine-readable JSON array —
+//     including suppressed findings, flagged as such — instead of text.
 //
 //   - Vet tool: `go vet -vettool=$(which cisplint) ./...` drives cisplint
 //     through cmd/go's unit-checker protocol: cmd/go invokes the tool once
 //     per package with a JSON config file argument, and the tool
 //     type-checks that unit against the export data cmd/go already built.
+//     Analyzer facts ride the same protocol: each unit's facts are written
+//     to the .vetx file cmd/go names, and dependency facts are read back
+//     through PackageVetx.
 //
 // Exit status is 1 when any unsuppressed finding is reported, 0 otherwise.
 package main
@@ -46,8 +53,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs.SetOutput(stderr)
 	printVersion := fs.String("V", "", "print version and exit (cmd/go protocol; use -V=full)")
 	printFlags := fs.Bool("flags", false, "print analyzer flags in JSON (cmd/go protocol)")
+	jsonOut := fs.Bool("json", false, "emit findings as a JSON array (standalone mode), suppressed findings included")
 	fs.Usage = func() {
-		fmt.Fprintf(stderr, "usage: cisplint [package ...]   (standalone; defaults to ./...)\n")
+		fmt.Fprintf(stderr, "usage: cisplint [-json] [package ...]   (standalone; defaults to ./...)\n")
 		fmt.Fprintf(stderr, "       go vet -vettool=$(which cisplint) ./...\n\nAnalyzers:\n")
 		for _, a := range suite.All() {
 			doc := a.Doc
@@ -81,7 +89,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if len(rest) == 1 && strings.HasSuffix(rest[0], ".cfg") {
 		return vetUnit(rest[0], stderr)
 	}
-	return standalone(rest, stdout, stderr)
+	return standalone(rest, *jsonOut, stdout, stderr)
 }
 
 // versionAndBuildID implements the `-V=full` handshake: cmd/go caches vet
@@ -143,15 +151,13 @@ func vetUnit(cfgPath string, stderr io.Writer) int {
 	}
 
 	// cmd/go requires the facts file to exist even when empty; writing it
-	// first also covers every early-return path below.
+	// first covers every early-return path below, and the real facts
+	// overwrite it once the unit type-checks.
 	if cfg.VetxOutput != "" {
 		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
 			fmt.Fprintf(stderr, "cisplint: %v\n", err)
 			return 1
 		}
-	}
-	if cfg.VetxOnly {
-		return 0 // we export no facts, so dependency-only runs are no-ops
 	}
 
 	fset := token.NewFileSet()
@@ -204,23 +210,94 @@ func vetUnit(cfgPath string, stderr io.Writer) int {
 		return 1
 	}
 
-	findings, err := analysis.RunUnit(fset, files, pkg, info, suite.All())
+	// Dependency facts arrive through the .vetx files cmd/go names in
+	// PackageVetx — the ones this tool wrote when it visited those units.
+	facts := vetxFacts(cfg.PackageVetx)
+
+	// Export this unit's facts for dependents before any diagnostics run:
+	// VetxOnly invocations exist solely for this side effect.
+	if cfg.VetxOutput != "" {
+		own := make(map[string]json.RawMessage)
+		for _, a := range suite.All() {
+			if a.Facts == nil {
+				continue
+			}
+			pass := &analysis.Pass{Analyzer: a, Fset: fset, Files: files, Pkg: pkg, Info: info}
+			name := a.Name
+			pass.ImportFacts = func(ip string) json.RawMessage { return facts(name, ip) }
+			v := a.Facts(pass)
+			if v == nil {
+				continue
+			}
+			data, err := json.Marshal(v)
+			if err != nil {
+				fmt.Fprintf(stderr, "cisplint: marshaling %s facts: %v\n", a.Name, err)
+				return 1
+			}
+			own[a.Name] = data
+		}
+		data, err := json.Marshal(own)
+		if err != nil {
+			fmt.Fprintf(stderr, "cisplint: %v\n", err)
+			return 1
+		}
+		if err := os.WriteFile(cfg.VetxOutput, data, 0o666); err != nil {
+			fmt.Fprintf(stderr, "cisplint: %v\n", err)
+			return 1
+		}
+	}
+	if cfg.VetxOnly {
+		return 0
+	}
+
+	all, err := analysis.RunUnitAll(fset, files, pkg, info, suite.All(), facts)
 	if err != nil {
 		fmt.Fprintf(stderr, "cisplint: %v\n", err)
 		return 1
 	}
-	for _, f := range findings {
+	bad := 0
+	for _, f := range all {
+		if f.Suppressed {
+			continue
+		}
+		bad++
 		fmt.Fprintf(stderr, "%s\n", f)
 	}
-	if len(findings) > 0 {
+	if bad > 0 {
 		return 1
 	}
 	return 0
 }
 
-// standalone loads packages with the module-source loader and analyzes
-// them, test files included.
-func standalone(patterns []string, stdout, stderr io.Writer) int {
+// vetxFacts builds a FactSource over the dependency .vetx files of one
+// vet unit: each file holds the JSON map {analyzer: facts} vetUnit writes,
+// parsed once and memoized. Missing or malformed files resolve to nil —
+// analyzers degrade to type-only knowledge, never fail.
+func vetxFacts(packageVetx map[string]string) analysis.FactSource {
+	cache := make(map[string]map[string]json.RawMessage)
+	return func(analyzer, importPath string) json.RawMessage {
+		m, ok := cache[importPath]
+		if !ok {
+			cache[importPath] = nil
+			if file, have := packageVetx[importPath]; have {
+				if data, err := os.ReadFile(file); err == nil && len(data) > 0 {
+					var parsed map[string]json.RawMessage
+					if json.Unmarshal(data, &parsed) == nil {
+						cache[importPath] = parsed
+					}
+				}
+			}
+			m = cache[importPath]
+		}
+		return m[analyzer]
+	}
+}
+
+// standalone analyzes packages through the Session driver: module-source
+// loading (test files included), parallel per-package fan-out, and
+// cross-package fact propagation. Output order is deterministic at every
+// worker count.
+func standalone(patterns []string, jsonOut bool, stdout, stderr io.Writer) int {
 	l, err := loader.New(".")
 	if err != nil {
 		fmt.Fprintf(stderr, "cisplint: %v\n", err)
@@ -231,39 +308,28 @@ func standalone(patterns []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "cisplint: %v\n", err)
 		return 1
 	}
-	analyzers := suite.All()
-	total := 0
-	broken := false
-	for _, ip := range paths {
-		units := make([]*loader.Package, 0, 2)
-		p, err := l.Load(ip, true)
-		if err != nil {
+	s := analysis.NewSession(".", suite.All())
+	findings, errs := s.Run(paths)
+	for _, err := range errs {
+		fmt.Fprintf(stderr, "cisplint: %v\n", err)
+	}
+	if jsonOut {
+		if err := analysis.WriteJSON(stdout, findings); err != nil {
 			fmt.Fprintf(stderr, "cisplint: %v\n", err)
-			broken = true
-			continue
-		}
-		units = append(units, p)
-		x, err := l.LoadXTest(ip)
-		if err != nil {
-			fmt.Fprintf(stderr, "cisplint: %v\n", err)
-			broken = true
-		} else if x != nil {
-			units = append(units, x)
-		}
-		for _, u := range units {
-			findings, err := analysis.RunUnit(u.Fset, u.Files, u.Types, u.Info, analyzers)
-			if err != nil {
-				fmt.Fprintf(stderr, "cisplint: %v\n", err)
-				broken = true
-				continue
-			}
-			for _, f := range findings {
-				total++
-				fmt.Fprintf(stdout, "%s\n", f)
-			}
+			return 1
 		}
 	}
-	if broken || total > 0 {
+	total := 0
+	for _, f := range findings {
+		if f.Suppressed {
+			continue
+		}
+		total++
+		if !jsonOut {
+			fmt.Fprintf(stdout, "%s\n", f)
+		}
+	}
+	if len(errs) > 0 || total > 0 {
 		return 1
 	}
 	return 0

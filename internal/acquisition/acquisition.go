@@ -29,6 +29,7 @@ import (
 	"cisp/internal/graph"
 	"cisp/internal/los"
 	"cisp/internal/towers"
+	"cisp/internal/units"
 )
 
 // Model assigns acquisition probabilities and height availability.
@@ -73,7 +74,7 @@ type Request struct {
 
 	// SwatheWidth bounds the corridor around the A-B geodesic from which
 	// towers may be drawn, meters. Default 60 km (§3.3's siting tolerance).
-	SwatheWidth float64
+	SwatheWidth units.Meters
 
 	// Samples is the number of Monte-Carlo path computations ("thousands of
 	// candidate MW paths" at production scale). Default 200.
@@ -102,10 +103,10 @@ type Result struct {
 
 	// Lengths holds the buildable path length of each feasible sample,
 	// meters (sorted ascending).
-	Lengths []float64
+	Lengths []units.Meters
 
 	// BestLength and WorstLength bound the feasible samples.
-	BestLength, WorstLength float64
+	BestLength, WorstLength units.Meters
 
 	// TowerUseRate maps tower ID → fraction of feasible samples whose best
 	// path used it. High-rate towers are the ones worth confirming first.
@@ -113,9 +114,9 @@ type Result struct {
 }
 
 // MedianLength returns the median buildable length (NaN if none feasible).
-func (r *Result) MedianLength() float64 {
+func (r *Result) MedianLength() units.Meters {
 	if len(r.Lengths) == 0 {
-		return math.NaN()
+		return units.Meters(math.NaN())
 	}
 	return r.Lengths[len(r.Lengths)/2]
 }
@@ -149,7 +150,7 @@ func Refine(reg *towers.Registry, ev *los.Evaluator, model Model, req Request) *
 	// LOS is height-dependent and checked per sample).
 	type hop struct {
 		i, j int // indices into corridor
-		d    float64
+		d    units.Meters
 	}
 	var hops []hop
 	for i := 0; i < len(corridor); i++ {
@@ -185,7 +186,7 @@ func Refine(reg *towers.Registry, ev *los.Evaluator, model Model, req Request) *
 		}
 
 		// Build this sample's hop graph: nodes = [A, B, corridor...].
-		g := graph.New(len(corridor) + 2)
+		g := graph.New[units.Meters](len(corridor) + 2)
 		const aNode, bNode = 0, 1
 		for k, id := range corridor {
 			if !avail[k] {
@@ -224,7 +225,7 @@ func Refine(reg *towers.Registry, ev *los.Evaluator, model Model, req Request) *
 		}
 	}
 
-	sort.Float64s(res.Lengths)
+	sort.Slice(res.Lengths, func(i, j int) bool { return res.Lengths[i] < res.Lengths[j] })
 	if len(res.Lengths) > 0 {
 		res.BestLength = res.Lengths[0]
 		res.WorstLength = res.Lengths[len(res.Lengths)-1]
@@ -235,9 +236,8 @@ func Refine(reg *towers.Registry, ev *los.Evaluator, model Model, req Request) *
 	return res
 }
 
-// corridorTowers returns registry IDs within width meters of the A-B
-// geodesic.
-func corridorTowers(reg *towers.Registry, a, b geo.Point, width float64) []int {
+// corridorTowers returns registry IDs within width of the A-B geodesic.
+func corridorTowers(reg *towers.Registry, a, b geo.Point, width units.Meters) []int {
 	total := a.DistanceTo(b)
 	step := width // sample the line at corridor-width pitch
 	n := int(total/step) + 1

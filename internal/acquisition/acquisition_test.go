@@ -103,7 +103,7 @@ func TestRefusalsKillRoutes(t *testing.T) {
 	if res.Feasible != 0 {
 		t.Fatalf("all towers refused but %d samples feasible", res.Feasible)
 	}
-	if !math.IsNaN(res.MedianLength()) {
+	if !math.IsNaN(float64(res.MedianLength())) {
 		t.Fatal("median of empty distribution should be NaN")
 	}
 }

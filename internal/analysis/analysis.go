@@ -5,11 +5,21 @@
 // vendored — the framework runs entirely on go/ast and go/types, so the
 // lint suite builds offline and adds nothing to go.mod.
 //
-// The four analyzers (internal/analysis/determinism, maporder,
-// hotpathalloc, paraclosure) enforce the determinism contract documented
-// in DESIGN.md §9: bit-identical results at any worker count, all
-// randomness threaded through an explicit Seed, and allocation-free
-// per-event hot paths. cmd/cisplint wires them into `go vet -vettool`.
+// The five analyzers (internal/analysis/determinism, maporder,
+// hotpathalloc, paraclosure, unitcheck) enforce the determinism contract
+// documented in DESIGN.md §9 and the dimensional-consistency contract of
+// §11: bit-identical results at any worker count, all randomness threaded
+// through an explicit Seed, allocation-free per-event hot paths, and no
+// silent mixing of physical dimensions. cmd/cisplint wires them into
+// `go vet -vettool`.
+//
+// Beyond single-unit checks, the framework supports cross-package fact
+// propagation: an Analyzer with a Facts hook exports a JSON-serializable
+// summary of each package (unitcheck exports the dimension signatures of
+// exported functions), and passes over dependent packages read those
+// summaries back through Pass.FactsOf. The Session driver computes facts
+// bottom-up over the module import graph; under `go vet` the same facts
+// travel through the unitchecker protocol's .vetx files.
 //
 // Suppression: a finding is silenced by a directive on the same line or
 // the line directly above:
@@ -21,10 +31,12 @@
 package analysis
 
 import (
+	"encoding/json"
 	"fmt"
 	"go/ast"
 	"go/token"
 	"go/types"
+	"io"
 	"sort"
 	"strings"
 )
@@ -37,6 +49,12 @@ type Analyzer struct {
 	Doc string
 	// Run applies the analyzer to one unit, reporting through the pass.
 	Run func(*Pass) error
+	// Facts, when non-nil, computes the analyzer's exported summary of one
+	// package (its base unit, test files excluded). The driver marshals the
+	// result to JSON and serves it to passes over dependent packages via
+	// Pass.FactsOf. Facts must be a pure function of the unit: the Session
+	// driver recomputes them per worker and relies on byte-identical JSON.
+	Facts func(*Pass) any
 }
 
 // A Pass is one analyzer's view of one compilation unit.
@@ -47,7 +65,21 @@ type Pass struct {
 	Pkg      *types.Package
 	Info     *types.Info
 
+	// ImportFacts, when set by the driver, resolves the current analyzer's
+	// exported facts for a directly-imported module package. Nil outside a
+	// facts-aware driver (plain RunUnit callers).
+	ImportFacts func(importPath string) json.RawMessage
+
 	diags []Diagnostic
+}
+
+// FactsOf returns the current analyzer's facts for the named import path,
+// or nil when the driver provides no facts (or the package exported none).
+func (p *Pass) FactsOf(importPath string) json.RawMessage {
+	if p.ImportFacts == nil {
+		return nil
+	}
+	return p.ImportFacts(importPath)
 }
 
 // A Diagnostic is one finding at a position.
@@ -67,22 +99,49 @@ func (p *Pass) IsTestFile(pos token.Pos) bool {
 	return f != nil && strings.HasSuffix(f.Name(), "_test.go")
 }
 
-// A Finding is a post-suppression diagnostic, resolved to a position.
+// A Finding is a resolved diagnostic. Suppressed findings (silenced by a
+// //lint:allow directive) are carried with Suppressed set so machine
+// consumers (cisplint -json) can report them; the plain RunUnit entry
+// point filters them out.
 type Finding struct {
-	Analyzer string
-	Pos      token.Position
-	Message  string
+	Analyzer   string
+	Pos        token.Position
+	Message    string
+	Suppressed bool
 }
 
 func (f Finding) String() string {
 	return fmt.Sprintf("%s: %s: %s", f.Pos, f.Analyzer, f.Message)
 }
 
+// A FactSource resolves one analyzer's exported facts for one import path.
+// Drivers that propagate facts (Session, the vet-protocol unit runner)
+// supply one; nil means no cross-package facts are available.
+type FactSource func(analyzer, importPath string) json.RawMessage
+
 // RunUnit applies every analyzer to one type-checked unit and returns the
 // findings that survive //lint:allow suppression, sorted by position.
 // Malformed suppression directives (no "-- justification") are reported as
 // findings of the pseudo-analyzer "lintallow" and cannot be suppressed.
 func RunUnit(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, analyzers []*Analyzer) ([]Finding, error) {
+	all, err := RunUnitAll(fset, files, pkg, info, analyzers, nil)
+	if err != nil {
+		return nil, err
+	}
+	out := all[:0]
+	for _, f := range all {
+		if !f.Suppressed {
+			out = append(out, f)
+		}
+	}
+	return out, nil
+}
+
+// RunUnitAll is RunUnit without the suppression filter: every finding is
+// returned, suppressed ones flagged rather than dropped, so -json output
+// can show what //lint:allow is hiding. facts, when non-nil, wires
+// cross-package fact propagation into each pass.
+func RunUnitAll(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, analyzers []*Analyzer, facts FactSource) ([]Finding, error) {
 	allows, malformed := collectAllows(fset, files)
 
 	var out []Finding
@@ -91,17 +150,33 @@ func RunUnit(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *t
 	}
 	for _, a := range analyzers {
 		pass := &Pass{Analyzer: a, Fset: fset, Files: files, Pkg: pkg, Info: info}
+		if facts != nil {
+			name := a.Name
+			pass.ImportFacts = func(importPath string) json.RawMessage {
+				return facts(name, importPath)
+			}
+		}
 		if err := a.Run(pass); err != nil {
 			return nil, fmt.Errorf("%s: %w", a.Name, err)
 		}
 		for _, d := range pass.diags {
 			posn := fset.Position(d.Pos)
-			if allows.covers(a.Name, posn) {
-				continue
-			}
-			out = append(out, Finding{Analyzer: a.Name, Pos: posn, Message: d.Message})
+			out = append(out, Finding{
+				Analyzer:   a.Name,
+				Pos:        posn,
+				Message:    d.Message,
+				Suppressed: allows.covers(a.Name, posn),
+			})
 		}
 	}
+	SortFindings(out)
+	return out, nil
+}
+
+// SortFindings orders findings by (file, line, column, analyzer) — the
+// reporting order every driver uses, which is what makes cisplint output
+// byte-identical at any worker count.
+func SortFindings(out []Finding) {
 	sort.Slice(out, func(i, j int) bool {
 		a, b := out[i].Pos, out[j].Pos
 		if a.Filename != b.Filename {
@@ -115,7 +190,43 @@ func RunUnit(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *t
 		}
 		return out[i].Analyzer < out[j].Analyzer
 	})
-	return out, nil
+}
+
+// jsonFinding is the machine-readable finding shape emitted by WriteJSON.
+// The field set is part of the cisplint -json contract, pinned by a golden
+// test: file/line/column locate the finding, analyzer and message describe
+// it, and suppressed records whether a //lint:allow directive silenced it.
+type jsonFinding struct {
+	File       string `json:"file"`
+	Line       int    `json:"line"`
+	Column     int    `json:"column"`
+	Analyzer   string `json:"analyzer"`
+	Message    string `json:"message"`
+	Suppressed bool   `json:"suppressed"`
+}
+
+// WriteJSON encodes findings as an indented JSON array (one object per
+// finding, "[]" when empty) followed by a newline. Output depends only on
+// the findings, in order, so equal inputs encode byte-identically.
+func WriteJSON(w io.Writer, findings []Finding) error {
+	arr := make([]jsonFinding, 0, len(findings))
+	for _, f := range findings {
+		arr = append(arr, jsonFinding{
+			File:       f.Pos.Filename,
+			Line:       f.Pos.Line,
+			Column:     f.Pos.Column,
+			Analyzer:   f.Analyzer,
+			Message:    f.Message,
+			Suppressed: f.Suppressed,
+		})
+	}
+	data, err := json.MarshalIndent(arr, "", "\t")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	_, err = w.Write(data)
+	return err
 }
 
 // allowKey addresses one source line of one file.

@@ -1,6 +1,7 @@
 package analysis
 
 import (
+	"bytes"
 	"go/ast"
 	"go/parser"
 	"go/token"
@@ -104,6 +105,77 @@ func TestFindingsSortedByPosition(t *testing.T) {
 	}
 	if got[0].Pos.Line > got[1].Pos.Line {
 		t.Fatalf("findings not sorted: %v", got)
+	}
+}
+
+// TestRunUnitAllKeepsSuppressed pins the -json contract's raw side:
+// RunUnitAll carries suppressed findings with the flag set instead of
+// dropping them, so machine consumers can see what //lint:allow hides.
+func TestRunUnitAllKeepsSuppressed(t *testing.T) {
+	src := "package p\n\nfunc f() int {\n\treturn 1 //lint:allow toyreturns -- framework test: sanctioned return\n}\n"
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", src, parser.ParseComments|parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	info := &types.Info{
+		Types: make(map[ast.Expr]types.TypeAndValue),
+		Defs:  make(map[*ast.Ident]types.Object),
+		Uses:  make(map[*ast.Ident]types.Object),
+	}
+	pkg, err := (&types.Config{}).Check("p", fset, []*ast.File{f}, info)
+	if err != nil {
+		t.Fatalf("typecheck: %v", err)
+	}
+	got, err := RunUnitAll(fset, []*ast.File{f}, pkg, info, []*Analyzer{reportReturns}, nil)
+	if err != nil {
+		t.Fatalf("RunUnitAll: %v", err)
+	}
+	if len(got) != 1 || !got[0].Suppressed || got[0].Analyzer != "toyreturns" {
+		t.Fatalf("want 1 suppressed toyreturns finding, got %v", got)
+	}
+}
+
+// TestWriteJSONGolden pins the exact bytes of the cisplint -json encoding:
+// field names, order, indentation, and the trailing newline are all part
+// of the machine-readable contract.
+func TestWriteJSONGolden(t *testing.T) {
+	findings := []Finding{
+		{Analyzer: "toyreturns", Pos: token.Position{Filename: "a/b.go", Line: 3, Column: 2}, Message: "return statement"},
+		{Analyzer: "unitcheck", Pos: token.Position{Filename: "c.go", Line: 9, Column: 14}, Message: "+ mixes length and time operands", Suppressed: true},
+	}
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, findings); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	want := "[\n" +
+		"\t{\n" +
+		"\t\t\"file\": \"a/b.go\",\n" +
+		"\t\t\"line\": 3,\n" +
+		"\t\t\"column\": 2,\n" +
+		"\t\t\"analyzer\": \"toyreturns\",\n" +
+		"\t\t\"message\": \"return statement\",\n" +
+		"\t\t\"suppressed\": false\n" +
+		"\t},\n" +
+		"\t{\n" +
+		"\t\t\"file\": \"c.go\",\n" +
+		"\t\t\"line\": 9,\n" +
+		"\t\t\"column\": 14,\n" +
+		"\t\t\"analyzer\": \"unitcheck\",\n" +
+		"\t\t\"message\": \"+ mixes length and time operands\",\n" +
+		"\t\t\"suppressed\": true\n" +
+		"\t}\n" +
+		"]\n"
+	if got := buf.String(); got != want {
+		t.Errorf("WriteJSON output mismatch:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+
+	buf.Reset()
+	if err := WriteJSON(&buf, nil); err != nil {
+		t.Fatalf("WriteJSON(empty): %v", err)
+	}
+	if got := buf.String(); got != "[]\n" {
+		t.Errorf("WriteJSON(empty) = %q, want %q", got, "[]\n")
 	}
 }
 

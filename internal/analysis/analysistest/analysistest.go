@@ -50,6 +50,42 @@ func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgs ...string) {
 	}
 }
 
+// RunWithFacts is Run driven through an analysis.Session: packages whose
+// expectations depend on cross-package fact propagation (unitcheck's
+// dimension signatures) see the facts of their module-internal imports,
+// exactly as the standalone cisplint driver provides them. Suppressed
+// findings are filtered as in production.
+func RunWithFacts(t *testing.T, testdata string, a *analysis.Analyzer, pkgs ...string) {
+	t.Helper()
+	s := analysis.NewSession(".", []*analysis.Analyzer{a})
+	l, err := loader.New(".")
+	if err != nil {
+		t.Fatalf("analysistest: creating loader: %v", err)
+	}
+	for _, pkg := range pkgs {
+		dir := filepath.Join(testdata, "src", pkg)
+		all, err := s.RunDir(dir, pkg)
+		if err != nil {
+			t.Errorf("analysistest: analyzing %s: %v", dir, err)
+			continue
+		}
+		findings := all[:0]
+		for _, f := range all {
+			if !f.Suppressed {
+				findings = append(findings, f)
+			}
+		}
+		// The want comments come from an independent parse; line numbers
+		// and base filenames agree across file sets.
+		p, err := l.LoadDir(dir, pkg)
+		if err != nil {
+			t.Errorf("analysistest: loading %s: %v", dir, err)
+			continue
+		}
+		checkExpectations(t, p, findings)
+	}
+}
+
 // expectation is one want-regex on one line.
 type expectation struct {
 	file string

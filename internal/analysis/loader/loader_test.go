@@ -1,6 +1,7 @@
 package loader
 
 import (
+	"go/types"
 	"strings"
 	"testing"
 )
@@ -68,6 +69,46 @@ func TestModulePackagesSkipsTestdata(t *testing.T) {
 	}
 	if !seenRoot || !seenNetsim {
 		t.Fatalf("expected cisp and cisp/internal/netsim in %v", pkgs)
+	}
+}
+
+// TestLoadDirImportForms pins that the source importer resolves the units
+// package through every import spelling the analyzers must see through: a
+// named alias, a dot-import, and a vendored-style re-export package that is
+// itself reached by its full module path from a sibling testdata directory.
+// In each fixture some used type must bottom out (through alias chains) at
+// a named type declared in cisp/internal/units.
+func TestLoadDirImportForms(t *testing.T) {
+	l := newTestLoader(t)
+	cases := []struct{ dir, name string }{
+		{"../unitcheck/testdata/src/aliasimport", "aliasimport"},
+		{"../unitcheck/testdata/src/dotimport", "dotimport"},
+		{"../unitcheck/testdata/src/reexport", "reexport"},
+	}
+	for _, c := range cases {
+		pkg, err := l.LoadDir(c.dir, c.name)
+		if err != nil {
+			t.Errorf("LoadDir(%s): %v", c.dir, err)
+			continue
+		}
+		if pkg.Types.Name() != c.name {
+			t.Errorf("package name = %q, want %q", pkg.Types.Name(), c.name)
+		}
+		found := false
+		for _, obj := range pkg.Info.Uses {
+			tn, ok := obj.(*types.TypeName)
+			if !ok {
+				continue
+			}
+			if named, ok := types.Unalias(tn.Type()).(*types.Named); ok &&
+				named.Obj().Pkg() != nil && named.Obj().Pkg().Path() == "cisp/internal/units" {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("%s: no used type resolves to cisp/internal/units", c.name)
+		}
 	}
 }
 

@@ -1,0 +1,240 @@
+package analysis
+
+// This file is the multi-package driver: where RunUnit analyzes one
+// compilation unit in isolation, a Session analyzes a whole package list —
+// in parallel, with cross-package fact propagation — and still produces
+// byte-identical output at every worker count.
+//
+// Determinism comes from three properties, mirroring internal/parallel's
+// contract (DESIGN.md §5):
+//
+//   - the unit of fan-out is the package index, and per-package results
+//     are written into a slice slot, never appended concurrently;
+//   - findings are merged strictly in package-list order after the pool
+//     drains, so scheduling order is invisible in the output;
+//   - loaders are pooled, not shared: the source-importer Loader memoizes
+//     type-checking in ways that are not safe for concurrent use, so each
+//     in-flight package borrows a private Loader and returns it. Which
+//     loader analyzes which package varies run to run, but type-checking
+//     and analyzer output are pure functions of the source, so the cache
+//     assignment cannot leak into results.
+//
+// Facts flow bottom-up: before a package is analyzed, the facts of its
+// module-internal imports are computed (recursively, memoized per loader)
+// by running each analyzer's Facts hook over the import's base unit. JSON
+// is the interchange form — the same bytes a vet-protocol .vetx file
+// carries — so the standalone and `go vet` drivers cannot drift.
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+
+	"cisp/internal/analysis/loader"
+	"cisp/internal/parallel"
+)
+
+// A Session runs an analyzer suite over module packages with fact
+// propagation. Sessions are cheap; create one per driver invocation.
+type Session struct {
+	root      string
+	analyzers []*Analyzer
+	pool      chan *sessionWorker
+}
+
+// A sessionWorker is one borrowed Loader plus its memoized facts.
+type sessionWorker struct {
+	l     *loader.Loader
+	facts *factRunner
+}
+
+// NewSession returns a Session analyzing with the given suite, loading
+// module source from root (any directory at or below the module's go.mod).
+func NewSession(root string, analyzers []*Analyzer) *Session {
+	return &Session{
+		root:      root,
+		analyzers: analyzers,
+		pool:      make(chan *sessionWorker, parallel.Workers()),
+	}
+}
+
+func (s *Session) borrow() (*sessionWorker, error) {
+	select {
+	case w := <-s.pool:
+		return w, nil
+	default:
+	}
+	l, err := loader.New(s.root)
+	if err != nil {
+		return nil, err
+	}
+	return &sessionWorker{l: l, facts: newFactRunner(l, s.analyzers)}, nil
+}
+
+func (s *Session) release(w *sessionWorker) {
+	select {
+	case s.pool <- w:
+	default:
+	}
+}
+
+// pkgResult is one package's findings and errors, merged in list order.
+type pkgResult struct {
+	findings []Finding
+	errs     []error
+}
+
+// Run analyzes every listed module package — base unit with in-package
+// tests, plus the external test unit when present — and returns all
+// findings, suppressed ones included and flagged. Findings appear in
+// package-list order, position-sorted within each unit; errors likewise.
+// Output is byte-for-byte independent of parallel.Workers().
+func (s *Session) Run(importPaths []string) ([]Finding, []error) {
+	results := make([]pkgResult, len(importPaths))
+	parallel.For(len(importPaths), 1, func(lo, hi int) {
+		w, err := s.borrow()
+		if err != nil {
+			for i := lo; i < hi; i++ {
+				results[i].errs = []error{err}
+			}
+			return
+		}
+		defer s.release(w)
+		for i := lo; i < hi; i++ {
+			results[i] = s.runPackage(w, importPaths[i])
+		}
+	})
+
+	var findings []Finding
+	var errs []error
+	for _, r := range results {
+		findings = append(findings, r.findings...)
+		errs = append(errs, r.errs...)
+	}
+	return findings, errs
+}
+
+// runPackage analyzes one package's units with w's loader.
+func (s *Session) runPackage(w *sessionWorker, ip string) pkgResult {
+	var res pkgResult
+	units := make([]*loader.Package, 0, 2)
+	p, err := w.l.Load(ip, true)
+	if err != nil {
+		res.errs = append(res.errs, err)
+	} else {
+		units = append(units, p)
+	}
+	x, err := w.l.LoadXTest(ip)
+	if err != nil {
+		res.errs = append(res.errs, err)
+	} else if x != nil {
+		units = append(units, x)
+	}
+	for _, u := range units {
+		fs, err := RunUnitAll(u.Fset, u.Files, u.Types, u.Info, s.analyzers, w.facts.source())
+		if err != nil {
+			res.errs = append(res.errs, fmt.Errorf("%s: %w", u.ImportPath, err))
+			continue
+		}
+		res.findings = append(res.findings, fs...)
+	}
+	return res
+}
+
+// RunDir analyzes the single package in dir (an analyzer's testdata tree)
+// under the given import path, with fact propagation for its
+// module-internal imports. All findings are returned, suppressed included.
+func (s *Session) RunDir(dir, importPath string) ([]Finding, error) {
+	w, err := s.borrow()
+	if err != nil {
+		return nil, err
+	}
+	defer s.release(w)
+	p, err := w.l.LoadDir(dir, importPath)
+	if err != nil {
+		return nil, err
+	}
+	return RunUnitAll(p.Fset, p.Files, p.Types, p.Info, s.analyzers, w.facts.source())
+}
+
+// A factRunner computes and memoizes per-package analyzer facts for one
+// Loader. Not safe for concurrent use — it inherits the Loader's
+// single-goroutine discipline.
+type factRunner struct {
+	l         *loader.Loader
+	analyzers []*Analyzer
+	cache     map[string]map[string]json.RawMessage // import path → analyzer → facts
+}
+
+func newFactRunner(l *loader.Loader, analyzers []*Analyzer) *factRunner {
+	return &factRunner{l: l, analyzers: analyzers, cache: make(map[string]map[string]json.RawMessage)}
+}
+
+// source adapts the runner to the FactSource shape RunUnitAll consumes.
+// Lookup failures degrade to nil — a missing fact makes the consuming
+// analyzer conservative, never wrong — and only module-internal paths are
+// ever resolvable.
+func (fr *factRunner) source() FactSource {
+	return func(analyzer, importPath string) json.RawMessage {
+		m, err := fr.factsFor(importPath)
+		if err != nil {
+			return nil
+		}
+		return m[analyzer]
+	}
+}
+
+// factsFor computes every analyzer's facts for the package, after first
+// ensuring the facts of its own module-internal imports (bottom-up over
+// the import DAG; the in-progress marker fails cycles fast, mirroring the
+// loader's own guard).
+func (fr *factRunner) factsFor(importPath string) (map[string]json.RawMessage, error) {
+	if !fr.moduleInternal(importPath) {
+		return nil, nil
+	}
+	if m, ok := fr.cache[importPath]; ok {
+		return m, nil
+	}
+	fr.cache[importPath] = nil // in progress: imports form a DAG, so a re-entry resolves to "no facts"
+	p, err := fr.l.Load(importPath, false)
+	if err != nil {
+		return nil, err
+	}
+	for _, imp := range p.Types.Imports() {
+		if fr.moduleInternal(imp.Path()) {
+			if _, err := fr.factsFor(imp.Path()); err != nil {
+				return nil, err
+			}
+		}
+	}
+	m := make(map[string]json.RawMessage)
+	for _, a := range fr.analyzers {
+		if a.Facts == nil {
+			continue
+		}
+		pass := &Pass{Analyzer: a, Fset: p.Fset, Files: p.Files, Pkg: p.Types, Info: p.Info}
+		name := a.Name
+		pass.ImportFacts = func(ip string) json.RawMessage {
+			fm, err := fr.factsFor(ip)
+			if err != nil {
+				return nil
+			}
+			return fm[name]
+		}
+		v := a.Facts(pass)
+		if v == nil {
+			continue
+		}
+		data, err := json.Marshal(v)
+		if err != nil {
+			return nil, fmt.Errorf("%s: marshaling facts for %s: %w", a.Name, importPath, err)
+		}
+		m[a.Name] = data
+	}
+	fr.cache[importPath] = m
+	return m, nil
+}
+
+func (fr *factRunner) moduleInternal(importPath string) bool {
+	return importPath == fr.l.ModulePath || strings.HasPrefix(importPath, fr.l.ModulePath+"/")
+}

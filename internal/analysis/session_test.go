@@ -1,0 +1,42 @@
+package analysis_test
+
+import (
+	"bytes"
+	"testing"
+
+	"cisp/internal/analysis"
+	"cisp/internal/analysis/suite"
+	"cisp/internal/parallel"
+)
+
+// TestSessionDeterministicAcrossWorkers pins the parallel driver's output
+// contract: the rendered findings — suppressed ones included — are
+// byte-identical whether the per-package fan-out runs on one worker or
+// eight. The fixture packages are real module packages with known
+// //lint:allow sites, so the comparison exercises suppression carry-through
+// as well as ordering.
+func TestSessionDeterministicAcrossWorkers(t *testing.T) {
+	pkgs := []string{"cisp/internal/graph", "cisp/internal/parallel", "cisp/internal/units"}
+	render := func(workers int) []byte {
+		prev := parallel.SetWorkers(workers)
+		defer parallel.SetWorkers(prev)
+		s := analysis.NewSession(".", suite.All())
+		findings, errs := s.Run(pkgs)
+		for _, err := range errs {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		var buf bytes.Buffer
+		if err := analysis.WriteJSON(&buf, findings); err != nil {
+			t.Fatalf("workers=%d: WriteJSON: %v", workers, err)
+		}
+		return buf.Bytes()
+	}
+	one := render(1)
+	eight := render(8)
+	if !bytes.Equal(one, eight) {
+		t.Fatalf("output differs between 1 and 8 workers:\n--- workers=1 ---\n%s\n--- workers=8 ---\n%s", one, eight)
+	}
+	if !bytes.Contains(one, []byte(`"suppressed": true`)) {
+		t.Fatalf("fixture packages should surface suppressed findings; got:\n%s", one)
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"cisp/internal/analysis/hotpathalloc"
 	"cisp/internal/analysis/maporder"
 	"cisp/internal/analysis/paraclosure"
+	"cisp/internal/analysis/unitcheck"
 )
 
 // All returns every cisplint analyzer, in reporting order.
@@ -19,5 +20,6 @@ func All() []*analysis.Analyzer {
 		maporder.Analyzer,
 		hotpathalloc.Analyzer,
 		paraclosure.Analyzer,
+		unitcheck.Analyzer,
 	}
 }

@@ -12,7 +12,9 @@ import (
 // every package, in-package tests included, external test packages too —
 // must produce zero unsuppressed cisplint findings. This is the same
 // suite `go vet -vettool=cisplint ./...` runs in CI; the test form keeps
-// the guarantee local and hermetic (no go list, no export data).
+// the guarantee local and hermetic (no go list, no export data). It runs
+// through the Session driver, so cross-package facts (unitcheck's
+// dimension signatures) are in force exactly as in the CLI.
 func TestRepoIsLintClean(t *testing.T) {
 	if testing.Short() {
 		t.Skip("type-checks the whole module; skipped in -short mode")
@@ -28,32 +30,18 @@ func TestRepoIsLintClean(t *testing.T) {
 	if len(pkgs) < 10 {
 		t.Fatalf("suspiciously few packages (%d): %v", len(pkgs), pkgs)
 	}
-	analyzers := suite.All()
+	s := analysis.NewSession(".", suite.All())
+	findings, errs := s.Run(pkgs)
+	for _, err := range errs {
+		t.Error(err)
+	}
 	total := 0
-	for _, ip := range pkgs {
-		units := make([]*loader.Package, 0, 2)
-		p, err := l.Load(ip, true)
-		if err != nil {
-			t.Errorf("%s: %v", ip, err)
+	for _, f := range findings {
+		if f.Suppressed {
 			continue
 		}
-		units = append(units, p)
-		if x, err := l.LoadXTest(ip); err != nil {
-			t.Errorf("%s (external tests): %v", ip, err)
-		} else if x != nil {
-			units = append(units, x)
-		}
-		for _, u := range units {
-			findings, err := analysis.RunUnit(u.Fset, u.Files, u.Types, u.Info, analyzers)
-			if err != nil {
-				t.Errorf("%s: %v", u.ImportPath, err)
-				continue
-			}
-			for _, f := range findings {
-				total++
-				t.Errorf("%s", f)
-			}
-		}
+		total++
+		t.Errorf("%s", f)
 	}
 	if total > 0 {
 		t.Logf("%d unsuppressed findings; fix them or add //lint:allow <analyzer> -- <justification>", total)
@@ -65,6 +53,7 @@ func TestRepoIsLintClean(t *testing.T) {
 func TestSuiteIsComplete(t *testing.T) {
 	want := map[string]bool{
 		"determinism": true, "maporder": true, "hotpathalloc": true, "paraclosure": true,
+		"unitcheck": true,
 	}
 	all := suite.All()
 	if len(all) != len(want) {

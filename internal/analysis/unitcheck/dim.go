@@ -1,0 +1,193 @@
+package unitcheck
+
+import (
+	"fmt"
+	"go/types"
+	"strings"
+)
+
+// unitsPath is the import path of the repository's unit-type kernel. Every
+// dimension the analyzer knows about is rooted in a named type of this
+// package (plus time.Duration, tracked only at conversion boundaries), so
+// aliased imports, dot-imports and vendored-style type re-exports all
+// resolve to the same dimensions: the check is on the defining package of
+// the (unaliased) named type, never on the spelling at the use site.
+const unitsPath = "cisp/internal/units"
+
+// A Dim is a point in the dimension lattice: a vector of integer exponents
+// over the base dimensions, plus a Known flag. The zero Dim is ⊥
+// ("unknown"): a dimensionless scalar, an erased float64, anything the
+// analyzer cannot vouch for. Unknown unifies with everything — it makes
+// the checks conservative, never wrong. Known with all exponents zero is
+// the definitely-dimensionless point (units.Utilization, a ratio of equal
+// dimensions); it does NOT unify with lengths or times.
+//
+// The JSON form is the cross-package fact interchange shape (DESIGN.md
+// §11); field names are part of that contract.
+type Dim struct {
+	Known bool `json:"known"`
+	L     int8 `json:"l,omitempty"`  // length (meters)
+	T     int8 `json:"t,omitempty"`  // time (seconds)
+	D     int8 `json:"d,omitempty"`  // data (bits)
+	B     int8 `json:"db,omitempty"` // log-power (decibels); never mixes with linear units
+}
+
+// dimless is the known-dimensionless point of the lattice.
+var dimless = Dim{Known: true}
+
+func (d Dim) eq(o Dim) bool { return d == o }
+
+// mul combines the dimensions of a product; both inputs must be Known.
+func (d Dim) mul(o Dim) Dim {
+	return Dim{Known: true, L: d.L + o.L, T: d.T + o.T, D: d.D + o.D, B: d.B + o.B}
+}
+
+// div combines the dimensions of a quotient; both inputs must be Known.
+func (d Dim) div(o Dim) Dim {
+	return Dim{Known: true, L: d.L - o.L, T: d.T - o.T, D: d.D - o.D, B: d.B - o.B}
+}
+
+// String renders the dimension for diagnostics: "length", "data rate",
+// "length·time^-1", "dimensionless", "unknown".
+func (d Dim) String() string {
+	if !d.Known {
+		return "unknown"
+	}
+	if d == dimless {
+		return "dimensionless"
+	}
+	if d == (Dim{Known: true, D: 1, T: -1}) {
+		return "data rate"
+	}
+	var parts []string
+	for _, b := range []struct {
+		name string
+		exp  int8
+	}{{"length", d.L}, {"time", d.T}, {"data", d.D}, {"dB", d.B}} {
+		switch b.exp {
+		case 0:
+		case 1:
+			parts = append(parts, b.name)
+		default:
+			parts = append(parts, fmt.Sprintf("%s^%d", b.name, b.exp))
+		}
+	}
+	return strings.Join(parts, "·")
+}
+
+// unitDims maps each named type of the units package to its dimension.
+// Utilization is known-dimensionless: mixing it with a dimensioned value
+// is exactly the LP-conditioning bug class PR 5 fixed.
+var unitDims = map[string]Dim{
+	"Meters":        {Known: true, L: 1},
+	"Km":            {Known: true, L: 1},
+	"Seconds":       {Known: true, T: 1},
+	"Bits":          {Known: true, D: 1},
+	"BitsPerSecond": {Known: true, D: 1, T: -1},
+	"DB":            {Known: true, B: 1},
+	"Utilization":   dimless,
+}
+
+// unitTypeName resolves t (through any alias chain) to a named type of the
+// units package, returning its name. This is what makes aliased imports,
+// dot-imports and `type M = units.Meters` re-exports transparent.
+func unitTypeName(t types.Type) (string, bool) {
+	if t == nil {
+		return "", false
+	}
+	n, ok := types.Unalias(t).(*types.Named)
+	if !ok {
+		return "", false
+	}
+	obj := n.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != unitsPath {
+		return "", false
+	}
+	_, known := unitDims[obj.Name()]
+	return obj.Name(), known
+}
+
+// typeDim maps a static Go type to its dimension: units types carry their
+// dimension, everything else — basics, type parameters, foreign named
+// types, time.Duration (deliberately: Duration arithmetic idioms like
+// time.Duration(n)*time.Second are dimensional nonsense by design) — is
+// unknown.
+func typeDim(t types.Type) Dim {
+	if name, ok := unitTypeName(t); ok {
+		return unitDims[name]
+	}
+	return Dim{}
+}
+
+// isDuration reports whether t (unaliased) is time.Duration.
+func isDuration(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	n, ok := types.Unalias(t).(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "time" && obj.Name() == "Duration"
+}
+
+// isBasicNumeric reports whether t is a basic integer/float type — the
+// erasure boundary: converting a unit value to one of these deliberately
+// leaves the dimension system.
+func isBasicNumeric(t types.Type) bool {
+	b, ok := types.Unalias(t).(*types.Basic)
+	return ok && b.Info()&(types.IsInteger|types.IsFloat) != 0
+}
+
+// A FuncDim is one function's dimension signature: the inferred dimension
+// of each parameter and result. Slots the analyzer cannot vouch for are
+// unknown. This is the per-function value inside the package facts.
+type FuncDim struct {
+	Params  []Dim `json:"params"`
+	Results []Dim `json:"results"`
+}
+
+func (fd FuncDim) eq(o FuncDim) bool {
+	if len(fd.Params) != len(o.Params) || len(fd.Results) != len(o.Results) {
+		return false
+	}
+	for i := range fd.Params {
+		if fd.Params[i] != o.Params[i] {
+			return false
+		}
+	}
+	for i := range fd.Results {
+		if fd.Results[i] != o.Results[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// FuncFacts is the analyzer's exported package fact: dimension signatures
+// of exported functions and methods, keyed "Func" or "Recv.Method". Only
+// signatures that say more than the declared types (a float64 slot with an
+// inferred dimension) are exported; everything else the consumer already
+// sees in the type information. encoding/json sorts map keys, so the
+// marshaled form is deterministic — the property the Session driver and
+// the vet .vetx files rely on.
+type FuncFacts map[string]FuncDim
+
+// funcKey builds the facts key for a function object: "Name" for
+// package-level functions, "Recv.Name" for methods (pointer receivers
+// stripped).
+func funcKey(fn *types.Func) string {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return fn.Name()
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if n, ok := types.Unalias(t).(*types.Named); ok {
+		return n.Obj().Name() + "." + fn.Name()
+	}
+	return fn.Name()
+}

@@ -1,0 +1,416 @@
+package unitcheck
+
+// This file is the dimension evaluator and the signature-inference engine.
+//
+// dimOf assigns a Dim to an expression bottom-up. Two modes share the
+// code, differing only at conversions to basic numeric types:
+//
+//   - checking mode (transparent=false): float64(x) ERASES the dimension.
+//     That conversion is the sanctioned boundary idiom — the programmer is
+//     explicitly leaving the unit system — so no diagnostic may see
+//     through it.
+//
+//   - inference mode (transparent=true): float64(x) PRESERVES x's
+//     dimension. A function returning float64(meters+meters) still hands
+//     its caller a length; recording that in the signature is the whole
+//     point of fact propagation.
+//
+// Inference runs two rounds over the package so dimensions chain through
+// intra-package calls (round 1 infers leaf signatures, round 2 lets
+// callers of those leaves see them). Cross-package, the same signatures
+// travel as facts: Pass.FactsOf serves the JSON a dependency's inference
+// produced, computed bottom-up over the import DAG by the Session driver
+// (or carried in .vetx files under `go vet`).
+
+import (
+	"encoding/json"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// A checker evaluates expression dimensions for one pass.
+type checker struct {
+	pass        *passLike
+	sigs        map[*types.Func]FuncDim
+	transparent bool
+	facts       map[string]FuncFacts // import path → parsed facts (nil entry: none)
+}
+
+// passLike is the slice of analysis.Pass the evaluator needs; holding it
+// directly keeps checker constructible in both Run and Facts hooks.
+type passLike struct {
+	Pkg         *types.Package
+	Info        *types.Info
+	ImportFacts func(importPath string) json.RawMessage
+}
+
+// objOf resolves an identifier or selector to its object.
+func (c *checker) objOf(e ast.Expr) types.Object {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		if obj := c.pass.Info.Uses[x]; obj != nil {
+			return obj
+		}
+		return c.pass.Info.Defs[x]
+	case *ast.SelectorExpr:
+		return c.pass.Info.Uses[x.Sel]
+	}
+	return nil
+}
+
+// dimOf evaluates the dimension of an expression.
+func (c *checker) dimOf(e ast.Expr) Dim {
+	e = ast.Unparen(e)
+	switch x := e.(type) {
+	case *ast.BasicLit:
+		return Dim{} // literals are chameleon scalars, whatever their contextual type
+	case *ast.Ident, *ast.SelectorExpr:
+		if k, ok := c.objOf(e).(*types.Const); ok {
+			// A declared constant carries a dimension only when its own
+			// declared type does (const step units.Meters = 2000). Untyped
+			// constants adopt the context type without any unit meaning.
+			return typeDim(k.Type())
+		}
+		return typeDim(c.pass.Info.TypeOf(e))
+	case *ast.UnaryExpr:
+		if x.Op == token.ADD || x.Op == token.SUB {
+			return c.dimOf(x.X)
+		}
+		return Dim{}
+	case *ast.BinaryExpr:
+		return c.binaryDim(x)
+	case *ast.CallExpr:
+		return c.callDim(x)
+	default:
+		return typeDim(c.pass.Info.TypeOf(e))
+	}
+}
+
+// binaryDim evaluates a binary expression's dimension. Unknown operands of
+// a product or quotient are treated as scalars — in compiling Go, a
+// mixed-type operand is necessarily an untyped constant.
+func (c *checker) binaryDim(b *ast.BinaryExpr) Dim {
+	switch b.Op {
+	case token.ADD, token.SUB:
+		if dx := c.dimOf(b.X); dx.Known {
+			return dx
+		}
+		return c.dimOf(b.Y)
+	case token.MUL:
+		dx, dy := c.dimOf(b.X), c.dimOf(b.Y)
+		switch {
+		case dx.Known && dy.Known:
+			return dx.mul(dy)
+		case dx.Known:
+			return dx
+		default:
+			return dy
+		}
+	case token.QUO:
+		dx, dy := c.dimOf(b.X), c.dimOf(b.Y)
+		switch {
+		case dx.Known && dy.Known:
+			return dx.div(dy)
+		case dx.Known:
+			return dx // x / scalar
+		case dy.Known:
+			return dimless.div(dy) // scalar / x inverts the dimension
+		default:
+			return Dim{}
+		}
+	}
+	return Dim{}
+}
+
+// callDim evaluates a call or conversion expression's dimension.
+func (c *checker) callDim(call *ast.CallExpr) Dim {
+	if tv, ok := c.pass.Info.Types[call.Fun]; ok && tv.IsType() {
+		if d := typeDim(tv.Type); d.Known {
+			return d
+		}
+		if c.transparent && len(call.Args) == 1 && isBasicNumeric(tv.Type) {
+			return c.dimOf(call.Args[0])
+		}
+		return Dim{}
+	}
+	// A single typed result answers directly (units constructors, methods,
+	// any function returning a unit type).
+	sig, _ := c.pass.Info.TypeOf(call.Fun).(*types.Signature)
+	if sig != nil && sig.Results().Len() == 1 {
+		if d := typeDim(sig.Results().At(0).Type()); d.Known {
+			return d
+		}
+	}
+	// Otherwise consult inferred signatures: intra-package first, then
+	// cross-package facts.
+	if fd, ok := c.signatureOf(call); ok && len(fd.Results) == 1 {
+		return fd.Results[0]
+	}
+	return Dim{}
+}
+
+// callee resolves the called function object, unwrapping parens and
+// generic instantiation syntax; nil for builtins, conversions and calls of
+// function-typed values.
+func (c *checker) callee(call *ast.CallExpr) *types.Func {
+	fun := ast.Unparen(call.Fun)
+	for {
+		switch f := fun.(type) {
+		case *ast.IndexExpr:
+			fun = ast.Unparen(f.X)
+			continue
+		case *ast.IndexListExpr:
+			fun = ast.Unparen(f.X)
+			continue
+		}
+		break
+	}
+	switch f := fun.(type) {
+	case *ast.Ident:
+		fn, _ := c.pass.Info.Uses[f].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		fn, _ := c.pass.Info.Uses[f.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}
+
+// signatureOf looks up the dimension signature of a call's target: the
+// intra-package inference table for functions of this package, the
+// propagated facts for functions of module dependencies.
+func (c *checker) signatureOf(call *ast.CallExpr) (FuncDim, bool) {
+	fn := c.callee(call)
+	if fn == nil {
+		return FuncDim{}, false
+	}
+	fn = fn.Origin()
+	if fd, ok := c.sigs[fn]; ok {
+		return fd, true
+	}
+	pkg := fn.Pkg()
+	if pkg == nil || pkg == c.pass.Pkg || c.pass.ImportFacts == nil {
+		return FuncDim{}, false
+	}
+	ff, ok := c.factsFor(pkg.Path())
+	if !ok {
+		return FuncDim{}, false
+	}
+	fd, ok := ff[funcKey(fn)]
+	return fd, ok
+}
+
+// factsFor parses (once) the unitcheck facts of an imported package.
+func (c *checker) factsFor(path string) (FuncFacts, bool) {
+	if ff, ok := c.facts[path]; ok {
+		return ff, ff != nil
+	}
+	var ff FuncFacts
+	if raw := c.pass.ImportFacts(path); raw != nil {
+		if err := json.Unmarshal(raw, &ff); err != nil {
+			ff = nil
+		}
+	}
+	if c.facts == nil {
+		c.facts = make(map[string]FuncFacts)
+	}
+	c.facts[path] = ff
+	return ff, ff != nil
+}
+
+// declaredSig builds a function's dimension signature from declared types
+// alone — the starting point of inference and the baseline facts export
+// compares against.
+func declaredSig(fn *types.Func) FuncDim {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return FuncDim{}
+	}
+	fd := FuncDim{
+		Params:  make([]Dim, sig.Params().Len()),
+		Results: make([]Dim, sig.Results().Len()),
+	}
+	for i := range fd.Params {
+		fd.Params[i] = typeDim(sig.Params().At(i).Type())
+	}
+	for i := range fd.Results {
+		fd.Results[i] = typeDim(sig.Results().At(i).Type())
+	}
+	return fd
+}
+
+// inferSigs computes the package's dimension signatures: declared types
+// seeded, then two rounds of body inference so dimensions chain through
+// one level of intra-package calls. Inference is deliberately syntactic
+// and local — no dataflow through variables — so it only ever claims a
+// dimension the code states outright.
+func inferSigs(pkg *types.Package, info *types.Info, files []*ast.File, importFacts func(string) json.RawMessage) map[*types.Func]FuncDim {
+	type declFn struct {
+		fn   *types.Func
+		decl *ast.FuncDecl
+	}
+	var decls []declFn
+	sigs := make(map[*types.Func]FuncDim)
+	for _, f := range files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Name == nil {
+				continue
+			}
+			fn, ok := info.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			sigs[fn] = declaredSig(fn)
+			if fd.Body != nil {
+				decls = append(decls, declFn{fn, fd})
+			}
+		}
+	}
+
+	c := &checker{
+		pass:        &passLike{Pkg: pkg, Info: info, ImportFacts: importFacts},
+		transparent: true,
+	}
+	for round := 0; round < 2; round++ {
+		c.sigs = sigs
+		next := make(map[*types.Func]FuncDim, len(sigs))
+		for fn, fd := range sigs {
+			next[fn] = fd
+		}
+		for _, df := range decls {
+			fd := cloneSig(next[df.fn])
+			inferResults(c, df.decl, &fd)
+			inferParams(c, df.fn, df.decl, &fd)
+			next[df.fn] = fd
+		}
+		sigs = next
+	}
+	return sigs
+}
+
+func cloneSig(fd FuncDim) FuncDim {
+	return FuncDim{
+		Params:  append([]Dim(nil), fd.Params...),
+		Results: append([]Dim(nil), fd.Results...),
+	}
+}
+
+// inferResults fills unknown result dimensions from the function's return
+// statements: a slot is inferred only when every return agrees on a known
+// dimension. Returns inside nested function literals don't count.
+func inferResults(c *checker, decl *ast.FuncDecl, fd *FuncDim) {
+	needed := false
+	for _, d := range fd.Results {
+		if !d.Known {
+			needed = true
+		}
+	}
+	if !needed {
+		return
+	}
+	agreed := make([]Dim, len(fd.Results))
+	seen, bail := false, false
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		switch r := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.ReturnStmt:
+			if len(r.Results) != len(fd.Results) {
+				bail = true // naked return or multi-value forward: give up
+				return false
+			}
+			for i, e := range r.Results {
+				d := c.dimOf(e)
+				if !seen {
+					agreed[i] = d
+				} else if agreed[i] != d {
+					agreed[i] = Dim{}
+				}
+			}
+			seen = true
+		}
+		return !bail
+	})
+	if bail || !seen {
+		return
+	}
+	for i := range fd.Results {
+		if !fd.Results[i].Known && agreed[i].Known {
+			fd.Results[i] = agreed[i]
+		}
+	}
+}
+
+// inferParams fills unknown parameter dimensions from direct unit
+// conversions of the parameter in the body: units.Meters(p) states that p
+// is a length. Conflicting conversions cancel the inference.
+func inferParams(c *checker, fn *types.Func, decl *ast.FuncDecl, fd *FuncDim) {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || decl.Body == nil {
+		return
+	}
+	paramIdx := make(map[types.Object]int, sig.Params().Len())
+	for i := 0; i < sig.Params().Len(); i++ {
+		if !fd.Params[i].Known {
+			paramIdx[sig.Params().At(i)] = i
+		}
+	}
+	if len(paramIdx) == 0 {
+		return
+	}
+	inferred := make(map[int]Dim)
+	conflicted := make(map[int]bool)
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || len(call.Args) != 1 {
+			return true
+		}
+		tv, ok := c.pass.Info.Types[call.Fun]
+		if !ok || !tv.IsType() {
+			return true
+		}
+		d := typeDim(tv.Type)
+		if !d.Known {
+			return true
+		}
+		id, ok := ast.Unparen(call.Args[0]).(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := c.pass.Info.Uses[id]
+		i, ok := paramIdx[obj]
+		if !ok {
+			return true
+		}
+		if prev, ok := inferred[i]; ok && prev != d {
+			conflicted[i] = true
+		} else {
+			inferred[i] = d
+		}
+		return true
+	})
+	for i, d := range inferred {
+		if !conflicted[i] {
+			fd.Params[i] = d
+		}
+	}
+}
+
+// packageFacts computes the exported fact value: the inferred signatures
+// of exported functions that say strictly more than their declared types.
+func packageFacts(pkg *types.Package, info *types.Info, files []*ast.File, importFacts func(string) json.RawMessage) FuncFacts {
+	sigs := inferSigs(pkg, info, files, importFacts)
+	out := make(FuncFacts)
+	for fn, fd := range sigs {
+		if !fn.Exported() || fd.eq(declaredSig(fn)) {
+			continue
+		}
+		out[funcKey(fn)] = fd
+	}
+	if len(out) == 0 {
+		return nil
+	}
+	return out
+}

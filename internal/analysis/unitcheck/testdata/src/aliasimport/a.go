@@ -1,0 +1,10 @@
+// Package aliasimport pins that unitcheck resolves unit types through an
+// aliased import: the check keys on the defining package of the named
+// type, not the spelling at the use site.
+package aliasimport
+
+import u "cisp/internal/units"
+
+func f(km u.Km) u.Meters {
+	return u.Meters(km) // want `drops the scale factor`
+}

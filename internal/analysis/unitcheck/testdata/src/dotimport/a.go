@@ -1,0 +1,9 @@
+// Package dotimport pins that unitcheck resolves unit types through a
+// dot-import, where the use site names the type with no qualifier at all.
+package dotimport
+
+import . "cisp/internal/units"
+
+func f(km Km) Meters {
+	return Meters(km) // want `drops the scale factor`
+}

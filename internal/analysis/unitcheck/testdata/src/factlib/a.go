@@ -1,0 +1,16 @@
+// Package factlib exports float64-shaped functions whose dimension
+// signatures only inference can recover; package factuser consumes them
+// through cross-package fact propagation.
+package factlib
+
+import "cisp/internal/units"
+
+// SpanM returns the combined length of two segments, in meters.
+func SpanM(a, b units.Meters) float64 { return float64(a + b) }
+
+// Elapsed returns the span in seconds.
+func Elapsed(s units.Seconds) float64 { return float64(s) }
+
+// Stretch scales a meters-valued float64; the parameter's dimension is
+// stated by the direct conversion in the body.
+func Stretch(v float64) float64 { return float64(units.Meters(v) * 2) }

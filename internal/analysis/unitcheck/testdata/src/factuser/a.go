@@ -1,0 +1,17 @@
+// Package factuser misuses factlib's float64-shaped API in ways only the
+// propagated dimension facts can catch: the declared types are all plain
+// float64, so the compiler sees nothing wrong.
+package factuser
+
+import (
+	"cisp/internal/analysis/unitcheck/testdata/src/factlib"
+	"cisp/internal/units"
+)
+
+func consume(a, b units.Meters, s units.Seconds) {
+	_ = units.Meters(factlib.SpanM(a, b))
+	_ = units.Seconds(factlib.SpanM(a, b)) // want `conversion units\.Seconds\(\.\.\.\) of a length-dimensioned expression`
+	_ = factlib.Stretch(factlib.SpanM(a, b))
+	_ = factlib.Stretch(factlib.Elapsed(s))      // want `argument 1 to factlib\.Stretch carries time; its dimension signature expects length`
+	_ = factlib.SpanM(a, b) + factlib.Elapsed(s) // want `\+ mixes length and time operands`
+}

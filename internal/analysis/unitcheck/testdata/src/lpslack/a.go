@@ -1,0 +1,27 @@
+// Package lpslack re-expresses the PR 5 LP-conditioning bug as a unitcheck
+// regression. The TE LP's capacity rows are normalized to utilization
+// units: each coefficient and the right-hand side are divided by link
+// capacity before entering the constraint matrix (internal/te/lpsolve.go).
+// The pre-fix form fed raw bits-per-second magnitudes into a
+// utilization-bounded row, ill-conditioning the simplex tableau — exactly
+// the relabeling cast unitcheck reports.
+package lpslack
+
+import "cisp/internal/units"
+
+// slackPreFix is the pre-fix shape: the base load enters the utilization
+// bound without being normalized by capacity.
+func slackPreFix(u0 units.Utilization, base, cap units.BitsPerSecond) units.Utilization {
+	return u0 - units.Utilization(base) // want `relabels data rate as dimensionless`
+}
+
+// slackFixed is the PR 5 fix: normalize by capacity first; the erased
+// ratio is a genuine utilization.
+func slackFixed(u0 units.Utilization, base, cap units.BitsPerSecond) units.Utilization {
+	return u0 - units.Utilization(float64(base)/float64(cap))
+}
+
+// slackTyped is the same fix in typed form.
+func slackTyped(u0 units.Utilization, base, cap units.BitsPerSecond) units.Utilization {
+	return u0 - units.Of(base, cap)
+}

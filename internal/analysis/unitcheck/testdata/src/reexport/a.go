@@ -1,0 +1,10 @@
+// Package reexport pins that unitcheck sees through vendored-style type
+// re-exports: the unit types arrive via reexportlib's aliases, two imports
+// away from the defining package.
+package reexport
+
+import lib "cisp/internal/analysis/unitcheck/testdata/src/reexportlib"
+
+func f(km lib.Km) lib.Meters {
+	return lib.Meters(km) // want `drops the scale factor`
+}

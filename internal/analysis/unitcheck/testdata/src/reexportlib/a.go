@@ -1,0 +1,12 @@
+// Package reexportlib re-exports unit types under local alias names — the
+// vendored-style indirection some repositories layer over a shared units
+// package. Aliases are transparent to types.Unalias, so unitcheck sees
+// the original dimensions.
+package reexportlib
+
+import "cisp/internal/units"
+
+type (
+	Meters = units.Meters
+	Km     = units.Km
+)

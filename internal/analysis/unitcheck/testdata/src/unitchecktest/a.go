@@ -1,0 +1,74 @@
+// Package unitchecktest exercises the unitcheck core rules: mistyped
+// products, direct unit-to-unit casts, Duration casts, and dimension
+// mismatches that arrive through intra-package signature inference.
+package unitchecktest
+
+import (
+	"time"
+
+	"cisp/internal/units"
+)
+
+func products(a, b units.Meters) {
+	area := a * b // want `\* expression computes length\^2 but has static type units\.Meters`
+	_ = area
+	ratio := a / b // want `/ expression computes dimensionless but has static type units\.Meters`
+	_ = ratio
+	_ = int(a/b) + 1   // the erasing conversion marks the ratio
+	_ = float64(a * b) // likewise
+	_ = units.Ratio(a, b)
+	_ = a * 2 // scalar multiples keep the dimension
+	_ = a / 2
+	_ = a + b
+	_ = a + 3
+}
+
+func mixedArithmetic(a, b units.Meters) {
+	_ = a*b + a // want `\* expression computes length\^2` `\+ mixes length\^2 and length operands`
+	_ = a/b > a // want `/ expression computes dimensionless` `> mixes dimensionless and length operands`
+}
+
+func conversions(km units.Km, m units.Meters, rate units.BitsPerSecond, s units.Seconds, d time.Duration) {
+	_ = units.Meters(km) // want `direct conversion units\.Meters\(units\.Km value\) drops the scale factor`
+	_ = km.Meters()
+	_ = units.Utilization(rate) // want `relabels data rate as dimensionless`
+	_ = units.Utilization(float64(rate) / float64(rate))
+	_ = units.Utilization(rate / rate) // a genuine ratio: its static type is a stale label
+	_ = units.Seconds(d)               // want `reads nanoseconds as time`
+	_ = time.Duration(s)               // want `reinterprets time as a nanosecond count`
+	_ = s.Duration()
+	_ = units.DurationSeconds(d)
+	_ = units.Seconds(float64(m)) // erased: the programmer takes responsibility at the boundary
+}
+
+// spanM returns a length-dimensioned float64: inference sees through the
+// erasing conversion when computing signatures.
+func spanM(a, b units.Meters) float64 { return float64(a + b) }
+
+// elapsed returns a time-dimensioned float64.
+func elapsed(s units.Seconds) float64 { return float64(s) }
+
+// scaleLen's parameter is a length: the body's direct conversion states it.
+func scaleLen(v float64) units.Meters { return units.Meters(v) * 2 }
+
+func inferredMisuse() {
+	_ = units.Meters(spanM(1, 2))
+	_ = units.Seconds(spanM(1, 2)) // want `conversion units\.Seconds\(\.\.\.\) of a length-dimensioned expression`
+	_ = spanM(1, 2) + elapsed(3)   // want `\+ mixes length and time operands`
+	_ = scaleLen(spanM(1, 2))
+	_ = scaleLen(elapsed(3)) // want `argument 1 to scaleLen carries time; its dimension signature expects length`
+}
+
+func compound(a, b units.Meters, u units.Utilization) {
+	a += b
+	a -= 3
+	a *= 2
+	u *= u
+	a *= b // want `\*= by a length value changes the dimension of the length target`
+	a /= b // want `/= by a length value changes the dimension of the length target`
+}
+
+func suppressedProduct(a, b units.Meters) float64 {
+	area := a * b //lint:allow unitcheck -- area intermediate, erased on the next line
+	return float64(area)
+}

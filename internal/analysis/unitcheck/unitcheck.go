@@ -1,0 +1,272 @@
+// Package unitcheck implements the cisplint analyzer that tracks physical
+// dimensions — length, time, data size, data rate, decibels, dimensionless
+// ratios — through assignments, arithmetic and calls (DESIGN.md §11). The
+// type system already rejects mixing distinct named unit types; unitcheck
+// covers what the compiler cannot see:
+//
+//   - additions, subtractions and comparisons whose operands carry
+//     different known dimensions;
+//   - products and quotients whose computed dimension disagrees with the
+//     static unit type of the expression (Meters*Meters is an area, not a
+//     Meters);
+//   - direct Go conversions between unit types, which silently drop scale
+//     factors (Meters(km)) or relabel dimensions (Utilization(bps) — the
+//     PR 5 LP-conditioning bug);
+//   - conversions of an expression with a known dimension into a unit
+//     type of a different dimension, including through float64-shaped
+//     function boundaries via cross-package dimension facts.
+//
+// float64(x) is the sanctioned escape hatch: it erases the dimension for
+// checking purposes, so the established boundary idiom
+// units.X(float64(a)*f) never trips the analyzer. Inference, by contrast,
+// looks through such conversions when computing a function's dimension
+// signature — see infer.go.
+//
+// The units package itself is exempt from diagnostics: it is the trusted
+// kernel whose whole job is performing the raw scale casts everyone else
+// is barred from.
+package unitcheck
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"cisp/internal/analysis"
+)
+
+// Analyzer flags arithmetic, comparisons and conversions that mix
+// physical dimensions.
+var Analyzer = &analysis.Analyzer{
+	Name: "unitcheck",
+	Doc: "flags unit-mixing arithmetic the type system cannot see: adding or comparing values " +
+		"of different physical dimensions, products typed as a unit they no longer are, and raw " +
+		"conversions between unit types that drop scale factors",
+	Run:   run,
+	Facts: factsHook,
+}
+
+func factsHook(pass *analysis.Pass) any {
+	ff := packageFacts(pass.Pkg, pass.Info, pass.Files, pass.ImportFacts)
+	if ff == nil {
+		return nil
+	}
+	return ff
+}
+
+func run(pass *analysis.Pass) error {
+	if pass.Pkg.Path() == unitsPath {
+		return nil // the trusted kernel: defines the very casts others may not write
+	}
+	c := &checker{
+		pass: &passLike{Pkg: pass.Pkg, Info: pass.Info, ImportFacts: pass.ImportFacts},
+		sigs: inferSigs(pass.Pkg, pass.Info, pass.Files, pass.ImportFacts),
+	}
+	for _, f := range pass.Files {
+		analysis.WithStack(f, func(n ast.Node, stack []ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.BinaryExpr:
+				checkBinary(pass, c, x, parentOf(stack))
+			case *ast.CallExpr:
+				checkCall(pass, c, x)
+			case *ast.AssignStmt:
+				checkAssign(pass, c, x)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func parentOf(stack []ast.Node) ast.Node {
+	if len(stack) == 0 {
+		return nil
+	}
+	return stack[len(stack)-1]
+}
+
+// comparisonOps are the binary operators that, like + and -, require both
+// operands to share a dimension.
+var comparisonOps = map[token.Token]bool{
+	token.EQL: true, token.NEQ: true,
+	token.LSS: true, token.LEQ: true,
+	token.GTR: true, token.GEQ: true,
+}
+
+func checkBinary(pass *analysis.Pass, c *checker, b *ast.BinaryExpr, parent ast.Node) {
+	switch {
+	case b.Op == token.ADD || b.Op == token.SUB || comparisonOps[b.Op]:
+		dx, dy := c.dimOf(b.X), c.dimOf(b.Y)
+		if dx.Known && dy.Known && !dx.eq(dy) {
+			pass.Reportf(b.OpPos, "%s mixes %s and %s operands", b.Op, dx, dy)
+		}
+	case b.Op == token.MUL || b.Op == token.QUO:
+		dc := c.binaryDim(b)
+		if !dc.Known {
+			return
+		}
+		dt := typeDim(pass.Info.TypeOf(b))
+		if !dt.Known || dc.eq(dt) {
+			return
+		}
+		// A conversion wrapping the product takes over: the erasing
+		// float64(a/b) idiom states "this is a ratio now", and a unit
+		// conversion is judged against the computed dimension by
+		// checkCall. Only a bare mistyped product is reported here.
+		if isConversionOf(pass, parent, b) {
+			return
+		}
+		pass.Reportf(b.OpPos, "%s expression computes %s but has static type %s (%s)",
+			b.Op, dc, typeName(pass, b), dt)
+	}
+}
+
+// isConversionOf reports whether parent is a type conversion whose single
+// operand is e.
+func isConversionOf(pass *analysis.Pass, parent ast.Node, e ast.Expr) bool {
+	call, ok := parent.(*ast.CallExpr)
+	if !ok || len(call.Args) != 1 || call.Args[0] != e {
+		return false
+	}
+	tv, ok := pass.Info.Types[call.Fun]
+	return ok && tv.IsType()
+}
+
+// typeName renders an expression's static type for diagnostics.
+func typeName(pass *analysis.Pass, e ast.Expr) string {
+	t := pass.Info.TypeOf(e)
+	if t == nil {
+		return "?"
+	}
+	if name, ok := unitTypeName(t); ok {
+		return "units." + name
+	}
+	return t.String()
+}
+
+func checkCall(pass *analysis.Pass, c *checker, call *ast.CallExpr) {
+	if tv, ok := pass.Info.Types[call.Fun]; ok && tv.IsType() {
+		checkConversion(pass, c, call, tv.Type)
+		return
+	}
+	checkArgs(pass, c, call)
+}
+
+// checkConversion vets the conversion T(x) where T or x involves the unit
+// system. The rules, in order:
+//
+//   - unit → different unit, where x really is what its type says: either
+//     a dropped scale factor (Meters(km) loses the ×1000) or a dimension
+//     relabel (Utilization(bps), the PR 5 LP bug). Exempt when x's
+//     computed dimension already equals the target's — Utilization(a/b)
+//     over same-dimension a, b is a genuine ratio whose static type is a
+//     stale label.
+//   - unit ↔ time.Duration raw casts: Duration counts nanoseconds, so the
+//     cast silently reinterprets seconds as nanoseconds.
+//   - anything with a known dimension → unit of a different dimension:
+//     catches float64-shaped values whose dimension arrives through facts.
+func checkConversion(pass *analysis.Pass, c *checker, call *ast.CallExpr, tgt types.Type) {
+	if len(call.Args) != 1 {
+		return
+	}
+	arg := call.Args[0]
+	argT := pass.Info.TypeOf(arg)
+	tgtName, tgtIsUnit := unitTypeName(tgt)
+	argName, argIsUnit := unitTypeName(argT)
+
+	switch {
+	case tgtIsUnit && argIsUnit && tgtName != argName:
+		dt, dArgType := unitDims[tgtName], unitDims[argName]
+		if da := c.dimOf(arg); da.Known && da.eq(dt) && !da.eq(dArgType) {
+			return // computed dimension already matches the target: a ratio/product outgrew its static type
+		}
+		if dArgType.eq(dt) {
+			pass.Reportf(call.Pos(),
+				"direct conversion units.%s(units.%s value) drops the scale factor; use the units package conversion",
+				tgtName, argName)
+		} else {
+			pass.Reportf(call.Pos(),
+				"direct conversion units.%s(units.%s value) relabels %s as %s without converting",
+				tgtName, argName, dArgType, dt)
+		}
+	case tgtIsUnit && isDuration(argT):
+		pass.Reportf(call.Pos(),
+			"direct conversion units.%s(time.Duration value) reads nanoseconds as %s; use units.DurationSeconds",
+			tgtName, unitDims[tgtName])
+	case isDuration(tgt) && argIsUnit:
+		pass.Reportf(call.Pos(),
+			"direct conversion time.Duration(units.%s value) reinterprets %s as a nanosecond count; use the Duration method",
+			argName, unitDims[argName])
+	case tgtIsUnit:
+		dt := unitDims[tgtName]
+		if da := c.dimOf(arg); da.Known && !da.eq(dt) {
+			pass.Reportf(call.Pos(),
+				"conversion units.%s(...) of a %s-dimensioned expression", tgtName, da)
+		}
+	}
+}
+
+// checkArgs vets call arguments against the callee's dimension signature:
+// a float64-shaped parameter with an inferred dimension must not receive
+// an expression of a different known dimension. Parameters with unit
+// types need no check — the compiler enforces those.
+func checkArgs(pass *analysis.Pass, c *checker, call *ast.CallExpr) {
+	fd, ok := c.signatureOf(call)
+	if !ok {
+		return
+	}
+	sig, _ := pass.Info.TypeOf(call.Fun).(*types.Signature)
+	if sig == nil {
+		return
+	}
+	n := sig.Params().Len()
+	if sig.Variadic() {
+		n-- // the variadic tail is unchecked
+	}
+	for i := 0; i < n && i < len(call.Args) && i < len(fd.Params); i++ {
+		if !fd.Params[i].Known || typeDim(sig.Params().At(i).Type()).Known {
+			continue
+		}
+		if da := c.dimOf(call.Args[i]); da.Known && !da.eq(fd.Params[i]) {
+			pass.Reportf(call.Args[i].Pos(),
+				"argument %d to %s carries %s; its dimension signature expects %s",
+				i+1, calleeName(pass, call), da, fd.Params[i])
+		}
+	}
+}
+
+// calleeName renders the called function for diagnostics.
+func calleeName(pass *analysis.Pass, call *ast.CallExpr) string {
+	c := &checker{pass: &passLike{Pkg: pass.Pkg, Info: pass.Info}}
+	if fn := c.callee(call); fn != nil {
+		if fn.Pkg() != nil && fn.Pkg() != pass.Pkg {
+			return fn.Pkg().Name() + "." + fn.Name()
+		}
+		return fn.Name()
+	}
+	return "call"
+}
+
+// checkAssign vets the compound assignment operators, which are binary
+// expressions the AST spells differently: x += y needs matching
+// dimensions, x *= y must leave x's dimension unchanged.
+func checkAssign(pass *analysis.Pass, c *checker, as *ast.AssignStmt) {
+	if len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+		return
+	}
+	dl, dr := c.dimOf(as.Lhs[0]), c.dimOf(as.Rhs[0])
+	switch as.Tok {
+	case token.ADD_ASSIGN, token.SUB_ASSIGN:
+		if dl.Known && dr.Known && !dl.eq(dr) {
+			pass.Reportf(as.TokPos, "%s mixes %s and %s operands", as.Tok, dl, dr)
+		}
+	case token.MUL_ASSIGN:
+		if dl.Known && dr.Known && !dl.mul(dr).eq(dl) {
+			pass.Reportf(as.TokPos, "%s by a %s value changes the dimension of the %s target", as.Tok, dr, dl)
+		}
+	case token.QUO_ASSIGN:
+		if dl.Known && dr.Known && !dl.div(dr).eq(dl) {
+			pass.Reportf(as.TokPos, "%s by a %s value changes the dimension of the %s target", as.Tok, dr, dl)
+		}
+	}
+}

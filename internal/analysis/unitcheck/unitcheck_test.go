@@ -1,0 +1,104 @@
+package unitcheck_test
+
+import (
+	"sort"
+	"testing"
+
+	"cisp/internal/analysis"
+	"cisp/internal/analysis/analysistest"
+	"cisp/internal/analysis/loader"
+	"cisp/internal/analysis/unitcheck"
+)
+
+func TestUnitcheck(t *testing.T) {
+	analysistest.Run(t, "testdata", unitcheck.Analyzer,
+		"unitchecktest", "lpslack", "aliasimport", "dotimport", "reexport")
+}
+
+// TestUnitcheckFacts drives the cross-package path: factuser's
+// expectations are only reachable through factlib's propagated dimension
+// signatures.
+func TestUnitcheckFacts(t *testing.T) {
+	analysistest.RunWithFacts(t, "testdata", unitcheck.Analyzer, "factuser")
+}
+
+// TestFactsInference pins the exported fact shape for factlib: results
+// inferred through erasing conversions, parameters inferred from direct
+// unit conversions in the body.
+func TestFactsInference(t *testing.T) {
+	l, err := loader.New(".")
+	if err != nil {
+		t.Fatalf("loader: %v", err)
+	}
+	p, err := l.LoadDir("testdata/src/factlib", "factlib")
+	if err != nil {
+		t.Fatalf("loading factlib: %v", err)
+	}
+	v := unitcheck.Analyzer.Facts(&analysis.Pass{
+		Analyzer: unitcheck.Analyzer,
+		Fset:     p.Fset,
+		Files:    p.Files,
+		Pkg:      p.Types,
+		Info:     p.Info,
+	})
+	ff, ok := v.(unitcheck.FuncFacts)
+	if !ok {
+		t.Fatalf("facts have type %T, want unitcheck.FuncFacts", v)
+	}
+
+	length := unitcheck.Dim{Known: true, L: 1}
+	time := unitcheck.Dim{Known: true, T: 1}
+	cases := []struct {
+		key    string
+		result unitcheck.Dim
+	}{
+		{"SpanM", length},
+		{"Elapsed", time},
+		{"Stretch", length},
+	}
+	for _, c := range cases {
+		fd, ok := ff[c.key]
+		if !ok {
+			t.Errorf("no fact for %s (have %v)", c.key, keys(ff))
+			continue
+		}
+		if len(fd.Results) != 1 || fd.Results[0] != c.result {
+			t.Errorf("%s results = %+v, want single %v", c.key, fd.Results, c.result)
+		}
+	}
+	if fd, ok := ff["Stretch"]; ok {
+		if len(fd.Params) != 1 || fd.Params[0] != length {
+			t.Errorf("Stretch params = %+v, want single %v", fd.Params, length)
+		}
+	}
+}
+
+// TestUnitsPackageExempt pins the kernel exemption: the units package
+// defines the raw scale casts everyone else is barred from, so running
+// unitcheck over it must stay silent.
+func TestUnitsPackageExempt(t *testing.T) {
+	l, err := loader.New(".")
+	if err != nil {
+		t.Fatalf("loader: %v", err)
+	}
+	p, err := l.Load("cisp/internal/units", false)
+	if err != nil {
+		t.Fatalf("loading units: %v", err)
+	}
+	findings, err := analysis.RunUnit(p.Fset, p.Files, p.Types, p.Info, []*analysis.Analyzer{unitcheck.Analyzer})
+	if err != nil {
+		t.Fatalf("running unitcheck: %v", err)
+	}
+	for _, f := range findings {
+		t.Errorf("unexpected finding in units package: %s", f)
+	}
+}
+
+func keys(ff unitcheck.FuncFacts) []string {
+	out := make([]string, 0, len(ff))
+	for k := range ff {
+		out = append(out, k) //lint:allow maporder -- diagnostic message only; sorted below
+	}
+	sort.Strings(out)
+	return out
+}

@@ -14,18 +14,19 @@ import (
 	"cisp/internal/design"
 	"cisp/internal/linkbuild"
 	"cisp/internal/traffic"
+	"cisp/internal/units"
 )
 
 // Options tunes provisioning.
 type Options struct {
-	// SeriesCapGbps is the bandwidth of a single microwave series (§2:
-	// "a data rate of about 1 Gbps is achievable"). Default 1.
-	SeriesCapGbps float64
+	// SeriesCap is the bandwidth of a single microwave series (§2:
+	// "a data rate of about 1 Gbps is achievable"). Default units.Gbps(1).
+	SeriesCap units.BitsPerSecond
 
 	// SpareTolerance is how far from a hop endpoint an existing spare tower
 	// may sit and still host a parallel series (§3.3: a 10.6 km offset costs
 	// ~0.2% stretch). Default 15 km.
-	SpareTolerance float64
+	SpareTolerance units.Meters
 
 	// K2Trick enables the paper's k² enhancement (k series ≈ k² capacity via
 	// cross-connected antennae at ≥6° separation). Disabling it reverts to
@@ -34,11 +35,11 @@ type Options struct {
 }
 
 func (o *Options) setDefaults() {
-	if o.SeriesCapGbps == 0 {
-		o.SeriesCapGbps = 1
+	if o.SeriesCap == 0 {
+		o.SeriesCap = units.Gbps(1)
 	}
 	if o.SpareTolerance == 0 {
-		o.SpareTolerance = 15e3
+		o.SpareTolerance = units.Km(15).Meters()
 	}
 }
 
@@ -46,8 +47,8 @@ func (o *Options) setDefaults() {
 // augmentation histogram of Fig 3, and the tower/install counts that feed
 // the cost model.
 type Plan struct {
-	// LinkLoads maps built link {i,j} (i<j) to carried load in Gbps.
-	LinkLoads map[[2]int]float64
+	// LinkLoads maps built link {i,j} (i<j) to carried load.
+	LinkLoads map[[2]int]units.BitsPerSecond
 
 	// Series maps built link {i,j} to the number of parallel tower series.
 	Series map[[2]int]int
@@ -61,8 +62,8 @@ type Plan struct {
 	NewTowers   int // towers that must be constructed
 	TowersUsed  int // towers rented in total (base + parallel series)
 
-	// FiberFallbackGbps is demand routed entirely over fiber.
-	FiberFallbackGbps float64
+	// FiberFallback is demand routed entirely over fiber.
+	FiberFallback units.BitsPerSecond
 }
 
 // Provision routes demand (Gbps, symmetric) over the designed topology and
@@ -89,7 +90,7 @@ func Provision(top *design.Topology, links *linkbuild.Links, demand traffic.Matr
 	}
 
 	plan := &Plan{
-		LinkLoads:    make(map[[2]int]float64),
+		LinkLoads:    make(map[[2]int]units.BitsPerSecond),
 		Series:       make(map[[2]int]int),
 		HopHistogram: make(map[int]int),
 	}
@@ -108,13 +109,13 @@ func Provision(top *design.Topology, links *linkbuild.Links, demand traffic.Matr
 				if a.link >= 0 {
 					l := top.Built[a.link]
 					key := linkKey(l.I, l.J)
-					plan.LinkLoads[key] += g
+					plan.LinkLoads[key] += units.Gbps(g)
 					usedMW = true
 				}
 				v = a.from
 			}
 			if !usedMW {
-				plan.FiberFallbackGbps += g
+				plan.FiberFallback += units.Gbps(g)
 			}
 		}
 	}
@@ -164,20 +165,20 @@ func Provision(top *design.Topology, links *linkbuild.Links, demand traffic.Matr
 // seriesFor applies the paper's sizing rule: with the k² trick, k parallel
 // series of towers provide k² Gbps, so k = ceil(sqrt(load)); without it,
 // k = ceil(load).
-func seriesFor(loadGbps float64, opt Options) int {
-	if loadGbps <= opt.SeriesCapGbps {
+func seriesFor(load units.BitsPerSecond, opt Options) int {
+	if load <= opt.SeriesCap {
 		return 1
 	}
-	units := loadGbps / opt.SeriesCapGbps
+	caps := float64(load) / float64(opt.SeriesCap)
 	if opt.NoK2 {
-		return int(math.Ceil(units))
+		return int(math.Ceil(caps))
 	}
-	return int(math.Ceil(math.Sqrt(units)))
+	return int(math.Ceil(math.Sqrt(caps)))
 }
 
 // sparePairsNear counts how many parallel series (up to want) can be hosted
 // on spare existing towers near both endpoints of the hop, consuming them.
-func sparePairsNear(links *linkbuild.Links, hop [2]int, tol float64, want int, base, used map[int]bool) int {
+func sparePairsNear(links *linkbuild.Links, hop [2]int, tol units.Meters, want int, base, used map[int]bool) int {
 	reg := links.Reg
 	available := func(end int) []int {
 		var out []int

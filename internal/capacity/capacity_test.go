@@ -12,6 +12,7 @@ import (
 	"cisp/internal/terrain"
 	"cisp/internal/towers"
 	"cisp/internal/traffic"
+	"cisp/internal/units"
 )
 
 var scenarioOnce struct {
@@ -52,10 +53,10 @@ func scenario(t testing.TB) ([]cities.City, *linkbuild.Links, *design.Topology) 
 				if i == j {
 					continue
 				}
-				p.Geodesic[i][j] = cs[i].Loc.DistanceTo(cs[j].Loc)
-				p.MW[i][j] = links.MWDist(i, j)
+				p.Geodesic[i][j] = float64(cs[i].Loc.DistanceTo(cs[j].Loc))
+				p.MW[i][j] = float64(links.MWDist(i, j))
 				p.MWCost[i][j] = float64(links.TowerCount(i, j))
-				p.FiberLat[i][j] = fn.LatencyDist(i, j)
+				p.FiberLat[i][j] = float64(fn.LatencyDist(i, j))
 			}
 		}
 		top := design.Greedy(p, design.GreedyOptions{})
@@ -77,7 +78,7 @@ func TestProvisionBasics(t *testing.T) {
 	if len(top.Built) == 0 {
 		t.Fatal("design built no microwave links")
 	}
-	demand := traffic.ScaleToAggregate(traffic.PopulationProduct(cs), 10) // 10 Gbps
+	demand := traffic.ScaleToAggregate(traffic.PopulationProduct(cs), units.Gbps(10))
 	plan := Provision(top, links, demand, Options{})
 
 	if len(plan.LinkLoads) == 0 {
@@ -85,17 +86,17 @@ func TestProvisionBasics(t *testing.T) {
 	}
 	total := demand.Total()
 	for key, load := range plan.LinkLoads {
-		if load <= 0 || load > total+1e-9 {
+		if load <= 0 || load.Gbps() > total+1e-9 {
 			t.Fatalf("link %v load %v out of range (total %v)", key, load, total)
 		}
 	}
-	if plan.FiberFallbackGbps < 0 || plan.FiberFallbackGbps > total {
-		t.Fatalf("fiber fallback %v out of range", plan.FiberFallbackGbps)
+	if plan.FiberFallback < 0 || plan.FiberFallback.Gbps() > total {
+		t.Fatalf("fiber fallback %v out of range", plan.FiberFallback)
 	}
 }
 
 func TestSeriesRule(t *testing.T) {
-	opt := Options{SeriesCapGbps: 1}
+	opt := Options{SeriesCap: units.Gbps(1)}
 	cases := []struct {
 		load float64
 		want int
@@ -103,21 +104,21 @@ func TestSeriesRule(t *testing.T) {
 		{0.2, 1}, {1.0, 1}, {1.01, 2}, {3.9, 2}, {4.01, 3}, {8.9, 3}, {9.5, 4},
 	}
 	for _, c := range cases {
-		if got := seriesFor(c.load, opt); got != c.want {
+		if got := seriesFor(units.Gbps(c.load), opt); got != c.want {
 			t.Errorf("seriesFor(%v) = %d, want %d (k² rule: 1→1, 1-4→2, 4-9→3 Gbps)", c.load, got, c.want)
 		}
 	}
 }
 
 func TestSeriesRuleNoK2(t *testing.T) {
-	opt := Options{SeriesCapGbps: 1, NoK2: true}
-	if got := seriesFor(3.9, opt); got != 4 {
+	opt := Options{SeriesCap: units.Gbps(1), NoK2: true}
+	if got := seriesFor(units.Gbps(3.9), opt); got != 4 {
 		t.Errorf("without the k² trick 3.9 Gbps needs 4 series, got %d", got)
 	}
 	// k² always needs no more series than linear.
 	for _, load := range []float64{0.5, 1.5, 3, 7, 20, 100} {
-		k2 := seriesFor(load, Options{SeriesCapGbps: 1})
-		lin := seriesFor(load, opt)
+		k2 := seriesFor(units.Gbps(load), Options{SeriesCap: units.Gbps(1)})
+		lin := seriesFor(units.Gbps(load), opt)
 		if k2 > lin {
 			t.Errorf("k² used more series (%d) than linear (%d) at %v Gbps", k2, lin, load)
 		}
@@ -126,7 +127,7 @@ func TestSeriesRuleNoK2(t *testing.T) {
 
 func TestHistogramAccounting(t *testing.T) {
 	cs, links, top := scenario(t)
-	demand := traffic.ScaleToAggregate(traffic.PopulationProduct(cs), 50)
+	demand := traffic.ScaleToAggregate(traffic.PopulationProduct(cs), units.Gbps(50))
 	plan := Provision(top, links, demand, Options{})
 
 	totalHops := 0
@@ -154,8 +155,8 @@ func TestHistogramAccounting(t *testing.T) {
 
 func TestHigherDemandNeedsMore(t *testing.T) {
 	cs, links, top := scenario(t)
-	lo := Provision(top, links, traffic.ScaleToAggregate(traffic.PopulationProduct(cs), 2), Options{})
-	hi := Provision(top, links, traffic.ScaleToAggregate(traffic.PopulationProduct(cs), 100), Options{})
+	lo := Provision(top, links, traffic.ScaleToAggregate(traffic.PopulationProduct(cs), units.Gbps(2)), Options{})
+	hi := Provision(top, links, traffic.ScaleToAggregate(traffic.PopulationProduct(cs), units.Gbps(100)), Options{})
 	if hi.HopInstalls < lo.HopInstalls {
 		t.Fatalf("100 Gbps needs fewer installs (%d) than 2 Gbps (%d)?", hi.HopInstalls, lo.HopInstalls)
 	}
@@ -180,7 +181,7 @@ func TestHigherDemandNeedsMore(t *testing.T) {
 
 func TestDeterminism(t *testing.T) {
 	cs, links, top := scenario(t)
-	demand := traffic.ScaleToAggregate(traffic.PopulationProduct(cs), 30)
+	demand := traffic.ScaleToAggregate(traffic.PopulationProduct(cs), units.Gbps(30))
 	a := Provision(top, links, demand, Options{})
 	b := Provision(top, links, demand, Options{})
 	if a.NewTowers != b.NewTowers || a.TowersUsed != b.TowersUsed || a.HopInstalls != b.HopInstalls {
@@ -191,12 +192,12 @@ func TestDeterminism(t *testing.T) {
 func TestLoadConservation(t *testing.T) {
 	// Every unit of demand is either fiber-fallback or crosses ≥1 MW link.
 	cs, links, top := scenario(t)
-	demand := traffic.ScaleToAggregate(traffic.PopulationProduct(cs), 10)
+	demand := traffic.ScaleToAggregate(traffic.PopulationProduct(cs), units.Gbps(10))
 	plan := Provision(top, links, demand, Options{})
 	// Max link load cannot exceed total demand; sum of loads can (paths
 	// traverse multiple links) but the fallback + per-pair attribution must
 	// cover the total: check fallback < total given MW links exist.
-	if len(top.Built) > 0 && plan.FiberFallbackGbps >= demand.Total() {
+	if len(top.Built) > 0 && plan.FiberFallback.Gbps() >= demand.Total() {
 		t.Fatal("all demand fell back to fiber despite built MW links")
 	}
 }

@@ -13,6 +13,7 @@ import (
 	"sort"
 
 	"cisp/internal/geo"
+	"cisp/internal/units"
 )
 
 // City is a design site: a population center, or a data center (Population
@@ -40,11 +41,11 @@ func EuropeCenters() []City {
 	return Coalesce(EuropeCities(), CoalesceRadius)
 }
 
-// Coalesce merges cities closer than radius meters into single population
+// Coalesce merges cities closer than radius into single population
 // centers using union-find; each merged center sits at the population-
 // weighted centroid of its members and carries their total population. The
 // result is sorted by descending population, then name for determinism.
-func Coalesce(cs []City, radius float64) []City {
+func Coalesce(cs []City, radius units.Meters) []City {
 	n := len(cs)
 	parent := make([]int, n)
 	for i := range parent {

@@ -15,6 +15,7 @@ import (
 
 	"cisp"
 	"cisp/internal/traffic"
+	"cisp/internal/units"
 )
 
 // Options configures an experiment run.
@@ -70,8 +71,8 @@ func (o *Options) scenario() *cisp.Scenario {
 	})
 }
 
-func scaleTo(tm traffic.Matrix, aggregate float64) traffic.Matrix {
-	return traffic.ScaleToAggregate(tm, aggregate)
+func scaleTo(tm traffic.Matrix, aggregateGbps float64) traffic.Matrix {
+	return traffic.ScaleToAggregate(tm, units.Gbps(aggregateGbps))
 }
 
 func fprintf(w io.Writer, format string, args ...interface{}) {

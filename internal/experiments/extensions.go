@@ -5,6 +5,7 @@ import (
 
 	"cisp/internal/acquisition"
 	"cisp/internal/media"
+	"cisp/internal/units"
 )
 
 // ExtensionsResult carries the two beyond-the-figures studies the paper
@@ -45,10 +46,10 @@ func Extensions(opt Options) *ExtensionsResult {
 
 	// Acquisition refinement (§6.5) on the longest MW-connected pair.
 	s := opt.scenario()
-	bi, bj, best := -1, -1, 0.0
+	bi, bj, best := -1, -1, units.Meters(0)
 	for i := range s.Cities {
 		for j := i + 1; j < len(s.Cities); j++ {
-			if math.IsInf(s.Links.MWDist(i, j), 1) {
+			if math.IsInf(float64(s.Links.MWDist(i, j)), 1) {
 				continue
 			}
 			if d := s.Cities[i].Loc.DistanceTo(s.Cities[j].Loc); d > best {
@@ -66,7 +67,7 @@ func Extensions(opt Options) *ExtensionsResult {
 	model := acquisition.Model{}
 	r1 := acquisition.Refine(s.Registry, s.Eval, model, req)
 	res.AcqFeasibleRate = r1.FeasibleRate()
-	res.AcqMedianKm = r1.MedianLength() / 1000
+	res.AcqMedianKm = float64(r1.MedianLength().Km())
 
 	confirmed := map[int]acquisition.Status{}
 	for _, id := range acquisition.PriorityTowers(r1, confirmed, 10) {
@@ -77,7 +78,7 @@ func Extensions(opt Options) *ExtensionsResult {
 	res.AcqAfterConfirm = r2.FeasibleRate()
 
 	fprintf(w, "Extensions — §6.5 acquisition refinement (%s ↔ %s, %.0f km)\n",
-		s.Cities[bi].Name, s.Cities[bj].Name, best/1000)
+		s.Cities[bi].Name, s.Cities[bj].Name, best.Km())
 	fprintf(w, "  buildable in %.0f%% of acquisition samples (median route %.0f km)\n",
 		res.AcqFeasibleRate*100, res.AcqMedianKm)
 	fprintf(w, "  after confirming the 10 highest-value towers: %.0f%%\n",

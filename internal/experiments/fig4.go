@@ -6,6 +6,7 @@ import (
 	"cisp"
 	"cisp/internal/geo"
 	"cisp/internal/los"
+	"cisp/internal/units"
 )
 
 // Fig4aPoint is one (budget, stretch) sample for a hop-range variant.
@@ -27,7 +28,7 @@ func Fig4aStretchVsBudget(opt Options, budgets []float64) *Fig4aResult {
 	res := &Fig4aResult{}
 	fprintf(w, "Fig 4a — stretch vs budget\n%10s %12s %12s\n", "budget", "100km hops", "70km hops")
 
-	curve := func(rangeM float64) []Fig4aPoint {
+	curve := func(rangeM units.Meters) []Fig4aPoint {
 		p := los.DefaultParams()
 		p.MaxRange = rangeM
 		s := cisp.NewScenario(cisp.ScenarioConfig{
@@ -74,10 +75,10 @@ func Fig4bDisjointPaths(opt Options, iterations int) *Fig4bResult {
 	s := opt.scenario()
 	// Find the most distant microwave-connected city pair.
 	bi, bj := -1, -1
-	best := 0.0
+	best := units.Meters(0)
 	for i := range s.Cities {
 		for j := i + 1; j < len(s.Cities); j++ {
-			if math.IsInf(s.Links.MWDist(i, j), 1) {
+			if math.IsInf(float64(s.Links.MWDist(i, j)), 1) {
 				continue
 			}
 			if d := s.Cities[i].Loc.DistanceTo(s.Cities[j].Loc); d > best {
@@ -91,7 +92,7 @@ func Fig4bDisjointPaths(opt Options, iterations int) *Fig4bResult {
 	}
 	res := &Fig4bResult{
 		PairName: s.Cities[bi].Name + " - " + s.Cities[bj].Name,
-		Geodesic: best,
+		Geodesic: float64(best),
 	}
 	lens := s.Links.DisjointTowerPaths(bi, bj, iterations)
 	for _, l := range lens {
@@ -100,7 +101,7 @@ func Fig4bDisjointPaths(opt Options, iterations int) *Fig4bResult {
 	res.FiberStretch = geo.Stretch(s.FiberNet.LatencyDist(bi, bj), best)
 
 	fprintf(w, "Fig 4b — tower-disjoint paths for %s (%.0f km geodesic)\n",
-		res.PairName, res.Geodesic/1000)
+		res.PairName, units.Meters(res.Geodesic).Km())
 	for i, st := range res.Stretches {
 		fprintf(w, "  iteration %2d: stretch %.4f\n", i+1, st)
 	}

@@ -8,6 +8,7 @@ import (
 	"cisp/internal/geo"
 	"cisp/internal/netsim"
 	"cisp/internal/traffic"
+	"cisp/internal/units"
 )
 
 // LoadPoint is one (load %, delay ms, loss %) sample of a packet simulation.
@@ -73,23 +74,23 @@ func hybridLinks(s *cisp.Scenario, top *cisp.Topology, plan *capacity.Plan,
 		if series == 0 {
 			series = 1
 		}
-		capBps := float64(series*series) * 1e9 * rateScale
+		capBps := units.Gbps(float64(series*series) * rateScale)
 		mw = append(mw, netsim.TopoLink{
 			A: l.I, B: l.J,
 			RateBps:   capBps,
-			PropDelay: l.Dist / geo.C,
+			PropDelay: units.Seconds(l.Dist / geo.C),
 			QueueCap:  queueCap,
 		})
 	}
 	fiberG := s.FiberNet.Graph()
-	fiberCap := designGbps * 2 * 1e9 * rateScale
+	fiberCap := units.Gbps(designGbps * 2 * rateScale)
 	nodes = fiberG.N()
 	for u := 0; u < fiberG.N(); u++ {
 		for _, e := range fiberG.Neighbors(u) {
 			if e.To <= u {
 				continue
 			}
-			delay := e.Weight * geo.FiberLatencyFactor / geo.C
+			delay := units.Seconds(float64(e.Weight) * geo.FiberLatencyFactor / geo.C)
 			switch {
 			case !mwPairs[[2]int{u, e.To}]:
 				fiberLs = append(fiberLs, netsim.TopoLink{
@@ -134,7 +135,7 @@ func runPacketSim(cfg simConfig, demand traffic.Matrix) (delayMs, lossPct float6
 			}
 			comms = append(comms, netsim.Commodity{
 				Flow: flow, Src: i, Dst: j,
-				Demand: demand[i][j] * 1e9 * cfg.rateScale,
+				Demand: units.Gbps(demand[i][j] * cfg.rateScale),
 			})
 			flow++
 		}
@@ -147,7 +148,7 @@ func runPacketSim(cfg simConfig, demand traffic.Matrix) (delayMs, lossPct float6
 	for _, c := range comms {
 		src := &netsim.UDPSource{
 			Net: nw, Flow: c.Flow, Src: c.Src, Dst: c.Dst,
-			RateBps: c.Demand, PktSize: 500, Poisson: true, Rng: rng,
+			RateBps: float64(c.Demand), PktSize: 500, Poisson: true, Rng: rng,
 			Monitor: mon,
 		}
 		src.Start()

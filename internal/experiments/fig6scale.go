@@ -6,6 +6,7 @@ import (
 	"cisp"
 	"cisp/internal/netsim"
 	"cisp/internal/traffic"
+	"cisp/internal/units"
 )
 
 // Fig6ScaleResult is one engine's traffic-mix replay measurement.
@@ -98,7 +99,7 @@ func MixCommodities(opt Options, designTM traffic.Matrix, totalFlows int) []nets
 	for k, p := range pairs {
 		comms = append(comms, netsim.Commodity{
 			Flow: k + 1, Src: p.I, Dst: p.J,
-			Demand: demand[p.I][p.J] * 1e9 * simRateScale,
+			Demand: units.Gbps(demand[p.I][p.J] * simRateScale),
 			Count:  p.Count,
 		})
 	}

@@ -7,6 +7,7 @@ import (
 	"cisp"
 	"cisp/internal/geo"
 	"cisp/internal/netsim"
+	"cisp/internal/units"
 	"cisp/internal/weather"
 )
 
@@ -187,7 +188,7 @@ func (res *Fig7Result) runStormFCT(opt Options, s *cisp.Scenario, top *cisp.Topo
 	var comms []netsim.Commodity
 	for fi, d := range dems {
 		comms = append(comms, netsim.Commodity{
-			Flow: fi + 1, Src: d.s, Dst: d.t, Demand: d.gbps * 1e9 * rateScale,
+			Flow: fi + 1, Src: d.s, Dst: d.t, Demand: units.Gbps(d.gbps * rateScale),
 		})
 	}
 

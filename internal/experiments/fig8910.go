@@ -4,6 +4,7 @@ import (
 	"cisp"
 	"cisp/internal/los"
 	"cisp/internal/traffic"
+	"cisp/internal/units"
 )
 
 // Fig8Result summarises the European design (Fig 8: 1.04× stretch, ~3k
@@ -134,7 +135,7 @@ func Fig10TowerConstraints(opt Options, combos [][2]float64) []Fig10Row {
 	// towers — exactly the "more expensive" effect the paper measures.
 	eval := func(rangeKm, height float64) (costPerGB, stretch, mwShare float64, ok bool) {
 		p := los.DefaultParams()
-		p.MaxRange = rangeKm * 1000
+		p.MaxRange = units.Km(rangeKm).Meters()
 		p.UsableHeightFrac = height
 		s := cisp.NewScenario(cisp.ScenarioConfig{
 			Region: cisp.US, Scale: opt.Scale, Seed: opt.Seed, LOS: p, MaxCities: opt.MaxCities,
@@ -146,7 +147,7 @@ func Fig10TowerConstraints(opt Options, combos [][2]float64) []Fig10Row {
 		}
 		agg := opt.aggregateGbps()
 		plan := s.Provision(top, scaleTo(tm, agg))
-		served := agg - plan.FiberFallbackGbps
+		served := agg - plan.FiberFallback.Gbps()
 		if served <= 0 {
 			return 0, top.MeanStretch(), 0, false
 		}

@@ -8,6 +8,7 @@ import (
 	"cisp/internal/resilience"
 	"cisp/internal/te"
 	"cisp/internal/traffic"
+	"cisp/internal/units"
 )
 
 // AvailRow is one (study, scheme, mode) measurement of the availability
@@ -27,9 +28,9 @@ type AvailRow struct {
 	Flows     int
 	Completed int
 	P99FCTMs  float64
-	MLU       float64 // measured max link utilization over the run
-	PredMLU   float64 // planning-side MLU with all scheduled links down
-	LPSolves  int64   // simplex solves on the plan's event path
+	MLU       units.Utilization // measured max link utilization over the run
+	PredMLU   units.Utilization // planning-side MLU with all scheduled links down
+	LPSolves  int64             // simplex solves on the plan's event path
 }
 
 // FigAvailResult is the full availability comparison.
@@ -219,7 +220,7 @@ func FigAvail(opt Options, totalFlows int) *FigAvailResult {
 
 		// Planning-side MLU with every scheduled link down: the FRR patch
 		// for none/frr, the controller's re-solved splits for reopt.
-		var predMLU float64
+		var predMLU units.Utilization
 		switch mode {
 		case resilience.NoProtection:
 			predMLU, err = te.MLUOf(tt.Nodes, degraded, comms, primaries)

@@ -9,6 +9,7 @@ import (
 	"cisp/internal/netsim"
 	"cisp/internal/te"
 	"cisp/internal/traffic"
+	"cisp/internal/units"
 	"cisp/internal/weather"
 )
 
@@ -78,7 +79,7 @@ func DemandCommodities(demand traffic.Matrix, totalFlows, flowBytes int, window 
 			}
 			comms = append(comms, netsim.Commodity{
 				Flow: flow, Src: i, Dst: j,
-				Demand: float64(n) * float64(flowBytes) * 8 / window,
+				Demand: units.Bytes(float64(n) * float64(flowBytes)).Per(units.Seconds(window)),
 				Count:  n,
 			})
 		}
@@ -125,8 +126,8 @@ type TERow struct {
 	Mode      string // engine mode
 	Flows     int
 	Completed int
-	MLU       float64 // measured max directed-link utilization
-	PredMLU   float64 // TE rows: the control plane's predicted MLU
+	MLU       units.Utilization // measured max directed-link utilization
+	PredMLU   units.Utilization // TE rows: the control plane's predicted MLU
 	MeanFCTMs float64
 	P99FCTMs  float64
 }

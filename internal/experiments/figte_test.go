@@ -74,7 +74,7 @@ func TestDemandCommoditiesStableIDs(t *testing.T) {
 	// Demands reflect the actual offered load.
 	for _, c := range big {
 		want := float64(c.Count) * float64(teFlowBytes) * 8 / teStartSpread
-		if c.Demand != want {
+		if float64(c.Demand) != want {
 			t.Fatalf("flow %d demand %v, want %v", c.Flow, c.Demand, want)
 		}
 	}

@@ -20,14 +20,15 @@ import (
 	"cisp/internal/cities"
 	"cisp/internal/geo"
 	"cisp/internal/graph"
+	"cisp/internal/units"
 )
 
 // Network is an immutable fiber-conduit network over a fixed city set, with
 // all-pairs shortest conduit routes precomputed.
 type Network struct {
 	cities []cities.City
-	g      *graph.Graph
-	dist   [][]float64 // physical route length, meters
+	g      *graph.Graph[units.Meters]
+	dist   [][]units.Meters // physical route length
 }
 
 // Config parameterises synthesis.
@@ -55,7 +56,7 @@ func Synthesize(cfg Config, cs []cities.City) *Network {
 	cfg.setDefaults()
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	n := len(cs)
-	g := graph.New(n)
+	g := graph.New[units.Meters](n)
 	added := make(map[[2]int]bool)
 
 	addEdge := func(i, j int) {
@@ -71,14 +72,14 @@ func Synthesize(cfg Config, cs []cities.City) *Network {
 		}
 		added[k] = true
 		detour := cfg.MinDetour + rng.Float64()*(cfg.MaxDetour-cfg.MinDetour)
-		g.AddEdge(i, j, cs[i].Loc.DistanceTo(cs[j].Loc)*detour)
+		g.AddEdge(i, j, units.Meters(float64(cs[i].Loc.DistanceTo(cs[j].Loc))*detour))
 	}
 
 	// k-nearest-neighbor conduits.
 	for i := 0; i < n; i++ {
 		type nb struct {
 			j int
-			d float64
+			d units.Meters
 		}
 		nbs := make([]nb, 0, n-1)
 		for j := 0; j < n; j++ {
@@ -99,7 +100,7 @@ func Synthesize(cfg Config, cs []cities.City) *Network {
 		if maxComp(comp) == 0 { // single component (all zero) or empty
 			break
 		}
-		bi, bj, bd := -1, -1, math.Inf(1)
+		bi, bj, bd := -1, -1, units.Meters(math.Inf(1))
 		for i := 0; i < n; i++ {
 			for j := i + 1; j < n; j++ {
 				if comp[i] != comp[j] {
@@ -117,7 +118,7 @@ func Synthesize(cfg Config, cs []cities.City) *Network {
 
 	// Precompute all-pairs conduit routes; mirror the upper triangle so
 	// lengths are exactly symmetric despite float summation order.
-	dist := make([][]float64, n)
+	dist := make([][]units.Meters, n)
 	for i := 0; i < n; i++ {
 		d, _ := g.Dijkstra(i)
 		dist[i] = d
@@ -131,7 +132,7 @@ func Synthesize(cfg Config, cs []cities.City) *Network {
 }
 
 // components labels nodes by connected component (0-based).
-func components(g *graph.Graph) []int {
+func components(g *graph.Graph[units.Meters]) []int {
 	n := g.N()
 	comp := make([]int, n)
 	for i := range comp {
@@ -173,16 +174,16 @@ func maxComp(comp []int) int {
 func (nw *Network) Cities() []cities.City { return nw.cities }
 
 // Graph exposes the conduit graph (for weather rerouting and tests).
-func (nw *Network) Graph() *graph.Graph { return nw.g }
+func (nw *Network) Graph() *graph.Graph[units.Meters] { return nw.g }
 
-// RouteLen returns the physical length in meters of the shortest conduit
-// route between cities i and j, or +Inf if disconnected.
-func (nw *Network) RouteLen(i, j int) float64 { return nw.dist[i][j] }
+// RouteLen returns the physical length of the shortest conduit route
+// between cities i and j, or +Inf if disconnected.
+func (nw *Network) RouteLen(i, j int) units.Meters { return nw.dist[i][j] }
 
 // LatencyDist returns the latency-equivalent distance of the fiber route:
 // physical length times the 1.5× refractive penalty. This is the o_ij × 1.5
 // input to the design optimizer.
-func (nw *Network) LatencyDist(i, j int) float64 {
+func (nw *Network) LatencyDist(i, j int) units.Meters {
 	return nw.dist[i][j] * geo.FiberLatencyFactor
 }
 
@@ -195,10 +196,10 @@ func (nw *Network) MeanStretch() float64 {
 	for i := 0; i < n; i++ {
 		for j := i + 1; j < n; j++ {
 			geod := nw.cities[i].Loc.DistanceTo(nw.cities[j].Loc)
-			if geod <= 0 || math.IsInf(nw.dist[i][j], 1) {
+			if geod <= 0 || math.IsInf(float64(nw.dist[i][j]), 1) {
 				continue
 			}
-			sum += nw.LatencyDist(i, j) / geod
+			sum += units.Ratio(nw.LatencyDist(i, j), geod)
 			cnt++
 		}
 	}

@@ -12,7 +12,7 @@ func TestConnected(t *testing.T) {
 	cs := cities.USCenters()
 	nw := Synthesize(Config{Seed: 1}, cs)
 	for i := range cs {
-		if math.IsInf(nw.RouteLen(0, i), 1) {
+		if math.IsInf(float64(nw.RouteLen(0, i)), 1) {
 			t.Fatalf("city %d (%s) unreachable over fiber", i, cs[i].Name)
 		}
 	}

@@ -1,6 +1,10 @@
 package geo
 
-import "math"
+import (
+	"math"
+
+	"cisp/internal/units"
+)
 
 // Microwave link-engineering constants used throughout the paper's §3.1.
 const (
@@ -12,53 +16,53 @@ const (
 	// DefaultRefraction is the effective Earth-radius factor K accounting
 	// for atmospheric refraction (the paper adopts K = 1.3).
 	DefaultRefraction = 1.3
-
-	// MaxHopRange is the paper's practicable maximum tower-to-tower hop
-	// length in meters ("a maximum range of around 100 km is practicable").
-	MaxHopRange = 100e3
 )
 
-// FresnelRadius returns the first Fresnel-zone radius in meters at a point
-// d1 meters from one antenna and d2 meters from the other, for a carrier at
-// fGHz gigahertz. A microwave hop needs this ellipsoidal region clear of
-// obstructions. At the midpoint of a hop of length D this reduces to the
-// paper's hFres ≈ 8.7 m · sqrt(D/1km) · (f/1GHz)^(-1/2).
-func FresnelRadius(d1, d2 float64, fGHz float64) float64 {
+// MaxHopRange is the paper's practicable maximum tower-to-tower hop
+// length ("a maximum range of around 100 km is practicable").
+const MaxHopRange units.Meters = 100e3
+
+// FresnelRadius returns the first Fresnel-zone radius at a point d1 from
+// one antenna and d2 from the other, for a carrier at fGHz gigahertz. A
+// microwave hop needs this ellipsoidal region clear of obstructions. At
+// the midpoint of a hop of length D this reduces to the paper's
+// hFres ≈ 8.7 m · sqrt(D/1km) · (f/1GHz)^(-1/2).
+func FresnelRadius(d1, d2 units.Meters, fGHz float64) units.Meters {
 	total := d1 + d2
 	if total <= 0 || fGHz <= 0 {
 		return 0
 	}
 	// r = 17.32 m * sqrt((d1km * d2km) / (Dkm * fGHz))
-	d1km, d2km, dkm := d1/1000, d2/1000, total/1000
-	return 17.32 * math.Sqrt(d1km*d2km/(dkm*fGHz))
+	d1km, d2km, dkm := float64(d1.Km()), float64(d2.Km()), float64(total.Km())
+	return units.Meters(17.32 * math.Sqrt(d1km*d2km/(dkm*fGHz)))
 }
 
 // FresnelMid returns the first Fresnel-zone radius at the midpoint of a hop
-// of length d meters (the paper's hFres formula).
-func FresnelMid(d float64, fGHz float64) float64 {
+// of length d (the paper's hFres formula).
+func FresnelMid(d units.Meters, fGHz float64) units.Meters {
 	return FresnelRadius(d/2, d/2, fGHz)
 }
 
-// EarthBulge returns the height in meters by which the Earth's curvature
-// rises above the straight sight-line at a point d1 meters from one end of a
-// hop and d2 from the other, using effective Earth-radius factor k. At the
+// EarthBulge returns the height by which the Earth's curvature rises
+// above the straight sight-line at a point d1 from one end of a hop and
+// d2 from the other, using effective Earth-radius factor k. At the
 // midpoint of a hop of length D this reduces to the paper's
 // hEarth ≈ (1 m / 50K) · (D/1km)².
-func EarthBulge(d1, d2, k float64) float64 {
+func EarthBulge(d1, d2 units.Meters, k float64) units.Meters {
 	if k <= 0 {
-		return math.Inf(1)
+		return units.Meters(math.Inf(1))
 	}
 	// h[m] = d1[km] * d2[km] / (12.74 * k)
-	return (d1 / 1000) * (d2 / 1000) / (12.74 * k)
+	return units.Meters(float64(d1.Km()) * float64(d2.Km()) / (12.74 * k))
 }
 
 // EarthBulgeMid returns the curvature bulge at the midpoint of a hop of
-// length d meters.
-func EarthBulgeMid(d, k float64) float64 { return EarthBulge(d/2, d/2, k) }
+// length d.
+func EarthBulgeMid(d units.Meters, k float64) units.Meters { return EarthBulge(d/2, d/2, k) }
 
-// RequiredClearanceMid returns the total height in meters that a hop of
-// length d must clear at its midpoint: Earth bulge plus a full first Fresnel
+// RequiredClearanceMid returns the total height that a hop of length d
+// must clear at its midpoint: Earth bulge plus a full first Fresnel
 // zone (the paper requires a fully clear Fresnel zone).
-func RequiredClearanceMid(d, fGHz, k float64) float64 {
+func RequiredClearanceMid(d units.Meters, fGHz, k float64) units.Meters {
 	return EarthBulgeMid(d, k) + FresnelMid(d, fGHz)
 }

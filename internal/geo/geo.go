@@ -4,14 +4,16 @@
 // formulae of §3.1 of the paper.
 //
 // Conventions: coordinates are degrees (north/east positive), distances are
-// meters, durations are time.Duration. A Point is a small comparable value
-// type, so it can be used directly as a map key.
+// typed units.Meters, durations are time.Duration. A Point is a small
+// comparable value type, so it can be used directly as a map key.
 package geo
 
 import (
 	"fmt"
 	"math"
 	"time"
+
+	"cisp/internal/units"
 )
 
 const (
@@ -51,10 +53,10 @@ func (p Point) Valid() bool {
 func rad(deg float64) float64 { return deg * math.Pi / 180 }
 func deg(rad float64) float64 { return rad * 180 / math.Pi }
 
-// DistanceTo returns the great-circle (geodesic) distance from p to q in
-// meters, using the haversine formula, which is numerically stable for the
+// DistanceTo returns the great-circle (geodesic) distance from p to q,
+// using the haversine formula, which is numerically stable for the
 // short and medium distances that dominate tower-to-tower hops.
-func (p Point) DistanceTo(q Point) float64 {
+func (p Point) DistanceTo(q Point) units.Meters {
 	φ1, φ2 := rad(p.Lat), rad(q.Lat)
 	dφ := rad(q.Lat - p.Lat)
 	dλ := rad(q.Lon - p.Lon)
@@ -64,7 +66,7 @@ func (p Point) DistanceTo(q Point) float64 {
 	if a > 1 {
 		a = 1
 	}
-	return 2 * EarthRadius * math.Asin(math.Sqrt(a))
+	return units.Meters(2 * EarthRadius * math.Asin(math.Sqrt(a)))
 }
 
 // InitialBearingTo returns the initial great-circle bearing from p to q in
@@ -78,10 +80,10 @@ func (p Point) InitialBearingTo(q Point) float64 {
 	return math.Mod(θ+360, 360)
 }
 
-// Destination returns the point reached by travelling dist meters from p
-// along the given initial bearing (degrees clockwise from north).
-func (p Point) Destination(bearingDeg, dist float64) Point {
-	δ := dist / EarthRadius
+// Destination returns the point reached by travelling dist from p along
+// the given initial bearing (degrees clockwise from north).
+func (p Point) Destination(bearingDeg float64, dist units.Meters) Point {
+	δ := float64(dist) / EarthRadius
 	θ := rad(bearingDeg)
 	φ1 := rad(p.Lat)
 	λ1 := rad(p.Lon)
@@ -97,7 +99,7 @@ func (p Point) Destination(bearingDeg, dist float64) Point {
 // Intermediate returns the point a fraction f of the way along the great
 // circle from p to q (f=0 yields p, f=1 yields q).
 func (p Point) Intermediate(q Point, f float64) Point {
-	d := p.DistanceTo(q) / EarthRadius
+	d := float64(p.DistanceTo(q)) / EarthRadius
 	if d == 0 {
 		return p
 	}
@@ -117,24 +119,24 @@ func (p Point) Intermediate(q Point, f float64) Point {
 // Midpoint returns the point halfway along the great circle from p to q.
 func (p Point) Midpoint(q Point) Point { return p.Intermediate(q, 0.5) }
 
-// CLatency returns the one-way speed-of-light travel time over dist meters —
-// the paper's "c-latency" when dist is the geodesic distance between sites.
-func CLatency(dist float64) time.Duration {
-	return time.Duration(dist / C * float64(time.Second))
+// CLatency returns the one-way speed-of-light travel time over dist — the
+// paper's "c-latency" when dist is the geodesic distance between sites.
+func CLatency(dist units.Meters) time.Duration {
+	return time.Duration(float64(dist) / C * float64(time.Second))
 }
 
 // FiberLatency returns the one-way latency of a fiber route of the given
 // physical length, accounting for the ~2/3 c propagation speed in silica.
-func FiberLatency(routeLen float64) time.Duration {
-	return time.Duration(routeLen * FiberLatencyFactor / C * float64(time.Second))
+func FiberLatency(routeLen units.Meters) time.Duration {
+	return time.Duration(float64(routeLen) * FiberLatencyFactor / C * float64(time.Second))
 }
 
 // Stretch returns the ratio of an achieved latency-equivalent path length to
 // the geodesic distance — the paper's headline metric. It returns +Inf for a
 // zero geodesic to keep callers' min/max logic simple.
-func Stretch(pathLen, geodesic float64) float64 {
+func Stretch(pathLen, geodesic units.Meters) float64 {
 	if geodesic <= 0 {
 		return math.Inf(1)
 	}
-	return pathLen / geodesic
+	return units.Ratio(pathLen, geodesic)
 }

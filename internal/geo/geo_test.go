@@ -5,6 +5,8 @@ import (
 	"testing"
 	"testing/quick"
 	"time"
+
+	"cisp/internal/units"
 )
 
 // Chicago and New York, the corridor the paper's HFT discussion centres on.
@@ -17,7 +19,7 @@ func TestDistanceChicagoNewYork(t *testing.T) {
 	d := chicago.DistanceTo(newYork)
 	// Widely-quoted great-circle distance is ~1145 km.
 	if d < 1130e3 || d > 1160e3 {
-		t.Fatalf("Chicago-NY distance = %.1f km, want ~1145 km", d/1000)
+		t.Fatalf("Chicago-NY distance = %.1f km, want ~1145 km", d.Km())
 	}
 }
 
@@ -32,7 +34,7 @@ func TestDistanceSymmetry(t *testing.T) {
 		p := Point{Lat: clampLat(lat1), Lon: clampLon(lon1)}
 		q := Point{Lat: clampLat(lat2), Lon: clampLon(lon2)}
 		d1, d2 := p.DistanceTo(q), q.DistanceTo(p)
-		return math.Abs(d1-d2) < 1e-6
+		return math.Abs(float64(d1-d2)) < 1e-6
 	}
 	if err := quick.Check(f, nil); err != nil {
 		t.Fatal(err)
@@ -56,9 +58,9 @@ func TestDestinationRoundTrip(t *testing.T) {
 	f := func(lat, lon, bearing, distKm float64) bool {
 		p := Point{clampLat(lat) * 0.8, clampLon(lon)} // keep away from poles
 		b := math.Mod(math.Abs(bearing), 360)
-		d := math.Mod(math.Abs(distKm), 500) * 1000
+		d := units.Km(math.Mod(math.Abs(distKm), 500)).Meters()
 		q := p.Destination(b, d)
-		return math.Abs(p.DistanceTo(q)-d) < 1.0 // within a meter
+		return math.Abs(float64(p.DistanceTo(q)-d)) < 1.0 // within a meter
 	}
 	if err := quick.Check(f, nil); err != nil {
 		t.Fatal(err)
@@ -82,8 +84,8 @@ func TestIntermediateOnPath(t *testing.T) {
 	for _, f := range []float64{0.1, 0.25, 0.5, 0.75, 0.9} {
 		m := chicago.Intermediate(newYork, f)
 		got := chicago.DistanceTo(m)
-		if math.Abs(got-f*total) > 5 {
-			t.Errorf("Intermediate(%v): distance %f, want %f", f, got, f*total)
+		if math.Abs(float64(got)-f*float64(total)) > 5 {
+			t.Errorf("Intermediate(%v): distance %f, want %f", f, float64(got), f*float64(total))
 		}
 	}
 }
@@ -91,21 +93,21 @@ func TestIntermediateOnPath(t *testing.T) {
 func TestMidpointEquidistant(t *testing.T) {
 	m := chicago.Midpoint(newYork)
 	d1, d2 := chicago.DistanceTo(m), newYork.DistanceTo(m)
-	if math.Abs(d1-d2) > 1 {
+	if math.Abs(float64(d1-d2)) > 1 {
 		t.Fatalf("midpoint not equidistant: %f vs %f", d1, d2)
 	}
 }
 
 func TestCLatency(t *testing.T) {
 	// 299.792458 km should take exactly 1 ms.
-	got := CLatency(299792.458)
+	got := CLatency(units.Km(299.792458).Meters())
 	if got != time.Millisecond {
 		t.Fatalf("CLatency(299792m) = %v, want 1ms", got)
 	}
 }
 
 func TestFiberLatencyFactor(t *testing.T) {
-	d := 1000e3
+	d := units.Meters(1000e3)
 	got, want := FiberLatency(d), time.Duration(float64(CLatency(d))*1.5)
 	if diff := got - want; diff < -time.Nanosecond || diff > time.Nanosecond {
 		t.Fatalf("FiberLatency = %v, want %v", got, want)
@@ -115,9 +117,9 @@ func TestFiberLatencyFactor(t *testing.T) {
 func TestFresnelMidPaperFormula(t *testing.T) {
 	// Paper: hFres ≈ 8.7 m (D/1km)^1/2 (f/1GHz)^-1/2.
 	for _, dKm := range []float64{10, 50, 100} {
-		got := FresnelMid(dKm*1000, 11)
+		got := FresnelMid(units.Km(dKm).Meters(), 11)
 		want := 8.7 * math.Sqrt(dKm) / math.Sqrt(11)
-		if math.Abs(got-want)/want > 0.01 {
+		if math.Abs(float64(got)-want)/want > 0.01 {
 			t.Errorf("FresnelMid(%v km) = %.2f m, paper formula gives %.2f m", dKm, got, want)
 		}
 	}
@@ -126,9 +128,9 @@ func TestFresnelMidPaperFormula(t *testing.T) {
 func TestEarthBulgeMidPaperFormula(t *testing.T) {
 	// Paper: hEarth ≈ (1m/50K)(D/1km)² with K = 1.3.
 	for _, dKm := range []float64{10, 50, 100} {
-		got := EarthBulgeMid(dKm*1000, DefaultRefraction)
+		got := EarthBulgeMid(units.Km(dKm).Meters(), DefaultRefraction)
 		want := dKm * dKm / (50 * DefaultRefraction)
-		if math.Abs(got-want)/want > 0.03 {
+		if math.Abs(float64(got)-want)/want > 0.03 {
 			t.Errorf("EarthBulgeMid(%v km) = %.2f m, paper formula gives %.2f m", dKm, got, want)
 		}
 	}
@@ -151,7 +153,7 @@ func TestFresnelMonotonic(t *testing.T) {
 		if a > b {
 			a, b = b, a
 		}
-		return FresnelMid(a*1000, 11) <= FresnelMid(b*1000, 11)+1e-9
+		return FresnelMid(units.Km(a).Meters(), 11) <= FresnelMid(units.Km(b).Meters(), 11)+1e-9
 	}
 	if err := quick.Check(f, nil); err != nil {
 		t.Fatal(err)

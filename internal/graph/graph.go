@@ -3,8 +3,13 @@
 // extraction, node-blocked searches for tower-disjoint routing (Fig 4b of
 // the paper), and all-pairs helpers for small site graphs.
 //
-// Nodes are dense integer IDs; edges are undirected with non-negative float
-// weights (meters, in this codebase).
+// Nodes are dense integer IDs; edges are undirected with non-negative
+// weights. The weight type is generic over ~float64 so each instantiation
+// carries its own physical dimension (units.Meters for the tower and
+// fiber graphs, raw float64 for dimension-neutral matrices): the graph
+// layer is a dimension-polymorphic carrier — it never mixes two weight
+// units, and the cisplint unitcheck analyzer checks the call sites that
+// instantiate it.
 package graph
 
 import (
@@ -15,27 +20,27 @@ import (
 )
 
 // Edge is a directed half-edge in an adjacency list.
-type Edge struct {
+type Edge[W ~float64] struct {
 	To     int
-	Weight float64
+	Weight W
 }
 
 // Graph is an undirected weighted graph. The zero value is an empty graph;
 // use New for a pre-sized one.
-type Graph struct {
-	adj [][]Edge
+type Graph[W ~float64] struct {
+	adj [][]Edge[W]
 }
 
 // New returns a graph with n isolated nodes.
-func New(n int) *Graph {
-	return &Graph{adj: make([][]Edge, n)}
+func New[W ~float64](n int) *Graph[W] {
+	return &Graph[W]{adj: make([][]Edge[W], n)}
 }
 
 // N returns the number of nodes.
-func (g *Graph) N() int { return len(g.adj) }
+func (g *Graph[W]) N() int { return len(g.adj) }
 
 // Edges returns the total number of undirected edges.
-func (g *Graph) Edges() int {
+func (g *Graph[W]) Edges() int {
 	total := 0
 	for _, a := range g.adj {
 		total += len(a)
@@ -44,7 +49,7 @@ func (g *Graph) Edges() int {
 }
 
 // AddNode appends an isolated node and returns its ID.
-func (g *Graph) AddNode() int {
+func (g *Graph[W]) AddNode() int {
 	g.adj = append(g.adj, nil)
 	return len(g.adj) - 1
 }
@@ -52,42 +57,42 @@ func (g *Graph) AddNode() int {
 // AddEdge adds an undirected edge of the given non-negative weight. It
 // panics on out-of-range nodes or negative weight — both are programming
 // errors in this codebase, not runtime conditions.
-func (g *Graph) AddEdge(u, v int, w float64) {
+func (g *Graph[W]) AddEdge(u, v int, w W) {
 	if u < 0 || v < 0 || u >= len(g.adj) || v >= len(g.adj) {
 		panic(fmt.Sprintf("graph: edge (%d,%d) out of range n=%d", u, v, len(g.adj)))
 	}
-	if w < 0 || math.IsNaN(w) {
+	if w < 0 || math.IsNaN(float64(w)) {
 		panic(fmt.Sprintf("graph: negative or NaN weight %v", w))
 	}
-	g.adj[u] = append(g.adj[u], Edge{To: v, Weight: w})
-	g.adj[v] = append(g.adj[v], Edge{To: u, Weight: w})
+	g.adj[u] = append(g.adj[u], Edge[W]{To: v, Weight: w})
+	g.adj[v] = append(g.adj[v], Edge[W]{To: u, Weight: w})
 }
 
 // Neighbors returns the adjacency list of u. The slice is shared with the
 // graph and must not be modified.
-func (g *Graph) Neighbors(u int) []Edge { return g.adj[u] }
+func (g *Graph[W]) Neighbors(u int) []Edge[W] { return g.adj[u] }
 
 // item is a heap entry; stale duplicates are skipped on pop.
-type item struct {
+type item[W ~float64] struct {
 	node int
-	dist float64
+	dist W
 }
 
 // itemLess orders the Dijkstra frontier by tentative distance. Equal
 // distances pop in heap order, which is deterministic for a given input;
 // dist/prev results do not depend on how such ties break.
-func itemLess(a, b item) bool { return a.dist < b.dist }
+func itemLess[W ~float64](a, b item[W]) bool { return a.dist < b.dist }
 
 // Dijkstra computes single-source shortest distances from src. Unreachable
 // nodes get +Inf distance and prev -1. prev[src] is -1.
-func (g *Graph) Dijkstra(src int) (dist []float64, prev []int) {
+func (g *Graph[W]) Dijkstra(src int) (dist []W, prev []int) {
 	return g.dijkstra(src, -1, nil)
 }
 
 // DijkstraBlocked is Dijkstra with a set of unusable nodes (blocked[i] true
 // means node i may not be traversed; src itself is never blocked). Used for
 // tower-disjoint path iteration.
-func (g *Graph) DijkstraBlocked(src int, blocked []bool) (dist []float64, prev []int) {
+func (g *Graph[W]) DijkstraBlocked(src int, blocked []bool) (dist []W, prev []int) {
 	return g.dijkstra(src, -1, blocked)
 }
 
@@ -95,21 +100,21 @@ func (g *Graph) DijkstraBlocked(src int, blocked []bool) (dist []float64, prev [
 // settle all nodes).
 //
 //cisp:hotpath
-func (g *Graph) dijkstra(src, target int, blocked []bool) ([]float64, []int) {
+func (g *Graph[W]) dijkstra(src, target int, blocked []bool) ([]W, []int) {
 	n := len(g.adj)
 	// Once-per-call result and frontier setup, amortized over O(E log V)
 	// relaxations; the relaxation loop below is allocation-free.
-	dist := make([]float64, n) //lint:allow hotpathalloc -- once-per-call setup, also the return value
-	prev := make([]int, n)     //lint:allow hotpathalloc -- once-per-call setup, also the return value
-	done := make([]bool, n)    //lint:allow hotpathalloc -- once-per-call setup
+	dist := make([]W, n)    //lint:allow hotpathalloc -- once-per-call setup, also the return value
+	prev := make([]int, n)  //lint:allow hotpathalloc -- once-per-call setup, also the return value
+	done := make([]bool, n) //lint:allow hotpathalloc -- once-per-call setup
 	for i := range dist {
-		dist[i] = math.Inf(1)
+		dist[i] = W(math.Inf(1))
 		prev[i] = -1
 	}
 	dist[src] = 0
-	q := []item{{node: src, dist: 0}} //lint:allow hotpathalloc -- once-per-call frontier seed
+	q := []item[W]{{node: src, dist: 0}} //lint:allow hotpathalloc -- once-per-call frontier seed
 	for len(q) > 0 {
-		it := xheap.Pop(&q, itemLess)
+		it := xheap.Pop(&q, itemLess[W])
 		u := it.node
 		if done[u] {
 			continue
@@ -126,7 +131,7 @@ func (g *Graph) dijkstra(src, target int, blocked []bool) ([]float64, []int) {
 			if nd := dist[u] + e.Weight; nd < dist[v] {
 				dist[v] = nd
 				prev[v] = u
-				xheap.Push(&q, item{node: v, dist: nd}, itemLess)
+				xheap.Push(&q, item[W]{node: v, dist: nd}, itemLess[W])
 			}
 		}
 	}
@@ -135,18 +140,18 @@ func (g *Graph) dijkstra(src, target int, blocked []bool) ([]float64, []int) {
 
 // ShortestPath returns the node sequence (src..dst inclusive) and length of
 // the shortest path, or (nil, +Inf) if dst is unreachable.
-func (g *Graph) ShortestPath(src, dst int) ([]int, float64) {
+func (g *Graph[W]) ShortestPath(src, dst int) ([]int, W) {
 	return g.ShortestPathBlocked(src, dst, nil)
 }
 
 // ShortestPathBlocked is ShortestPath avoiding blocked nodes.
-func (g *Graph) ShortestPathBlocked(src, dst int, blocked []bool) ([]int, float64) {
+func (g *Graph[W]) ShortestPathBlocked(src, dst int, blocked []bool) ([]int, W) {
 	if src == dst {
 		return []int{src}, 0
 	}
 	dist, prev := g.dijkstra(src, dst, blocked)
-	if math.IsInf(dist[dst], 1) {
-		return nil, math.Inf(1)
+	if math.IsInf(float64(dist[dst]), 1) {
+		return nil, W(math.Inf(1))
 	}
 	return extractPath(prev, src, dst), dist[dst]
 }
@@ -169,7 +174,7 @@ func extractPath(prev []int, src, dst int) []int {
 // dst, found iteratively: after each path is extracted, its interior nodes
 // are blocked and the search repeats (the paper's Fig 4b "tower-disjoint
 // shortest paths" procedure). It stops early when no further path exists.
-func (g *Graph) DisjointPaths(src, dst, k int) (paths [][]int, lengths []float64) {
+func (g *Graph[W]) DisjointPaths(src, dst, k int) (paths [][]int, lengths []W) {
 	blocked := make([]bool, len(g.adj))
 	for i := 0; i < k; i++ {
 		path, length := g.ShortestPathBlocked(src, dst, blocked)
@@ -189,16 +194,16 @@ func (g *Graph) DisjointPaths(src, dst, k int) (paths [][]int, lengths []float64
 
 // PathLength sums edge weights along the node sequence, returning +Inf if a
 // consecutive pair is not connected.
-func (g *Graph) PathLength(path []int) float64 {
-	total := 0.0
+func (g *Graph[W]) PathLength(path []int) W {
+	total := W(0)
 	for i := 0; i+1 < len(path); i++ {
-		w := math.Inf(1)
+		w := W(math.Inf(1))
 		for _, e := range g.adj[path[i]] {
 			if e.To == path[i+1] && e.Weight < w {
 				w = e.Weight
 			}
 		}
-		if math.IsInf(w, 1) {
+		if math.IsInf(float64(w), 1) {
 			return w
 		}
 		total += w
@@ -214,16 +219,16 @@ func (g *Graph) PathLength(path []int) float64 {
 // version pays an extra log factor. Ties settle at the lowest node index,
 // and the resulting distances are bit-identical to heap Dijkstra's (each
 // dist[v] is a min over the same sums, and min is order-independent).
-func DenseSourceShortest(w [][]float64, src int) []float64 {
+func DenseSourceShortest[W ~float64](w [][]W, src int) []W {
 	n := len(w)
-	dist := make([]float64, n)
+	dist := make([]W, n)
 	done := make([]bool, n)
 	for i := range dist {
-		dist[i] = math.Inf(1)
+		dist[i] = W(math.Inf(1))
 	}
 	dist[src] = 0
 	for range n {
-		u, best := -1, math.Inf(1)
+		u, best := -1, W(math.Inf(1))
 		for v := 0; v < n; v++ {
 			if !done[v] && dist[v] < best {
 				u, best = v, dist[v]
@@ -250,7 +255,7 @@ func DenseSourceShortest(w [][]float64, src int) []float64 {
 // neither edge weights nor path reconstruction, so this is a plain
 // breadth-first search that exits as soon as dst is seen — no heap, no
 // prev array, no full-graph settle.
-func (g *Graph) Connected(src, dst int) bool {
+func (g *Graph[W]) Connected(src, dst int) bool {
 	if src == dst {
 		return true
 	}

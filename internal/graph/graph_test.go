@@ -8,8 +8,8 @@ import (
 )
 
 // line builds a path graph 0-1-2-...-(n-1) with unit weights.
-func line(n int) *Graph {
-	g := New(n)
+func line(n int) *Graph[float64] {
+	g := New[float64](n)
 	for i := 0; i+1 < n; i++ {
 		g.AddEdge(i, i+1, 1)
 	}
@@ -34,7 +34,7 @@ func TestShortestPathLine(t *testing.T) {
 }
 
 func TestShortestPathPrefersLighter(t *testing.T) {
-	g := New(3)
+	g := New[float64](3)
 	g.AddEdge(0, 1, 1)
 	g.AddEdge(1, 2, 1)
 	g.AddEdge(0, 2, 10)
@@ -45,7 +45,7 @@ func TestShortestPathPrefersLighter(t *testing.T) {
 }
 
 func TestUnreachable(t *testing.T) {
-	g := New(4)
+	g := New[float64](4)
 	g.AddEdge(0, 1, 1)
 	g.AddEdge(2, 3, 1)
 	path, d := g.ShortestPath(0, 3)
@@ -74,7 +74,7 @@ func TestDenseSourceShortestMatchesDijkstra(t *testing.T) {
 				w[i][j] = math.Inf(1)
 			}
 		}
-		g := New(n + 1)
+		g := New[float64](n + 1)
 		for i := 0; i < n; i++ {
 			for j := i + 1; j < n; j++ {
 				if rng.Float64() < 0.2 {
@@ -114,7 +114,7 @@ func TestConnectedAgainstDijkstra(t *testing.T) {
 			}
 		}
 	}
-	g := New(2)
+	g := New[float64](2)
 	if !g.Connected(1, 1) {
 		t.Fatal("Connected(v,v) = false on isolated node")
 	}
@@ -143,7 +143,7 @@ func TestDijkstraAllDistances(t *testing.T) {
 
 func TestBlockedForcesDetour(t *testing.T) {
 	// Diamond: 0-1-3 (len 2) and 0-2-3 (len 4); block node 1.
-	g := New(4)
+	g := New[float64](4)
 	g.AddEdge(0, 1, 1)
 	g.AddEdge(1, 3, 1)
 	g.AddEdge(0, 2, 2)
@@ -163,7 +163,7 @@ func TestBlockedForcesDetour(t *testing.T) {
 
 func TestDisjointPaths(t *testing.T) {
 	// Three parallel 2-hop routes of lengths 2, 4, 6 between 0 and 4.
-	g := New(5)
+	g := New[float64](5)
 	g.AddEdge(0, 1, 1)
 	g.AddEdge(1, 4, 1)
 	g.AddEdge(0, 2, 2)
@@ -213,7 +213,7 @@ func TestPathLength(t *testing.T) {
 }
 
 func TestAddNode(t *testing.T) {
-	g := New(2)
+	g := New[float64](2)
 	id := g.AddNode()
 	if id != 2 || g.N() != 3 {
 		t.Fatalf("AddNode = %d (n=%d), want 2 (n=3)", id, g.N())
@@ -233,7 +233,7 @@ func TestAddEdgePanics(t *testing.T) {
 			t.Fatal("expected panic on out-of-range edge")
 		}
 	}()
-	New(2).AddEdge(0, 5, 1)
+	New[float64](2).AddEdge(0, 5, 1)
 }
 
 func TestAddEdgeNegativePanics(t *testing.T) {
@@ -242,12 +242,12 @@ func TestAddEdgeNegativePanics(t *testing.T) {
 			t.Fatal("expected panic on negative weight")
 		}
 	}()
-	New(2).AddEdge(0, 1, -1)
+	New[float64](2).AddEdge(0, 1, -1)
 }
 
 // randomGraph builds a connected random graph for property tests.
-func randomGraph(rng *rand.Rand, n int) *Graph {
-	g := New(n)
+func randomGraph(rng *rand.Rand, n int) *Graph[float64] {
+	g := New[float64](n)
 	for i := 1; i < n; i++ {
 		g.AddEdge(i, rng.Intn(i), rng.Float64()*10+0.1)
 	}

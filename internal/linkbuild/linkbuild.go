@@ -18,13 +18,14 @@ import (
 	"cisp/internal/los"
 	"cisp/internal/parallel"
 	"cisp/internal/towers"
+	"cisp/internal/units"
 )
 
 // Config parameterises link construction.
 type Config struct {
-	// AttachRange is how far a city gateway may reach to its first tower,
-	// meters. Default 35 km.
-	AttachRange float64
+	// AttachRange is how far a city gateway may reach to its first tower.
+	// Default 35 km.
+	AttachRange units.Meters
 }
 
 func (c *Config) setDefaults() {
@@ -39,9 +40,9 @@ type Links struct {
 	Cities []cities.City
 	Reg    *towers.Registry
 
-	g            *graph.Graph
-	dist         [][]float64 // city-city MW latency distance, meters (+Inf if no MW path)
-	prev         [][]int     // per-source-city Dijkstra tree over the full graph
+	g            *graph.Graph[units.Meters]
+	dist         [][]units.Meters // city-city MW latency distance (+Inf if no MW path)
+	prev         [][]int          // per-source-city Dijkstra tree over the full graph
 	feasibleHops int
 }
 
@@ -50,7 +51,7 @@ func Build(cs []cities.City, reg *towers.Registry, ev *los.Evaluator, cfg Config
 	cfg.setDefaults()
 	n := len(cs)
 	T := reg.Len()
-	g := graph.New(n + T)
+	g := graph.New[units.Meters](n + T)
 
 	// City gateways: attach each city to all towers within range.
 	for i, city := range cs {
@@ -85,7 +86,7 @@ func Build(cs []cities.City, reg *towers.Registry, ev *los.Evaluator, cfg Config
 	// All-pairs shortest microwave links: one Dijkstra per city, each city
 	// owning its own row, fanned out on the pool.
 	l := &Links{Cities: cs, Reg: reg, g: g, feasibleHops: hops}
-	l.dist = make([][]float64, n)
+	l.dist = make([][]units.Meters, n)
 	l.prev = make([][]int, n)
 	parallel.For(n, 1, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
@@ -108,12 +109,12 @@ func Build(cs []cities.City, reg *towers.Registry, ev *los.Evaluator, cfg Config
 func (l *Links) FeasibleHops() int { return l.feasibleHops }
 
 // Graph exposes the combined city+tower hop graph.
-func (l *Links) Graph() *graph.Graph { return l.g }
+func (l *Links) Graph() *graph.Graph[units.Meters] { return l.g }
 
-// MWDist returns the length in meters of the shortest microwave link between
+// MWDist returns the length of the shortest microwave link between
 // cities i and j, or +Inf if no tower path exists. Microwave propagates at
 // c, so this is also the latency-equivalent distance m_ij.
-func (l *Links) MWDist(i, j int) float64 {
+func (l *Links) MWDist(i, j int) units.Meters {
 	if i == j {
 		return 0
 	}
@@ -124,7 +125,7 @@ func (l *Links) MWDist(i, j int) float64 {
 // over the combined graph (city IDs < len(Cities), tower nodes offset by
 // len(Cities)), or nil if unreachable.
 func (l *Links) Path(i, j int) []int {
-	if math.IsInf(l.dist[i][j], 1) {
+	if math.IsInf(float64(l.dist[i][j]), 1) {
 		return nil
 	}
 	var rev []int
@@ -172,8 +173,8 @@ func (l *Links) Hops(i, j int) [][2]int {
 
 // DisjointTowerPaths returns up to k tower-disjoint microwave paths between
 // cities i and j: after each path is found its towers are removed and the
-// search repeats — the paper's Fig 4b procedure. Lengths are in meters.
-func (l *Links) DisjointTowerPaths(i, j, k int) (lengths []float64) {
+// search repeats — the paper's Fig 4b procedure.
+func (l *Links) DisjointTowerPaths(i, j, k int) (lengths []units.Meters) {
 	_, lens := l.g.DisjointPaths(i, j, k)
 	return lens
 }

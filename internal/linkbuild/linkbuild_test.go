@@ -9,6 +9,7 @@ import (
 	"cisp/internal/los"
 	"cisp/internal/terrain"
 	"cisp/internal/towers"
+	"cisp/internal/units"
 )
 
 var scenarioOnce struct {
@@ -49,7 +50,7 @@ func TestMidwestLinksExist(t *testing.T) {
 	connected := 0
 	for i := 0; i < len(cs); i++ {
 		for j := i + 1; j < len(cs); j++ {
-			if !math.IsInf(l.MWDist(i, j), 1) {
+			if !math.IsInf(float64(l.MWDist(i, j)), 1) {
 				connected++
 			}
 		}
@@ -65,7 +66,7 @@ func TestMWDistAtLeastGeodesic(t *testing.T) {
 	for i := 0; i < len(cs); i++ {
 		for j := i + 1; j < len(cs); j++ {
 			d := l.MWDist(i, j)
-			if math.IsInf(d, 1) {
+			if math.IsInf(float64(d), 1) {
 				continue
 			}
 			geod := cs[i].Loc.DistanceTo(cs[j].Loc)
@@ -85,7 +86,7 @@ func TestMWLinksNearlyStraight(t *testing.T) {
 	for i := 0; i < len(cs); i++ {
 		for j := i + 1; j < len(cs); j++ {
 			d := l.MWDist(i, j)
-			if math.IsInf(d, 1) {
+			if math.IsInf(float64(d), 1) {
 				continue
 			}
 			geod := cs[i].Loc.DistanceTo(cs[j].Loc)
@@ -93,7 +94,7 @@ func TestMWLinksNearlyStraight(t *testing.T) {
 				continue
 			}
 			any = true
-			if s := d / geod; s > 1.35 {
+			if s := float64(d / geod); s > 1.35 {
 				t.Errorf("%s-%s MW stretch %.3f, want < 1.35 in flat terrain", cs[i].Name, cs[j].Name, s)
 			}
 		}
@@ -122,7 +123,7 @@ func TestPathStructure(t *testing.T) {
 	n := len(cs)
 	for i := 0; i < n; i++ {
 		for j := 0; j < n; j++ {
-			if i == j || math.IsInf(l.MWDist(i, j), 1) {
+			if i == j || math.IsInf(float64(l.MWDist(i, j)), 1) {
 				continue
 			}
 			p := l.Path(i, j)
@@ -167,7 +168,7 @@ func TestDisjointPathsLengthen(t *testing.T) {
 	cs, l := smallScenario(t)
 	// Pick the best-connected pair.
 	bi, bj := -1, -1
-	best := math.Inf(1)
+	best := units.Meters(math.Inf(1))
 	for i := 0; i < len(cs); i++ {
 		for j := i + 1; j < len(cs); j++ {
 			if d := l.MWDist(i, j); d < best {
@@ -198,7 +199,7 @@ func TestNoMWPathIsInf(t *testing.T) {
 	reg := towers.NewRegistry(nil)
 	ev := los.NewEvaluator(terrain.Flat(), los.DefaultParams())
 	l := Build(cs, reg, ev, Config{})
-	if !math.IsInf(l.MWDist(0, 1), 1) {
+	if !math.IsInf(float64(l.MWDist(0, 1)), 1) {
 		t.Fatal("expected +Inf MW distance with no towers")
 	}
 	if l.TowerCount(0, 1) != 0 {

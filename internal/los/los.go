@@ -10,17 +10,18 @@ import (
 	"cisp/internal/geo"
 	"cisp/internal/terrain"
 	"cisp/internal/towers"
+	"cisp/internal/units"
 )
 
 // Params configures the feasibility test. The zero value is not useful; use
 // DefaultParams (the paper's baseline: f=11 GHz, K=1.3, 100 km range, tower
 // tops usable).
 type Params struct {
-	FreqGHz          float64 // carrier frequency
-	K                float64 // effective Earth-radius factor
-	MaxRange         float64 // maximum hop length, meters
-	UsableHeightFrac float64 // fraction of tower height available for antennae (§6.5)
-	ProfileStep      float64 // terrain sampling step, meters
+	FreqGHz          float64      // carrier frequency
+	K                float64      // effective Earth-radius factor
+	MaxRange         units.Meters // maximum hop length
+	UsableHeightFrac float64      // fraction of tower height available for antennae (§6.5)
+	ProfileStep      units.Meters // terrain sampling step
 }
 
 // DefaultParams returns the paper's baseline §3.1/§4 parameters.
@@ -96,15 +97,15 @@ func (e *Evaluator) hopFeasibleAt(pa, pb geo.Point, ha, hb float64) bool {
 	}
 	for i := 1; i < n; i++ {
 		f := float64(i) / float64(n)
-		d1 := f * total
+		d1 := units.Meters(float64(total) * f)
 		d2 := total - d1
 		p := pa.Intermediate(pb, f)
 		// Straight sight-line height at this point.
 		line := ha + (hb-ha)*f
 		// Required clearance: surface + curvature bulge + full Fresnel zone.
 		needed := e.Terrain.SurfaceHeight(p) +
-			geo.EarthBulge(d1, d2, e.Params.K) +
-			geo.FresnelRadius(d1, d2, e.Params.FreqGHz)
+			float64(geo.EarthBulge(d1, d2, e.Params.K)) +
+			float64(geo.FresnelRadius(d1, d2, e.Params.FreqGHz))
 		if line < needed {
 			return false
 		}
@@ -133,13 +134,13 @@ func (e *Evaluator) ClearanceMargin(a, b towers.Tower) float64 {
 	margin := math.Inf(1)
 	for i := 1; i < n; i++ {
 		f := float64(i) / float64(n)
-		d1 := f * total
+		d1 := units.Meters(float64(total) * f)
 		d2 := total - d1
 		p := pa.Intermediate(pb, f)
 		line := ha + (hb-ha)*f
 		needed := e.Terrain.SurfaceHeight(p) +
-			geo.EarthBulge(d1, d2, e.Params.K) +
-			geo.FresnelRadius(d1, d2, e.Params.FreqGHz)
+			float64(geo.EarthBulge(d1, d2, e.Params.K)) +
+			float64(geo.FresnelRadius(d1, d2, e.Params.FreqGHz))
 		if m := line - needed; m < margin {
 			margin = m
 		}

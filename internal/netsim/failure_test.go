@@ -113,7 +113,7 @@ func TestScenarioUpdateReroutesFlows(t *testing.T) {
 		var backup float64
 		for _, l := range res.LinkLoads {
 			if l.From == 0 && l.To == 2 {
-				backup = l.Utilization
+				backup = float64(l.Utilization)
 			}
 		}
 		if backup <= 0 {
@@ -195,7 +195,7 @@ func TestFluidRerouteCarriesRemainingBytes(t *testing.T) {
 	// the 0-1-3 links, the remaining ~3.2 MB to 0-2-3.
 	util := map[[2]int]float64{}
 	for _, l := range f.LinkUtilizations() {
-		util[[2]int{l.From, l.To}] = l.Utilization
+		util[[2]int{l.From, l.To}] = float64(l.Utilization)
 	}
 	oldWant := served * 8 / (8e6 * f.Now())
 	newWant := (4*mb - served) * 8 / (8e6 * f.Now())

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"cisp/internal/units"
 	"cisp/internal/xheap"
 )
 
@@ -145,8 +146,8 @@ func NewFluid(nNodes int, links []TopoLink) *FluidSim {
 		f.links = append(f.links, fluidLink{from: a, to: b, capBps: capBps, origCap: capBps})
 	}
 	for _, l := range links {
-		add(l.A, l.B, l.RateBps)
-		add(l.B, l.A, l.RateBps)
+		add(l.A, l.B, float64(l.RateBps))
+		add(l.B, l.A, float64(l.RateBps))
 	}
 	f.linkW = make([]float64, len(f.links))
 	f.scratchW = make([]float64, len(f.links))
@@ -279,7 +280,7 @@ func (f *FluidSim) LinkUtilizations() []LinkLoad {
 				u = 1
 			}
 		}
-		out[li] = LinkLoad{From: l.from, To: l.to, Utilization: u}
+		out[li] = LinkLoad{From: l.from, To: l.to, Utilization: units.Utilization(u)}
 	}
 	return out
 }

@@ -4,6 +4,8 @@ import (
 	"math"
 	"math/rand"
 	"testing"
+
+	"cisp/internal/units"
 	"time"
 )
 
@@ -148,7 +150,7 @@ func TestFluidConservation(t *testing.T) {
 	var links []TopoLink
 	const n = 20
 	for i := 1; i < n; i++ {
-		links = append(links, TopoLink{A: rng.Intn(i), B: i, RateBps: float64(10+rng.Intn(90)) * 1e6})
+		links = append(links, TopoLink{A: rng.Intn(i), B: i, RateBps: units.Mbps(float64(10 + rng.Intn(90)))})
 	}
 	f := NewFluid(n, links)
 	// Routes along the tree via parent hops: use ComputeRoutes for paths.
@@ -245,7 +247,7 @@ func syntheticBackbone(n int) []TopoLink {
 		seen[key] = true
 		links = append(links, TopoLink{
 			A: key[0], B: key[1],
-			RateBps:   float64(50+rng.Intn(150)) * 1e9,
+			RateBps:   units.Gbps(float64(50 + rng.Intn(150))),
 			PropDelay: 0.001,
 		})
 	}

@@ -3,13 +3,15 @@ package netsim
 import (
 	"math"
 	"sort"
+
+	"cisp/internal/units"
 )
 
 // TopoLink describes one duplex link of a simulation topology.
 type TopoLink struct {
 	A, B      int
-	RateBps   float64
-	PropDelay float64
+	RateBps   units.BitsPerSecond
+	PropDelay units.Seconds
 	QueueCap  int
 }
 
@@ -17,7 +19,7 @@ type TopoLink struct {
 type Commodity struct {
 	Flow     int
 	Src, Dst int
-	Demand   float64 // bps, used by utilization-aware schemes
+	Demand   units.BitsPerSecond // used by utilization-aware schemes
 
 	// Count is how many concurrent flows the Scenario driver runs on this
 	// commodity's path (0 and 1 both mean one). Routing ignores it.
@@ -56,7 +58,7 @@ func (s Scheme) String() string {
 // BuildTopology adds every duplex link to the network.
 func BuildTopology(nw *Network, links []TopoLink) {
 	for _, l := range links {
-		nw.AddDuplex(l.A, l.B, l.RateBps, l.PropDelay, l.QueueCap)
+		nw.AddDuplex(l.A, l.B, float64(l.RateBps), float64(l.PropDelay), l.QueueCap)
 	}
 }
 
@@ -80,8 +82,8 @@ func ComputeRoutes(n int, links []TopoLink, comms []Commodity, scheme Scheme) ma
 	adj := make([][]halfLink, n)
 	for _, l := range links {
 		fw, bw := new(float64), new(float64)
-		adj[l.A] = append(adj[l.A], halfLink{to: l.B, delay: l.PropDelay, cap: l.RateBps, load: fw})
-		adj[l.B] = append(adj[l.B], halfLink{to: l.A, delay: l.PropDelay, cap: l.RateBps, load: bw})
+		adj[l.A] = append(adj[l.A], halfLink{to: l.B, delay: float64(l.PropDelay), cap: float64(l.RateBps), load: fw})
+		adj[l.B] = append(adj[l.B], halfLink{to: l.A, delay: float64(l.PropDelay), cap: float64(l.RateBps), load: bw})
 	}
 
 	order := make([]Commodity, len(comms))
@@ -98,12 +100,12 @@ func ComputeRoutes(n int, links []TopoLink, comms []Commodity, scheme Scheme) ma
 			path = dijkstraDelay(adj, c.Src, c.Dst)
 		case MinMaxUtilization:
 			path = minimaxPath(adj, c.Src, c.Dst, func(h halfLink) float64 {
-				return (*h.load + c.Demand) / h.cap
+				return (*h.load + float64(c.Demand)) / h.cap
 			})
 		case ThroughputOptimal:
 			path = minimaxPath(adj, c.Src, c.Dst, func(h halfLink) float64 {
 				// Maximise residual capacity == minimise its negation.
-				return -(h.cap - *h.load - c.Demand)
+				return -(h.cap - *h.load - float64(c.Demand))
 			})
 		}
 		if path == nil {
@@ -114,7 +116,7 @@ func ComputeRoutes(n int, links []TopoLink, comms []Commodity, scheme Scheme) ma
 		for i := 0; i+1 < len(path); i++ {
 			for k := range adj[path[i]] {
 				if adj[path[i]][k].to == path[i+1] {
-					*adj[path[i]][k].load += c.Demand
+					*adj[path[i]][k].load += float64(c.Demand)
 					break
 				}
 			}

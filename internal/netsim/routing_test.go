@@ -83,7 +83,7 @@ func TestSchemesDeliverTraffic(t *testing.T) {
 		rng := rand.New(rand.NewSource(1))
 		for _, c := range comms {
 			s := &UDPSource{Net: nw, Flow: c.Flow, Src: c.Src, Dst: c.Dst,
-				RateBps: c.Demand, PktSize: 500, Poisson: true, Rng: rng, Monitor: mon}
+				RateBps: float64(c.Demand), PktSize: 500, Poisson: true, Rng: rng, Monitor: mon}
 			s.Start()
 		}
 		sim.Run(0.5)

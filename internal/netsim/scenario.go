@@ -7,6 +7,7 @@ import (
 	"sort"
 
 	"cisp/internal/parallel"
+	"cisp/internal/units"
 )
 
 // Mode selects the simulation engine a Scenario runs on.
@@ -123,7 +124,7 @@ type SplitPath struct {
 // LinkLoad is one directed link's time-average utilization over a run.
 type LinkLoad struct {
 	From, To    int
-	Utilization float64
+	Utilization units.Utilization
 }
 
 // FlowResult is one flow's outcome.
@@ -147,7 +148,7 @@ type ScenarioResult struct {
 	// utilization is transmission busy time (ACK traffic included); in
 	// fluid mode it is served bytes over capacity × elapsed.
 	LinkLoads []LinkLoad
-	MLU       float64
+	MLU       units.Utilization
 
 	// EventsProcessed counts simulator events executed during the run: all
 	// discrete events in packet mode, live arrival/departure events in
@@ -506,7 +507,7 @@ func (sc *Scenario) runPacket() *ScenarioResult {
 	loads := make([]LinkLoad, 0, len(nw.Links()))
 	for _, l := range nw.Links() {
 		//lint:allow maporder -- finishLinkLoads sorts loads by (From, To) before recording
-		loads = append(loads, LinkLoad{From: l.From, To: l.To, Utilization: l.Utilization(res.End)})
+		loads = append(loads, LinkLoad{From: l.From, To: l.To, Utilization: units.Utilization(l.Utilization(res.End))})
 	}
 	res.finishLinkLoads(loads)
 	return res
@@ -618,7 +619,7 @@ func (sc *Scenario) runFluid() *ScenarioResult {
 				l := sc.Links[ev.Link]
 				rate := 0.0
 				if ev.Up {
-					rate = l.RateBps
+					rate = float64(l.RateBps)
 				}
 				f.SetLinkRate(l.A, l.B, rate)
 				f.SetLinkRate(l.B, l.A, rate)

@@ -4,6 +4,8 @@ import (
 	"math"
 	"math/rand"
 	"testing"
+
+	"cisp/internal/units"
 )
 
 // diamondSplitScenario is the shared fractional-split fixture: a diamond
@@ -85,7 +87,7 @@ func TestScenarioSplitRoutes(t *testing.T) {
 		}
 		util := map[[2]int]float64{}
 		for _, l := range res.LinkLoads {
-			util[[2]int{l.From, l.To}] = l.Utilization
+			util[[2]int{l.From, l.To}] = float64(l.Utilization)
 		}
 		up, down := util[[2]int{0, 1}], util[[2]int{0, 2}]
 		if up <= 0 || down <= 0 {
@@ -147,7 +149,7 @@ func TestScenarioLinkLoadsExported(t *testing.T) {
 				t.Fatalf("%s: link loads not sorted: %v", mode, res.LinkLoads)
 			}
 		}
-		maxU, bottleneck := 0.0, [2]int{}
+		maxU, bottleneck := units.Utilization(0), [2]int{}
 		for _, l := range res.LinkLoads {
 			if l.Utilization > maxU {
 				maxU, bottleneck = l.Utilization, [2]int{l.From, l.To}

@@ -200,7 +200,7 @@ func (p *Protection) Availability(sched *Schedule, mode Mode) Stats {
 			continue
 		}
 		for _, flow := range flows {
-			demand := p.commBy[flow].Demand
+			demand := float64(p.commBy[flow].Demand)
 			if demand <= 0 {
 				demand = 1 // count zero-demand commodities uniformly
 			}
@@ -249,7 +249,7 @@ func (p *Protection) pathDelay(path []int) float64 {
 	d := 0.0
 	for i := 0; i+1 < len(path); i++ {
 		if li, ok := p.linkIdx[pairKey(path[i], path[i+1])]; ok {
-			d += p.links[li].PropDelay
+			d += float64(p.links[li].PropDelay)
 		}
 	}
 	return d
@@ -267,8 +267,8 @@ func (p *Protection) residualShortest(src, dst int, down []bool) ([]int, float64
 		if down[li] {
 			continue
 		}
-		adj[l.A] = append(adj[l.A], half{to: l.B, delay: l.PropDelay})
-		adj[l.B] = append(adj[l.B], half{to: l.A, delay: l.PropDelay})
+		adj[l.A] = append(adj[l.A], half{to: l.B, delay: float64(l.PropDelay)})
+		adj[l.B] = append(adj[l.B], half{to: l.A, delay: float64(l.PropDelay)})
 	}
 	dist := make([]float64, p.nodes)
 	prev := make([]int, p.nodes)

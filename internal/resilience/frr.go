@@ -232,7 +232,7 @@ func SplitLoad(links []netsim.TopoLink, comms []netsim.Commodity, splits map[int
 		for _, sp := range splits[c.Flow] {
 			for i := 0; i+1 < len(sp.Path); i++ {
 				if li, ok := idx[pairKey(sp.Path[i], sp.Path[i+1])]; ok {
-					load[li] += c.Demand * sp.Frac
+					load[li] += float64(c.Demand) * sp.Frac
 				}
 			}
 		}

@@ -30,6 +30,7 @@ import (
 
 	"cisp/internal/geo"
 	"cisp/internal/netsim"
+	"cisp/internal/units"
 	"cisp/internal/weather"
 )
 
@@ -39,9 +40,9 @@ import (
 // city, a regional element can cover an arbitrary correlated set.
 type Element struct {
 	Name  string
-	Links []int   // indices into the topology's link list
-	MTBF  float64 // mean up time between failures, seconds
-	MTTR  float64 // mean time to repair, seconds
+	Links []int         // indices into the topology's link list
+	MTBF  units.Seconds // mean up time between failures
+	MTTR  units.Seconds // mean time to repair
 }
 
 // Outage is one contiguous down interval of a single link.
@@ -74,8 +75,8 @@ func DrawSchedule(els []Element, nLinks int, horizon float64, seed int64) *Sched
 			continue
 		}
 		rng := rand.New(rand.NewSource(seed + 7919*int64(i+1)))
-		for t := rng.ExpFloat64() * el.MTBF; t < horizon; {
-			end := t + rng.ExpFloat64()*el.MTTR
+		for t := rng.ExpFloat64() * float64(el.MTBF); t < horizon; {
+			end := t + rng.ExpFloat64()*float64(el.MTTR)
 			if end > horizon {
 				end = horizon
 			}
@@ -84,7 +85,7 @@ func DrawSchedule(els []Element, nLinks int, horizon float64, seed int64) *Sched
 					perLink[li] = append(perLink[li], Outage{Link: li, Start: t, End: end})
 				}
 			}
-			t = end + rng.ExpFloat64()*el.MTBF
+			t = end + rng.ExpFloat64()*float64(el.MTBF)
 		}
 	}
 	return scheduleFromPerLink(perLink, nLinks, horizon)
@@ -234,7 +235,7 @@ func WeatherSchedule(conds [][]weather.LinkCondition, intervalSec float64, nLink
 // LinkElements models independent per-link hardware failure: one element
 // per link, identical MTBF/MTTR. Covers fiber conduits as well as
 // microwave links if given the full list.
-func LinkElements(nLinks int, mtbf, mttr float64) []Element {
+func LinkElements(nLinks int, mtbf, mttr units.Seconds) []Element {
 	els := make([]Element, nLinks)
 	for i := range els {
 		els[i] = Element{Name: fmt.Sprintf("link-%d", i), Links: []int{i}, MTBF: mtbf, MTTR: mttr}
@@ -245,20 +246,20 @@ func LinkElements(nLinks int, mtbf, mttr float64) []Element {
 // TowerElements models microwave-relay hardware failure: a link carried by
 // more towers fails more often, so each link's element gets MTBF =
 // perTowerMTBF / towers, with the tower count estimated from the link's
-// propagation distance (PropDelay × c) at hopMeters per relay hop (the
+// propagation distance (PropDelay × c) at hopSpacing per relay hop (the
 // paper's ~100 km spacing). mwLinks must be the microwave prefix of the
 // topology's link list — element link indices are positional.
-func TowerElements(mwLinks []netsim.TopoLink, hopMeters, perTowerMTBF, mttr float64) []Element {
+func TowerElements(mwLinks []netsim.TopoLink, hopSpacing units.Meters, perTowerMTBF, mttr units.Seconds) []Element {
 	els := make([]Element, len(mwLinks))
 	for i, l := range mwLinks {
-		towers := int(math.Ceil(l.PropDelay * geo.C / hopMeters))
+		towers := int(math.Ceil(float64(l.PropDelay) * geo.C / float64(hopSpacing)))
 		if towers < 1 {
 			towers = 1
 		}
 		els[i] = Element{
 			Name:  fmt.Sprintf("mw-%d(%d towers)", i, towers),
 			Links: []int{i},
-			MTBF:  perTowerMTBF / float64(towers),
+			MTBF:  units.Seconds(float64(perTowerMTBF) / float64(towers)),
 			MTTR:  mttr,
 		}
 	}
@@ -268,7 +269,7 @@ func TowerElements(mwLinks []netsim.TopoLink, hopMeters, perTowerMTBF, mttr floa
 // CityElements models whole-site outages — power loss, a city offline:
 // one element per listed node, covering every topology link incident to
 // it. Pass only real sites (not fiber midpoint transit nodes).
-func CityElements(links []netsim.TopoLink, cities []int, mtbf, mttr float64) []Element {
+func CityElements(links []netsim.TopoLink, cities []int, mtbf, mttr units.Seconds) []Element {
 	els := make([]Element, 0, len(cities))
 	for _, v := range cities {
 		var covered []int

@@ -43,10 +43,10 @@ func buildGraph(n int, links []netsim.TopoLink) (*graph, error) {
 		return nil
 	}
 	for _, l := range links {
-		if err := add(l.A, l.B, l.RateBps, l.PropDelay); err != nil {
+		if err := add(l.A, l.B, float64(l.RateBps), float64(l.PropDelay)); err != nil {
 			return nil, err
 		}
-		if err := add(l.B, l.A, l.RateBps, l.PropDelay); err != nil {
+		if err := add(l.B, l.A, float64(l.RateBps), float64(l.PropDelay)); err != nil {
 			return nil, err
 		}
 	}

@@ -26,6 +26,7 @@ import (
 
 	"cisp/internal/netsim"
 	"cisp/internal/parallel"
+	"cisp/internal/units"
 )
 
 // Config tunes the control plane. The zero value selects sensible defaults.
@@ -39,7 +40,7 @@ type Config struct {
 	// candidate instead of spreading for marginal MLU gains. Default 0.5;
 	// set to 1 to spread only under genuine overload, or to a negative
 	// value for the classic always-minimise-MLU objective.
-	UtilFloor float64
+	UtilFloor units.Utilization
 
 	// LPVarLimit is the largest variable count handed to one dense simplex
 	// solve (default 1500). Instances above it are sharded into commodity
@@ -97,7 +98,7 @@ type Solution struct {
 	Splits map[int][]netsim.SplitPath
 	// MLU is the predicted maximum directed-link utilization under the
 	// splits (offered demand over capacity, queuing ignored).
-	MLU float64
+	MLU units.Utilization
 	// Method records how the splits were computed: "lp" (one global
 	// simplex), "block-lp" (sharded Jacobi refinement) or "greedy"
 	// (water-filling fallback).
@@ -148,7 +149,7 @@ func NewController(n int, links []netsim.TopoLink, comms []netsim.Commodity, cfg
 	cands := enumerate(g, comms, cfg)
 	c.comms = make([]teComm, len(comms))
 	for i, cm := range comms {
-		c.comms[i] = teComm{flow: cm.Flow, src: cm.Src, dst: cm.Dst, demand: cm.Demand, cands: cands[i]}
+		c.comms[i] = teComm{flow: cm.Flow, src: cm.Src, dst: cm.Dst, demand: float64(cm.Demand), cands: cands[i]}
 	}
 	if err := c.reroute(allIndices(len(c.comms))); err != nil {
 		return nil, err
@@ -191,10 +192,10 @@ func (c *Controller) UpdateCapacities(links []netsim.TopoLink) ([]int, error) {
 	for i, l := range links {
 		for dir := 0; dir < 2; dir++ {
 			e := &c.g.edges[2*i+dir]
-			if e.capBps != l.RateBps {
+			if e.capBps != float64(l.RateBps) {
 				changed[2*i+dir] = true
 				anyChanged = true
-				e.capBps = l.RateBps
+				e.capBps = float64(l.RateBps)
 			}
 		}
 	}
@@ -333,7 +334,7 @@ func (c *Controller) reroute(idxs []int) error {
 		case nx <= c.cfg.LPVarLimit:
 			method = "lp"
 			floor := maxUtil(c.g, base)
-			fracs, _, err = solveLP(c.g, shadows, base, floor, c.cfg.UtilFloor)
+			fracs, _, err = solveLP(c.g, shadows, base, floor, float64(c.cfg.UtilFloor))
 		case c.cfg.BlockSize*c.cfg.K+1 <= c.cfg.LPVarLimit:
 			method = "block-lp"
 			fracs, err = c.solveBlocks(shadows, base)
@@ -404,7 +405,7 @@ func (c *Controller) solveBlocks(lpComms []*teComm, fixed []float64) ([][]float6
 				cs[k].subLoadFracs(base, fracs[ci])
 			}
 			floor := maxUtil(c.g, base)
-			f, _, err := solveLP(c.g, cs, base, floor, c.cfg.UtilFloor)
+			f, _, err := solveLP(c.g, cs, base, floor, float64(c.cfg.UtilFloor))
 			return blockResult{fracs: f, err: err}
 		})
 		next := make([][]float64, len(lpComms))
@@ -452,7 +453,7 @@ func (c *Controller) rebuildSolution() {
 			splits[cm.flow] = sp
 		}
 	}
-	c.sol = &Solution{Splits: splits, MLU: maxUtil(c.g, load), Method: c.method}
+	c.sol = &Solution{Splits: splits, MLU: units.Utilization(maxUtil(c.g, load)), Method: c.method}
 }
 
 // addLoad accrues the commodity's current split load onto the edge vector.
@@ -507,7 +508,7 @@ func allIndices(n int) []int {
 // split set over the topology — the planning-side counterpart of
 // netsim.ScenarioResult.MLU, useful for comparing a TE solution against
 // single-path routing before simulating either.
-func MLUOf(n int, links []netsim.TopoLink, comms []netsim.Commodity, splits map[int][]netsim.SplitPath) (float64, error) {
+func MLUOf(n int, links []netsim.TopoLink, comms []netsim.Commodity, splits map[int][]netsim.SplitPath) (units.Utilization, error) {
 	g, err := buildGraph(n, links)
 	if err != nil {
 		return 0, err
@@ -524,7 +525,7 @@ func MLUOf(n int, links []netsim.TopoLink, comms []netsim.Commodity, splits map[
 				if !ok {
 					return 0, fmt.Errorf("te: split path hop %d->%d not in topology", sp.Path[i], sp.Path[i+1])
 				}
-				load[ei] += cm.Demand * sp.Frac
+				load[ei] += float64(cm.Demand) * sp.Frac
 			}
 		}
 	}
@@ -532,5 +533,5 @@ func MLUOf(n int, links []netsim.TopoLink, comms []netsim.Commodity, splits map[
 	if math.IsNaN(mlu) {
 		return 0, fmt.Errorf("te: NaN utilization")
 	}
-	return mlu, nil
+	return units.Utilization(mlu), nil
 }

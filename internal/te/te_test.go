@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"cisp/internal/netsim"
+	"cisp/internal/units"
 )
 
 // diamond is the canonical split fixture: two disjoint equal-capacity paths
@@ -118,7 +119,7 @@ func TestSolveBalancesDiamond(t *testing.T) {
 	if len(sp) != 2 {
 		t.Fatalf("splits = %+v, want both arms", sp)
 	}
-	if math.Abs(sol.MLU-0.75) > 1e-6 {
+	if math.Abs(float64(sol.MLU)-0.75) > 1e-6 {
 		t.Fatalf("MLU = %v, want 0.75 (15 Mbps over 2×10 Mbps arms)", sol.MLU)
 	}
 	total := 0.0
@@ -168,14 +169,14 @@ func TestStretchCapBindsInSolve(t *testing.T) {
 	if len(sol.Splits[1]) != 1 {
 		t.Fatalf("splits = %+v, want single path under stretch 1.1", sol.Splits[1])
 	}
-	if math.Abs(sol.MLU-1.5) > 1e-6 {
+	if math.Abs(float64(sol.MLU)-1.5) > 1e-6 {
 		t.Fatalf("MLU = %v, want 1.5", sol.MLU)
 	}
 }
 
 // grid builds an x×y grid topology with uniform link capacity — enough
 // path diversity to exercise the block and greedy solvers.
-func grid(x, y int, capBps float64) (int, []netsim.TopoLink) {
+func grid(x, y int, capBps units.BitsPerSecond) (int, []netsim.TopoLink) {
 	id := func(i, j int) int { return i*y + j }
 	var links []netsim.TopoLink
 	for i := 0; i < x; i++ {
@@ -196,7 +197,7 @@ func gridComms(n, count int) []netsim.Commodity {
 	for k := 0; k < count; k++ {
 		src := (k * 7) % n
 		dst := (src + 1 + (k*13)%(n-1)) % n
-		comms[k] = netsim.Commodity{Flow: k + 1, Src: src, Dst: dst, Demand: 1e6 + float64(k%5)*4e5}
+		comms[k] = netsim.Commodity{Flow: k + 1, Src: src, Dst: dst, Demand: units.BitsPerSecond(1e6 + float64(k%5)*4e5)}
 	}
 	return comms
 }
@@ -335,7 +336,7 @@ func TestControllerWarmReoptimization(t *testing.T) {
 	if len(sp) != 1 || sp[0].Path[1] != 2 {
 		t.Fatalf("stormy splits = %+v, want everything on the 0-2-3 arm", sp)
 	}
-	if math.Abs(stormy.MLU-1.5) > 1e-6 {
+	if math.Abs(float64(stormy.MLU)-1.5) > 1e-6 {
 		t.Fatalf("stormy MLU = %v, want 1.5", stormy.MLU)
 	}
 	if len(stormy.Splits[2]) != len(otherBefore) || stormy.Splits[2][0].Frac != otherBefore[0].Frac {
@@ -354,7 +355,7 @@ func TestControllerWarmReoptimization(t *testing.T) {
 	if len(restored.Splits[1]) != 2 {
 		t.Fatalf("restored splits = %+v, want both arms again", restored.Splits[1])
 	}
-	if math.Abs(restored.MLU-0.75) > 1e-6 {
+	if math.Abs(float64(restored.MLU)-0.75) > 1e-6 {
 		t.Fatalf("restored MLU = %v, want 0.75", restored.MLU)
 	}
 

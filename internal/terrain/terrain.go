@@ -119,7 +119,7 @@ func (m *Model) SurfaceHeight(p geo.Point) float64 {
 // Profile samples the surface along the great circle from a to b every step
 // meters (clamped to at least 2 samples, endpoints included).
 func (m *Model) Profile(a, b geo.Point, step float64) []Sample {
-	total := a.DistanceTo(b)
+	total := float64(a.DistanceTo(b))
 	n := int(total/step) + 1
 	if n < 2 {
 		n = 2
@@ -156,7 +156,7 @@ func (r *Ridge) contribution(p geo.Point) float64 {
 // range scale).
 func distToPolyline(p geo.Point, line []geo.Point) float64 {
 	if len(line) == 1 {
-		return p.DistanceTo(line[0])
+		return float64(p.DistanceTo(line[0]))
 	}
 	best := math.Inf(1)
 	for i := 0; i+1 < len(line); i++ {

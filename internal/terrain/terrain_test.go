@@ -108,7 +108,7 @@ func TestProfile(t *testing.T) {
 	}
 	total := a.DistanceTo(b)
 	last := prof[len(prof)-1].Dist
-	if math.Abs(last-total) > 1 {
+	if math.Abs(last-float64(total)) > 1 {
 		t.Errorf("last sample dist = %v, want %v", last, total)
 	}
 	// Distances strictly increasing.

@@ -20,6 +20,7 @@ import (
 
 	"cisp/internal/cities"
 	"cisp/internal/geo"
+	"cisp/internal/units"
 )
 
 // Tower is one mast usable for microwave relay.
@@ -50,8 +51,8 @@ type GenConfig struct {
 	// within CityRadius of the center. Default 12.
 	CityTowerScale float64
 
-	// CityRadius is the spread of the urban cluster in meters. Default 40km.
-	CityRadius float64
+	// CityRadius is the spread of the urban cluster. Default 40km.
+	CityRadius units.Meters
 
 	// RuralPerCell is the expected number of background towers per 0.5°
 	// cell across the region bounding box. Default 3.
@@ -104,15 +105,15 @@ func (r *Registry) Len() int { return len(r.towers) }
 // Tower returns the tower with the given ID.
 func (r *Registry) Tower(id int) Tower { return r.towers[id] }
 
-// WithinRange returns the IDs of towers within dist meters of p, sorted by
+// WithinRange returns the IDs of towers within dist of p, sorted by
 // increasing distance.
-func (r *Registry) WithinRange(p geo.Point, dist float64) []int {
+func (r *Registry) WithinRange(p geo.Point, dist units.Meters) []int {
 	// A degree of latitude is ~111 km; pad the cell scan by one cell.
-	cellsOut := int(dist/(111e3*cellSize)) + 1
+	cellsOut := int(float64(dist)/(111e3*cellSize)) + 1
 	center := keyFor(p)
 	type cand struct {
 		id int
-		d  float64
+		d  units.Meters
 	}
 	var out []cand
 	for dx := -cellsOut; dx <= cellsOut; dx++ {
@@ -135,7 +136,7 @@ func (r *Registry) WithinRange(p geo.Point, dist float64) []int {
 
 // Pairs calls fn for every unordered tower pair within dist meters of each
 // other. Pairs are visited once with i < j.
-func (r *Registry) Pairs(dist float64, fn func(i, j int)) {
+func (r *Registry) Pairs(dist units.Meters, fn func(i, j int)) {
 	for i := range r.towers {
 		for _, j := range r.WithinRange(r.towers[i].Loc, dist) {
 			if j > i {
@@ -162,7 +163,7 @@ func Generate(cfg GenConfig, cs []cities.City) *Registry {
 		for i := 0; i < n; i++ {
 			bearing := rng.Float64() * 360
 			// Square-root radial density: uniform over the disk.
-			dist := cfg.CityRadius * math.Sqrt(rng.Float64())
+			dist := units.Meters(float64(cfg.CityRadius) * math.Sqrt(rng.Float64()))
 			loc := city.Loc.Destination(bearing, dist)
 			ts = append(ts, Tower{
 				Loc:    loc,

@@ -14,6 +14,7 @@ import (
 	"sort"
 
 	"cisp/internal/cities"
+	"cisp/internal/units"
 )
 
 // Matrix is a symmetric demand matrix over a site list.
@@ -148,7 +149,7 @@ func WeightedNearest(cs []cities.City, weights []float64, sinks []int) Matrix {
 		if weights[i] <= 0 || isSink[i] {
 			continue
 		}
-		best, bestD := -1, math.Inf(1)
+		best, bestD := -1, units.Meters(math.Inf(1))
 		for _, s := range sinks {
 			d := cs[i].Loc.DistanceTo(cs[s].Loc)
 			if d < bestD || (d == bestD && s < best) {
@@ -190,7 +191,7 @@ func CityToDC(cs []cities.City, cityIdx, dcIdx []int) Matrix {
 		return m
 	}
 	for _, ci := range cityIdx {
-		best, bestD := -1, math.Inf(1)
+		best, bestD := -1, units.Meters(math.Inf(1))
 		for _, di := range dcIdx {
 			if d := cs[ci].Loc.DistanceTo(cs[di].Loc); d < bestD {
 				best, bestD = di, d
@@ -231,15 +232,16 @@ func Mix(weights []float64, ms ...Matrix) Matrix {
 	return out
 }
 
-// ScaleToAggregate scales m so Σ_{s<t} equals aggregate (e.g. Gbps),
-// returning a copy.
-func ScaleToAggregate(m Matrix, aggregate float64) Matrix {
+// ScaleToAggregate scales m so Σ_{s<t} equals the aggregate demand,
+// returning a copy. Entries remain in the matrix's Gbps convention —
+// only the target total is stated in explicit rate units.
+func ScaleToAggregate(m Matrix, aggregate units.BitsPerSecond) Matrix {
 	tot := m.Total()
 	out := m.Clone()
 	if tot == 0 {
 		return out
 	}
-	f := aggregate / tot
+	f := aggregate.Gbps() / tot
 	for i := range out {
 		for j := range out[i] {
 			out[i][j] *= f

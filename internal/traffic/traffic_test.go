@@ -6,6 +6,7 @@ import (
 
 	"cisp/internal/cities"
 	"cisp/internal/geo"
+	"cisp/internal/units"
 )
 
 func TestPopulationProduct(t *testing.T) {
@@ -107,7 +108,7 @@ func TestScaleToAggregate(t *testing.T) {
 	m := New(3)
 	m.Set(0, 1, 1)
 	m.Set(1, 2, 3)
-	s := ScaleToAggregate(m, 100)
+	s := ScaleToAggregate(m, units.Gbps(100))
 	if math.Abs(s.Total()-100) > 1e-9 {
 		t.Fatalf("scaled total = %v, want 100", s.Total())
 	}
@@ -123,7 +124,7 @@ func TestScaleToAggregate(t *testing.T) {
 
 func TestScaleZeroMatrix(t *testing.T) {
 	m := New(3)
-	s := ScaleToAggregate(m, 100)
+	s := ScaleToAggregate(m, units.Gbps(100))
 	if s.Total() != 0 {
 		t.Fatal("scaling a zero matrix should stay zero")
 	}

@@ -1,0 +1,103 @@
+// Package units defines the physical-dimension types the cISP pipeline
+// computes in: lengths, times, data sizes, data rates, decibels and
+// dimensionless ratios. Every type is a named float64, so arithmetic
+// within one unit compiles to exactly the raw-float code it replaces
+// (BenchmarkTypedVsRaw pins this), while cross-unit mixing is rejected —
+// by the compiler for named-type mismatches, and by the cisplint
+// unitcheck analyzer (internal/analysis/unitcheck, DESIGN.md §11) for
+// the float64-shaped escapes the compiler cannot see.
+//
+// Conversions between units of the same dimension but different scale
+// (Km↔Meters, Gbps↔bps) go through the named constructors and methods
+// below; a direct Go conversion such as Meters(km) silently drops the
+// scale factor and is reported by unitcheck.
+package units
+
+import "time"
+
+// Meters is a length in meters — the pipeline's base length unit:
+// geodesic distances, tower heights, Fresnel clearances.
+type Meters float64
+
+// Km is a length in kilometers — the unit rain-attenuation integrals and
+// the paper's figures quote. Convert explicitly: Km(3).Meters() == 3000.
+type Km float64
+
+// Seconds is a time span in seconds — simulation clocks, propagation
+// delays, MTBF/MTTR draws.
+type Seconds float64
+
+// Bits is a data size in bits.
+type Bits float64
+
+// BitsPerSecond is a data rate in bits per second — link capacities,
+// demands, and flow rates. The pipeline's base rate unit.
+type BitsPerSecond float64
+
+// DB is a logarithmic power ratio in decibels: rain attenuation and fade
+// margins. Decibels add where the underlying ratios multiply, so DB
+// deliberately has no product/ratio relationship to the linear units.
+type DB float64
+
+// Utilization is a dimensionless ratio of load to capacity (an MLU of
+// 0.85 means the most loaded link carries 85% of its capacity). It is
+// the unit the TE LP's constraint rows are normalized to — feeding it
+// bps-scale values is exactly the conditioning bug PR 5 fixed.
+type Utilization float64
+
+// Meters converts kilometers to meters.
+func (k Km) Meters() Meters { return Meters(k * 1e3) }
+
+// Km converts meters to kilometers.
+func (m Meters) Km() Km { return Km(m / 1e3) }
+
+// MetersOf types a raw float64 already measured in meters.
+func MetersOf(v float64) Meters { return Meters(v) }
+
+// Duration converts a seconds count to a time.Duration.
+func (s Seconds) Duration() time.Duration {
+	return time.Duration(float64(s) * float64(time.Second))
+}
+
+// DurationSeconds converts a time.Duration to Seconds.
+func DurationSeconds(d time.Duration) Seconds {
+	return Seconds(d.Seconds())
+}
+
+// Millis converts a milliseconds count to Seconds.
+func Millis(ms float64) Seconds { return Seconds(ms / 1e3) }
+
+// Millis reports the span in milliseconds.
+func (s Seconds) Millis() float64 { return float64(s) * 1e3 }
+
+// Bytes converts a byte count to Bits.
+func Bytes(n float64) Bits { return Bits(n * 8) }
+
+// Bytes reports the size in bytes.
+func (b Bits) Bytes() float64 { return float64(b) / 8 }
+
+// Gbps converts a gigabits-per-second figure (the paper's capacity unit)
+// to BitsPerSecond.
+func Gbps(v float64) BitsPerSecond { return BitsPerSecond(v * 1e9) }
+
+// Gbps reports the rate in gigabits per second.
+func (r BitsPerSecond) Gbps() float64 { return float64(r) / 1e9 }
+
+// Mbps converts a megabits-per-second figure to BitsPerSecond.
+func Mbps(v float64) BitsPerSecond { return BitsPerSecond(v * 1e6) }
+
+// Mbps reports the rate in megabits per second.
+func (r BitsPerSecond) Mbps() float64 { return float64(r) / 1e6 }
+
+// Per divides a data size by a time span, yielding a rate.
+func (b Bits) Per(s Seconds) BitsPerSecond { return BitsPerSecond(float64(b) / float64(s)) }
+
+// Time reports how long transferring b takes at rate r.
+func (r BitsPerSecond) Time(b Bits) Seconds { return Seconds(float64(b) / float64(r)) }
+
+// Of returns the utilization of a capacity by a load (load/cap).
+func Of(load, cap BitsPerSecond) Utilization { return Utilization(load / cap) }
+
+// Ratio divides two lengths, yielding the dimensionless ratio (a stretch
+// factor, an angle in radians when the divisor is a sphere radius).
+func Ratio(a, b Meters) float64 { return float64(a / b) }

@@ -1,0 +1,71 @@
+package units_test
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"cisp/internal/units"
+)
+
+func almost(a, b float64) bool { return math.Abs(a-b) <= 1e-12*math.Max(1, math.Abs(b)) }
+
+func TestLengthConversions(t *testing.T) {
+	if got := units.Km(2.5).Meters(); got != 2500 {
+		t.Errorf("Km(2.5).Meters() = %v, want 2500", got)
+	}
+	if got := units.Meters(1500).Km(); got != 1.5 {
+		t.Errorf("Meters(1500).Km() = %v, want 1.5", got)
+	}
+	if got := units.MetersOf(42); got != 42 {
+		t.Errorf("MetersOf(42) = %v", got)
+	}
+	if got := units.Ratio(units.Meters(300), units.Meters(200)); got != 1.5 {
+		t.Errorf("Ratio = %v, want 1.5", got)
+	}
+}
+
+func TestTimeConversions(t *testing.T) {
+	if got := units.Seconds(1.5).Duration(); got != 1500*time.Millisecond {
+		t.Errorf("Seconds(1.5).Duration() = %v", got)
+	}
+	if got := units.DurationSeconds(250 * time.Millisecond); got != 0.25 {
+		t.Errorf("DurationSeconds = %v", got)
+	}
+	if got := units.Millis(250); got != 0.25 {
+		t.Errorf("Millis(250) = %v", got)
+	}
+	if got := units.Seconds(0.25).Millis(); got != 250 {
+		t.Errorf("Seconds(0.25).Millis() = %v", got)
+	}
+}
+
+func TestDataAndRateConversions(t *testing.T) {
+	if got := units.Bytes(100); got != 800 {
+		t.Errorf("Bytes(100) = %v bits", got)
+	}
+	if got := units.Bits(800).Bytes(); got != 100 {
+		t.Errorf("Bits(800).Bytes() = %v", got)
+	}
+	if got := units.Gbps(2); got != 2e9 {
+		t.Errorf("Gbps(2) = %v", got)
+	}
+	if got := units.Gbps(2).Gbps(); got != 2 {
+		t.Errorf("round trip Gbps = %v", got)
+	}
+	if got := units.Mbps(8); got != 8e6 {
+		t.Errorf("Mbps(8) = %v", got)
+	}
+	if got := units.Mbps(8).Mbps(); got != 8 {
+		t.Errorf("round trip Mbps = %v", got)
+	}
+	if got := units.Bytes(1e6).Per(units.Seconds(2)); !almost(float64(got), 4e6) {
+		t.Errorf("Bytes(1e6).Per(2s) = %v, want 4e6 bps", got)
+	}
+	if got := units.Mbps(8).Time(units.Bytes(1e6)); !almost(float64(got), 1) {
+		t.Errorf("8 Mbps over 1 MB = %v, want 1 s", got)
+	}
+	if got := units.Of(units.Gbps(1), units.Gbps(4)); got != 0.25 {
+		t.Errorf("Of(1G, 4G) = %v, want 0.25", got)
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"cisp/internal/geo"
 	"cisp/internal/linkbuild"
 	"cisp/internal/parallel"
+	"cisp/internal/units"
 )
 
 // YearAnalysis is the Fig 7 result: per-city-pair stretch statistics across
@@ -40,10 +41,10 @@ type YearAnalysis struct {
 
 // Config for the year-long analysis.
 type Config struct {
-	FreqGHz      float64 // default 11
-	FadeMarginDB float64 // default DefaultFadeMargin
-	Days         int     // default 365
-	Seed         int64   // interval-picking seed
+	FreqGHz      float64  // default 11
+	FadeMarginDB units.DB // default DefaultFadeMargin
+	Days         int      // default 365
+	Seed         int64    // interval-picking seed
 }
 
 func (c *Config) setDefaults() {

@@ -9,7 +9,11 @@
 // It also reproduces the §2 HFT-link loss statistics as a trace generator.
 package weather
 
-import "math"
+import (
+	"math"
+
+	"cisp/internal/units"
+)
 
 // p838Anchor holds power-law coefficients γ = k·R^α (dB/km) for horizontal
 // polarisation at an anchor frequency, following ITU-R P.838-3. Intermediate
@@ -61,10 +65,10 @@ func p838Coeffs(fGHz float64) (k, alpha float64) {
 	return t[len(t)-1].k, t[len(t)-1].alpha
 }
 
-// DefaultFadeMargin is the attenuation budget in dB beyond which we
+// DefaultFadeMargin is the attenuation budget beyond which we
 // conservatively declare a hop failed (the paper treats precipitation
 // impairment as binary link failure).
-const DefaultFadeMargin = 30.0
+const DefaultFadeMargin units.DB = 30
 
 // Adaptive-modulation ladder (DESIGN.md §3.4): commercial microwave radios
 // step the constellation down as rain eats the link budget, trading rate
@@ -79,18 +83,18 @@ const (
 )
 
 // CapacityFraction returns the fraction of a hop's clear-sky data rate
-// available under attenDB of rain attenuation, per the adaptive-modulation
+// available under atten of rain attenuation, per the adaptive-modulation
 // ladder: 1 in clear air, stepping down one modulation notch per
-// fadeMarginDB/acmSteps dB of fade, reaching acmMinBits/acmMaxBits at the
-// margin and 0 (outage) beyond it. Monotone non-increasing in attenDB.
-func CapacityFraction(attenDB, fadeMarginDB float64) float64 {
-	if attenDB <= 0 {
+// fadeMargin/acmSteps dB of fade, reaching acmMinBits/acmMaxBits at the
+// margin and 0 (outage) beyond it. Monotone non-increasing in atten.
+func CapacityFraction(atten, fadeMargin units.DB) float64 {
+	if atten <= 0 {
 		return 1
 	}
-	if fadeMarginDB <= 0 || attenDB > fadeMarginDB {
+	if fadeMargin <= 0 || atten > fadeMargin {
 		return 0
 	}
-	lost := int(math.Ceil(attenDB / fadeMarginDB * acmSteps))
+	lost := int(math.Ceil(float64(atten) / float64(fadeMargin) * acmSteps))
 	if lost > acmSteps {
 		lost = acmSteps
 	}

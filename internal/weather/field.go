@@ -5,21 +5,22 @@ import (
 	"math/rand"
 
 	"cisp/internal/geo"
+	"cisp/internal/units"
 )
 
 // StormCell is a convective precipitation cell with a Gaussian rain-rate
 // profile.
 type StormCell struct {
 	Center geo.Point
-	Radius float64 // sigma, meters
-	PeakMM float64 // peak rain rate, mm/h
+	Radius units.Meters // sigma
+	PeakMM float64      // peak rain rate, mm/h
 }
 
 // FrontalBand is a line of stratiform rain (a weather front).
 type FrontalBand struct {
 	A, B   geo.Point
-	Width  float64 // half-width, meters
-	RateMM float64 // rain rate inside the band, mm/h
+	Width  units.Meters // half-width
+	RateMM float64      // rain rate inside the band, mm/h
 }
 
 // Field is the precipitation state for one interval.
@@ -34,7 +35,7 @@ func (f *Field) RainRate(p geo.Point) float64 {
 	for i := range f.Cells {
 		c := &f.Cells[i]
 		d := p.DistanceTo(c.Center)
-		x := d / c.Radius
+		x := units.Ratio(d, c.Radius)
 		if x > 3.5 {
 			continue
 		}
@@ -130,19 +131,19 @@ func (g *Generator) FieldAt(day, interval int) *Field {
 		u := rng.Float64()
 		f.Cells = append(f.Cells, StormCell{
 			Center: g.randPoint(rng),
-			Radius: 5e3 + rng.Float64()*25e3,
+			Radius: units.Meters(5e3 + rng.Float64()*25e3),
 			PeakMM: 5 + 115*u*u*u*u*u,
 		})
 	}
 	nBands := poisson(rng, bandDensity*area)
 	for i := 0; i < nBands; i++ {
 		a := g.randPoint(rng)
-		b := a.Destination(rng.Float64()*360, 300e3+rng.Float64()*700e3)
+		b := a.Destination(rng.Float64()*360, units.Meters(300e3+rng.Float64()*700e3))
 		// Stratiform band rain stays light enough that a hop inside the
 		// band keeps ~0.2 dB/km — failures come from embedded cells.
 		f.Bands = append(f.Bands, FrontalBand{
 			A: a, B: b,
-			Width:  40e3 + rng.Float64()*80e3,
+			Width:  units.Meters(40e3 + rng.Float64()*80e3),
 			RateMM: 2 + rng.Float64()*8,
 		})
 	}
@@ -151,7 +152,7 @@ func (g *Generator) FieldAt(day, interval int) *Field {
 			// Hurricane-like system: an intense, very large cell.
 			f.Cells = append(f.Cells, StormCell{
 				Center: g.randPoint(rng),
-				Radius: 150e3 + rng.Float64()*150e3,
+				Radius: units.Meters(150e3 + rng.Float64()*150e3),
 				PeakMM: 80 + rng.Float64()*80,
 			})
 		}
@@ -167,18 +168,18 @@ func (g *Generator) randPoint(rng *rand.Rand) geo.Point {
 }
 
 // PathAttenuation integrates specific attenuation along the great circle
-// between two points, sampling every stepM meters (dB total).
-func (f *Field) PathAttenuation(a, b geo.Point, fGHz, stepM float64) float64 {
+// between two points, sampling every step (total attenuation).
+func (f *Field) PathAttenuation(a, b geo.Point, fGHz float64, step units.Meters) units.DB {
 	total := a.DistanceTo(b)
 	if total == 0 {
 		return 0
 	}
-	n := int(total/stepM) + 1
+	n := int(total/step) + 1
 	if n < 2 {
 		n = 2
 	}
 	dB := 0.0
-	segKm := total / float64(n) / 1000
+	segKm := float64(total.Km()) / float64(n)
 	for i := 0; i <= n; i++ {
 		p := a.Intermediate(b, float64(i)/float64(n))
 		w := 1.0
@@ -187,15 +188,15 @@ func (f *Field) PathAttenuation(a, b geo.Point, fGHz, stepM float64) float64 {
 		}
 		dB += w * SpecificAttenuation(f.RainRate(p), fGHz) * segKm
 	}
-	return dB
+	return units.DB(dB)
 }
 
 // HopFails reports whether the hop a-b exceeds the fade margin under f.
-func (f *Field) HopFails(a, b geo.Point, fGHz, fadeMarginDB float64) bool {
-	return f.PathAttenuation(a, b, fGHz, 2000) > fadeMarginDB
+func (f *Field) HopFails(a, b geo.Point, fGHz float64, fadeMargin units.DB) bool {
+	return f.PathAttenuation(a, b, fGHz, 2000) > fadeMargin
 }
 
-func distToSegment(p, a, b geo.Point) float64 {
+func distToSegment(p, a, b geo.Point) units.Meters {
 	const mPerDegLat = 111194.9
 	cosLat := math.Cos(a.Lat * math.Pi / 180)
 	bx := (b.Lon - a.Lon) * mPerDegLat * cosLat
@@ -208,7 +209,7 @@ func distToSegment(p, a, b geo.Point) float64 {
 		t = (px*bx + py*by) / l2
 		t = math.Max(0, math.Min(1, t))
 	}
-	return math.Hypot(px-t*bx, py-t*by)
+	return units.Meters(math.Hypot(px-t*bx, py-t*by))
 }
 
 func poisson(rng *rand.Rand, mean float64) int {

@@ -4,20 +4,21 @@ import (
 	"cisp/internal/design"
 	"cisp/internal/geo"
 	"cisp/internal/linkbuild"
+	"cisp/internal/units"
 )
 
-// attenStepM is the great-circle sampling step for per-hop path
+// attenStep is the great-circle sampling step for per-hop path
 // attenuation, matching HopFails' historical 2 km grid.
-const attenStepM = 2000
+const attenStep units.Meters = 2000
 
 // LinkCondition is the graded state of one built city-city link during a
 // precipitation interval. A link is a series of tower-tower hops; the hop
 // radios adapt their modulation independently, and the link runs at the
 // rate of its worst hop.
 type LinkCondition struct {
-	WorstHopDB float64 // highest per-hop path attenuation, dB
-	CapFrac    float64 // adaptive-modulation capacity fraction (0 = outage)
-	Failed     bool    // worst hop exceeded the fade margin (binary model)
+	WorstHopDB units.DB // highest per-hop path attenuation
+	CapFrac    float64  // adaptive-modulation capacity fraction (0 = outage)
+	Failed     bool     // worst hop exceeded the fade margin (binary model)
 }
 
 // LinkGeometry caches the physical tower-hop endpoints of every built link
@@ -49,21 +50,21 @@ func (lg *LinkGeometry) NumLinks() int { return len(lg.hops) }
 // precipitation field: worst-hop attenuation, adaptive-modulation capacity
 // fraction, and the paper's binary failure verdict. The out slice is
 // reused when it has the right length (pass nil to allocate).
-func (lg *LinkGeometry) Conditions(f *Field, fGHz, fadeMarginDB float64, out []LinkCondition) []LinkCondition {
+func (lg *LinkGeometry) Conditions(f *Field, fGHz float64, fadeMargin units.DB, out []LinkCondition) []LinkCondition {
 	if len(out) != len(lg.hops) {
 		out = make([]LinkCondition, len(lg.hops))
 	}
 	for li, hops := range lg.hops {
-		worst := 0.0
+		worst := units.DB(0)
 		for _, h := range hops {
-			if a := f.PathAttenuation(h[0], h[1], fGHz, attenStepM); a > worst {
+			if a := f.PathAttenuation(h[0], h[1], fGHz, attenStep); a > worst {
 				worst = a
 			}
 		}
 		out[li] = LinkCondition{
 			WorstHopDB: worst,
-			CapFrac:    CapacityFraction(worst, fadeMarginDB),
-			Failed:     worst > fadeMarginDB,
+			CapFrac:    CapacityFraction(worst, fadeMargin),
+			Failed:     worst > fadeMargin,
 		}
 	}
 	return out

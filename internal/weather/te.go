@@ -3,6 +3,7 @@ package weather
 import (
 	"cisp/internal/netsim"
 	"cisp/internal/te"
+	"cisp/internal/units"
 )
 
 // GradedRates returns a copy of mwLinks with each link's rate scaled by its
@@ -21,7 +22,7 @@ func GradedRates(mwLinks []netsim.TopoLink, conds []LinkCondition) []netsim.Topo
 		case conds[li].Failed:
 			out[li].RateBps = 0
 		default:
-			out[li].RateBps *= conds[li].CapFrac
+			out[li].RateBps = units.BitsPerSecond(float64(out[li].RateBps) * conds[li].CapFrac)
 		}
 	}
 	return out

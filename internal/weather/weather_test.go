@@ -17,6 +17,7 @@ import (
 	"cisp/internal/terrain"
 	"cisp/internal/towers"
 	"cisp/internal/traffic"
+	"cisp/internal/units"
 )
 
 func TestSpecificAttenuationMonotone(t *testing.T) {
@@ -119,7 +120,7 @@ func TestPathAttenuationAdditive(t *testing.T) {
 	a := geo.Point{Lat: 40, Lon: -100}
 	short := f.PathAttenuation(a, geo.Point{Lat: 40.2, Lon: -100}, 11, 1000)
 	long := f.PathAttenuation(a, geo.Point{Lat: 40.4, Lon: -100}, 11, 1000)
-	if ratio := long / short; math.Abs(ratio-2) > 0.1 {
+	if ratio := float64(long / short); math.Abs(ratio-2) > 0.1 {
 		t.Fatalf("attenuation ratio = %v, want ~2 for double distance", ratio)
 	}
 }
@@ -161,10 +162,10 @@ func yearFixture(t testing.TB) (*design.Topology, *linkbuild.Links) {
 				if i == j {
 					continue
 				}
-				p.Geodesic[i][j] = cs[i].Loc.DistanceTo(cs[j].Loc)
-				p.MW[i][j] = links.MWDist(i, j)
+				p.Geodesic[i][j] = float64(cs[i].Loc.DistanceTo(cs[j].Loc))
+				p.MW[i][j] = float64(links.MWDist(i, j))
 				p.MWCost[i][j] = float64(links.TowerCount(i, j))
-				p.FiberLat[i][j] = fn.LatencyDist(i, j)
+				p.FiberLat[i][j] = float64(fn.LatencyDist(i, j))
 			}
 		}
 		fixtureOnce.top = design.Greedy(p, design.GreedyOptions{})
@@ -303,7 +304,7 @@ func TestCapacityFraction(t *testing.T) {
 	}
 	// Monotone non-increasing across the ladder.
 	prev := 1.0
-	for a := 0.0; a <= m+3; a += 0.25 {
+	for a := units.DB(0); a <= m+3; a += 0.25 {
 		f := CapacityFraction(a, m)
 		if f > prev+1e-12 {
 			t.Fatalf("fraction increased: f(%v)=%v after %v", a, f, prev)

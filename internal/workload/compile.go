@@ -9,6 +9,7 @@ import (
 	"cisp/internal/netsim"
 	"cisp/internal/resilience"
 	"cisp/internal/traffic"
+	"cisp/internal/units"
 	"cisp/internal/weather"
 )
 
@@ -100,7 +101,7 @@ type Spec struct {
 
 	// RadiusM is the disaster's affected radius (also the storm cell
 	// radius). Default 300 km.
-	RadiusM float64
+	RadiusM units.Meters
 
 	// SinkCount is how many replicas CDNPlacement places. Default 4.
 	SinkCount int
@@ -226,7 +227,7 @@ func Compile(spec Spec, b *Backbone) (*Compiled, error) {
 		traffic.WeightedNearest(b.Sites, ww, c.Sinks), traffic.Gravity(ww))
 
 	for _, m := range c.PerApp {
-		c.OfferedGbps += m.Total() / 1e9
+		c.OfferedGbps += units.BitsPerSecond(m.Total()).Gbps()
 	}
 
 	if spec.Kind == Disaster {
@@ -267,7 +268,7 @@ func (c *Compiled) compileDisasterSchedule(spec Spec, b *Backbone) error {
 	// The conduit cut: the fiber link between real sites (not midpoint
 	// transit halves) whose midpoint lies closest to the epicenter.
 	nSites := len(b.Sites)
-	bestFi, bestD := -1, math.Inf(1)
+	bestFi, bestD := -1, units.Meters(math.Inf(1))
 	for fi, l := range b.Fiber {
 		if l.A >= nSites || l.B >= nSites {
 			continue
@@ -367,7 +368,7 @@ func (c *Compiled) Commodities(totalFlows int, window float64) (comms []netsim.C
 				}
 				comms = append(comms, netsim.Commodity{
 					Flow: flow, Src: i, Dst: j,
-					Demand:    float64(n) * float64(payload) * 8 / window,
+					Demand:    units.Bytes(float64(n) * float64(payload)).Per(units.Seconds(window)),
 					Count:     n,
 					FlowBytes: payload,
 				})

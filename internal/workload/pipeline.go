@@ -13,6 +13,7 @@ import (
 	"cisp/internal/parallel"
 	"cisp/internal/resilience"
 	"cisp/internal/te"
+	"cisp/internal/units"
 	"cisp/internal/webpage"
 )
 
@@ -86,7 +87,7 @@ type RunStats struct {
 	Mode      string // "packet" or "fluid"
 	Flows     int
 	Completed int
-	MLU       float64
+	MLU       units.Utilization
 	Apps      [NumApps]AppStats
 }
 
@@ -114,7 +115,7 @@ type QoE struct {
 type SinkBill struct {
 	Site       int
 	EgressGbps float64
-	BackhaulKm float64
+	BackhaulKm units.Km
 	Medium     string
 	Capex      float64
 }
@@ -130,8 +131,8 @@ type ScenarioReport struct {
 	OfferedGbps float64
 	Sinks       []int
 
-	PredMLUCISP  float64 // TE solution's predicted MLU on the hybrid
-	PredMLUFiber float64 // shortest-path baseline's MLU
+	PredMLUCISP  units.Utilization // TE solution's predicted MLU on the hybrid
+	PredMLUFiber units.Utilization // shortest-path baseline's MLU
 
 	Runs []RunStats // cisp/fluid, cisp/packet, fiber/fluid, fiber/packet
 
@@ -321,11 +322,11 @@ func compressSchedule(s *resilience.Schedule, horizon float64) *resilience.Sched
 // application over a substrate: shortest-delay paths at clear sky, each
 // commodity weighted by its offered demand.
 func (p Pipeline) appRTTs(nodes int, links []netsim.TopoLink, comms []netsim.Commodity, appOf map[int]App) [NumApps]float64 {
-	g := graph.New(nodes)
+	g := graph.New[units.Seconds](nodes)
 	for _, l := range links {
 		g.AddEdge(l.A, l.B, l.PropDelay)
 	}
-	dist := map[int][]float64{}
+	dist := map[int][]units.Seconds{}
 	var sum, weight [NumApps]float64
 	for _, c := range comms {
 		d, ok := dist[c.Src]
@@ -334,9 +335,9 @@ func (p Pipeline) appRTTs(nodes int, links []netsim.TopoLink, comms []netsim.Com
 			dist[c.Src] = d
 		}
 		a := appOf[c.Flow]
-		if dd := d[c.Dst]; !math.IsInf(dd, 1) { // unreachable pairs are skipped
-			sum[a] += c.Demand * 2 * dd
-			weight[a] += c.Demand
+		if dd := d[c.Dst]; !math.IsInf(float64(dd), 1) { // unreachable pairs are skipped
+			sum[a] += float64(c.Demand) * 2 * float64(dd)
+			weight[a] += float64(c.Demand)
 		}
 	}
 	var out [NumApps]float64
@@ -422,7 +423,7 @@ func (p Pipeline) qoe(c *Compiled, rttH, rttF [NumApps]float64) QoE {
 	q.WebPLTMsFiber = pltF / float64(len(pages)) * 1000
 	q.WebPLTMsCISP = pltC / float64(len(pages)) * 1000
 
-	if webGbps := c.PerApp[Web].Total() / 1e9; webGbps > 0 {
+	if webGbps := units.BitsPerSecond(c.PerApp[Web].Total()).Gbps(); webGbps > 0 {
 		q.SearchValuePerGB = econ.WebSearchValue(q.WebPLTMsFiber-q.WebPLTMsCISP, webGbps).Low
 	}
 	q.GamingValuePerGB = econ.PaperGaming().Low
@@ -451,21 +452,21 @@ func sinkBills(c *Compiled) []SinkBill {
 				egress += c.PerApp[a][i][s]
 			}
 		}
-		egressGbps := egress / 1e9
+		egressGbps := units.BitsPerSecond(egress).Gbps()
 		if egressGbps <= 0 {
 			continue
 		}
-		best := -1.0
+		best := units.Meters(-1)
 		for _, o := range origins {
 			if d := b.Sites[s].Loc.DistanceTo(b.Sites[o].Loc); best < 0 || d < best {
 				best = d
 			}
 		}
-		plan := media.Cheapest(best, egressGbps, newTowerCost)[0]
+		plan := media.Cheapest(float64(best), egressGbps, newTowerCost)[0]
 		bills = append(bills, SinkBill{
 			Site:       s,
 			EgressGbps: egressGbps,
-			BackhaulKm: best / 1000,
+			BackhaulKm: best.Km(),
 			Medium:     plan.Medium.Name,
 			Capex:      plan.Capex,
 		})

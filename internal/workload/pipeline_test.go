@@ -9,6 +9,7 @@ import (
 	"cisp/internal/geo"
 	"cisp/internal/netsim"
 	"cisp/internal/parallel"
+	"cisp/internal/units"
 )
 
 // testBackbone is the shared small substrate: four population centers and
@@ -34,24 +35,24 @@ func testBackbone() *Backbone {
 	nodes := len(sites)
 	var fiber []netsim.TopoLink
 	for _, p := range mwPairs {
-		d := sites[p[0]].Loc.DistanceTo(sites[p[1]].Loc) * 1.5 / geo.C
+		d := float64(sites[p[0]].Loc.DistanceTo(sites[p[1]].Loc)) * 1.5 / geo.C
 		mid := nodes
 		nodes++
 		fiber = append(fiber,
-			netsim.TopoLink{A: p[0], B: mid, RateBps: 60e6, PropDelay: d / 2},
-			netsim.TopoLink{A: mid, B: p[1], RateBps: 60e6, PropDelay: d / 2})
+			netsim.TopoLink{A: p[0], B: mid, RateBps: units.Mbps(60), PropDelay: units.Seconds(d / 2)},
+			netsim.TopoLink{A: mid, B: p[1], RateBps: units.Mbps(60), PropDelay: units.Seconds(d / 2)})
 	}
-	fiber = append(fiber, links(60e6, 1.5, [][2]int{{1, 3}}, sites)...)
+	fiber = append(fiber, links(units.Mbps(60), 1.5, [][2]int{{1, 3}}, sites)...)
 	return &Backbone{Sites: sites, Nodes: nodes, Mw: mw, Fiber: fiber}
 }
 
 // links builds duplex links between the site pairs at the given rate,
 // with propagation delay = geodesic distance × stretch / c.
-func links(rateBps, stretch float64, pairs [][2]int, sites []cities.City) []netsim.TopoLink {
+func links(rateBps units.BitsPerSecond, stretch float64, pairs [][2]int, sites []cities.City) []netsim.TopoLink {
 	var out []netsim.TopoLink
 	for _, p := range pairs {
-		d := sites[p[0]].Loc.DistanceTo(sites[p[1]].Loc)
-		out = append(out, netsim.TopoLink{A: p[0], B: p[1], RateBps: rateBps, PropDelay: d * stretch / geo.C})
+		d := float64(sites[p[0]].Loc.DistanceTo(sites[p[1]].Loc))
+		out = append(out, netsim.TopoLink{A: p[0], B: p[1], RateBps: rateBps, PropDelay: units.Seconds(d * stretch / geo.C)})
 	}
 	return out
 }

@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"cisp/internal/cities"
+	"cisp/internal/units"
 )
 
 // PlaceSinks places k serving sinks (CDN replicas, anycast front-ends)
@@ -24,9 +25,9 @@ func PlaceSinks(sites []cities.City, weights []float64, k int) []int {
 		return nil
 	}
 	// bestD[i] is site i's distance to its nearest placed sink so far.
-	bestD := make([]float64, n)
+	bestD := make([]units.Meters, n)
 	for i := range bestD {
-		bestD[i] = math.Inf(1)
+		bestD[i] = units.Meters(math.Inf(1))
 	}
 	chosen := make([]bool, n)
 	var sinks []int
@@ -42,7 +43,7 @@ func PlaceSinks(sites []cities.City, weights []float64, k int) []int {
 					continue
 				}
 				d := sites[i].Loc.DistanceTo(sites[c].Loc)
-				cost += weights[i] * math.Min(d, bestD[i])
+				cost += weights[i] * math.Min(float64(d), float64(bestD[i]))
 			}
 			if cost < bestCost {
 				bestSite, bestCost = c, cost

@@ -28,6 +28,7 @@ import (
 	"cisp/internal/cities"
 	"cisp/internal/econ"
 	"cisp/internal/netsim"
+	"cisp/internal/units"
 	"cisp/internal/webpage"
 )
 
@@ -97,7 +98,7 @@ func (m AppMix) Valid() bool {
 func DefaultMix() AppMix {
 	// econ.GamingAggregateGbps(players, share, rateKbps) in Gbps; one
 	// player at the paper's 10 Kbps.
-	gamingBps := econ.GamingAggregateGbps(1, 1, 10) * 1e9
+	gamingBps := float64(units.Gbps(econ.GamingAggregateGbps(1, 1, 10)))
 
 	pages := webpage.Corpus(webpage.CorpusConfig{Seed: 1, Pages: 40})
 	var pageBytes float64
