@@ -4,6 +4,7 @@
 //
 //	cispbench [-scale small|medium|full] [-seed N] [-fig all|2,3,4a,...]
 //	          [-parallel N] [-workers N] [-mode packet|fluid] [-flows N]
+//	          [-obs addr] [-trace file] [-progress] [-obshold secs]
 //
 // Independent figures execute concurrently in a bounded pool (-parallel,
 // GOMAXPROCS wide by default); output is still emitted in figure order,
@@ -33,6 +34,15 @@
 // (flows/sec, ns/event) instead of figures; -benchcompare gates a new
 // record against a baseline, exiting 1 when either metric of either
 // engine regresses past -benchtolerance (default 10%).
+//
+// -obs serves live observability (internal/obs) while the run executes:
+// Prometheus /metrics, /metrics.json, the stage trace at /trace, a
+// /healthz probe, and net/http/pprof under /debug/pprof. -trace writes
+// the stage trace as Chrome trace_event JSON on exit (load it in
+// chrome://tracing or Perfetto); same-seed runs write byte-identical
+// files. -progress prints a stderr line per completed stage (path,
+// elapsed, items/sec). -obshold keeps the -obs endpoint up N seconds
+// after the run for a final scrape.
 package main
 
 import (
@@ -41,10 +51,12 @@ import (
 	"os"
 	"runtime"
 	"strings"
+	"time"
 
 	"cisp"
 	"cisp/internal/experiments"
 	"cisp/internal/netsim"
+	"cisp/internal/obs"
 	"cisp/internal/parallel"
 )
 
@@ -58,6 +70,10 @@ func main() {
 	benchJSON := flag.String("benchjson", "", "run the engine benchmark (both modes) and write a machine-readable JSON record to this file, skipping figures")
 	benchCompare := flag.String("benchcompare", "", "baseline benchmark JSON; compares the record named by the positional argument against it and exits 1 on regression, skipping figures")
 	benchTol := flag.Float64("benchtolerance", 0.10, "relative tolerance for -benchcompare (0.10 = 10%; CI uses a looser bound across runner generations)")
+	obsAddr := flag.String("obs", "", "serve live observability on this address (e.g. :9090): /metrics, /metrics.json, /trace, /healthz, /debug/pprof")
+	traceFile := flag.String("trace", "", "write the run's stage trace (Chrome trace_event JSON, chrome://tracing / Perfetto) to this file on exit")
+	progress := flag.Bool("progress", false, "print per-stage progress lines (stage, elapsed, items/sec) to stderr as spans complete")
+	obsHold := flag.Int("obshold", 0, "with -obs, keep the endpoint up this many seconds after the run finishes (final scrape window)")
 
 	// The spec closures run only after flag.Parse, so they may dereference
 	// the flag pointers and derive scale-dependent sweeps from the Options
@@ -147,6 +163,66 @@ func main() {
 		parallel.SetWorkers(*workers)
 	}
 
+	// Observability: one process-wide sink feeds the live endpoint, the
+	// trace file, and the progress lines. Metric values and span timings
+	// use the wall clock; the trace file's layout is derived purely from
+	// the span tree, so same-seed runs write byte-identical traces.
+	var sink *obs.Sink
+	if *obsAddr != "" || *traceFile != "" || *progress {
+		tr := obs.NewTracer(*seed, obs.WallClock)
+		if *progress {
+			tr.OnEvent = func(ev obs.SpanEvent) {
+				if !ev.End {
+					return
+				}
+				rate := ""
+				if ev.Items > 0 && ev.Elapsed > 0 {
+					rate = fmt.Sprintf(" %d items (%.0f/s)", ev.Items, float64(ev.Items)/ev.Elapsed.Seconds())
+				}
+				fmt.Fprintf(os.Stderr, "[obs] %-40s %8.3fs%s\n", ev.Path, ev.Elapsed.Seconds(), rate)
+			}
+		}
+		sink = &obs.Sink{Reg: obs.NewRegistry(), Tr: tr, Clock: obs.WallClock}
+		obs.SetActive(sink)
+	}
+	var obsSrv *obs.Server
+	if *obsAddr != "" {
+		srv, err := obs.Serve(*obsAddr, sink)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "obs:", err)
+			os.Exit(2)
+		}
+		obsSrv = srv
+		fmt.Fprintf(os.Stderr, "[obs] serving /metrics /trace /healthz /debug/pprof on %s\n", srv.Addr())
+	}
+	// finishObs flushes the trace file and holds the endpoint open for a
+	// final scrape before the process exits.
+	finishObs := func() {
+		if *traceFile != "" && sink != nil {
+			f, err := os.Create(*traceFile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "obs:", err)
+				os.Exit(1)
+			}
+			if err := obs.WriteTrace(f, sink.Tr); err != nil {
+				fmt.Fprintln(os.Stderr, "obs:", err)
+				os.Exit(1)
+			}
+			if err := f.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "obs:", err)
+				os.Exit(1)
+			}
+			fmt.Fprintf(os.Stderr, "[obs] trace written to %s\n", *traceFile)
+		}
+		if obsSrv != nil {
+			if *obsHold > 0 {
+				fmt.Fprintf(os.Stderr, "[obs] holding endpoint for %ds\n", *obsHold)
+				time.Sleep(time.Duration(*obsHold) * time.Second)
+			}
+			obsSrv.Close()
+		}
+	}
+
 	if *benchCompare != "" {
 		if flag.NArg() != 1 {
 			fmt.Fprintln(os.Stderr, "usage: cispbench -benchcompare baseline.json [-benchtolerance F] new.json")
@@ -183,6 +259,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
+		finishObs()
 		return
 	}
 
@@ -213,4 +290,5 @@ func main() {
 			"note: concurrent figures contend for CPU and inflate Fig 2's measured design runtimes; use -parallel 1 for timing fidelity")
 	}
 	experiments.RunAll(opt, specs)
+	finishObs()
 }

@@ -3,6 +3,7 @@ package design
 import (
 	"container/heap"
 
+	"cisp/internal/obs"
 	"cisp/internal/parallel"
 )
 
@@ -97,6 +98,7 @@ func Greedy(p *Problem, opt GreedyOptions) *Topology {
 	for k, ij := range pairs {
 		h.entries[k] = heapEntry{i: ij[0], j: ij[1], epoch: 0}
 	}
+	gainEvals := int64(len(h.entries))
 	parallel.For(len(h.entries), gainGrain, func(lo, hi int) {
 		for k := lo; k < hi; k++ {
 			h.entries[k].gain = t.gainOf(h.entries[k].i, h.entries[k].j)
@@ -111,6 +113,7 @@ func Greedy(p *Problem, opt GreedyOptions) *Topology {
 	epoch := 0
 	remaining := budget
 	refreshAll := func() {
+		gainEvals += int64(len(h.entries))
 		parallel.For(len(h.entries), gainGrain, func(lo, hi int) {
 			for k := lo; k < hi; k++ {
 				h.entries[k].gain = t.gainOf(h.entries[k].i, h.entries[k].j)
@@ -127,6 +130,7 @@ func Greedy(p *Problem, opt GreedyOptions) *Topology {
 		}
 		if top.epoch < epoch {
 			// Stale: recompute against the current topology and re-sift.
+			gainEvals++
 			h.entries[0].gain = t.gainOf(top.i, top.j)
 			h.entries[0].epoch = epoch
 			heap.Fix(h, 0)
@@ -151,6 +155,9 @@ func Greedy(p *Problem, opt GreedyOptions) *Topology {
 			refreshAll()
 		}
 	}
+	snk := obs.Active()
+	snk.Counter("cisp_design_step2_iterations_total").Add(int64(epoch))
+	snk.Counter("cisp_design_gain_evals_total").Add(gainEvals)
 	return t
 }
 

@@ -4,6 +4,7 @@ import (
 	"math"
 	"sync"
 
+	"cisp/internal/obs"
 	"cisp/internal/parallel"
 )
 
@@ -85,6 +86,7 @@ func (t *Topology) AddLink(i, j int) {
 		t.built[normPair(i, j)] = struct{}{}
 	}
 	t.cost += t.P.MWCost[i][j]
+	obs.Active().Counter("cisp_design_apsp_updates_total").Inc()
 	updateAPSP(t.d, i, j, w)
 }
 

@@ -46,6 +46,12 @@ func (r BenchRegression) String() string {
 // only the new record has are ignored (new engines have no baseline).
 // Improvements are never regressions. The regressions come back in
 // baseline engine order, throughput before per-event cost.
+//
+// When the baseline carries a TE block, the new record must too (same
+// vanishing-measurement rule), and the TE ratchets apply after the
+// engines': reopt latency percentiles must not rise past the tolerance,
+// and the drill's LP-solve count — which is seed-deterministic, not a
+// wall-clock figure — must not rise at all.
 func CompareBenchRecords(old, new *BenchRecord, tolerance float64) ([]BenchRegression, error) {
 	if tolerance < 0 {
 		return nil, fmt.Errorf("negative tolerance %v", tolerance)
@@ -79,5 +85,40 @@ func CompareBenchRecords(old, new *BenchRecord, tolerance float64) ([]BenchRegre
 			}
 		}
 	}
+	if old.TE != nil {
+		if new.TE == nil {
+			return nil, fmt.Errorf("TE drill measured in the baseline is missing from the new record")
+		}
+		o, n := old.TE, new.TE
+		if o.LPSolves > 0 && n.LPSolves > o.LPSolves {
+			regs = append(regs, BenchRegression{
+				Mode: "te", Metric: "lp solves",
+				Old: float64(o.LPSolves), New: float64(n.LPSolves),
+				Change: float64(n.LPSolves)/float64(o.LPSolves) - 1,
+			})
+		}
+		// The latency ratchets additionally require an absolute rise of
+		// teLatencyFloorMs: the percentiles are histogram-interpolated,
+		// and below a millisecond that estimate wobbles by whole bucket
+		// widths run to run. A regression that matters clears the floor.
+		if o.ReoptP50Ms > 0 && n.ReoptP50Ms-o.ReoptP50Ms > teLatencyFloorMs {
+			if rise := n.ReoptP50Ms/o.ReoptP50Ms - 1; rise > tolerance {
+				regs = append(regs, BenchRegression{
+					Mode: "te", Metric: "reopt p50 ms", Old: o.ReoptP50Ms, New: n.ReoptP50Ms, Change: rise,
+				})
+			}
+		}
+		if o.ReoptP99Ms > 0 && n.ReoptP99Ms-o.ReoptP99Ms > teLatencyFloorMs {
+			if rise := n.ReoptP99Ms/o.ReoptP99Ms - 1; rise > tolerance {
+				regs = append(regs, BenchRegression{
+					Mode: "te", Metric: "reopt p99 ms", Old: o.ReoptP99Ms, New: n.ReoptP99Ms, Change: rise,
+				})
+			}
+		}
+	}
 	return regs, nil
 }
+
+// teLatencyFloorMs is the absolute-rise floor for the TE latency
+// ratchets, in milliseconds.
+const teLatencyFloorMs = 1.0

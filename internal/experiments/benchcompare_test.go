@@ -78,6 +78,80 @@ func TestCompareBenchRecordsGate(t *testing.T) {
 	}
 }
 
+// TestCompareBenchRecordsTE: the schema-2 TE ratchets — reopt latency
+// percentiles ride the tolerance like the engine metrics, the
+// deterministic LP-solve count must not rise at all, and a vanished TE
+// block is an error.
+func TestCompareBenchRecordsTE(t *testing.T) {
+	withTE := func(lp int64, p50, p99 float64) *BenchRecord {
+		r := benchFixture(1000, 500, 100_000, 50)
+		r.TE = &BenchTE{Reopts: 8, LPSolves: lp, ReoptP50Ms: p50, ReoptP99Ms: p99}
+		return r
+	}
+	base := withTE(7, 2.0, 8.0)
+
+	// Identical TE block: clean.
+	regs, err := CompareBenchRecords(base, withTE(7, 2.0, 8.0), 0.10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regs) != 0 {
+		t.Fatalf("identical TE block flagged: %v", regs)
+	}
+
+	// One extra LP solve: caught even though it is under the tolerance —
+	// the solve count is seed-deterministic, so any rise is a real change.
+	regs, err = CompareBenchRecords(base, withTE(8, 2.0, 8.0), 0.10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regs) != 1 || regs[0].Mode != "te" || regs[0].Metric != "lp solves" {
+		t.Fatalf("regressions = %v, want one te lp-solves entry", regs)
+	}
+
+	// Large latency rise on both percentiles: both caught.
+	regs, err = CompareBenchRecords(base, withTE(7, 4.0, 16.0), 0.10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regs) != 2 || regs[0].Metric != "reopt p50 ms" || regs[1].Metric != "reopt p99 ms" {
+		t.Fatalf("regressions = %v, want p50 and p99 entries", regs)
+	}
+
+	// Latency wobble inside the tolerance, a relative rise under the
+	// absolute 1ms floor (sub-ms interpolation noise), and a strict
+	// improvement: all clean.
+	subMs := withTE(7, 0.1, 0.9)
+	subMsDoubled, err2 := CompareBenchRecords(subMs, withTE(7, 0.3, 1.2), 0.10)
+	if err2 != nil {
+		t.Fatal(err2)
+	}
+	if len(subMsDoubled) != 0 {
+		t.Fatalf("sub-ms wobble flagged: %v", subMsDoubled)
+	}
+	for _, rec := range []*BenchRecord{withTE(7, 2.1, 8.3), withTE(6, 1.0, 4.0)} {
+		regs, err = CompareBenchRecords(base, rec, 0.10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(regs) != 0 {
+			t.Fatalf("acceptable TE block flagged: %v", regs)
+		}
+	}
+
+	// TE block measured in the baseline but missing from the new record:
+	// error, never a silent pass.
+	if _, err := CompareBenchRecords(base, benchFixture(1000, 500, 100_000, 50), 0.10); err == nil {
+		t.Fatal("missing TE block did not error")
+	}
+	// Baseline without a TE block ignores the new record's: forward
+	// compatible with pre-drill baselines.
+	regs, err = CompareBenchRecords(benchFixture(1000, 500, 100_000, 50), base, 0.10)
+	if err != nil || len(regs) != 0 {
+		t.Fatalf("TE-less baseline: regs=%v err=%v", regs, err)
+	}
+}
+
 // TestCompareBenchRecordsMissingEngine: an engine that vanished from the
 // new record must be an error, never a silent pass.
 func TestCompareBenchRecordsMissingEngine(t *testing.T) {

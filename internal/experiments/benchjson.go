@@ -2,10 +2,13 @@ package experiments
 
 import (
 	"encoding/json"
+	"fmt"
 	"os"
 
 	"cisp"
 	"cisp/internal/netsim"
+	"cisp/internal/obs"
+	"cisp/internal/te"
 )
 
 // scaleName renders a cisp.Scale for the benchmark record.
@@ -22,25 +25,88 @@ func scaleName(s cisp.Scale) string {
 }
 
 // benchSchema names the BENCH_netsim.json document format; the compare
-// gate refuses records of any other schema.
-const benchSchema = "cisp-bench-netsim/1"
+// gate refuses records of any other schema. Schema 2 added the TE block
+// (controller reoptimization latency and LP-solve counts read from the
+// internal/obs registry).
+const benchSchema = "cisp-bench-netsim/2"
+
+// BenchTE is the controller-reoptimization benchmark block: a fixed
+// degrade/restore drill over the §6.4 designed backbone, measured through
+// the observability registry. LPSolves is seed-deterministic (the same
+// drill always solves the same programs); the latency percentiles are
+// wall-clock figures for the ratchet.
+type BenchTE struct {
+	Reopts     int64   // UpdateCapacities calls that re-solved at least one commodity
+	LPSolves   int64   // LP programs solved across the drill
+	ReoptP50Ms float64 // reoptimization latency, median
+	ReoptP99Ms float64 // reoptimization latency, 99th percentile
+}
 
 // BenchRecord is the machine-readable benchmark document CI emits
 // (BENCH_netsim.json): one §6.4 traffic-mix replay per engine with
-// throughput figures (flows/sec, ns/event) for trend tracking across
-// commits.
+// throughput figures (flows/sec, ns/event), plus the TE reoptimization
+// drill, for trend tracking across commits.
 type BenchRecord struct {
-	Schema  string // "cisp-bench-netsim/1"
+	Schema  string // "cisp-bench-netsim/2"
 	Scale   string
 	Seed    int64
 	Engines []Fig6ScaleResult
+	TE      *BenchTE `json:",omitempty"`
 }
 
-// BenchNetsim replays the designed-backbone traffic mix on both engines
-// and writes the throughput record to path as JSON. Flow counts are per
-// engine (the packet engine clamps itself at its practical limit). Any
-// engine that fails to run is simply absent from the record.
+// benchTEFlows bounds the reopt drill's commodity count: enough site
+// pairs to make the warm-start path LPs realistic, small enough that the
+// drill stays a few seconds at small scale.
+const benchTEFlows = 2000
+
+// benchTE runs the TE reoptimization drill — fail each of a handful of
+// links in turn, restore it, re-solve only the affected commodities —
+// and reads the outcome from the given registry (which must be the
+// active sink's registry while the drill runs).
+func benchTE(opt Options, reg *obs.Registry) (*BenchTE, error) {
+	links, nodes, designTM, err := DesignedMixTopology(opt)
+	if err != nil {
+		return nil, err
+	}
+	comms := MixCommodities(opt, designTM, benchTEFlows)
+	ctrl, err := te.NewController(nodes, links, comms, te.Config{})
+	if err != nil {
+		return nil, err
+	}
+	rounds := 4
+	if rounds > len(links) {
+		rounds = len(links)
+	}
+	for i := 0; i < rounds; i++ {
+		mod := append([]netsim.TopoLink(nil), links...)
+		mod[i*len(links)/rounds].RateBps = 0 // fail one link
+		if _, err := ctrl.UpdateCapacities(mod); err != nil {
+			return nil, fmt.Errorf("degrade round %d: %w", i, err)
+		}
+		if _, err := ctrl.UpdateCapacities(links); err != nil {
+			return nil, fmt.Errorf("restore round %d: %w", i, err)
+		}
+	}
+	h := reg.Histogram("cisp_te_reopt_seconds")
+	return &BenchTE{
+		Reopts:     reg.Counter("cisp_te_reopts_total").Value(),
+		LPSolves:   reg.Counter("cisp_te_lp_solves_total").Value(),
+		ReoptP50Ms: h.Quantile(0.50) * 1000,
+		ReoptP99Ms: h.Quantile(0.99) * 1000,
+	}, nil
+}
+
+// BenchNetsim replays the designed-backbone traffic mix on both engines,
+// runs the TE reoptimization drill, and writes the record to path as
+// JSON. Flow counts are per engine (the packet engine clamps itself at
+// its practical limit). Any engine that fails to run is simply absent
+// from the record. The whole run swaps in a private observability sink,
+// so a -obs endpoint running in the same process never sees (or taints)
+// benchmark counters.
 func BenchNetsim(opt Options, packetFlows, fluidFlows int, path string) error {
+	prev := obs.SetActive(&obs.Sink{Reg: obs.NewRegistry(), Clock: obs.WallClock})
+	defer obs.SetActive(prev)
+
 	rec := BenchRecord{
 		Schema: benchSchema,
 		Scale:  scaleName(opt.Scale),
@@ -51,6 +117,16 @@ func BenchNetsim(opt Options, packetFlows, fluidFlows int, path string) error {
 	}
 	if r := Fig6Scale(opt, netsim.FluidMode, fluidFlows); r != nil {
 		rec.Engines = append(rec.Engines, *r)
+	}
+	// The drill gets its own registry, so engine-run counters (their
+	// scenario solves also touch te) never leak into the TE block.
+	teReg := obs.NewRegistry()
+	obs.SetActive(&obs.Sink{Reg: teReg, Clock: obs.WallClock})
+	teRes, err := benchTE(opt, teReg)
+	if err != nil {
+		fprintf(opt.out(), "benchnetsim: te drill: %v\n", err)
+	} else {
+		rec.TE = teRes
 	}
 	data, err := json.MarshalIndent(rec, "", "  ")
 	if err != nil {

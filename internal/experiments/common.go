@@ -14,6 +14,7 @@ import (
 	"io"
 
 	"cisp"
+	"cisp/internal/obs"
 	"cisp/internal/traffic"
 	"cisp/internal/units"
 )
@@ -30,6 +31,11 @@ type Options struct {
 	// Parallelism bounds how many independent figure reproductions RunAll
 	// executes concurrently. 0 means GOMAXPROCS; 1 forces sequential runs.
 	Parallelism int
+
+	// Span is the figure's trace span, set by RunAll so experiments can
+	// hang their stage spans under it. Nil (no tracer, or a figure called
+	// directly) is a valid no-op parent.
+	Span *obs.Span
 }
 
 func (o *Options) out() io.Writer {
@@ -37,6 +43,16 @@ func (o *Options) out() io.Writer {
 		return io.Discard
 	}
 	return o.Out
+}
+
+// spanOrRoot opens a stage span under the figure's span when RunAll set
+// one, or as a root span on the active tracer when the figure was called
+// directly. Either way the result is nil-safe.
+func (o *Options) spanOrRoot(name string) *obs.Span {
+	if o.Span != nil {
+		return o.Span.Child(name)
+	}
+	return obs.Active().Span(name)
 }
 
 // aggregateGbps returns the design throughput target for the scale: the

@@ -70,16 +70,20 @@ func FigUsers(opt Options, totalFlows int) *FigUsersResult {
 		len(b.Sites))
 	res := &FigUsersResult{}
 	for _, spec := range usersScenarios(opt.Seed) {
+		scSp := opt.spanOrRoot("scenario:" + spec.Name)
 		c, err := workload.Compile(spec, b)
 		if err != nil {
 			fprintf(w, "figusers: %s: %v\n", spec.Name, err)
 			return nil
 		}
+		p.Span = scSp
 		rep, err := p.Run(c)
 		if err != nil {
 			fprintf(w, "figusers: %s: %v\n", spec.Name, err)
 			return nil
 		}
+		scSp.SetItems(int64(totalFlows))
+		scSp.End()
 		res.Reports = append(res.Reports, rep)
 		printUsersReport(w, rep)
 	}

@@ -2,11 +2,28 @@ package experiments
 
 import (
 	"bytes"
+	"fmt"
 	"runtime"
 	"time"
 
+	"cisp/internal/obs"
 	"cisp/internal/parallel"
 )
+
+// runSpec executes one spec with a trace span and panic context: a
+// worker that dies names the figure it died in instead of unwinding as
+// an anonymous pool goroutine.
+func runSpec(s Spec, o Options) {
+	defer func() {
+		if r := recover(); r != nil {
+			panic(fmt.Sprintf("experiments: figure %q panicked: %v", s.Name, r))
+		}
+	}()
+	sp := obs.Active().Span("fig:" + s.Name)
+	o.Span = sp
+	s.Run(o)
+	sp.End()
+}
 
 // Spec names one experiment invocation for the concurrent runner. Run
 // receives an Options copy whose Out points at a per-spec buffer, so specs
@@ -52,7 +69,7 @@ func RunAll(opt Options, specs []Spec) []Timing {
 			o := opt
 			o.Out = w
 			start := time.Now() //lint:allow determinism -- progress-log timing of the experiment process; results are seed-driven
-			s.Run(o)
+			runSpec(s, o)
 			times[k] = Timing{Name: s.Name, Seconds: time.Since(start).Seconds()} //lint:allow determinism -- progress-log timing of the experiment process; results are seed-driven
 			fprintf(w, "  [%s done in %.3fs]\n\n", s.Name, times[k].Seconds)
 		}
@@ -72,7 +89,7 @@ func RunAll(opt Options, specs []Spec) []Timing {
 			o := opt
 			o.Out = bufs[k]
 			start := time.Now() //lint:allow determinism -- progress-log timing of the experiment process; results are seed-driven
-			specs[k].Run(o)
+			runSpec(specs[k], o)
 			times[k] = Timing{Name: specs[k].Name, Seconds: time.Since(start).Seconds()} //lint:allow determinism -- progress-log timing of the experiment process; results are seed-driven
 			ok[k] = true
 		}

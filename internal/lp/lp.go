@@ -17,6 +17,8 @@ import (
 	"errors"
 	"fmt"
 	"math"
+
+	"cisp/internal/obs"
 )
 
 // Sense is a constraint direction.
@@ -104,6 +106,10 @@ type Solution struct {
 	Status    Status
 	X         []float64
 	Objective float64
+
+	// Pivots counts the simplex pivots the solve performed (both phases);
+	// the observability layer tracks it as a measure of solver effort.
+	Pivots int
 }
 
 const eps = 1e-9
@@ -118,6 +124,15 @@ var ErrIterationLimit = errors.New("lp: iteration limit exceeded")
 func Solve(p *Problem) (*Solution, error) {
 	m := len(p.Cons)
 	n := p.NumVars
+
+	pivots := 0
+	snk := obs.Active()
+	stop := snk.StartTimer("cisp_lp_solve_seconds")
+	defer func() {
+		stop()
+		snk.Counter("cisp_lp_solves_total").Inc()
+		snk.Counter("cisp_lp_pivots_total").Add(int64(pivots))
+	}()
 
 	// Normalise to b ≥ 0, count slack/artificial columns.
 	type rowSpec struct {
@@ -215,7 +230,8 @@ func Solve(p *Problem) (*Solution, error) {
 				}
 			}
 		}
-		st, err := simplex(tab, basis, total)
+		st, np, err := simplex(tab, basis, total)
+		pivots += np
 		if err != nil {
 			return nil, err
 		}
@@ -223,7 +239,7 @@ func Solve(p *Problem) (*Solution, error) {
 			return nil, errors.New("lp: phase-1 unbounded (internal error)")
 		}
 		if -tab[m][total] > 1e-7 {
-			return &Solution{Status: Infeasible}, nil
+			return &Solution{Status: Infeasible, Pivots: pivots}, nil
 		}
 		// Drive any artificial still in the basis out (degenerate rows).
 		for i, b := range basis {
@@ -234,6 +250,7 @@ func Solve(p *Problem) (*Solution, error) {
 			for j := 0; j < n+nSlack; j++ {
 				if math.Abs(tab[i][j]) > eps {
 					pivot(tab, basis, i, j, total)
+					pivots++
 					pivoted = true
 					break
 				}
@@ -267,12 +284,13 @@ func Solve(p *Problem) (*Solution, error) {
 			}
 		}
 	}
-	st, err := simplex(tab, basis, total)
+	st, np, err := simplex(tab, basis, total)
+	pivots += np
 	if err != nil {
 		return nil, err
 	}
 	if st == Unbounded {
-		return &Solution{Status: Unbounded}, nil
+		return &Solution{Status: Unbounded, Pivots: pivots}, nil
 	}
 
 	x := make([]float64, n)
@@ -288,15 +306,16 @@ func Solve(p *Problem) (*Solution, error) {
 	if p.maximize {
 		objVal = -objVal
 	}
-	return &Solution{Status: Optimal, X: x, Objective: objVal}, nil
+	return &Solution{Status: Optimal, X: x, Objective: objVal, Pivots: pivots}, nil
 }
 
 func isArt(col, artStart int) bool { return col >= artStart }
 
 // simplex runs primal simplex iterations on the tableau until optimality or
-// unboundedness. Dantzig pricing with a Bland fallback to guarantee
-// termination on degenerate problems.
-func simplex(tab [][]float64, basis []int, total int) (Status, error) {
+// unboundedness, also reporting how many pivots it performed. Dantzig
+// pricing with a Bland fallback to guarantee termination on degenerate
+// problems.
+func simplex(tab [][]float64, basis []int, total int) (Status, int, error) {
 	m := len(basis)
 	maxIter := 200 * (m + total + 10)
 	blandAfter := maxIter / 2
@@ -321,7 +340,7 @@ func simplex(tab [][]float64, basis []int, total int) (Status, error) {
 			}
 		}
 		if enter < 0 {
-			return Optimal, nil
+			return Optimal, iter, nil
 		}
 		// Ratio test.
 		leave := -1
@@ -337,11 +356,11 @@ func simplex(tab [][]float64, basis []int, total int) (Status, error) {
 			}
 		}
 		if leave < 0 {
-			return Unbounded, nil
+			return Unbounded, iter, nil
 		}
 		pivot(tab, basis, leave, enter, total)
 	}
-	return Optimal, ErrIterationLimit
+	return Optimal, maxIter, ErrIterationLimit
 }
 
 // pivot makes column enter basic in row leave.

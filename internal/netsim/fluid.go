@@ -35,12 +35,13 @@ type FluidSim struct {
 	// staleness for fewer heap operations on huge runs.
 	RateTol float64
 
-	nNodes    int
-	processed int64 // events executed (live departures + arrivals)
-	links     []fluidLink
-	linkIdx   map[[2]int]int32
-	groups    []fluidGroup
-	now       float64
+	nNodes     int
+	processed  int64 // events executed (live departures + arrivals)
+	maxPending int   // arrivals+departures heap high-water mark
+	links      []fluidLink
+	linkIdx    map[[2]int]int32
+	groups     []fluidGroup
+	now        float64
 
 	// Per-flow state, indexed by flow ID (assigned densely by StartAt).
 	flowRoute []int32
@@ -211,6 +212,10 @@ func (f *FluidSim) Now() float64 { return f.now }
 // arrival events; stale, superseded departures are not counted). The
 // benchmark harness divides wall time by it to report ns/event.
 func (f *FluidSim) Processed() int64 { return f.processed }
+
+// MaxPending returns the high-water mark of queued arrival+departure
+// events — the observability layer's heap-depth figure.
+func (f *FluidSim) MaxPending() int { return f.maxPending }
 
 // Active returns the number of currently running flows.
 func (f *FluidSim) Active() int { return f.active }
@@ -393,6 +398,9 @@ func (f *FluidSim) advance(g *fluidGroup) {
 //cisp:hotpath
 func (f *FluidSim) Run(until float64) {
 	for {
+		if n := len(f.arrivals) + len(f.deps); n > f.maxPending {
+			f.maxPending = n
+		}
 		tA, tD := math.Inf(1), math.Inf(1)
 		if len(f.arrivals) > 0 {
 			tA = f.arrivals[0].t

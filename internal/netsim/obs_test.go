@@ -1,0 +1,105 @@
+package netsim
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"cisp/internal/obs"
+	"cisp/internal/parallel"
+)
+
+// traceOneRun executes a same-seed RunMany fan-out under a fresh sink
+// and returns the exported trace bytes plus the registry.
+func traceOneRun(t *testing.T, workers int) ([]byte, *obs.Registry) {
+	t.Helper()
+	reg := obs.NewRegistry()
+	tr := obs.NewTracer(42, nil)
+	prev := obs.SetActive(&obs.Sink{Reg: reg, Tr: tr})
+	defer obs.SetActive(prev)
+
+	prevW := parallel.SetWorkers(workers)
+	defer parallel.SetWorkers(prevW)
+
+	scs := make([]*Scenario, 4)
+	for i := range scs {
+		scs[i] = agreementScenario()
+		scs[i].Seed = int64(i)
+	}
+	RunMany(scs, FluidMode)
+
+	var buf bytes.Buffer
+	if err := obs.WriteTrace(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes(), reg
+}
+
+// TestTraceDeterminismPin is the repo-wide determinism pin for the
+// observability layer: two same-seed RunMany fan-outs — at different
+// worker counts, so goroutines interleave differently — must export
+// byte-identical trace JSON.
+func TestTraceDeterminismPin(t *testing.T) {
+	a, regA := traceOneRun(t, 1)
+	b, regB := traceOneRun(t, 4)
+	if !bytes.Equal(a, b) {
+		t.Fatalf("same-seed traces differ:\n--- workers=1 ---\n%s\n--- workers=4 ---\n%s", a, b)
+	}
+	for _, want := range []string{`"name":"netsim:run[0]:fluid"`, `"name":"netsim:run[3]:fluid"`} {
+		if !strings.Contains(string(a), want) {
+			t.Fatalf("trace missing %s:\n%s", want, a)
+		}
+	}
+	// The metric side of the same pin: counters are worker-count
+	// independent too.
+	for _, name := range []string{"cisp_netsim_runs_total", "cisp_netsim_events_total", "cisp_netsim_flows_total"} {
+		va := regA.Counter(name, "mode", "fluid").Value()
+		vb := regB.Counter(name, "mode", "fluid").Value()
+		if va == 0 || va != vb {
+			t.Fatalf("%s: workers=1 got %d, workers=4 got %d", name, va, vb)
+		}
+	}
+}
+
+// TestRunManyPublishesObs: one scenario run populates the netsim metric
+// family — run/event/flow counters, the heap high-water gauge, MLU and
+// per-link utilization.
+func TestRunManyPublishesObs(t *testing.T) {
+	reg := obs.NewRegistry()
+	prev := obs.SetActive(&obs.Sink{Reg: reg})
+	defer obs.SetActive(prev)
+
+	res := RunMany([]*Scenario{agreementScenario()}, PacketMode)[0]
+	if got := reg.Counter("cisp_netsim_runs_total", "mode", "packet").Value(); got != 1 {
+		t.Fatalf("runs_total = %d, want 1", got)
+	}
+	if got := reg.Counter("cisp_netsim_events_total", "mode", "packet").Value(); got != res.EventsProcessed {
+		t.Fatalf("events_total = %d, want %d", got, res.EventsProcessed)
+	}
+	if got := reg.Gauge("cisp_netsim_heap_depth_max", "mode", "packet").Value(); got <= 0 {
+		t.Fatalf("heap_depth_max = %v, want > 0", got)
+	}
+	if got := reg.Gauge("cisp_netsim_link_utilization", "link", "1-2", "mode", "packet").Value(); got <= 0 {
+		t.Fatalf("bottleneck link utilization = %v, want > 0", got)
+	}
+}
+
+// TestRunManyPanicNamesScenario: a worker panic must surface the index,
+// seed and mode of the scenario that died, not an anonymous unwind.
+func TestRunManyPanicNamesScenario(t *testing.T) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("broken scenario did not panic")
+		}
+		msg, ok := r.(string)
+		if !ok || !strings.Contains(msg, "scenario 1 of 2 (seed 77, mode fluid)") {
+			t.Fatalf("panic %v does not name the scenario", r)
+		}
+	}()
+	good := agreementScenario()
+	bad := agreementScenario()
+	bad.Seed = 77
+	bad.Comms[0].Src = 99 // out of range: Run panics indexing the graph
+	RunMany([]*Scenario{good, bad}, FluidMode)
+}

@@ -6,6 +6,7 @@ import (
 	"math/rand"
 	"sort"
 
+	"cisp/internal/obs"
 	"cisp/internal/parallel"
 	"cisp/internal/units"
 )
@@ -361,9 +362,24 @@ func (sc *Scenario) Run(mode Mode) *ScenarioResult {
 // RunMany fans independent scenario runs out over the shared worker pool
 // (internal/parallel), preserving input order. Each run owns its simulator,
 // so results are bit-identical to sequential execution at any pool width.
+// With an active obs sink, each run gets a span (named by its index, so
+// concurrent siblings stay distinct) and a panic inside a run is re-raised
+// carrying the run's index, seed and mode — a bulk sweep's crash report
+// names the scenario that died instead of an anonymous worker goroutine.
 func RunMany(scs []*Scenario, mode Mode) []*ScenarioResult {
+	snk := obs.Active()
 	return parallel.Map(len(scs), 1, func(i int) *ScenarioResult {
-		return scs[i].Run(mode)
+		defer func() {
+			if r := recover(); r != nil {
+				panic(fmt.Sprintf("netsim: scenario %d of %d (seed %d, mode %s) panicked: %v",
+					i, len(scs), scs[i].Seed, mode, r))
+			}
+		}()
+		sp := snk.Span(fmt.Sprintf("netsim:run[%d]:%s", i, mode))
+		res := scs[i].Run(mode)
+		sp.SetItems(res.EventsProcessed)
+		sp.End()
+		return res
 	})
 }
 
@@ -505,11 +521,14 @@ func (sc *Scenario) runPacket() *ScenarioResult {
 		}
 	}
 	loads := make([]LinkLoad, 0, len(nw.Links()))
+	drops := int64(0)
 	for _, l := range nw.Links() {
-		//lint:allow maporder -- finishLinkLoads sorts loads by (From, To) before recording
+		//lint:allow maporder -- finishLinkLoads sorts loads by (From, To) before recording; drops is an order-free integer sum
 		loads = append(loads, LinkLoad{From: l.From, To: l.To, Utilization: units.Utilization(l.Utilization(res.End))})
+		drops += l.Drops
 	}
 	res.finishLinkLoads(loads)
+	publishObs(res, sim.MaxPending(), drops)
 	return res
 }
 
@@ -670,5 +689,31 @@ func (sc *Scenario) runFluid() *ScenarioResult {
 		}
 	}
 	res.finishLinkLoads(f.LinkUtilizations())
+	publishObs(res, f.MaxPending(), 0)
 	return res
+}
+
+// publishObs records a finished run's figures on the active obs sink:
+// cumulative event/flow/drop counters, the event heap's high-water depth,
+// and per-link utilization gauges — all labelled by engine mode. Engine
+// hot loops never touch obs; everything here is read from plain engine
+// counters once per run, so the disabled path costs nothing and the
+// enabled path costs O(links) at run end.
+func publishObs(res *ScenarioResult, maxPending int, drops int64) {
+	snk := obs.Active()
+	if snk == nil {
+		return
+	}
+	mode := res.Mode.String()
+	snk.Counter("cisp_netsim_runs_total", "mode", mode).Inc()
+	snk.Counter("cisp_netsim_events_total", "mode", mode).Add(res.EventsProcessed)
+	snk.Counter("cisp_netsim_flows_total", "mode", mode).Add(int64(len(res.Flows)))
+	snk.Counter("cisp_netsim_flows_completed_total", "mode", mode).Add(int64(res.Completed))
+	snk.Counter("cisp_netsim_drops_total", "mode", mode).Add(drops)
+	snk.Gauge("cisp_netsim_heap_depth_max", "mode", mode).SetMax(float64(maxPending))
+	snk.Gauge("cisp_netsim_mlu", "mode", mode).Set(float64(res.MLU))
+	for _, l := range res.LinkLoads {
+		snk.Gauge("cisp_netsim_link_utilization",
+			"link", fmt.Sprintf("%d-%d", l.From, l.To), "mode", mode).Set(float64(l.Utilization))
+	}
 }

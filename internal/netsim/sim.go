@@ -24,10 +24,11 @@ import "cisp/internal/xheap"
 
 // Simulator is a discrete-event scheduler. The zero value is ready to use.
 type Simulator struct {
-	now       float64 // seconds
-	seq       int64
-	processed int64
-	events    []event
+	now        float64 // seconds
+	seq        int64
+	processed  int64
+	maxPending int
+	events     []event
 }
 
 type event struct {
@@ -58,6 +59,9 @@ func (s *Simulator) Schedule(delay float64, fn func()) {
 	}
 	s.seq++
 	xheap.Push(&s.events, event{at: s.now + delay, seq: s.seq, fn: fn}, eventLess)
+	if len(s.events) > s.maxPending {
+		s.maxPending = len(s.events)
+	}
 }
 
 // Run processes events until the queue drains or simulated time reaches
@@ -88,3 +92,7 @@ func (s *Simulator) Pending() int { return len(s.events) }
 // Processed returns the number of events executed so far; the benchmark
 // harness divides wall time by it to report ns/event.
 func (s *Simulator) Processed() int64 { return s.processed }
+
+// MaxPending returns the event heap's high-water mark — the observability
+// layer's heap-depth figure.
+func (s *Simulator) MaxPending() int { return s.maxPending }

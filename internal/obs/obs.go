@@ -1,0 +1,109 @@
+// Package obs is the repo's zero-dependency observability subsystem:
+// an atomic metrics registry (counters, gauges, fixed-bucket histograms)
+// with Prometheus text-format and JSON exposition, a deterministic stage
+// tracer whose Chrome trace_event export is byte-identical across
+// same-seed runs, and an HTTP serve mode (/metrics, /healthz, pprof) for
+// live inspection of long runs. See DESIGN.md §12.
+//
+// Determinism contract: experiment *results* never depend on obs — every
+// instrument is write-only from the pipeline's point of view, and the
+// trace layout is derived from the span tree's structure (names, sibling
+// order, item counts), never from a clock. Wall time enters only through
+// an injectable Clock, and the one sanctioned wall-clock call sits in
+// WallClock — the determinism analyzer's boundary for this package,
+// mirroring how units.float64() is the erasing boundary for unitcheck.
+// Packages outside main inject WallClock (or a fake) rather than calling
+// time.Now themselves.
+//
+// The disabled path is free: with no active Sink every call — Counter,
+// Gauge, Histogram, Span, StartTimer and the methods on their nil returns
+// — is a nil-check no-op with zero allocations, so instrumentation can
+// stay in library code unconditionally.
+package obs
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Clock supplies wall time to a Sink's timers and to the tracer's
+// progress events. Inject WallClock at the CLI boundary; tests inject a
+// fake for reproducible timings.
+type Clock func() time.Time
+
+// WallClock is the sanctioned wall-clock boundary: the only place in the
+// repo's library code allowed to read the real time (package main and
+// tests are exempt by the determinism analyzer's own scoping).
+func WallClock() time.Time {
+	return time.Now() //lint:allow determinism -- the one sanctioned wall-clock boundary; callers inject this Clock explicitly and results never depend on it
+}
+
+// Sink bundles the observability outputs of a run: a metrics registry, a
+// stage tracer, and the clock feeding their wall-time surfaces. Any field
+// may be nil; every method on a nil *Sink or with nil fields is a no-op,
+// so instrumented code never guards its calls.
+type Sink struct {
+	Reg   *Registry
+	Tr    *Tracer
+	Clock Clock
+}
+
+// active is the process-wide sink, nil when observability is disabled
+// (the default). A process-global mirrors the precedent of te.LPSolves:
+// threading a sink through every constructor of an eight-layer pipeline
+// would dwarf the subsystem it serves.
+var active atomic.Pointer[Sink]
+
+// Active returns the process-wide sink, or nil when disabled.
+func Active() *Sink { return active.Load() }
+
+// SetActive installs the process-wide sink (nil disables) and returns the
+// previous one, so scoped users — benchmarks, tests — can swap and
+// restore.
+func SetActive(s *Sink) *Sink { return active.Swap(s) }
+
+// Counter returns the named counter from the sink's registry, nil-safe.
+func (s *Sink) Counter(name string, kv ...string) *Counter {
+	if s == nil {
+		return nil
+	}
+	return s.Reg.Counter(name, kv...)
+}
+
+// Gauge returns the named gauge from the sink's registry, nil-safe.
+func (s *Sink) Gauge(name string, kv ...string) *Gauge {
+	if s == nil {
+		return nil
+	}
+	return s.Reg.Gauge(name, kv...)
+}
+
+// Histogram returns the named histogram (default buckets) from the sink's
+// registry, nil-safe.
+func (s *Sink) Histogram(name string, kv ...string) *Histogram {
+	if s == nil {
+		return nil
+	}
+	return s.Reg.Histogram(name, kv...)
+}
+
+// StartTimer starts timing an operation against the named histogram
+// (seconds). The returned stop function observes the elapsed time; it is
+// a shared no-op when the sink, its registry, or its clock is nil.
+func (s *Sink) StartTimer(name string, kv ...string) func() {
+	if s == nil || s.Reg == nil || s.Clock == nil {
+		return func() {}
+	}
+	h := s.Reg.Histogram(name, kv...)
+	t0 := s.Clock()
+	return func() { h.Observe(s.Clock().Sub(t0).Seconds()) }
+}
+
+// Span opens a root span on the sink's tracer, nil-safe: with no tracer it
+// returns nil, whose methods are all no-ops.
+func (s *Sink) Span(name string) *Span {
+	if s == nil || s.Tr == nil {
+		return nil
+	}
+	return s.Tr.begin(nil, name)
+}

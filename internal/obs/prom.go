@@ -1,0 +1,176 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// WriteProm writes the registry's instruments in the Prometheus text
+// exposition format (version 0.0.4): families sorted by name, samples
+// sorted by labels, counters as <name> totals, gauges as values, and
+// histograms as cumulative le-buckets plus _sum and _count. Output is
+// deterministic for a given registry state.
+func WriteProm(w io.Writer, r *Registry) error {
+	s := r.snapshot()
+	type family struct {
+		name  string
+		kind  string
+		lines []string
+	}
+	byName := map[string]*family{}
+	var order []string
+	fam := func(name, kind string) *family {
+		f := byName[name]
+		if f == nil {
+			f = &family{name: name, kind: kind}
+			byName[name] = f
+			order = append(order, name)
+		}
+		return f
+	}
+	for _, c := range s.counters {
+		f := fam(c.name, "counter")
+		f.lines = append(f.lines, c.name+renderLabels(c.labels, "", "")+" "+strconv.FormatInt(c.Value(), 10))
+	}
+	for _, g := range s.gauges {
+		f := fam(g.name, "gauge")
+		f.lines = append(f.lines, g.name+renderLabels(g.labels, "", "")+" "+formatFloat(g.Value()))
+	}
+	for _, h := range s.hists {
+		f := fam(h.name, "histogram")
+		cum := int64(0)
+		for i, up := range h.uppers {
+			cum += h.counts[i].Load()
+			f.lines = append(f.lines, h.name+"_bucket"+renderLabels(h.labels, "le", formatFloat(up))+" "+strconv.FormatInt(cum, 10))
+		}
+		cum += h.inf.Load()
+		f.lines = append(f.lines, h.name+"_bucket"+renderLabels(h.labels, "le", "+Inf")+" "+strconv.FormatInt(cum, 10))
+		f.lines = append(f.lines, h.name+"_sum"+renderLabels(h.labels, "", "")+" "+formatFloat(h.Sum()))
+		f.lines = append(f.lines, h.name+"_count"+renderLabels(h.labels, "", "")+" "+strconv.FormatInt(h.Count(), 10))
+	}
+	sort.Strings(order)
+	for _, name := range order {
+		f := byName[name]
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", f.name, f.kind); err != nil {
+			return err
+		}
+		for _, l := range f.lines {
+			if _, err := io.WriteString(w, l+"\n"); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// renderLabels renders a canonical label list (plus an optional extra
+// pair, for histogram le) as {k="v",...}, or "" when empty.
+func renderLabels(labels []string, extraK, extraV string) string {
+	if len(labels) == 0 && extraK == "" {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i := 0; i+1 < len(labels); i += 2 {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(labels[i])
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(labels[i+1]))
+		b.WriteByte('"')
+	}
+	if extraK != "" {
+		if len(labels) > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(extraK)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(extraV))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func escapeLabel(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	return strings.ReplaceAll(v, `"`, `\"`)
+}
+
+// formatFloat renders a float the way Prometheus clients do: shortest
+// round-trip representation.
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WriteJSON writes the registry's instruments as a JSON document with
+// deterministic field and element order — counters, gauges and
+// histograms each sorted by (name, labels). Bucket upper bounds are
+// rendered as strings so the +Inf bucket survives JSON.
+func WriteJSON(w io.Writer, r *Registry) error {
+	s := r.snapshot()
+	var b strings.Builder
+	b.WriteString("{\n  \"counters\": [")
+	for i, c := range s.counters {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString("\n    {\"name\": " + strconv.Quote(c.name) + ", \"labels\": " + jsonLabels(c.labels) + ", \"value\": " + strconv.FormatInt(c.Value(), 10) + "}")
+	}
+	b.WriteString("\n  ],\n  \"gauges\": [")
+	for i, g := range s.gauges {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString("\n    {\"name\": " + strconv.Quote(g.name) + ", \"labels\": " + jsonLabels(g.labels) + ", \"value\": " + jsonFloat(g.Value()) + "}")
+	}
+	b.WriteString("\n  ],\n  \"histograms\": [")
+	for i, h := range s.hists {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString("\n    {\"name\": " + strconv.Quote(h.name) + ", \"labels\": " + jsonLabels(h.labels) + ", \"buckets\": [")
+		for j, up := range h.uppers {
+			if j > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString("{\"le\": " + strconv.Quote(formatFloat(up)) + ", \"count\": " + strconv.FormatInt(h.counts[j].Load(), 10) + "}")
+		}
+		if len(h.uppers) > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString("{\"le\": \"+Inf\", \"count\": " + strconv.FormatInt(h.inf.Load(), 10) + "}")
+		b.WriteString("], \"sum\": " + jsonFloat(h.Sum()) + ", \"count\": " + strconv.FormatInt(h.Count(), 10) + "}")
+	}
+	b.WriteString("\n  ]\n}\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// jsonLabels renders a canonical label list as a JSON object.
+func jsonLabels(labels []string) string {
+	var b strings.Builder
+	b.WriteByte('{')
+	for i := 0; i+1 < len(labels); i += 2 {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(strconv.Quote(labels[i]) + ": " + strconv.Quote(labels[i+1]))
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// jsonFloat renders a float as JSON (Inf/NaN, illegal in JSON, as null).
+func jsonFloat(v float64) string {
+	s := formatFloat(v)
+	if strings.ContainsAny(s, "IN") { // +Inf, -Inf, NaN
+		return "null"
+	}
+	return s
+}

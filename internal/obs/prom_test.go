@@ -1,0 +1,96 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+// buildTestRegistry populates a registry with one of each instrument kind,
+// registered in a scrambled order the encoders must sort away.
+func buildTestRegistry() *Registry {
+	r := NewRegistry()
+	r.Gauge("cisp_netsim_mlu", "mode", "fluid").Set(0.75)
+	h := r.HistogramBuckets("cisp_lp_solve_seconds", []float64{0.001, 0.01, 0.1})
+	h.Observe(0.0005)
+	h.Observe(0.004)
+	h.Observe(0.05)
+	h.Observe(2)
+	r.Counter("cisp_lp_solves_total").Add(4)
+	r.Counter("cisp_netsim_events_total", "mode", "packet").Add(120)
+	r.Counter("cisp_netsim_events_total", "mode", "fluid").Add(260)
+	return r
+}
+
+const wantProm = `# TYPE cisp_lp_solve_seconds histogram
+cisp_lp_solve_seconds_bucket{le="0.001"} 1
+cisp_lp_solve_seconds_bucket{le="0.01"} 2
+cisp_lp_solve_seconds_bucket{le="0.1"} 3
+cisp_lp_solve_seconds_bucket{le="+Inf"} 4
+cisp_lp_solve_seconds_sum 2.0545
+cisp_lp_solve_seconds_count 4
+# TYPE cisp_lp_solves_total counter
+cisp_lp_solves_total 4
+# TYPE cisp_netsim_events_total counter
+cisp_netsim_events_total{mode="fluid"} 260
+cisp_netsim_events_total{mode="packet"} 120
+# TYPE cisp_netsim_mlu gauge
+cisp_netsim_mlu{mode="fluid"} 0.75
+`
+
+func TestWritePromGolden(t *testing.T) {
+	var b strings.Builder
+	if err := WriteProm(&b, buildTestRegistry()); err != nil {
+		t.Fatal(err)
+	}
+	if b.String() != wantProm {
+		t.Errorf("WriteProm mismatch:\n--- got ---\n%s--- want ---\n%s", b.String(), wantProm)
+	}
+}
+
+const wantJSON = `{
+  "counters": [
+    {"name": "cisp_lp_solves_total", "labels": {}, "value": 4},
+    {"name": "cisp_netsim_events_total", "labels": {"mode": "fluid"}, "value": 260},
+    {"name": "cisp_netsim_events_total", "labels": {"mode": "packet"}, "value": 120}
+  ],
+  "gauges": [
+    {"name": "cisp_netsim_mlu", "labels": {"mode": "fluid"}, "value": 0.75}
+  ],
+  "histograms": [
+    {"name": "cisp_lp_solve_seconds", "labels": {}, "buckets": [{"le": "0.001", "count": 1}, {"le": "0.01", "count": 1}, {"le": "0.1", "count": 1}, {"le": "+Inf", "count": 1}], "sum": 2.0545, "count": 4}
+  ]
+}
+`
+
+func TestWriteJSONGolden(t *testing.T) {
+	var b strings.Builder
+	if err := WriteJSON(&b, buildTestRegistry()); err != nil {
+		t.Fatal(err)
+	}
+	if b.String() != wantJSON {
+		t.Errorf("WriteJSON mismatch:\n--- got ---\n%s--- want ---\n%s", b.String(), wantJSON)
+	}
+}
+
+func TestWritePromEmptyAndNil(t *testing.T) {
+	var b strings.Builder
+	if err := WriteProm(&b, nil); err != nil || b.Len() != 0 {
+		t.Errorf("nil registry: err=%v out=%q", err, b.String())
+	}
+	if err := WriteProm(&b, NewRegistry()); err != nil || b.Len() != 0 {
+		t.Errorf("empty registry: err=%v out=%q", err, b.String())
+	}
+}
+
+func TestLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("c", "k", `a"b\c`+"\n").Inc()
+	var b strings.Builder
+	if err := WriteProm(&b, r); err != nil {
+		t.Fatal(err)
+	}
+	want := `c{k="a\"b\\c\n"} 1`
+	if !strings.Contains(b.String(), want) {
+		t.Errorf("escaped sample %q not found in:\n%s", want, b.String())
+	}
+}

@@ -1,0 +1,147 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// buildSpanTree records one fixed span tree. order flips the creation
+// order of two concurrent-style siblings — the export must not care.
+func buildSpanTree(tr *Tracer, flipped bool) {
+	s := &Sink{Tr: tr}
+	fig := s.Span("fig:users")
+	names := []string{"replay:cisp/fluid", "replay:fiber/fluid"}
+	if flipped {
+		names[0], names[1] = names[1], names[0]
+	}
+	for _, n := range names {
+		c := fig.Child(n)
+		c.SetItems(3)
+		c.End()
+	}
+	te := fig.Child("te-solve")
+	te.AddItems(2)
+	te.End()
+	fig.SetItems(0)
+	fig.End()
+	// A second run of the same stage: same path, next index, distinct ID.
+	again := s.Span("fig:users")
+	again.End()
+}
+
+func traceString(t *testing.T, tr *Tracer) string {
+	t.Helper()
+	var b strings.Builder
+	if err := WriteTrace(&b, tr); err != nil {
+		t.Fatal(err)
+	}
+	return b.String()
+}
+
+func TestTraceDeterministicAcrossCreationOrder(t *testing.T) {
+	a := NewTracer(42, nil)
+	buildSpanTree(a, false)
+	b := NewTracer(42, nil)
+	buildSpanTree(b, true)
+	if ta, tb := traceString(t, a), traceString(t, b); ta != tb {
+		t.Errorf("trace depends on sibling creation order:\n--- a ---\n%s--- b ---\n%s", ta, tb)
+	}
+}
+
+func TestTraceSeedChangesIDsOnly(t *testing.T) {
+	a := NewTracer(1, nil)
+	buildSpanTree(a, false)
+	b := NewTracer(2, nil)
+	buildSpanTree(b, false)
+	ta, tb := traceString(t, a), traceString(t, b)
+	if ta == tb {
+		t.Error("different seeds produced identical traces (IDs should differ)")
+	}
+}
+
+func TestTraceGolden(t *testing.T) {
+	tr := NewTracer(7, nil)
+	s := &Sink{Tr: tr}
+	root := s.Span("root")
+	c := root.Child("work")
+	c.SetItems(2)
+	c.End()
+	root.End()
+	got := traceString(t, tr)
+	want := `{"displayTimeUnit":"ms","traceEvents":[
+{"name":"root","cat":"stage","ph":"X","ts":0,"dur":4,"pid":1,"tid":1,"args":{"id":"` +
+		hex16(spanID(7, "root", 0)) + `","path":"root","items":0}},
+{"name":"work","cat":"stage","ph":"X","ts":1,"dur":3,"pid":1,"tid":1,"args":{"id":"` +
+		hex16(spanID(7, "root/work", 0)) + `","path":"root/work","items":2}}
+]}
+`
+	if got != want {
+		t.Errorf("trace golden mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+func hex16(v uint64) string {
+	const digits = "0123456789abcdef"
+	var b [16]byte
+	for i := 15; i >= 0; i-- {
+		b[i] = digits[v&0xf]
+		v >>= 4
+	}
+	return strings.TrimLeft(string(b[:]), "0")
+}
+
+func TestSpanIDDistinct(t *testing.T) {
+	seen := map[uint64]string{}
+	for _, k := range []struct {
+		seed  int64
+		path  string
+		index int
+	}{{1, "a", 0}, {1, "a", 1}, {1, "b", 0}, {2, "a", 0}, {1, "a/b", 0}} {
+		id := spanID(k.seed, k.path, k.index)
+		if prev, dup := seen[id]; dup {
+			t.Errorf("ID collision between %v and %s", k, prev)
+		}
+		seen[id] = k.path
+	}
+}
+
+func TestSpanEventsDriveProgress(t *testing.T) {
+	now := time.Unix(1000, 0)
+	clock := func() time.Time { now = now.Add(250 * time.Millisecond); return now }
+	tr := NewTracer(0, clock)
+	var events []SpanEvent
+	tr.OnEvent = func(ev SpanEvent) { events = append(events, ev) }
+	s := &Sink{Tr: tr}
+	sp := s.Span("stage")
+	sp.SetItems(500)
+	sp.End()
+	if len(events) != 2 {
+		t.Fatalf("got %d events, want 2 (begin+end)", len(events))
+	}
+	if events[0].End || events[0].Path != "stage" {
+		t.Errorf("begin event = %+v", events[0])
+	}
+	end := events[1]
+	if !end.End || end.Items != 500 || end.Path != "stage" {
+		t.Errorf("end event = %+v", end)
+	}
+	if end.Elapsed != 250*time.Millisecond {
+		t.Errorf("elapsed = %v, want 250ms", end.Elapsed)
+	}
+}
+
+func TestTimerObservesClock(t *testing.T) {
+	now := time.Unix(0, 0)
+	clock := func() time.Time { now = now.Add(30 * time.Millisecond); return now }
+	s := &Sink{Reg: NewRegistry(), Clock: clock}
+	stop := s.StartTimer("op_seconds")
+	stop()
+	h := s.Histogram("op_seconds")
+	if h.Count() != 1 {
+		t.Fatalf("timer recorded %d samples, want 1", h.Count())
+	}
+	if got := h.Sum(); got != 0.03 {
+		t.Errorf("timer observed %v, want 0.03", got)
+	}
+}

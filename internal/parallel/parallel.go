@@ -16,10 +16,17 @@
 package parallel
 
 import (
+	"context"
 	"runtime"
+	"runtime/pprof"
 	"sync"
 	"sync/atomic"
 )
+
+// poolLabels tags pool goroutines for pprof: profiles scraped from the
+// cispbench -obs endpoint group worker samples under pool=cisp-parallel
+// instead of anonymous dispatch.func goroutines.
+var poolLabels = pprof.Labels("pool", "cisp-parallel")
 
 // maxChunks bounds how many chunks a range is split into. It is a constant
 // — not a function of the worker count — so chunk boundaries, and therefore
@@ -90,13 +97,15 @@ func dispatch(n, workers int, fn func(i int)) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for !stop.Load() {
-				i := int(next.Add(1)) - 1
-				if i >= n {
-					return
+			pprof.Do(context.Background(), poolLabels, func(context.Context) {
+				for !stop.Load() {
+					i := int(next.Add(1)) - 1
+					if i >= n {
+						return
+					}
+					runOne(i)
 				}
-				runOne(i)
-			}
+			})
 		}()
 	}
 	wg.Wait()

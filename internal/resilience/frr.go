@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"cisp/internal/netsim"
+	"cisp/internal/obs"
 	"cisp/internal/te"
 )
 
@@ -414,6 +415,12 @@ func (p *Protection) Plan(sched *Schedule, mode Mode, ctrl *te.Controller) (*Pla
 		}
 	}
 	plan.LPSolves = te.LPSolves() - solvesBefore
+	snk := obs.Active()
+	snk.Counter("cisp_resilience_frr_activations_total", "mode", mode.String()).Add(int64(plan.Reroutes))
+	// The event-path pin, as a scrapeable gauge: pure-FRR plans promise
+	// zero LP solves while compiling event responses (FRRReopt plans do
+	// their solving in the modelled background controller).
+	snk.Gauge("cisp_resilience_plan_lp_solves", "mode", mode.String()).Set(float64(plan.LPSolves))
 	return plan, nil
 }
 

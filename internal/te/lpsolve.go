@@ -5,6 +5,7 @@ import (
 	"sync/atomic"
 
 	"cisp/internal/lp"
+	"cisp/internal/obs"
 )
 
 // lpSolves counts simplex invocations process-wide. Fast-reroute promises
@@ -45,6 +46,7 @@ const tieEps = 1e-3
 // loudly; they never return garbage splits.
 func solveLP(g *graph, cs []*teComm, base []float64, floor, u0 float64) ([][]float64, float64, error) {
 	lpSolves.Add(1)
+	obs.Active().Counter("cisp_te_lp_solves_total").Inc()
 	nx := 0
 	varAt := make([]int, len(cs)+1)
 	totD, maxDelay := 0.0, 0.0

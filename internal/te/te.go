@@ -25,6 +25,7 @@ import (
 	"sort"
 
 	"cisp/internal/netsim"
+	"cisp/internal/obs"
 	"cisp/internal/parallel"
 	"cisp/internal/units"
 )
@@ -169,6 +170,9 @@ func (c *Controller) Solution() *Solution { return c.sol }
 // start that keeps storm-interval reoptimization cheap. Returns the sorted
 // affected commodity flow IDs.
 func (c *Controller) UpdateCapacities(links []netsim.TopoLink) ([]int, error) {
+	snk := obs.Active()
+	stop := snk.StartTimer("cisp_te_reopt_seconds")
+	defer stop()
 	if 2*len(links) != len(c.g.edges) {
 		return nil, fmt.Errorf("te: capacity update has %d links, controller topology has %d", len(links), len(c.g.edges)/2)
 	}
@@ -224,6 +228,8 @@ func (c *Controller) UpdateCapacities(links []netsim.TopoLink) ([]int, error) {
 	if err := c.reroute(affected); err != nil {
 		return nil, err
 	}
+	snk.Counter("cisp_te_reopts_total").Inc()
+	snk.Counter("cisp_te_reopt_commodities_total").Add(int64(len(affected)))
 	ids := make([]int, len(affected))
 	for k, i := range affected {
 		ids[k] = c.comms[i].flow

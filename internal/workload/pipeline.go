@@ -10,6 +10,7 @@ import (
 	"cisp/internal/graph"
 	"cisp/internal/media"
 	"cisp/internal/netsim"
+	"cisp/internal/obs"
 	"cisp/internal/parallel"
 	"cisp/internal/resilience"
 	"cisp/internal/te"
@@ -40,6 +41,12 @@ type Pipeline struct {
 
 	TECfg   te.Config
 	ProtCfg resilience.Config
+
+	// Span, when non-nil, parents the stage spans Run opens (te-solve,
+	// protect, the four replay legs) on the active obs tracer. Nil is
+	// fine: stage timings still reach the metrics registry, only the
+	// trace nesting is absent.
+	Span *obs.Span
 }
 
 func (p Pipeline) withDefaults() Pipeline {
@@ -197,6 +204,9 @@ func (p Pipeline) Run(c *Compiled) (*ScenarioReport, error) {
 
 	// Control planes: TE fractional splits on the hybrid, single
 	// shortest paths on the fiber baseline.
+	snk := obs.Active()
+	teSp := p.Span.Child("te-solve")
+	teStop := snk.StartTimer("cisp_workload_stage_seconds", "stage", "te-solve")
 	solH, err := te.Solve(b.Nodes, hybrid, fluidComms, p.TECfg)
 	if err != nil {
 		return nil, fmt.Errorf("workload: hybrid TE solve: %w", err)
@@ -205,6 +215,9 @@ func (p Pipeline) Run(c *Compiled) (*ScenarioReport, error) {
 	if err != nil {
 		return nil, fmt.Errorf("workload: fiber baseline solve: %w", err)
 	}
+	teStop()
+	teSp.SetItems(int64(len(fluidComms)))
+	teSp.End()
 
 	rep := &ScenarioReport{
 		Name:         c.Spec.Name,
@@ -226,6 +239,8 @@ func (p Pipeline) Run(c *Compiled) (*ScenarioReport, error) {
 	var updH, updF []netsim.PathUpdate
 	if c.Schedule != nil {
 		rep.HasFailures = true
+		protSp := p.Span.Child("protect")
+		protStop := snk.StartTimer("cisp_workload_stage_seconds", "stage", "protect")
 		protH, err := resilience.NewProtection(b.Nodes, hybrid, fluidComms, solH.Splits, p.ProtCfg)
 		if err != nil {
 			return nil, fmt.Errorf("workload: hybrid protection: %w", err)
@@ -261,6 +276,9 @@ func (p Pipeline) Run(c *Compiled) (*ScenarioReport, error) {
 		failF, updF = planF.Failures, planF.Updates
 		rep.ReroutesFiber = planF.Reroutes
 		rep.AvailFiber = protF.Availability(fiberSched, resilience.FRRReopt)
+		protStop()
+		protSp.SetItems(int64(rep.ReroutesCISP + rep.ReroutesFiber))
+		protSp.End()
 	}
 
 	specs := []runSpec{
@@ -271,6 +289,9 @@ func (p Pipeline) Run(c *Compiled) (*ScenarioReport, error) {
 	}
 	results := parallel.Map(len(specs), 1, func(i int) *netsim.ScenarioResult {
 		s := specs[i]
+		leg := s.substrate + "/" + s.mode.String()
+		legSp := p.Span.Child("replay:" + leg)
+		legStop := snk.StartTimer("cisp_workload_stage_seconds", "stage", "replay:"+leg)
 		sc := &netsim.Scenario{
 			Nodes: s.nodes, Links: s.links, Comms: s.comms,
 			Scheme:      netsim.ShortestPath,
@@ -281,7 +302,11 @@ func (p Pipeline) Run(c *Compiled) (*ScenarioReport, error) {
 			StartSpread: p.Window,
 			Seed:        p.Seed,
 		}
-		return sc.Run(s.mode)
+		res := sc.Run(s.mode)
+		legStop()
+		legSp.SetItems(res.EventsProcessed)
+		legSp.End()
+		return res
 	})
 
 	rttH := p.appRTTs(b.Nodes, hybrid, fluidComms, appOf)
