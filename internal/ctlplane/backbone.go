@@ -1,0 +1,148 @@
+package ctlplane
+
+import (
+	"fmt"
+	"sort"
+
+	"cisp/internal/cities"
+	"cisp/internal/geo"
+	"cisp/internal/netsim"
+	"cisp/internal/units"
+)
+
+// Backbone is the physical substrate a daemon owns: the microwave links
+// (weather-gradable, endpoints indexing Sites) followed by the fiber
+// conduits (rain-proof, midpoint transit nodes allowed). The microwave
+// prefix ordering is the same contract internal/weather grading,
+// resilience schedules, and te.Controller positional updates rely on.
+type Backbone struct {
+	Sites []cities.City
+	Nodes int               // sites plus fiber midpoint transit nodes
+	Mw    []netsim.TopoLink // microwave links; A/B index Sites
+	Fiber []netsim.TopoLink // fiber conduits, incl. midpoint halves
+}
+
+// Hybrid returns the combined link list, microwave first.
+func (b *Backbone) Hybrid() []netsim.TopoLink {
+	return append(append([]netsim.TopoLink(nil), b.Mw...), b.Fiber...)
+}
+
+// validate checks the structural contract New depends on.
+func (b *Backbone) validate() error {
+	if b == nil {
+		return fmt.Errorf("ctlplane: nil backbone")
+	}
+	if b.Nodes < len(b.Sites) {
+		return fmt.Errorf("ctlplane: %d nodes < %d sites", b.Nodes, len(b.Sites))
+	}
+	for li, l := range b.Mw {
+		if l.A < 0 || l.A >= len(b.Sites) || l.B < 0 || l.B >= len(b.Sites) {
+			return fmt.Errorf("ctlplane: microwave link %d endpoints %d-%d outside site range [0,%d)", li, l.A, l.B, len(b.Sites))
+		}
+	}
+	return nil
+}
+
+// SyntheticBackbone builds a deterministic hybrid substrate over the given
+// sites without running the design pipeline: each site gets microwave
+// links to its nearestK nearest neighbors (deduplicated), every microwave
+// link gets a parallel fiber conduit through a midpoint transit node at
+// the paper's ~1.5× fiber stretch, and fiberGbps/mwGbps set the uniform
+// capacities. It is the fast-boot substrate for cmd/cispd and the ctltest
+// harness; production deployments hand the daemon a designed topology
+// (experiments.DesignedTETopology) instead.
+func SyntheticBackbone(sites []cities.City, nearestK int, mwGbps, fiberGbps float64) *Backbone {
+	if nearestK <= 0 {
+		nearestK = 2
+	}
+	type pair struct{ a, b int }
+	chosen := map[pair]bool{}
+	for i := range sites {
+		type cand struct {
+			j int
+			d units.Meters
+		}
+		var cs []cand
+		for j := range sites {
+			if j != i {
+				cs = append(cs, cand{j, sites[i].Loc.DistanceTo(sites[j].Loc)})
+			}
+		}
+		sort.Slice(cs, func(x, y int) bool {
+			if cs[x].d != cs[y].d {
+				return cs[x].d < cs[y].d
+			}
+			return cs[x].j < cs[y].j
+		})
+		for k := 0; k < nearestK && k < len(cs); k++ {
+			a, b := i, cs[k].j
+			if a > b {
+				a, b = b, a
+			}
+			chosen[pair{a, b}] = true
+		}
+	}
+	var pairs []pair
+	for p := range chosen {
+		pairs = append(pairs, p)
+	}
+	sort.Slice(pairs, func(x, y int) bool {
+		if pairs[x].a != pairs[y].a {
+			return pairs[x].a < pairs[y].a
+		}
+		return pairs[x].b < pairs[y].b
+	})
+
+	b := &Backbone{Sites: sites, Nodes: len(sites)}
+	for _, p := range pairs {
+		d := float64(sites[p.a].Loc.DistanceTo(sites[p.b].Loc))
+		b.Mw = append(b.Mw, netsim.TopoLink{
+			A: p.a, B: p.b,
+			RateBps:   units.Gbps(mwGbps),
+			PropDelay: units.Seconds(d / geo.C),
+		})
+	}
+	for _, p := range pairs {
+		d := float64(sites[p.a].Loc.DistanceTo(sites[p.b].Loc)) * 1.5
+		mid := b.Nodes
+		b.Nodes++
+		b.Fiber = append(b.Fiber,
+			netsim.TopoLink{A: p.a, B: mid, RateBps: units.Gbps(fiberGbps), PropDelay: units.Seconds(d / 2 / geo.C)},
+			netsim.TopoLink{A: mid, B: p.b, RateBps: units.Gbps(fiberGbps), PropDelay: units.Seconds(d / 2 / geo.C)})
+	}
+	return b
+}
+
+// GravityCommodities derives a dense-ID commodity list from site
+// populations: demand between every site pair is proportional to the
+// product of their populations (the classic gravity model), normalized so
+// the total offered load is aggregateGbps. Pairs with zero product (data
+// centers, zero-population sites) are skipped. Flow IDs are assigned in
+// row-major pair order, so the list is stable for a given site set.
+func GravityCommodities(sites []cities.City, aggregateGbps float64) []netsim.Commodity {
+	var total float64
+	for i := range sites {
+		for j := i + 1; j < len(sites); j++ {
+			total += float64(sites[i].Population) * float64(sites[j].Population)
+		}
+	}
+	if total <= 0 {
+		return nil
+	}
+	var comms []netsim.Commodity
+	flow := 0
+	for i := range sites {
+		for j := i + 1; j < len(sites); j++ {
+			w := float64(sites[i].Population) * float64(sites[j].Population)
+			flow++
+			if w <= 0 {
+				continue
+			}
+			comms = append(comms, netsim.Commodity{
+				Flow: flow, Src: i, Dst: j,
+				Demand: units.Gbps(aggregateGbps * w / total),
+			})
+		}
+	}
+	return comms
+}

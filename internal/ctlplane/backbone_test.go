@@ -1,0 +1,87 @@
+package ctlplane
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"cisp/internal/cities"
+	"cisp/internal/geo"
+)
+
+func fourSites() []cities.City {
+	return []cities.City{
+		{Name: "A", Loc: geo.Point{Lat: 40, Lon: -75}, Population: 8_000_000},
+		{Name: "B", Loc: geo.Point{Lat: 41, Lon: -85}, Population: 4_000_000},
+		{Name: "C", Loc: geo.Point{Lat: 39, Lon: -95}, Population: 2_000_000},
+		{Name: "DC", Loc: geo.Point{Lat: 38, Lon: -90}, Population: 0},
+	}
+}
+
+func TestSyntheticBackboneShape(t *testing.T) {
+	b := SyntheticBackbone(fourSites(), 2, 10, 40)
+	if err := b.validate(); err != nil {
+		t.Fatalf("synthetic backbone invalid: %v", err)
+	}
+	if len(b.Mw) == 0 || len(b.Fiber) != 2*len(b.Mw) {
+		t.Fatalf("got %d microwave and %d fiber links, want fiber = 2×mw conduit halves", len(b.Mw), len(b.Fiber))
+	}
+	if want := len(b.Sites) + len(b.Mw); b.Nodes != want {
+		t.Fatalf("Nodes = %d, want %d (sites + one transit node per conduit)", b.Nodes, want)
+	}
+	hybrid := b.Hybrid()
+	if len(hybrid) != len(b.Mw)+len(b.Fiber) {
+		t.Fatalf("Hybrid length %d, want %d", len(hybrid), len(b.Mw)+len(b.Fiber))
+	}
+	for i, l := range hybrid[:len(b.Mw)] {
+		if l != b.Mw[i] {
+			t.Fatalf("hybrid[%d] != Mw[%d]: microwave prefix ordering broken", i, i)
+		}
+	}
+	// Fiber conduits must run ~1.5× the microwave propagation delay.
+	for i, mw := range b.Mw {
+		fiber := float64(b.Fiber[2*i].PropDelay + b.Fiber[2*i+1].PropDelay)
+		if ratio := fiber / float64(mw.PropDelay); math.Abs(ratio-1.5) > 1e-9 {
+			t.Fatalf("conduit %d delay ratio %v, want 1.5", i, ratio)
+		}
+	}
+	// Determinism: same inputs, same backbone.
+	if again := SyntheticBackbone(fourSites(), 2, 10, 40); !reflect.DeepEqual(b, again) {
+		t.Fatalf("SyntheticBackbone is not deterministic")
+	}
+}
+
+func TestGravityCommodities(t *testing.T) {
+	sites := fourSites()
+	comms := GravityCommodities(sites, 20)
+	if len(comms) != 3 {
+		t.Fatalf("got %d commodities, want 3 (pairs among the populated sites)", len(comms))
+	}
+	var total float64
+	seen := map[int]bool{}
+	for _, c := range comms {
+		if c.Demand <= 0 {
+			t.Fatalf("flow %d has non-positive demand %v", c.Flow, c.Demand)
+		}
+		if seen[c.Flow] {
+			t.Fatalf("duplicate flow ID %d", c.Flow)
+		}
+		seen[c.Flow] = true
+		if sites[c.Src].Population == 0 || sites[c.Dst].Population == 0 {
+			t.Fatalf("flow %d touches the zero-population site", c.Flow)
+		}
+		total += float64(c.Demand)
+	}
+	if math.Abs(total-20e9) > 1 {
+		t.Fatalf("total demand %v bps, want 20 Gbps", total)
+	}
+	// The largest-population pair must carry the most demand.
+	if comms[0].Src != 0 || comms[0].Dst != 1 {
+		t.Fatalf("first commodity is %d->%d, want 0->1", comms[0].Src, comms[0].Dst)
+	}
+	// All-zero populations yield no commodities rather than NaN shares.
+	zero := []cities.City{{Name: "X"}, {Name: "Y"}}
+	if got := GravityCommodities(zero, 20); got != nil {
+		t.Fatalf("zero-population commodity list = %+v, want nil", got)
+	}
+}

@@ -1,0 +1,378 @@
+// Package ctlplane is the long-running control plane of the hybrid cISP
+// backbone: where cispbench designs a network, replays a figure, and
+// exits, a ctlplane.Daemon owns a designed backbone for its lifetime,
+// ingests a live stream of weather-grading and hard-failure events (from
+// the seeded internal/weather and internal/resilience engines, or from an
+// HTTP injection endpoint), drives te.Controller warm reoptimization and
+// fast-reroute activation in response, and serves versioned, immutable
+// forwarding snapshots over HTTP/JSON at high QPS.
+//
+// Concurrency model: one event-loop goroutine owns all mutable state
+// (graded capacities, down-set, the TE controller) and publishes
+// copy-on-write snapshots through an atomic pointer — readers never take a
+// lock and never block behind a reoptimization; they see the last
+// published version until the swap. Hard failures follow the resilience
+// contract: the fast-reroute patch publishes first, with zero LP solves on
+// that path (pinned by the cisp_ctlplane_frr_lp_solves gauge and the
+// ctltest harness), and the warm reoptimization swaps in as a separate
+// snapshot version. The snapshot sequence is a pure function of the event
+// sequence and the daemon's seed-determined inputs: same events, same
+// bytes, at any worker-pool width. See DESIGN.md §13.
+package ctlplane
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"cisp/internal/netsim"
+	"cisp/internal/obs"
+	"cisp/internal/resilience"
+	"cisp/internal/te"
+	"cisp/internal/units"
+)
+
+// Config assembles a Daemon. Backbone and Comms are required; zero-value
+// tuning fields take the te/resilience defaults.
+type Config struct {
+	Backbone *Backbone
+	Comms    []netsim.Commodity
+
+	TE   te.Config
+	Prot resilience.Config
+
+	// Clock stamps snapshots and feeds latency histograms. Defaults to a
+	// fixed epoch clock, keeping library use deterministic; cmd/cispd
+	// injects obs.WallClock, tests an obs.ManualClock.
+	Clock obs.Clock
+
+	// ReoptAfterFRR, when true (the default via New), follows every hard
+	// failure/repair's fast-reroute snapshot with a warm full
+	// reoptimization snapshot — the FRRReopt production loop. Set
+	// DisableReopt to run pure FRR (the zero-LP-solve regime the harness
+	// pins).
+	DisableReopt bool
+
+	// OnPublish, when non-nil, observes every published snapshot,
+	// synchronously and in version order, from the event loop. Used by the
+	// ctltest harness to record byte-exact snapshot sequences and by
+	// cmd/cispd for logging; must not block.
+	OnPublish func(*Snapshot)
+}
+
+// Daemon is a running control plane. Create with New, stop with Close.
+type Daemon struct {
+	cfg   Config
+	nodes int
+	nMw   int
+	clear []netsim.TopoLink // clear-sky hybrid list (mw prefix + fiber)
+	comms []netsim.Commodity
+	snap  atomic.Pointer[Snapshot]
+
+	drain  atomic.Bool
+	mu     sync.RWMutex // guards reqs against close; held only around the send
+	closed bool
+	reqs   chan request
+	loopWG sync.WaitGroup
+
+	// Event-loop-owned state (never touched outside the loop after New).
+	capFrac []float64 // per-microwave-link graded fraction
+	down    []bool    // per-hybrid-link hard-failure state
+	ctrl    *te.Controller
+	prot    *resilience.Protection
+	base    map[int][]netsim.SplitPath // latest reopt solution (or primaries)
+	backups []BackupWire
+	version uint64
+	epoch   uint64
+}
+
+// request is one serialized unit of work for the event loop.
+type request struct {
+	events []Event     // Apply
+	reload *reloadSpec // Reload
+	reply  chan result
+}
+
+type reloadSpec struct {
+	te   te.Config
+	prot resilience.Config
+}
+
+type result struct {
+	snap *Snapshot
+	err  error
+}
+
+// New builds the control plane at clear sky — TE solve, disjoint-backup
+// precomputation, initial snapshot (version 1, epoch 1) — and starts the
+// event loop.
+func New(cfg Config) (*Daemon, error) {
+	if err := cfg.Backbone.validate(); err != nil {
+		return nil, err
+	}
+	if len(cfg.Comms) == 0 {
+		return nil, fmt.Errorf("ctlplane: no commodities")
+	}
+	if cfg.Clock == nil {
+		epoch := time.Unix(0, 0)
+		cfg.Clock = func() time.Time { return epoch }
+	}
+	d := &Daemon{
+		cfg:   cfg,
+		nodes: cfg.Backbone.Nodes,
+		nMw:   len(cfg.Backbone.Mw),
+		clear: cfg.Backbone.Hybrid(),
+		comms: cfg.Comms,
+		reqs:  make(chan request),
+	}
+	d.capFrac = make([]float64, d.nMw)
+	for i := range d.capFrac {
+		d.capFrac[i] = 1
+	}
+	d.down = make([]bool, len(d.clear))
+	d.epoch = 1
+	if err := d.rebuild(cfg.TE, cfg.Prot); err != nil {
+		return nil, err
+	}
+	if err := d.publish(KindInitial, d.copyBase()); err != nil {
+		return nil, err
+	}
+	d.loopWG.Add(1)
+	go d.loop()
+	return d, nil
+}
+
+// NumLinks returns the hybrid topology's link count (microwave prefix
+// first); NumMw the microwave prefix length — the two ranges event
+// validation is performed against.
+func (d *Daemon) NumLinks() int { return len(d.clear) }
+
+// NumMw returns the microwave link count (the fade-event index range).
+func (d *Daemon) NumMw() int { return d.nMw }
+
+// Snapshot returns the current forwarding snapshot: an atomic pointer
+// load, safe from any goroutine, never blocking behind the event loop.
+func (d *Daemon) Snapshot() *Snapshot { return d.snap.Load() }
+
+// Apply injects events in order and returns the snapshot current after
+// the last one published. It serializes through the event loop; readers
+// calling Snapshot are unaffected while it runs.
+func (d *Daemon) Apply(events []Event) (*Snapshot, error) {
+	for i, ev := range events {
+		if err := validateEvent(ev, d.nMw, len(d.clear)); err != nil {
+			return nil, fmt.Errorf("ctlplane: event %d: %w", i, err)
+		}
+	}
+	return d.send(request{events: events})
+}
+
+// Reload rebuilds the control plane under new TE/protection tuning — a
+// fresh controller and backup set at clear sky, replayed to the current
+// graded/failed link state — and publishes a reload snapshot with the
+// epoch incremented. Serving continues uninterrupted throughout.
+func (d *Daemon) Reload(teCfg te.Config, protCfg resilience.Config) (*Snapshot, error) {
+	return d.send(request{reload: &reloadSpec{te: teCfg, prot: protCfg}})
+}
+
+func (d *Daemon) send(req request) (*Snapshot, error) {
+	req.reply = make(chan result, 1)
+	d.mu.RLock()
+	if d.closed {
+		d.mu.RUnlock()
+		return nil, fmt.Errorf("ctlplane: daemon is draining")
+	}
+	// The loop is alive until Close, and Close cannot proceed while a read
+	// lock is held, so this send always finds a consumer.
+	d.reqs <- req
+	d.mu.RUnlock()
+	r := <-req.reply
+	return r.snap, r.err
+}
+
+// Close drains the daemon: readiness drops immediately, new Apply/Reload
+// calls are refused, and the event loop finishes its queue and exits.
+// Idempotent.
+func (d *Daemon) Close() {
+	d.drain.Store(true)
+	d.mu.Lock()
+	if d.closed {
+		d.mu.Unlock()
+		return
+	}
+	d.closed = true
+	close(d.reqs)
+	d.mu.Unlock()
+	d.loopWG.Wait()
+}
+
+// Draining reports whether Close has begun (readiness turns false first).
+func (d *Daemon) Draining() bool { return d.drain.Load() }
+
+func (d *Daemon) loop() {
+	defer d.loopWG.Done()
+	for req := range d.reqs {
+		var res result
+		switch {
+		case req.reload != nil:
+			res.snap, res.err = d.handleReload(*req.reload)
+		default:
+			res.snap, res.err = d.handleEvents(req.events)
+		}
+		req.reply <- res
+	}
+}
+
+// effective composes the current link state: clear-sky rates scaled by the
+// microwave fade grading, zeroed where hard-failed — the one place fade
+// and failure meet, positionally aligned with the clear-sky list the
+// controller was built over.
+func (d *Daemon) effective() []netsim.TopoLink {
+	out := append([]netsim.TopoLink(nil), d.clear...)
+	for i := 0; i < d.nMw; i++ {
+		out[i].RateBps = units.BitsPerSecond(float64(out[i].RateBps) * d.capFrac[i])
+	}
+	for li := range out {
+		if d.down[li] {
+			out[li].RateBps = 0
+		}
+	}
+	return out
+}
+
+func (d *Daemon) handleEvents(events []Event) (*Snapshot, error) {
+	snk := obs.Active()
+	for _, ev := range events {
+		snk.Counter("cisp_ctlplane_events_total", "type", ev.Type).Inc()
+		switch ev.Type {
+		case EventFade:
+			d.capFrac[ev.Link] = ev.CapFrac
+			if err := d.reoptimize(KindReopt); err != nil {
+				return nil, err
+			}
+		case EventFail, EventRepair:
+			d.down[ev.Link] = ev.Type == EventFail
+			// Fast reroute first: pure table lookups against the current
+			// base, published before any solver runs. The LP-solve delta
+			// across this path is exported and must stay zero.
+			before := te.LPSolves()
+			patched := d.prot.PatchedFrom(d.base, d.down)
+			if err := d.publish(KindFRR, patched); err != nil {
+				return nil, err
+			}
+			snk.Gauge("cisp_ctlplane_frr_lp_solves").Add(float64(te.LPSolves() - before))
+			if !d.cfg.DisableReopt {
+				if err := d.reoptimize(KindReopt); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	return d.Snapshot(), nil
+}
+
+// reoptimize feeds the composed capacities into the warm controller and
+// publishes its (fast-reroute-patched) solution.
+func (d *Daemon) reoptimize(kind string) error {
+	if _, err := d.ctrl.UpdateCapacities(d.effective()); err != nil {
+		return fmt.Errorf("ctlplane: reoptimizing: %w", err)
+	}
+	d.base = copySplits(d.ctrl.Solution().Splits)
+	return d.publish(kind, d.prot.PatchedFrom(d.base, d.down))
+}
+
+func (d *Daemon) handleReload(spec reloadSpec) (*Snapshot, error) {
+	if err := d.rebuild(spec.te, spec.prot); err != nil {
+		return nil, err
+	}
+	d.epoch++
+	if err := d.publish(KindReload, d.prot.PatchedFrom(d.base, d.down)); err != nil {
+		return nil, err
+	}
+	return d.Snapshot(), nil
+}
+
+// rebuild constructs controller + protection at clear sky under the given
+// tuning and replays the current graded/failed state into the controller.
+// Called at New (epoch stays 1) and on Reload (caller bumps the epoch).
+func (d *Daemon) rebuild(teCfg te.Config, protCfg resilience.Config) error {
+	ctrl, err := te.NewController(d.nodes, d.clear, d.comms, teCfg)
+	if err != nil {
+		return fmt.Errorf("ctlplane: clear-sky TE solve: %w", err)
+	}
+	primaries := copySplits(ctrl.Solution().Splits)
+	prot, err := resilience.NewProtection(d.nodes, d.clear, d.comms, primaries, protCfg)
+	if err != nil {
+		return fmt.Errorf("ctlplane: backup precomputation: %w", err)
+	}
+	d.ctrl, d.prot = ctrl, prot
+	d.base = primaries
+	degraded := false
+	for i := range d.capFrac {
+		if d.capFrac[i] != 1 {
+			degraded = true
+		}
+	}
+	for _, dn := range d.down {
+		if dn {
+			degraded = true
+		}
+	}
+	if degraded {
+		if _, err := d.ctrl.UpdateCapacities(d.effective()); err != nil {
+			return fmt.Errorf("ctlplane: replaying link state: %w", err)
+		}
+		d.base = copySplits(d.ctrl.Solution().Splits)
+	}
+	d.backups = d.backups[:0]
+	flows := make([]int, 0, len(prot.Backups))
+	for flow := range prot.Backups {
+		flows = append(flows, flow)
+	}
+	sort.Ints(flows)
+	for _, flow := range flows {
+		d.backups = append(d.backups, BackupWire{Flow: flow, Path: prot.Backups[flow].Path})
+	}
+	return nil
+}
+
+// publish validates, versions, encodes, and atomically swaps in a new
+// snapshot, then notifies metrics and the OnPublish hook.
+func (d *Daemon) publish(kind string, splits map[int][]netsim.SplitPath) error {
+	snk := obs.Active()
+	stop := snk.StartTimer("cisp_ctlplane_publish_seconds")
+	defer stop()
+	if err := netsim.ValidateSplits(d.nodes, d.clear, d.comms, splits); err != nil {
+		return fmt.Errorf("ctlplane: refusing to publish: %w", err)
+	}
+	mlu, err := te.MLUOf(d.nodes, d.effective(), d.comms, splits)
+	if err != nil {
+		return fmt.Errorf("ctlplane: snapshot MLU: %w", err)
+	}
+	d.version++
+	snap, err := buildSnapshot(d.version, d.epoch, kind, d.cfg.Clock().Unix(),
+		d.ctrl.Solution().Method, float64(mlu), d.down, d.comms, splits, d.backups)
+	if err != nil {
+		return err
+	}
+	d.snap.Store(snap)
+	snk.Counter("cisp_ctlplane_snapshots_total", "kind", kind).Inc()
+	snk.Gauge("cisp_ctlplane_snapshot_version").Set(float64(snap.Version))
+	snk.Gauge("cisp_ctlplane_snapshot_epoch").Set(float64(snap.Epoch))
+	snk.Gauge("cisp_ctlplane_mlu").Set(snap.MLU)
+	if d.cfg.OnPublish != nil {
+		d.cfg.OnPublish(snap)
+	}
+	return nil
+}
+
+func (d *Daemon) copyBase() map[int][]netsim.SplitPath { return copySplits(d.base) }
+
+func copySplits(m map[int][]netsim.SplitPath) map[int][]netsim.SplitPath {
+	out := make(map[int][]netsim.SplitPath, len(m))
+	for k, v := range m {
+		out[k] = append([]netsim.SplitPath(nil), v...)
+	}
+	return out
+}

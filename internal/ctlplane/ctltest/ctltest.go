@@ -1,0 +1,313 @@
+// Package ctltest is the in-process integration harness for the control
+// plane: it boots a real ctlplane.Daemon with its full HTTP surface on a
+// loopback listener, drives it with a virtual clock and deterministic
+// event schedules, records the exact snapshot sequence the daemon
+// publishes, and asserts the sequence invariants the design promises —
+// versions strictly increasing, splits summing to one, zero LP solves on
+// the fast-reroute path, and byte-identical sequences for the same seed
+// at any worker-pool width. Tests across the repo use it as the one
+// honest way to exercise the daemon: nothing is mocked below the HTTP
+// client.
+package ctltest
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"cisp/internal/cities"
+	"cisp/internal/ctlplane"
+	"cisp/internal/geo"
+	"cisp/internal/netsim"
+	"cisp/internal/obs"
+	"cisp/internal/resilience"
+	"cisp/internal/te"
+	"cisp/internal/units"
+)
+
+// Backbone returns the harness's standard substrate: four population
+// centers and one data center, a microwave backbone with route diversity,
+// and parallel fiber conduits through midpoint transit nodes at the
+// paper's ~1.5× stretch — the same shape the workload pipeline tests use.
+func Backbone() *ctlplane.Backbone {
+	sites := []cities.City{
+		{Name: "A", Loc: geo.Point{Lat: 40, Lon: -75}, Population: 8_000_000},
+		{Name: "B", Loc: geo.Point{Lat: 41, Lon: -85}, Population: 4_000_000},
+		{Name: "C", Loc: geo.Point{Lat: 39, Lon: -95}, Population: 2_000_000},
+		{Name: "D", Loc: geo.Point{Lat: 40, Lon: -105}, Population: 1_000_000},
+		{Name: "DC", Loc: geo.Point{Lat: 38, Lon: -90}, Population: 500_000},
+	}
+	mwPairs := [][2]int{{0, 1}, {1, 2}, {2, 3}, {0, 4}, {2, 4}}
+	b := &ctlplane.Backbone{Sites: sites, Nodes: len(sites)}
+	for _, p := range mwPairs {
+		d := float64(sites[p[0]].Loc.DistanceTo(sites[p[1]].Loc))
+		b.Mw = append(b.Mw, netsim.TopoLink{
+			A: p[0], B: p[1],
+			RateBps:   units.Gbps(10),
+			PropDelay: units.Seconds(d / geo.C),
+		})
+	}
+	for _, p := range mwPairs {
+		d := float64(sites[p[0]].Loc.DistanceTo(sites[p[1]].Loc)) * 1.5
+		mid := b.Nodes
+		b.Nodes++
+		b.Fiber = append(b.Fiber,
+			netsim.TopoLink{A: p[0], B: mid, RateBps: units.Gbps(40), PropDelay: units.Seconds(d / 2 / geo.C)},
+			netsim.TopoLink{A: mid, B: p[1], RateBps: units.Gbps(40), PropDelay: units.Seconds(d / 2 / geo.C)})
+	}
+	return b
+}
+
+// Commodities returns the standard gravity-model demand over Backbone's
+// sites, totaling 20 Gbps — enough load that reoptimizations move splits.
+func Commodities() []netsim.Commodity {
+	return ctlplane.GravityCommodities(Backbone().Sites, 20)
+}
+
+// Options tunes a harness boot. The zero value boots the standard
+// backbone and commodities under default TE/protection tuning.
+type Options struct {
+	Backbone     *ctlplane.Backbone
+	Comms        []netsim.Commodity
+	TE           te.Config
+	Prot         resilience.Config
+	DisableReopt bool
+}
+
+// Harness is one booted daemon plus everything a test needs to drive and
+// observe it: the virtual clock, the metrics sink, the HTTP base URL, and
+// the recorded publication sequence.
+type Harness struct {
+	T     testing.TB
+	D     *ctlplane.Daemon
+	Clock *obs.ManualClock
+	Sink  *obs.Sink
+	URL   string // http://127.0.0.1:<port>, no trailing slash
+
+	client *http.Client
+
+	mu  sync.Mutex
+	seq []*ctlplane.Snapshot
+}
+
+// Start boots a daemon with its HTTP surface on a loopback listener and a
+// virtual clock at the Unix epoch, installs a fresh metrics sink as the
+// process sink for the test's duration, and registers cleanup that drains
+// the server. Every published snapshot — including the initial one — is
+// recorded in publication order.
+func Start(t testing.TB, opts Options) *Harness {
+	t.Helper()
+	if opts.Backbone == nil {
+		opts.Backbone = Backbone()
+	}
+	if opts.Comms == nil {
+		opts.Comms = ctlplane.GravityCommodities(opts.Backbone.Sites, 20)
+	}
+	h := &Harness{
+		T:      t,
+		Clock:  obs.NewManualClock(time.Unix(0, 0)),
+		client: &http.Client{Timeout: 30 * time.Second},
+	}
+	h.Sink = &obs.Sink{Reg: obs.NewRegistry(), Clock: h.Clock.Clock()}
+	prev := obs.SetActive(h.Sink)
+	t.Cleanup(func() { obs.SetActive(prev) })
+
+	d, err := ctlplane.New(ctlplane.Config{
+		Backbone:     opts.Backbone,
+		Comms:        opts.Comms,
+		TE:           opts.TE,
+		Prot:         opts.Prot,
+		Clock:        h.Clock.Clock(),
+		DisableReopt: opts.DisableReopt,
+		OnPublish: func(s *ctlplane.Snapshot) {
+			h.mu.Lock()
+			h.seq = append(h.seq, s)
+			h.mu.Unlock()
+		},
+	})
+	if err != nil {
+		t.Fatalf("ctltest: booting daemon: %v", err)
+	}
+	h.D = d
+	srv, err := d.Serve("127.0.0.1:0", h.Sink)
+	if err != nil {
+		d.Close()
+		t.Fatalf("ctltest: starting server: %v", err)
+	}
+	h.URL = "http://" + srv.Addr()
+	t.Cleanup(func() { srv.Close() })
+	return h
+}
+
+// Sequence returns a copy of the publication sequence so far, in version
+// order (OnPublish runs synchronously on the event loop).
+func (h *Harness) Sequence() []*ctlplane.Snapshot {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return append([]*ctlplane.Snapshot(nil), h.seq...)
+}
+
+// SequenceBytes returns the canonical JSON encodings of the publication
+// sequence — the byte-exact record determinism pins compare.
+func (h *Harness) SequenceBytes() [][]byte {
+	seq := h.Sequence()
+	out := make([][]byte, len(seq))
+	for i, s := range seq {
+		out[i] = s.JSON()
+	}
+	return out
+}
+
+// Inject POSTs an event batch over HTTP and fails the test unless the
+// daemon accepts it. It returns the decoded injection reply version.
+func (h *Harness) Inject(events ...ctlplane.Event) uint64 {
+	h.T.Helper()
+	body, err := json.Marshal(map[string][]ctlplane.Event{"events": events})
+	if err != nil {
+		h.T.Fatalf("ctltest: encoding events: %v", err)
+	}
+	status, reply := h.post("/v1/events", string(body))
+	if status != http.StatusOK {
+		h.T.Fatalf("ctltest: inject: status %d: %s", status, reply)
+	}
+	var r struct {
+		Applied int    `json:"applied"`
+		Version uint64 `json:"version"`
+		Epoch   uint64 `json:"epoch"`
+	}
+	if err := json.Unmarshal([]byte(reply), &r); err != nil {
+		h.T.Fatalf("ctltest: decoding inject reply %q: %v", reply, err)
+	}
+	return r.Version
+}
+
+// InjectRaw POSTs an arbitrary body to the injection endpoint and returns
+// the status code and response body — the negative-path probe.
+func (h *Harness) InjectRaw(body string) (int, string) {
+	h.T.Helper()
+	return h.post("/v1/events", body)
+}
+
+func (h *Harness) post(path, body string) (int, string) {
+	h.T.Helper()
+	resp, err := h.client.Post(h.URL+path, "application/json", strings.NewReader(body))
+	if err != nil {
+		h.T.Fatalf("ctltest: POST %s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		h.T.Fatalf("ctltest: reading %s reply: %v", path, err)
+	}
+	return resp.StatusCode, string(b)
+}
+
+// Get fetches a daemon URL path and returns status and body.
+func (h *Harness) Get(path string) (int, string) {
+	h.T.Helper()
+	resp, err := h.client.Get(h.URL + path)
+	if err != nil {
+		h.T.Fatalf("ctltest: GET %s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		h.T.Fatalf("ctltest: reading %s reply: %v", path, err)
+	}
+	return resp.StatusCode, string(b)
+}
+
+// GetSnapshot fetches and decodes /v1/snapshot, returning the decoded
+// snapshot and the raw bytes served.
+func (h *Harness) GetSnapshot() (*ctlplane.Snapshot, []byte) {
+	h.T.Helper()
+	status, body := h.Get("/v1/snapshot")
+	if status != http.StatusOK {
+		h.T.Fatalf("ctltest: /v1/snapshot: status %d: %s", status, body)
+	}
+	var s ctlplane.Snapshot
+	if err := json.Unmarshal([]byte(body), &s); err != nil {
+		h.T.Fatalf("ctltest: decoding snapshot: %v", err)
+	}
+	return &s, []byte(body)
+}
+
+// Metrics fetches the Prometheus rendering of the harness sink.
+func (h *Harness) Metrics() string {
+	h.T.Helper()
+	status, body := h.Get("/metrics")
+	if status != http.StatusOK {
+		h.T.Fatalf("ctltest: /metrics: status %d", status)
+	}
+	return body
+}
+
+// FRRLPSolves returns the cisp_ctlplane_frr_lp_solves gauge — the
+// cumulative LP-solve count observed across fast-reroute publications,
+// which the design requires to stay exactly zero.
+func (h *Harness) FRRLPSolves() float64 {
+	return h.Sink.Reg.Gauge("cisp_ctlplane_frr_lp_solves").Value()
+}
+
+// AssertInvariants checks the publication sequence against the contract
+// every snapshot stream must satisfy, regardless of the event schedule:
+// versions strictly increase by one from 1, epochs are monotone, every
+// commodity's split fractions sum to one within netsim.SplitSumTol, JSON
+// encodings are present and newline-terminated, and no LP solve ever ran
+// on a fast-reroute publication.
+func (h *Harness) AssertInvariants() {
+	h.T.Helper()
+	seq := h.Sequence()
+	if len(seq) == 0 {
+		h.T.Fatalf("ctltest: no snapshots published")
+	}
+	for i, s := range seq {
+		if want := uint64(i + 1); s.Version != want {
+			h.T.Fatalf("ctltest: snapshot %d has version %d, want %d (versions must increase by 1)", i, s.Version, want)
+		}
+		if i > 0 && s.Epoch < seq[i-1].Epoch {
+			h.T.Fatalf("ctltest: epoch regressed %d -> %d at version %d", seq[i-1].Epoch, s.Epoch, s.Version)
+		}
+		if len(s.JSON()) == 0 || s.JSON()[len(s.JSON())-1] != '\n' {
+			h.T.Fatalf("ctltest: snapshot v%d encoding missing or unterminated", s.Version)
+		}
+		for _, cw := range s.Commodities {
+			sum := 0.0
+			for _, sp := range cw.Splits {
+				if sp.Frac <= 0 || math.IsNaN(sp.Frac) || math.IsInf(sp.Frac, 0) {
+					h.T.Fatalf("ctltest: snapshot v%d flow %d has bad fraction %v", s.Version, cw.Flow, sp.Frac)
+				}
+				sum += sp.Frac
+			}
+			if math.Abs(sum-1) > netsim.SplitSumTol {
+				h.T.Fatalf("ctltest: snapshot v%d flow %d splits sum to %v, want 1±%v", s.Version, cw.Flow, sum, netsim.SplitSumTol)
+			}
+		}
+		if math.IsNaN(s.MLU) || math.IsInf(s.MLU, 0) || s.MLU < 0 {
+			h.T.Fatalf("ctltest: snapshot v%d has bad MLU %v", s.Version, s.MLU)
+		}
+	}
+	if n := h.FRRLPSolves(); n != 0 {
+		h.T.Fatalf("ctltest: %v LP solves observed on the fast-reroute path, want 0", n)
+	}
+}
+
+// Diff returns a description of the first difference between two recorded
+// byte sequences, or "" when identical — the determinism pin's comparator.
+func Diff(a, b [][]byte) string {
+	if len(a) != len(b) {
+		return fmt.Sprintf("sequence lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if string(a[i]) != string(b[i]) {
+			return fmt.Sprintf("snapshot %d differs:\n  a: %s\n  b: %s", i, a[i], b[i])
+		}
+	}
+	return ""
+}

@@ -1,0 +1,398 @@
+package ctltest
+
+import (
+	"encoding/json"
+	"math"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+
+	"cisp/internal/ctlplane"
+	"cisp/internal/netsim"
+	"cisp/internal/parallel"
+	"cisp/internal/resilience"
+	"cisp/internal/te"
+)
+
+func TestBootServesInitialSnapshot(t *testing.T) {
+	h := Start(t, Options{})
+	snap, raw := h.GetSnapshot()
+	if snap.Version != 1 || snap.Epoch != 1 || snap.Kind != ctlplane.KindInitial {
+		t.Fatalf("initial snapshot = v%d e%d kind %q, want v1 e1 initial", snap.Version, snap.Epoch, snap.Kind)
+	}
+	if len(snap.Commodities) == 0 || len(snap.Backups) == 0 {
+		t.Fatalf("initial snapshot missing commodities (%d) or backups (%d)", len(snap.Commodities), len(snap.Backups))
+	}
+	if len(snap.DownLinks) != 0 {
+		t.Fatalf("clear-sky snapshot reports down links %v", snap.DownLinks)
+	}
+	// The served bytes are the canonical encoding, newline-terminated.
+	if raw[len(raw)-1] != '\n' {
+		t.Fatalf("served snapshot not newline-terminated")
+	}
+	if status, body := h.Get("/v1/snapshot/version"); status != http.StatusOK ||
+		!strings.Contains(body, `"version":1`) || !strings.Contains(body, `"epoch":1`) {
+		t.Fatalf("/v1/snapshot/version = %d %q", status, body)
+	}
+	for _, path := range []string{"/healthz", "/readyz", "/metrics"} {
+		if status, _ := h.Get(path); status != http.StatusOK {
+			t.Fatalf("%s = %d, want 200", path, status)
+		}
+	}
+	h.AssertInvariants()
+}
+
+func TestFadeDrivesReopt(t *testing.T) {
+	h := Start(t, Options{})
+	v := h.Inject(ctlplane.Event{Type: ctlplane.EventFade, Link: 0, CapFrac: 0.25})
+	if v != 2 {
+		t.Fatalf("fade advanced to version %d, want 2", v)
+	}
+	snap, _ := h.GetSnapshot()
+	if snap.Kind != ctlplane.KindReopt {
+		t.Fatalf("post-fade snapshot kind %q, want reopt", snap.Kind)
+	}
+	// Clearing the fade publishes again; state is not sticky.
+	if v := h.Inject(ctlplane.Event{Type: ctlplane.EventFade, Link: 0, CapFrac: 1}); v != 3 {
+		t.Fatalf("clear fade advanced to version %d, want 3", v)
+	}
+	h.AssertInvariants()
+}
+
+func TestFailurePublishesFRRThenReopt(t *testing.T) {
+	h := Start(t, Options{})
+	v := h.Inject(ctlplane.Event{Type: ctlplane.EventFail, Link: 0})
+	if v != 3 {
+		t.Fatalf("failure advanced to version %d, want 3 (frr then reopt)", v)
+	}
+	seq := h.Sequence()
+	kinds := []string{seq[0].Kind, seq[1].Kind, seq[2].Kind}
+	want := []string{ctlplane.KindInitial, ctlplane.KindFRR, ctlplane.KindReopt}
+	for i := range want {
+		if kinds[i] != want[i] {
+			t.Fatalf("publication kinds %v, want %v", kinds, want)
+		}
+	}
+	bb := Backbone()
+	a, b := bb.Mw[0].A, bb.Mw[0].B
+	crosses := func(path []int) bool {
+		for i := 0; i+1 < len(path); i++ {
+			u, v := path[i], path[i+1]
+			if (u == a && v == b) || (u == b && v == a) {
+				return true
+			}
+		}
+		return false
+	}
+	for _, s := range seq[1:] {
+		if len(s.DownLinks) != 1 || s.DownLinks[0] != 0 {
+			t.Fatalf("snapshot v%d down links %v, want [0]", s.Version, s.DownLinks)
+		}
+		// Every protected flow whose backup avoids the dead link must have
+		// been steered off it; only unprotected fractions may stall there.
+		protected := map[int]bool{}
+		for _, bw := range s.Backups {
+			if !crosses(bw.Path) {
+				protected[bw.Flow] = true
+			}
+		}
+		if len(protected) == 0 {
+			t.Fatalf("snapshot v%d protects no flows off link %d-%d", s.Version, a, b)
+		}
+		for _, cw := range s.Commodities {
+			if !protected[cw.Flow] {
+				continue
+			}
+			for _, sp := range cw.Splits {
+				if crosses(sp.Path) {
+					t.Fatalf("snapshot v%d protected flow %d still routes over failed link %d-%d", s.Version, cw.Flow, a, b)
+				}
+			}
+		}
+	}
+	if v := h.Inject(ctlplane.Event{Type: ctlplane.EventRepair, Link: 0}); v != 5 {
+		t.Fatalf("repair advanced to version %d, want 5", v)
+	}
+	h.AssertInvariants()
+}
+
+// TestFRRZeroLPSolves pins the design's core latency claim: activating or
+// deactivating fast reroute never runs the LP solver — the patch is pure
+// table lookups — across an episode of failures and repairs.
+func TestFRRZeroLPSolves(t *testing.T) {
+	h := Start(t, Options{DisableReopt: true})
+	for _, ev := range []ctlplane.Event{
+		{Type: ctlplane.EventFail, Link: 1},
+		{Type: ctlplane.EventFail, Link: 3},
+		{Type: ctlplane.EventRepair, Link: 1},
+		{Type: ctlplane.EventRepair, Link: 3},
+	} {
+		h.Inject(ev)
+	}
+	if n := h.FRRLPSolves(); n != 0 {
+		t.Fatalf("FRR path ran %v LP solves, want 0", n)
+	}
+	seq := h.Sequence()
+	if len(seq) != 5 {
+		t.Fatalf("%d publications, want 5 (initial + 4 frr)", len(seq))
+	}
+	for _, s := range seq[1:] {
+		if s.Kind != ctlplane.KindFRR {
+			t.Fatalf("snapshot v%d kind %q, want frr (reopt disabled)", s.Version, s.Kind)
+		}
+	}
+	h.AssertInvariants()
+}
+
+// TestFailFadeRepairComposition drives the same microwave link through
+// fade, hard failure, and repair: the repaired link must come back at its
+// graded rate (fade persists through the outage), and only clearing the
+// fade restores the clear-sky MLU.
+func TestFailFadeRepairComposition(t *testing.T) {
+	h := Start(t, Options{})
+	clearMLU := h.Sequence()[0].MLU
+
+	h.Inject(ctlplane.Event{Type: ctlplane.EventFade, Link: 0, CapFrac: 0.5})
+	fadedMLU, _ := h.GetSnapshot()
+	h.Inject(ctlplane.Event{Type: ctlplane.EventFail, Link: 0})
+	h.Inject(ctlplane.Event{Type: ctlplane.EventRepair, Link: 0})
+	repaired, _ := h.GetSnapshot()
+	if math.Abs(repaired.MLU-fadedMLU.MLU) > 1e-9 {
+		t.Fatalf("post-repair MLU %v differs from faded MLU %v: fade state lost across the outage", repaired.MLU, fadedMLU.MLU)
+	}
+	h.Inject(ctlplane.Event{Type: ctlplane.EventFade, Link: 0, CapFrac: 1})
+	final, _ := h.GetSnapshot()
+	if math.Abs(final.MLU-clearMLU) > 1e-9 {
+		t.Fatalf("clear-sky MLU %v after the episode, want %v", final.MLU, clearMLU)
+	}
+	h.AssertInvariants()
+}
+
+func TestReloadBumpsEpoch(t *testing.T) {
+	h := Start(t, Options{})
+	status, body := h.post("/v1/reload", `{"te":{"K":6}}`)
+	if status != http.StatusOK {
+		t.Fatalf("/v1/reload = %d: %s", status, body)
+	}
+	snap, _ := h.GetSnapshot()
+	if snap.Epoch != 2 || snap.Kind != ctlplane.KindReload {
+		t.Fatalf("post-reload snapshot = e%d kind %q, want e2 reload", snap.Epoch, snap.Kind)
+	}
+	// Reload with unknown tuning fields is refused.
+	if status, _ := h.post("/v1/reload", `{"bogus":1}`); status != http.StatusBadRequest {
+		t.Fatalf("bogus reload spec = %d, want 400", status)
+	}
+	h.AssertInvariants()
+}
+
+func TestInjectRejects(t *testing.T) {
+	h := Start(t, Options{})
+	cases := []struct{ name, body string }{
+		{"garbage", `not json`},
+		{"empty batch", `{"events":[]}`},
+		{"nan capfrac", `{"events":[{"type":"fade","link":0,"capfrac":NaN}]}`},
+		{"overflow capfrac", `{"events":[{"type":"fade","link":0,"capfrac":1e999}]}`},
+		{"unknown link", `{"events":[{"type":"fail","link":9999}]}`},
+		{"fade outside mw prefix", `{"events":[{"type":"fade","link":14,"capfrac":0.5}]}`},
+		{"unknown type", `{"events":[{"type":"flood","link":0}]}`},
+	}
+	before, _ := h.GetSnapshot()
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			status, body := h.InjectRaw(tc.body)
+			if status != http.StatusBadRequest {
+				t.Fatalf("%q = %d (%s), want 400", tc.body, status, body)
+			}
+		})
+	}
+	after, _ := h.GetSnapshot()
+	if after.Version != before.Version {
+		t.Fatalf("rejected injections advanced the version %d -> %d", before.Version, after.Version)
+	}
+	h.AssertInvariants()
+}
+
+func TestDrainRefusesWork(t *testing.T) {
+	h := Start(t, Options{})
+	h.D.Close()
+	if status, _ := h.Get("/readyz"); status != http.StatusServiceUnavailable {
+		t.Fatalf("/readyz after drain = %d, want 503", status)
+	}
+	if status, _ := h.InjectRaw(`{"events":[{"type":"fail","link":0}]}`); status != http.StatusServiceUnavailable {
+		t.Fatalf("injection after drain = %d, want 503", status)
+	}
+	// Snapshots keep serving while the daemon drains.
+	if status, _ := h.Get("/v1/snapshot"); status != http.StatusOK {
+		t.Fatalf("/v1/snapshot after drain = %d, want 200", status)
+	}
+	h.D.Close() // idempotent
+}
+
+// TestSnapshotInstallsIntoScenario closes the loop the ISSUE names: a
+// snapshot served by the live control plane installs directly as a netsim
+// scenario's split set.
+func TestSnapshotInstallsIntoScenario(t *testing.T) {
+	h := Start(t, Options{})
+	h.Inject(ctlplane.Event{Type: ctlplane.EventFail, Link: 2})
+	snap, _ := h.GetSnapshot()
+	b := Backbone()
+	sc := &netsim.Scenario{Nodes: b.Nodes, Links: b.Hybrid(), Comms: Commodities()}
+	if err := snap.Install(sc); err != nil {
+		t.Fatalf("installing live snapshot: %v", err)
+	}
+	if len(sc.Splits) != len(snap.Commodities) {
+		t.Fatalf("installed %d flows, want %d", len(sc.Splits), len(snap.Commodities))
+	}
+}
+
+// TestConcurrentReadersUnderChurn hammers the snapshot endpoint from many
+// goroutines while the event loop publishes — under -race this is the
+// torn-read detector. Every read must decode to a complete snapshot with
+// valid splits, and versions seen by one reader never go backwards.
+func TestConcurrentReadersUnderChurn(t *testing.T) {
+	h := Start(t, Options{})
+	const readers = 8
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var lastVersion uint64
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				resp, err := http.Get(h.URL + "/v1/snapshot")
+				if err != nil {
+					t.Errorf("reader GET: %v", err)
+					return
+				}
+				var s ctlplane.Snapshot
+				derr := json.NewDecoder(resp.Body).Decode(&s)
+				resp.Body.Close()
+				if derr != nil {
+					t.Errorf("reader decode: %v", derr)
+					return
+				}
+				if s.Version < lastVersion {
+					t.Errorf("version went backwards: %d after %d", s.Version, lastVersion)
+					return
+				}
+				lastVersion = s.Version
+				for _, cw := range s.Commodities {
+					sum := 0.0
+					for _, sp := range cw.Splits {
+						sum += sp.Frac
+					}
+					if math.Abs(sum-1) > netsim.SplitSumTol {
+						t.Errorf("torn read: v%d flow %d splits sum %v", s.Version, cw.Flow, sum)
+						return
+					}
+				}
+			}
+		}()
+	}
+	events := []ctlplane.Event{
+		{Type: ctlplane.EventFade, Link: 0, CapFrac: 0.5},
+		{Type: ctlplane.EventFail, Link: 1},
+		{Type: ctlplane.EventFade, Link: 2, CapFrac: 0.25},
+		{Type: ctlplane.EventRepair, Link: 1},
+		{Type: ctlplane.EventFade, Link: 0, CapFrac: 1},
+		{Type: ctlplane.EventFail, Link: 7},
+		{Type: ctlplane.EventRepair, Link: 7},
+		{Type: ctlplane.EventFade, Link: 2, CapFrac: 1},
+	}
+	for round := 0; round < 4; round++ {
+		for _, ev := range events {
+			h.Inject(ev)
+		}
+	}
+	close(done)
+	wg.Wait()
+	h.AssertInvariants()
+}
+
+// TestDeterministicSequenceAcrossWorkers pins the acceptance criterion:
+// the same event schedule yields byte-identical snapshot sequences at any
+// worker-pool width.
+func TestDeterministicSequenceAcrossWorkers(t *testing.T) {
+	schedule := []ctlplane.Event{
+		{Type: ctlplane.EventFade, Link: 0, CapFrac: 0.5},
+		{Type: ctlplane.EventFail, Link: 2},
+		{Type: ctlplane.EventFade, Link: 3, CapFrac: 0.75},
+		{Type: ctlplane.EventRepair, Link: 2},
+		{Type: ctlplane.EventFail, Link: 10},
+		{Type: ctlplane.EventFade, Link: 0, CapFrac: 1},
+		{Type: ctlplane.EventRepair, Link: 10},
+	}
+	run := func(workers int) [][]byte {
+		prev := parallel.SetWorkers(workers)
+		defer parallel.SetWorkers(prev)
+		h := Start(t, Options{})
+		for _, ev := range schedule {
+			h.Inject(ev)
+		}
+		h.AssertInvariants()
+		return h.SequenceBytes()
+	}
+	one := run(1)
+	eight := run(8)
+	if d := Diff(one, eight); d != "" {
+		t.Fatalf("snapshot sequences diverge across worker counts:\n%s", d)
+	}
+}
+
+// metricsGolden pins the control plane's exported metric families — the
+// names operators build dashboards on. Histogram series render extra
+// _bucket/_sum/_count suffixes; the golden tracks family names.
+var metricsGolden = []string{
+	"cisp_ctlplane_events_total",
+	"cisp_ctlplane_frr_lp_solves",
+	"cisp_ctlplane_mlu",
+	"cisp_ctlplane_publish_seconds",
+	"cisp_ctlplane_snapshot_epoch",
+	"cisp_ctlplane_snapshot_version",
+	"cisp_ctlplane_snapshots_total",
+}
+
+func TestMetricsNamesGolden(t *testing.T) {
+	h := Start(t, Options{})
+	h.Inject(ctlplane.Event{Type: ctlplane.EventFade, Link: 0, CapFrac: 0.5})
+	h.Inject(ctlplane.Event{Type: ctlplane.EventFail, Link: 1})
+	h.Inject(ctlplane.Event{Type: ctlplane.EventRepair, Link: 1})
+
+	families := map[string]bool{}
+	for _, line := range strings.Split(h.Metrics(), "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		name := line
+		if i := strings.IndexAny(name, "{ "); i >= 0 {
+			name = name[:i]
+		}
+		for _, suf := range []string{"_bucket", "_sum", "_count"} {
+			name = strings.TrimSuffix(name, suf)
+		}
+		if strings.HasPrefix(name, "cisp_ctlplane_") {
+			families[name] = true
+		}
+	}
+	var got []string
+	for name := range families {
+		got = append(got, name)
+	}
+	sort.Strings(got)
+	if strings.Join(got, "\n") != strings.Join(metricsGolden, "\n") {
+		t.Errorf("metric families golden mismatch:\n--- got ---\n%s\n--- want ---\n%s",
+			strings.Join(got, "\n"), strings.Join(metricsGolden, "\n"))
+	}
+}
+
+// Compile-time check that harness options accept the tuning types tests
+// pass through to the daemon.
+var _ = Options{TE: te.Config{}, Prot: resilience.Config{}}

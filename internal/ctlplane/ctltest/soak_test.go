@@ -1,0 +1,133 @@
+package ctltest
+
+import (
+	"encoding/json"
+	"math"
+	"net/http"
+	"sync"
+	"testing"
+	"time"
+
+	"cisp/internal/ctlplane"
+	"cisp/internal/netsim"
+)
+
+// soakSchedule builds the deterministic 1000-event soak input: a month of
+// seeded weather gradings and hardware failures from DrawStream (MTBF
+// shortened so outages actually occur), padded past the horizon with a
+// synthetic fade/fail/repair rotation if the drawn weather was too calm.
+// Pure function of its arguments.
+func soakSchedule(b *ctlplane.Backbone, n int) []ctlplane.TimedEvent {
+	const horizon = 30 * 86400
+	evs := ctlplane.DrawStream(b, ctlplane.StreamConfig{
+		Seed:    42,
+		Horizon: horizon,
+		MTBF:    5 * 86400,
+		MTTR:    8 * 3600,
+	})
+	if len(evs) > n {
+		evs = evs[:n]
+	}
+	at := float64(horizon)
+	nLinks := len(b.Mw) + len(b.Fiber)
+	fracs := []float64{0.75, 0.5, 0.25, 1}
+	for i := 0; len(evs) < n; i++ {
+		at += 60
+		var ev ctlplane.Event
+		switch i % 6 {
+		case 4:
+			ev = ctlplane.Event{Type: ctlplane.EventFail, Link: i % nLinks}
+		case 5:
+			ev = ctlplane.Event{Type: ctlplane.EventRepair, Link: i % nLinks}
+		default:
+			ev = ctlplane.Event{Type: ctlplane.EventFade, Link: i % len(b.Mw), CapFrac: fracs[i%len(fracs)]}
+		}
+		evs = append(evs, ctlplane.TimedEvent{At: at, Ev: ev})
+	}
+	return evs
+}
+
+// TestSoakThousandEvents is the tier-2 endurance run: a thousand
+// virtual-clock events stream through the full HTTP surface while
+// concurrent readers hammer the snapshot endpoint, and every sequence
+// invariant must hold at the end. Run under -race in CI's full tier; the
+// short tier skips it.
+func TestSoakThousandEvents(t *testing.T) {
+	if testing.Short() {
+		t.Skip("tier-2 soak: skipped with -short")
+	}
+	const nEvents = 1000
+	h := Start(t, Options{})
+	schedule := soakSchedule(Backbone(), nEvents)
+	if len(schedule) != nEvents {
+		t.Fatalf("schedule has %d events, want %d", len(schedule), nEvents)
+	}
+
+	const readers = 8
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var lastVersion uint64
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				resp, err := http.Get(h.URL + "/v1/snapshot")
+				if err != nil {
+					t.Errorf("soak reader: %v", err)
+					return
+				}
+				var s ctlplane.Snapshot
+				derr := json.NewDecoder(resp.Body).Decode(&s)
+				resp.Body.Close()
+				if derr != nil {
+					t.Errorf("soak reader decode: %v", derr)
+					return
+				}
+				if s.Version < lastVersion {
+					t.Errorf("soak reader: version %d after %d", s.Version, lastVersion)
+					return
+				}
+				lastVersion = s.Version
+				for _, cw := range s.Commodities {
+					sum := 0.0
+					for _, sp := range cw.Splits {
+						sum += sp.Frac
+					}
+					if math.Abs(sum-1) > netsim.SplitSumTol {
+						t.Errorf("soak reader: torn v%d flow %d sum %v", s.Version, cw.Flow, sum)
+						return
+					}
+				}
+			}
+		}()
+	}
+
+	start := time.Unix(0, 0)
+	for _, te := range schedule {
+		h.Clock.Set(start.Add(time.Duration(te.At * float64(time.Second))))
+		h.Inject(te.Ev)
+	}
+	close(done)
+	wg.Wait()
+
+	h.AssertInvariants()
+	seq := h.Sequence()
+	// Every event publishes at least one snapshot (fail/repair publish two
+	// when reopt is enabled), on top of the initial one.
+	if len(seq) < nEvents+1 {
+		t.Fatalf("%d publications for %d events, want > %d", len(seq), nEvents, nEvents)
+	}
+	for i := 1; i < len(seq); i++ {
+		if seq[i].TimeUnix < seq[i-1].TimeUnix {
+			t.Fatalf("virtual clock regressed across publications: %d after %d (v%d)",
+				seq[i].TimeUnix, seq[i-1].TimeUnix, seq[i].Version)
+		}
+	}
+	t.Logf("soak: %d events, %d snapshots, final MLU %.3f", nEvents, len(seq), seq[len(seq)-1].MLU)
+}

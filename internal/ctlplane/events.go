@@ -1,0 +1,100 @@
+package ctlplane
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+)
+
+// Event types accepted on the injection endpoint and produced by the
+// seeded stream source.
+const (
+	// EventFade grades a microwave link's capacity: CapFrac of clear-sky
+	// rate, 0 = rained out, 1 = clear. Link indexes the microwave prefix.
+	EventFade = "fade"
+	// EventFail hard-fails a link (tower down, conduit cut). Link indexes
+	// the hybrid list: microwave first, then fiber.
+	EventFail = "fail"
+	// EventRepair restores a hard-failed link. A repaired microwave link
+	// comes back at its current graded (fade) capacity, not clear-sky.
+	EventRepair = "repair"
+)
+
+// Event is one control-plane input: a weather grading change or a hard
+// failure transition on a single link.
+type Event struct {
+	Type string `json:"type"`
+	Link int    `json:"link"`
+	// CapFrac is the graded capacity fraction for fade events, in [0,1].
+	// Fail/repair events must leave it unset.
+	CapFrac float64 `json:"capfrac,omitempty"`
+}
+
+// batch is the wire envelope of the injection endpoint.
+type batch struct {
+	Events []Event `json:"events"`
+}
+
+// MaxEventBody caps the injection endpoint's request body: a batch of
+// control events is kilobytes, so anything near this limit is abuse.
+const MaxEventBody = 1 << 20
+
+// DecodeEvents parses and validates an injection-endpoint body against a
+// topology of nMw microwave links and nLinks total links. It is strict by
+// construction — unknown fields, trailing data, out-of-range links,
+// non-finite or out-of-range fractions, and fractions on non-fade events
+// all fail — because a malformed control input must be rejected at the
+// door, never published into a forwarding snapshot. Never panics.
+func DecodeEvents(r io.Reader, nMw, nLinks int) ([]Event, error) {
+	dec := json.NewDecoder(io.LimitReader(r, MaxEventBody))
+	dec.DisallowUnknownFields()
+	var b batch
+	if err := dec.Decode(&b); err != nil {
+		return nil, fmt.Errorf("ctlplane: decoding event batch: %w", err)
+	}
+	if dec.More() {
+		return nil, fmt.Errorf("ctlplane: trailing data after event batch")
+	}
+	if len(b.Events) == 0 {
+		return nil, fmt.Errorf("ctlplane: empty event batch")
+	}
+	for i, ev := range b.Events {
+		if err := validateEvent(ev, nMw, nLinks); err != nil {
+			return nil, fmt.Errorf("ctlplane: event %d: %w", i, err)
+		}
+	}
+	return b.Events, nil
+}
+
+func validateEvent(ev Event, nMw, nLinks int) error {
+	switch ev.Type {
+	case EventFade:
+		if ev.Link < 0 || ev.Link >= nMw {
+			return fmt.Errorf("fade link %d outside microwave range [0,%d)", ev.Link, nMw)
+		}
+		if math.IsNaN(ev.CapFrac) || math.IsInf(ev.CapFrac, 0) {
+			return fmt.Errorf("fade capfrac is not finite")
+		}
+		if ev.CapFrac < 0 || ev.CapFrac > 1 {
+			return fmt.Errorf("fade capfrac %v outside [0,1]", ev.CapFrac)
+		}
+	case EventFail, EventRepair:
+		if ev.Link < 0 || ev.Link >= nLinks {
+			return fmt.Errorf("%s link %d outside topology range [0,%d)", ev.Type, ev.Link, nLinks)
+		}
+		if ev.CapFrac != 0 {
+			return fmt.Errorf("%s event carries a capfrac", ev.Type)
+		}
+	default:
+		return fmt.Errorf("unknown event type %q", ev.Type)
+	}
+	return nil
+}
+
+// TimedEvent is one entry of a seeded stream: the event plus the modeled
+// time (seconds since stream start) at which it fires.
+type TimedEvent struct {
+	At float64 `json:"at"`
+	Ev Event   `json:"event"`
+}

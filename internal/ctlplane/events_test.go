@@ -1,0 +1,99 @@
+package ctlplane
+
+import (
+	"strings"
+	"testing"
+)
+
+// The decoder guards the injection endpoint: every malformed body must be
+// rejected with an error (never a panic, never a partial apply), and the
+// accepted forms must round-trip exactly.
+func TestDecodeEventsAccepts(t *testing.T) {
+	const nMw, nLinks = 5, 15
+	evs, err := DecodeEvents(strings.NewReader(
+		`{"events":[{"type":"fade","link":2,"capfrac":0.5},{"type":"fail","link":14},{"type":"repair","link":14}]}`), nMw, nLinks)
+	if err != nil {
+		t.Fatalf("valid batch rejected: %v", err)
+	}
+	want := []Event{
+		{Type: EventFade, Link: 2, CapFrac: 0.5},
+		{Type: EventFail, Link: 14},
+		{Type: EventRepair, Link: 14},
+	}
+	if len(evs) != len(want) {
+		t.Fatalf("decoded %d events, want %d", len(evs), len(want))
+	}
+	for i := range want {
+		if evs[i] != want[i] {
+			t.Fatalf("event %d = %+v, want %+v", i, evs[i], want[i])
+		}
+	}
+	// Fade to zero (rained out) and to one (clear) are both legal.
+	if _, err := DecodeEvents(strings.NewReader(
+		`{"events":[{"type":"fade","link":0,"capfrac":0},{"type":"fade","link":0,"capfrac":1}]}`), nMw, nLinks); err != nil {
+		t.Fatalf("boundary fades rejected: %v", err)
+	}
+}
+
+func TestDecodeEventsRejects(t *testing.T) {
+	const nMw, nLinks = 5, 15
+	cases := []struct {
+		name, body, want string
+	}{
+		{"garbage", `not json`, "decoding"},
+		{"empty batch", `{"events":[]}`, "empty"},
+		{"no envelope", `[{"type":"fade","link":0,"capfrac":1}]`, "decoding"},
+		{"unknown field", `{"events":[{"type":"fade","link":0,"capfrac":1,"x":1}]}`, "decoding"},
+		{"trailing data", `{"events":[{"type":"fail","link":0}]}{}`, "trailing"},
+		{"unknown type", `{"events":[{"type":"flood","link":0}]}`, "unknown event type"},
+		{"fade beyond mw prefix", `{"events":[{"type":"fade","link":5,"capfrac":0.5}]}`, "outside microwave range"},
+		{"fade negative link", `{"events":[{"type":"fade","link":-1,"capfrac":0.5}]}`, "outside microwave range"},
+		{"fail beyond topology", `{"events":[{"type":"fail","link":15}]}`, "outside topology range"},
+		{"repair negative link", `{"events":[{"type":"repair","link":-2}]}`, "outside topology range"},
+		{"capfrac above one", `{"events":[{"type":"fade","link":1,"capfrac":1.5}]}`, "outside [0,1]"},
+		{"capfrac negative", `{"events":[{"type":"fade","link":1,"capfrac":-0.25}]}`, "outside [0,1]"},
+		{"capfrac overflow", `{"events":[{"type":"fade","link":1,"capfrac":1e999}]}`, "decoding"},
+		{"capfrac on fail", `{"events":[{"type":"fail","link":1,"capfrac":0.5}]}`, "carries a capfrac"},
+		{"capfrac not a number", `{"events":[{"type":"fade","link":1,"capfrac":"wet"}]}`, "decoding"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			evs, err := DecodeEvents(strings.NewReader(tc.body), nMw, nLinks)
+			if err == nil {
+				t.Fatalf("accepted %q as %+v", tc.body, evs)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+// FuzzDecodeEvents drives the injection decoder with arbitrary bodies:
+// whatever arrives, it must never panic, and anything it accepts must
+// pass per-event validation — the property the HTTP 400 path rests on.
+func FuzzDecodeEvents(f *testing.F) {
+	f.Add(`{"events":[{"type":"fade","link":0,"capfrac":0.5}]}`)
+	f.Add(`{"events":[{"type":"fail","link":3}]}`)
+	f.Add(`{"events":[{"type":"repair","link":3}]}`)
+	f.Add(`{"events":[]}`)
+	f.Add(`{"events":[{"type":"fade","link":0,"capfrac":1e999}]}`)
+	f.Add(`{"events":[{"type":"fade","link":99,"capfrac":0.5}]}`)
+	f.Add(`not json at all`)
+	f.Add(`{"events":[{"type":"fail","link":0}]}{}`)
+	f.Fuzz(func(t *testing.T, body string) {
+		const nMw, nLinks = 5, 15
+		evs, err := DecodeEvents(strings.NewReader(body), nMw, nLinks)
+		if err != nil {
+			return
+		}
+		if len(evs) == 0 {
+			t.Fatalf("accepted a batch with no events: %q", body)
+		}
+		for i, ev := range evs {
+			if verr := validateEvent(ev, nMw, nLinks); verr != nil {
+				t.Fatalf("accepted invalid event %d (%+v) from %q: %v", i, ev, body, verr)
+			}
+		}
+	})
+}

@@ -1,0 +1,139 @@
+package ctlplane
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+
+	"cisp/internal/netsim"
+)
+
+// Snapshot kinds, in publication order of a typical failure episode.
+const (
+	KindInitial = "initial" // first solve at boot
+	KindFRR     = "frr"     // fast-reroute patch: zero LP solves
+	KindReopt   = "reopt"   // warm TE reoptimization swapped in
+	KindReload  = "reload"  // config reload rebuilt the control plane
+)
+
+// SplitWire is one weighted path of a published commodity.
+type SplitWire struct {
+	Path []int   `json:"path"`
+	Frac float64 `json:"frac"`
+}
+
+// CommodityWire is one commodity's published forwarding entry.
+type CommodityWire struct {
+	Flow      int         `json:"flow"`
+	Src       int         `json:"src"`
+	Dst       int         `json:"dst"`
+	DemandBps float64     `json:"demand_bps"`
+	Splits    []SplitWire `json:"splits"`
+}
+
+// BackupWire is one commodity's precomputed fast-reroute path.
+type BackupWire struct {
+	Flow int   `json:"flow"`
+	Path []int `json:"path"`
+}
+
+// Snapshot is one immutable, versioned forwarding state: what the daemon
+// serves to the data plane. Versions increase strictly by 1 per publish;
+// Epoch increments only when a config reload rebuilds the control plane.
+// A snapshot is never mutated after Publish — readers hold it without
+// locks, and its JSON encoding is computed once and byte-stable
+// (commodities sorted by flow, down links sorted ascending).
+type Snapshot struct {
+	Version     uint64          `json:"version"`
+	Epoch       uint64          `json:"epoch"`
+	Kind        string          `json:"kind"`
+	TimeUnix    int64           `json:"time_unix"`
+	Method      string          `json:"method"` // te Solution.Method of the underlying solve
+	MLU         float64         `json:"mlu"`
+	DownLinks   []int           `json:"down_links"`
+	Commodities []CommodityWire `json:"commodities"`
+	Backups     []BackupWire    `json:"backups"`
+
+	encoded []byte
+}
+
+// JSON returns the snapshot's canonical wire encoding (newline-terminated),
+// computed once at publish time — serving a snapshot at high QPS is a
+// pointer load plus a buffer write.
+func (s *Snapshot) JSON() []byte { return s.encoded }
+
+// buildSnapshot assembles the deterministic wire form: splits sorted by
+// flow ID, down-set sorted ascending, then one json.Marshal.
+func buildSnapshot(version, epoch uint64, kind string, unixSec int64, method string,
+	mlu float64, down []bool, comms []netsim.Commodity,
+	splits map[int][]netsim.SplitPath, backups []BackupWire) (*Snapshot, error) {
+
+	s := &Snapshot{
+		Version:  version,
+		Epoch:    epoch,
+		Kind:     kind,
+		TimeUnix: unixSec,
+		Method:   method,
+		MLU:      mlu,
+		Backups:  backups,
+	}
+	for li, d := range down {
+		if d {
+			s.DownLinks = append(s.DownLinks, li)
+		}
+	}
+	byFlow := make(map[int]netsim.Commodity, len(comms))
+	for _, c := range comms {
+		byFlow[c.Flow] = c
+	}
+	flows := make([]int, 0, len(splits))
+	for flow := range splits {
+		flows = append(flows, flow)
+	}
+	sort.Ints(flows)
+	for _, flow := range flows {
+		c, ok := byFlow[flow]
+		if !ok {
+			return nil, fmt.Errorf("ctlplane: snapshot split for unknown commodity %d", flow)
+		}
+		cw := CommodityWire{Flow: flow, Src: c.Src, Dst: c.Dst, DemandBps: float64(c.Demand)}
+		for _, sp := range splits[flow] {
+			cw.Splits = append(cw.Splits, SplitWire{Path: sp.Path, Frac: sp.Frac})
+		}
+		s.Commodities = append(s.Commodities, cw)
+	}
+	enc, err := json.Marshal(s)
+	if err != nil {
+		return nil, fmt.Errorf("ctlplane: encoding snapshot: %w", err)
+	}
+	s.encoded = append(enc, '\n')
+	return s, nil
+}
+
+// Splits reconstructs the snapshot's split map in netsim form — the
+// installable image for Scenario.Splits. The returned map is fresh; paths
+// are shared with the snapshot and must be treated as read-only.
+func (s *Snapshot) Splits() map[int][]netsim.SplitPath {
+	out := make(map[int][]netsim.SplitPath, len(s.Commodities))
+	for _, cw := range s.Commodities {
+		sps := make([]netsim.SplitPath, len(cw.Splits))
+		for i, sw := range cw.Splits {
+			sps[i] = netsim.SplitPath{Path: sw.Path, Frac: sw.Frac}
+		}
+		out[cw.Flow] = sps
+	}
+	return out
+}
+
+// Install validates the snapshot against a scenario's topology and
+// commodity list and installs its splits — the bridge from a live
+// control-plane snapshot to a netsim replay. The scenario's Nodes, Links,
+// and Comms must already be set.
+func (s *Snapshot) Install(sc *netsim.Scenario) error {
+	splits := s.Splits()
+	if err := netsim.ValidateSplits(sc.Nodes, sc.Links, sc.Comms, splits); err != nil {
+		return fmt.Errorf("ctlplane: snapshot v%d does not fit scenario: %w", s.Version, err)
+	}
+	sc.Splits = splits
+	return nil
+}

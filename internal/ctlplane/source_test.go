@@ -1,0 +1,63 @@
+package ctlplane
+
+import (
+	"reflect"
+	"testing"
+)
+
+func streamBackbone() *Backbone {
+	return SyntheticBackbone(fourSites(), 2, 10, 40)
+}
+
+func TestDrawStreamDeterministicAndValid(t *testing.T) {
+	b := streamBackbone()
+	cfg := StreamConfig{Seed: 7, Horizon: 7 * 86400, MTBF: 2 * 86400, MTTR: 6 * 3600}
+	evs := DrawStream(b, cfg)
+	if len(evs) == 0 {
+		t.Fatalf("a week with 2-day MTBF drew no events")
+	}
+	nLinks := len(b.Mw) + len(b.Fiber)
+	prev := 0.0
+	sawFail := false
+	for i, te := range evs {
+		if te.At < prev {
+			t.Fatalf("event %d at %v after %v: stream not time-sorted", i, te.At, prev)
+		}
+		prev = te.At
+		if err := validateEvent(te.Ev, len(b.Mw), nLinks); err != nil {
+			t.Fatalf("stream emitted invalid event %d (%+v): %v", i, te.Ev, err)
+		}
+		if te.Ev.Type == EventFail {
+			sawFail = true
+		}
+	}
+	if !sawFail {
+		t.Fatalf("no hardware failures in %d events over a week at 2-day MTBF", len(evs))
+	}
+	if again := DrawStream(streamBackbone(), cfg); !reflect.DeepEqual(evs, again) {
+		t.Fatalf("same seed drew a different stream")
+	}
+	if other := DrawStream(streamBackbone(), StreamConfig{Seed: 8, Horizon: cfg.Horizon, MTBF: cfg.MTBF, MTTR: cfg.MTTR}); reflect.DeepEqual(evs, other) {
+		t.Fatalf("different seeds drew identical streams")
+	}
+}
+
+// Fade events must only ever be emitted on a change of graded fraction,
+// so per microwave link consecutive fades always differ.
+func TestDrawStreamFadesOnChangeOnly(t *testing.T) {
+	b := streamBackbone()
+	evs := DrawStream(b, StreamConfig{Seed: 3, Horizon: 14 * 86400})
+	last := make(map[int]float64)
+	for i := range last {
+		last[i] = 1
+	}
+	for _, te := range evs {
+		if te.Ev.Type != EventFade {
+			continue
+		}
+		if prev, ok := last[te.Ev.Link]; ok && prev == te.Ev.CapFrac {
+			t.Fatalf("link %d re-emitted unchanged fade %v at t=%v", te.Ev.Link, te.Ev.CapFrac, te.At)
+		}
+		last[te.Ev.Link] = te.Ev.CapFrac
+	}
+}

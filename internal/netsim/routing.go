@@ -1,6 +1,7 @@
 package netsim
 
 import (
+	"fmt"
 	"math"
 	"sort"
 
@@ -60,6 +61,71 @@ func BuildTopology(nw *Network, links []TopoLink) {
 	for _, l := range links {
 		nw.AddDuplex(l.A, l.B, float64(l.RateBps), float64(l.PropDelay), l.QueueCap)
 	}
+}
+
+// SplitSumTol is the tolerance ValidateSplits allows on each commodity's
+// fraction sum: TE solutions drop sub-1e-6 fractions path by path, so a
+// K-way split can drift a few parts per million from exactly 1.
+const SplitSumTol = 1e-5
+
+// ValidateSplits checks a split set against the topology before it is
+// installed or published: every listed commodity must exist, each of its
+// paths must run Src→Dst over topology links (either direction of a duplex
+// TopoLink), every fraction must be positive and finite, and the fractions
+// must sum to 1 within SplitSumTol. This is the wire-format gate the
+// control-plane daemon runs before swapping a snapshot in, and the same
+// contract Scenario.Run assumes of its Splits field.
+func ValidateSplits(n int, links []TopoLink, comms []Commodity, splits map[int][]SplitPath) error {
+	have := make(map[[2]int]bool, 2*len(links))
+	for _, l := range links {
+		have[[2]int{l.A, l.B}] = true
+		have[[2]int{l.B, l.A}] = true
+	}
+	byFlow := make(map[int]Commodity, len(comms))
+	for _, c := range comms {
+		byFlow[c.Flow] = c
+	}
+	flows := make([]int, 0, len(splits))
+	for flow := range splits {
+		flows = append(flows, flow)
+	}
+	sort.Ints(flows)
+	for _, flow := range flows {
+		c, ok := byFlow[flow]
+		if !ok {
+			return fmt.Errorf("netsim: splits for unknown commodity %d", flow)
+		}
+		sps := splits[flow]
+		if len(sps) == 0 {
+			return fmt.Errorf("netsim: commodity %d has an empty split set", flow)
+		}
+		sum := 0.0
+		for _, sp := range sps {
+			if !(sp.Frac > 0) || math.IsInf(sp.Frac, 0) {
+				return fmt.Errorf("netsim: commodity %d has non-positive or non-finite fraction %v", flow, sp.Frac)
+			}
+			sum += sp.Frac
+			if len(sp.Path) < 2 {
+				return fmt.Errorf("netsim: commodity %d has a degenerate path %v", flow, sp.Path)
+			}
+			if sp.Path[0] != c.Src || sp.Path[len(sp.Path)-1] != c.Dst {
+				return fmt.Errorf("netsim: commodity %d path %v does not run %d→%d", flow, sp.Path, c.Src, c.Dst)
+			}
+			for i := 0; i+1 < len(sp.Path); i++ {
+				a, b := sp.Path[i], sp.Path[i+1]
+				if a < 0 || a >= n || b < 0 || b >= n {
+					return fmt.Errorf("netsim: commodity %d path hop %d→%d outside node range [0,%d)", flow, a, b, n)
+				}
+				if !have[[2]int{a, b}] {
+					return fmt.Errorf("netsim: commodity %d path hop %d→%d is not a topology link", flow, a, b)
+				}
+			}
+		}
+		if math.Abs(sum-1) > SplitSumTol {
+			return fmt.Errorf("netsim: commodity %d fractions sum to %.9f, want 1±%g", flow, sum, SplitSumTol)
+		}
+	}
+	return nil
 }
 
 // InstallRoutes computes a path per commodity under the scheme and installs

@@ -1,0 +1,67 @@
+package netsim
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func validateFixture() (int, []TopoLink, []Commodity) {
+	links := []TopoLink{
+		{A: 0, B: 1, RateBps: 10e6, PropDelay: 0.002},
+		{A: 1, B: 3, RateBps: 10e6, PropDelay: 0.002},
+		{A: 0, B: 2, RateBps: 10e6, PropDelay: 0.0025},
+		{A: 2, B: 3, RateBps: 10e6, PropDelay: 0.0025},
+	}
+	comms := []Commodity{{Flow: 7, Src: 0, Dst: 3, Demand: 5e6}}
+	return 4, links, comms
+}
+
+func TestValidateSplitsAccepts(t *testing.T) {
+	n, links, comms := validateFixture()
+	splits := map[int][]SplitPath{7: {
+		{Path: []int{0, 1, 3}, Frac: 0.6},
+		{Path: []int{0, 2, 3}, Frac: 0.4},
+	}}
+	if err := ValidateSplits(n, links, comms, splits); err != nil {
+		t.Fatalf("valid splits rejected: %v", err)
+	}
+	// Reverse-direction hops of a duplex link are fine too.
+	rev := map[int][]SplitPath{7: {{Path: []int{0, 2, 3}, Frac: 1}}}
+	if err := ValidateSplits(n, links, comms, rev); err != nil {
+		t.Fatalf("reverse-hop splits rejected: %v", err)
+	}
+	// Sub-tolerance drift from dropped tiny fractions passes.
+	drift := map[int][]SplitPath{7: {{Path: []int{0, 1, 3}, Frac: 1 - 4e-6}}}
+	if err := ValidateSplits(n, links, comms, drift); err != nil {
+		t.Fatalf("sum within tolerance rejected: %v", err)
+	}
+}
+
+func TestValidateSplitsRejects(t *testing.T) {
+	n, links, comms := validateFixture()
+	cases := []struct {
+		name   string
+		splits map[int][]SplitPath
+		want   string
+	}{
+		{"unknown flow", map[int][]SplitPath{9: {{Path: []int{0, 1, 3}, Frac: 1}}}, "unknown commodity"},
+		{"empty set", map[int][]SplitPath{7: {}}, "empty split set"},
+		{"zero frac", map[int][]SplitPath{7: {{Path: []int{0, 1, 3}, Frac: 0}}}, "non-positive"},
+		{"NaN frac", map[int][]SplitPath{7: {{Path: []int{0, 1, 3}, Frac: math.NaN()}}}, "non-positive or non-finite"},
+		{"degenerate path", map[int][]SplitPath{7: {{Path: []int{0}, Frac: 1}}}, "degenerate path"},
+		{"wrong endpoints", map[int][]SplitPath{7: {{Path: []int{1, 3}, Frac: 1}}}, "does not run"},
+		{"phantom hop", map[int][]SplitPath{7: {{Path: []int{0, 3}, Frac: 1}}}, "not a topology link"},
+		{"node out of range", map[int][]SplitPath{7: {{Path: []int{0, 9, 3}, Frac: 1}}}, "outside node range"},
+		{"sum short", map[int][]SplitPath{7: {{Path: []int{0, 1, 3}, Frac: 0.5}}}, "sum to"},
+	}
+	for _, tc := range cases {
+		err := ValidateSplits(n, links, comms, tc.splits)
+		if err == nil {
+			t.Fatalf("%s: no error", tc.name)
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Fatalf("%s: error %q does not mention %q", tc.name, err, tc.want)
+		}
+	}
+}

@@ -1,0 +1,42 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+func TestManualClockAdvanceAndSet(t *testing.T) {
+	t0 := time.Unix(1_700_000_000, 0).UTC()
+	c := NewManualClock(t0)
+	if got := c.Now(); !got.Equal(t0) {
+		t.Fatalf("Now = %v, want %v", got, t0)
+	}
+	if got := c.Advance(3 * time.Second); !got.Equal(t0.Add(3 * time.Second)) {
+		t.Fatalf("Advance = %v, want +3s", got)
+	}
+	// Negative advances and backwards sets are ignored.
+	c.Advance(-time.Hour)
+	c.Set(t0)
+	if got := c.Now(); !got.Equal(t0.Add(3 * time.Second)) {
+		t.Fatalf("clock ran backwards: %v", got)
+	}
+	c.Set(t0.Add(time.Minute))
+	if got := c.Now(); !got.Equal(t0.Add(time.Minute)) {
+		t.Fatalf("Set = %v, want +1m", got)
+	}
+}
+
+func TestManualClockDrivesSinkTimer(t *testing.T) {
+	c := NewManualClock(time.Unix(0, 0))
+	s := &Sink{Reg: NewRegistry(), Clock: c.Clock()}
+	stop := s.StartTimer("x_seconds")
+	c.Advance(250 * time.Millisecond)
+	stop()
+	h := s.Reg.Histogram("x_seconds")
+	if h.Count() != 1 {
+		t.Fatalf("count = %d, want 1", h.Count())
+	}
+	if got := h.Sum(); got != 0.25 {
+		t.Fatalf("sum = %v, want 0.25", got)
+	}
+}

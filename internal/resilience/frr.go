@@ -307,9 +307,23 @@ func (p *Protection) patchOne(flow int, base []netsim.SplitPath, down []bool) []
 // down-set, starting from the installed primaries — the planning-side view
 // for MLU evaluation (te.MLUOf) without compiling a full Plan.
 func (p *Protection) Patched(down []bool) map[int][]netsim.SplitPath {
+	return p.PatchedFrom(p.primaries, down)
+}
+
+// PatchedFrom applies fast reroute against an arbitrary installed base —
+// the latest reoptimized solution of a live control plane rather than the
+// clear-sky primaries. Flows the base dropped as unroutable fall back to
+// their primaries (the last physical paths the network held), matching the
+// Plan compiler's convention. The down-set indexes the clear-sky link list
+// the protection was built over. Pure table lookups: no LP solves.
+func (p *Protection) PatchedFrom(base map[int][]netsim.SplitPath, down []bool) map[int][]netsim.SplitPath {
 	out := make(map[int][]netsim.SplitPath, len(p.primaries))
-	for flow, base := range p.primaries {
-		out[flow] = p.patchOne(flow, base, down)
+	for flow, prim := range p.primaries {
+		bs := base[flow]
+		if len(bs) == 0 {
+			bs = prim
+		}
+		out[flow] = p.patchOne(flow, bs, down)
 	}
 	return out
 }

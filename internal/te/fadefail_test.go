@@ -1,0 +1,107 @@
+package te
+
+import (
+	"math"
+	"testing"
+
+	"cisp/internal/netsim"
+	"cisp/internal/units"
+)
+
+// TestWarmReoptFadeThenFailSameLink is the regression for the control
+// plane's composed link state: the same link graded down by weather, then
+// hard-failed while faded, then repaired back to its *graded* rate (not
+// clear sky), then cleared. Every transition must re-solve cleanly, every
+// intermediate solution must avoid zero-capacity links and keep split
+// fractions summing to one, and the dead link's paths must return once it
+// does.
+func TestWarmReoptFadeThenFailSameLink(t *testing.T) {
+	links := diamond()
+	comms := []netsim.Commodity{{Flow: 7, Src: 0, Dst: 3, Demand: 16e6}}
+	ctrl, err := NewController(4, links, comms, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 16 Mbps over two 10 Mbps arms: clear sky must use both.
+	if got := len(ctrl.Solution().Splits[7]); got != 2 {
+		t.Fatalf("clear sky uses %d paths, want 2", got)
+	}
+
+	crossesDead := func(splits map[int][]netsim.SplitPath, a, b int) bool {
+		for _, sp := range splits[7] {
+			for i := 0; i+1 < len(sp.Path); i++ {
+				u, v := sp.Path[i], sp.Path[i+1]
+				if (u == a && v == b) || (u == b && v == a) {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	checkSum := func(stage string) {
+		t.Helper()
+		sum := 0.0
+		for _, sp := range ctrl.Solution().Splits[7] {
+			if sp.Frac <= 0 {
+				t.Fatalf("%s: non-positive fraction %v", stage, sp.Frac)
+			}
+			sum += sp.Frac
+		}
+		if math.Abs(sum-1) > netsim.SplitSumTol {
+			t.Fatalf("%s: splits sum to %v, want 1", stage, sum)
+		}
+	}
+	update := func(stage string, rate01 units.BitsPerSecond, wantAffected bool) {
+		t.Helper()
+		upd := diamond()
+		upd[0].RateBps = rate01
+		affected, err := ctrl.UpdateCapacities(upd)
+		if err != nil {
+			t.Fatalf("%s: %v", stage, err)
+		}
+		if wantAffected && (len(affected) != 1 || affected[0] != 7) {
+			t.Fatalf("%s: affected = %v, want [7]", stage, affected)
+		}
+		checkSum(stage)
+	}
+
+	// Weather grades link 0-1 to half rate: both arms stay in play (the
+	// faded arm still has capacity), but the solution must remain feasible.
+	update("fade to 5 Mbps", 5e6, true)
+	fadedMLU := float64(ctrl.Solution().MLU)
+	if crossed := crossesDead(ctrl.Solution().Splits, 0, 1); !crossed {
+		t.Fatalf("fade alone should not evacuate the graded link")
+	}
+
+	// The faded link now hard-fails — the simultaneous state the control
+	// plane composes. Everything must evacuate it.
+	update("fail while faded", 0, true)
+	if crossesDead(ctrl.Solution().Splits, 0, 1) {
+		t.Fatalf("splits still traverse the failed link 0-1")
+	}
+	failedMLU := float64(ctrl.Solution().MLU)
+	if failedMLU <= fadedMLU {
+		t.Fatalf("one-arm MLU %v not worse than faded two-arm MLU %v", failedMLU, fadedMLU)
+	}
+
+	// Repair returns the link at its graded rate, not clear sky.
+	update("repair to graded rate", 5e6, true)
+	if !crossesDead(ctrl.Solution().Splits, 0, 1) {
+		t.Fatalf("repaired (graded) link not reused")
+	}
+	if got := float64(ctrl.Solution().MLU); got > failedMLU {
+		t.Fatalf("graded repair MLU %v worse than single-arm MLU %v", got, failedMLU)
+	}
+
+	// The fade clears: back to the clear-sky capacity vector; the solution
+	// must again be feasible at MLU ≤ 1.
+	update("fade clears", 10e6, true)
+	if got := float64(ctrl.Solution().MLU); got > 1+1e-9 {
+		t.Fatalf("clear-sky MLU %v after the episode, want ≤ 1", got)
+	}
+
+	// Re-installing identical capacities is a no-op: nothing affected.
+	if affected, err := ctrl.UpdateCapacities(diamond()); err != nil || affected != nil {
+		t.Fatalf("idempotent update: affected %v, err %v", affected, err)
+	}
+}
